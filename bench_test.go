@@ -1,0 +1,352 @@
+// Package thinslice_test is the benchmark harness regenerating the
+// paper's evaluation (DESIGN.md §4): one testing.B benchmark per table
+// or figure-level claim, plus ablation benches for the design choices
+// DESIGN.md calls out. Counts that the paper reports as table cells
+// are exposed via b.ReportMetric, so `go test -bench . -benchmem`
+// prints the same quantities alongside the timings.
+package thinslice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+	"thinslice/internal/core"
+	"thinslice/internal/core/expand"
+	"thinslice/internal/csslice"
+	"thinslice/internal/experiments"
+	"thinslice/internal/inspect"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/prelude"
+	"thinslice/internal/sdg"
+)
+
+// --- Table 1: benchmark characteristics ---
+
+// BenchmarkTable1_Characteristics measures the full analysis pipeline
+// per benchmark and reports the Table 1 quantities as metrics.
+func BenchmarkTable1_Characteristics(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			bm := bench.Generate(name, 1)
+			var a *analyzer.Analysis
+			for i := 0; i < b.N; i++ {
+				var err error
+				a, err = analyzer.Analyze(bm.Sources)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(a.Pts.ReachableMethods())), "methods")
+			b.ReportMetric(float64(a.Pts.NumCGNodes()), "cg-nodes")
+			b.ReportMetric(float64(a.Graph.NumNodes()), "sdg-stmts")
+			b.ReportMetric(float64(a.Graph.NumEdges()), "sdg-edges")
+		})
+	}
+}
+
+// --- Table 2: locating bugs ---
+
+// BenchmarkTable2_Debugging runs the full debugging experiment and
+// reports the aggregate inspected-statement totals (the paper's 3.3×
+// headline is trad/thin).
+func BenchmarkTable2_Debugging(b *testing.B) {
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Table2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sum.ThinTotal), "thin-total")
+	b.ReportMetric(float64(sum.TradTotal), "trad-total")
+	b.ReportMetric(sum.Ratio, "trad/thin")
+}
+
+// --- Table 3: understanding tough casts ---
+
+// BenchmarkTable3_ToughCasts runs the tough-casts experiment (the
+// paper's 9.4× headline is trad/thin).
+func BenchmarkTable3_ToughCasts(b *testing.B) {
+	var sum experiments.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, sum, err = experiments.Table3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sum.ThinTotal), "thin-total")
+	b.ReportMetric(float64(sum.TradTotal), "trad-total")
+	b.ReportMetric(sum.Ratio, "trad/thin")
+}
+
+// --- §6.1 scalability: per-stage costs ---
+
+func analyzed(b *testing.B, name string, objSens bool) *analyzer.Analysis {
+	b.Helper()
+	bm := bench.Generate(name, 1)
+	opts := []analyzer.Option{}
+	if !objSens {
+		opts = append(opts, analyzer.WithObjSens(false))
+	}
+	a, err := analyzer.Analyze(bm.Sources, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkScalability_PointerAnalysis isolates the pointer analysis,
+// the dominant cost per the paper ("the cost of computing thin slices
+// [is] insignificant compared to the pre-requisite call graph
+// construction and pointer analysis").
+func BenchmarkScalability_PointerAnalysis(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pointsto.Analyze(a.Prog, pointsto.Config{
+					ObjSensContainers: true,
+					ContainerClasses:  prelude.ContainerClasses,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkScalability_CIBuild times the §5.2 graph construction.
+func BenchmarkScalability_CIBuild(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			b.ResetTimer()
+			var g *sdg.Graph
+			for i := 0; i < b.N; i++ {
+				g = sdg.Build(a.Prog, a.Pts)
+			}
+			b.ReportMetric(float64(g.NumNodes()), "nodes")
+		})
+	}
+}
+
+// BenchmarkScalability_CSBuild times the §5.3 heap-parameter SDG; its
+// node metric against CIBuild's is the paper's blowup observation.
+func BenchmarkScalability_CSBuild(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			mr := modref.Compute(a.Prog, a.Pts)
+			b.ResetTimer()
+			var g *csslice.Graph
+			for i := 0; i < b.N; i++ {
+				g = csslice.Build(a.Prog, a.Pts, mr)
+			}
+			b.ReportMetric(float64(g.NumNodes()), "nodes")
+			b.ReportMetric(float64(g.NumHeapParamNodes()), "heap-params")
+		})
+	}
+}
+
+// BenchmarkScalability_CSGrowth shows the §5.3 explosion with program
+// size: CS heap-parameter nodes grow super-linearly in the generator
+// scale while CI nodes stay near-linear.
+func BenchmarkScalability_CSGrowth(b *testing.B) {
+	for _, scale := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("javac-scale%d", scale), func(b *testing.B) {
+			bm := bench.Generate("javac", scale)
+			a, err := analyzer.Analyze(bm.Sources)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mr := modref.Compute(a.Prog, a.Pts)
+			b.ResetTimer()
+			var cs *csslice.Graph
+			for i := 0; i < b.N; i++ {
+				cs = csslice.Build(a.Prog, a.Pts, mr)
+			}
+			b.ReportMetric(float64(a.Graph.NumNodes()), "ci-nodes")
+			b.ReportMetric(float64(cs.NumNodes()), "cs-nodes")
+		})
+	}
+}
+
+func seedOf(b *testing.B, a *analyzer.Analysis) ir.Instr {
+	b.Helper()
+	var seed ir.Instr
+	for _, m := range a.Pts.Entries() {
+		m.Instrs(func(ins ir.Instr) {
+			if seed == nil {
+				if _, ok := ins.(*ir.Print); ok {
+					seed = ins
+				}
+			}
+		})
+	}
+	if seed == nil {
+		b.Fatal("no seed")
+	}
+	return seed
+}
+
+// BenchmarkThinSlice measures one thin slice per iteration ("the time
+// and space to compute the thin slice ... was insignificant").
+func BenchmarkThinSlice(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			seed := seedOf(b, a)
+			s := a.ThinSlicer()
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = s.Slice(seed).Size()
+			}
+			b.ReportMetric(float64(size), "slice-stmts")
+		})
+	}
+}
+
+// BenchmarkTraditionalSlice is the baseline slicer's cost.
+func BenchmarkTraditionalSlice(b *testing.B) {
+	for _, name := range bench.AllNames {
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			seed := seedOf(b, a)
+			s := core.NewTraditional(a.Graph, true)
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = s.Slice(seed).Size()
+			}
+			b.ReportMetric(float64(size), "slice-stmts")
+		})
+	}
+}
+
+// BenchmarkCSTabulation measures summary computation plus one CS thin
+// slice — the §5.3 algorithm end to end.
+func BenchmarkCSTabulation(b *testing.B) {
+	for _, name := range []string{"nanoxml", "jtopas", "mtrt", "jack"} { // the paper's "smaller test cases"
+		b.Run(name, func(b *testing.B) {
+			a := analyzed(b, name, true)
+			mr := modref.Compute(a.Prog, a.Pts)
+			g := csslice.Build(a.Prog, a.Pts, mr)
+			seed := seedOf(b, a)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := csslice.NewSlicer(g, true, false)
+				s.Slice(seed)
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblation_ObjSens contrasts pointer-analysis precision: the
+// thin-inspection total over the container benchmarks with and without
+// object-sensitive container cloning (the Table 2/3 NoObjSens columns).
+func BenchmarkAblation_ObjSens(b *testing.B) {
+	for _, objSens := range []bool{true, false} {
+		label := "objsens"
+		if !objSens {
+			label = "noobjsens"
+		}
+		b.Run(label, func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, name := range []string{"nanoxml", "jack"} {
+					bm := bench.Generate(name, 1)
+					opts := []analyzer.Option{}
+					if !objSens {
+						opts = append(opts, analyzer.WithObjSens(false))
+					}
+					a, err := analyzer.Analyze(bm.Sources, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					thin := a.ThinSlicer()
+					for _, task := range append(append([]inspect.Task{}, bm.Debug...), bm.Casts...) {
+						total += inspect.Measure(thin, a.Graph, task).Inspected
+					}
+				}
+			}
+			b.ReportMetric(float64(total), "inspected-total")
+		})
+	}
+}
+
+// BenchmarkAblation_HeapParams contrasts the two heap-dependence
+// representations on the same program: §5.2 direct edges vs §5.3 heap
+// parameters.
+func BenchmarkAblation_HeapParams(b *testing.B) {
+	a := analyzed(b, "nanoxml", true)
+	b.Run("direct-edges", func(b *testing.B) {
+		var g *sdg.Graph
+		for i := 0; i < b.N; i++ {
+			g = sdg.Build(a.Prog, a.Pts)
+		}
+		b.ReportMetric(float64(g.NumNodes()), "nodes")
+	})
+	b.Run("heap-params", func(b *testing.B) {
+		mr := modref.Compute(a.Prog, a.Pts)
+		var g *csslice.Graph
+		for i := 0; i < b.N; i++ {
+			g = csslice.Build(a.Prog, a.Pts, mr)
+		}
+		b.ReportMetric(float64(g.NumNodes()), "nodes")
+	})
+}
+
+// BenchmarkAblation_ExpandDepth measures hierarchical expansion (§4):
+// rounds until the filtered expansion converges, and the growth from
+// thin slice to fixpoint.
+func BenchmarkAblation_ExpandDepth(b *testing.B) {
+	a := analyzed(b, "nanoxml", true)
+	seed := seedOf(b, a)
+	b.ResetTimer()
+	var rounds, start, end int
+	for i := 0; i < b.N; i++ {
+		e := expand.NewExpansion(a.Graph, true, seed)
+		start = e.Size()
+		rounds = e.Run()
+		end = e.Size()
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(start), "thin-stmts")
+	b.ReportMetric(float64(end), "fixpoint-stmts")
+}
+
+// BenchmarkAblation_ControlBudget shows the cost/benefit of the
+// pre-identified control-dependence allowance on the inspection metric.
+func BenchmarkAblation_ControlBudget(b *testing.B) {
+	bm := bench.Generate("javac", 1)
+	a, err := analyzer.Analyze(bm.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thin := a.ThinSlicer()
+	for _, hops := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("ctrl-%d", hops), func(b *testing.B) {
+			task := bm.Casts[0]
+			task.ControlDeps = hops
+			var res inspect.Result
+			for i := 0; i < b.N; i++ {
+				res = inspect.Measure(thin, a.Graph, task)
+			}
+			found := 0.0
+			if res.Found {
+				found = 1
+			}
+			b.ReportMetric(float64(res.Inspected), "inspected")
+			b.ReportMetric(found, "found")
+		})
+	}
+}

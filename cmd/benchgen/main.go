@@ -1,0 +1,68 @@
+// Command benchgen emits the generated benchmark programs, for
+// inspection or for slicing with cmd/thinslice:
+//
+//	benchgen -list
+//	benchgen -name javac [-scale 2] [-o javac.mj]
+//	benchgen -name nanoxml -tasks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinslice/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmark names")
+	name := flag.String("name", "", "benchmark to emit")
+	scale := flag.Int("scale", 1, "generator scale")
+	out := flag.String("o", "", "output file (default stdout)")
+	tasks := flag.Bool("tasks", false, "print the benchmark's tasks instead of its source")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.AllNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgen -list | -name <bench> [-scale N] [-o file] [-tasks]")
+		os.Exit(2)
+	}
+	found := false
+	for _, n := range bench.AllNames {
+		if n == *name {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q (try -list)\n", *name)
+		os.Exit(1)
+	}
+	b := bench.Generate(*name, *scale)
+	if *tasks {
+		for _, t := range b.Debug {
+			fmt.Printf("debug %-16s seed %s:%d  control=%d desired=%v\n",
+				t.Name, t.SeedFile, t.SeedLine, t.ControlDeps, t.Desired)
+		}
+		for _, t := range b.Casts {
+			fmt.Printf("cast  %-16s seed %s:%d  control=%d desired=%v\n",
+				t.Name, t.SeedFile, t.SeedLine, t.ControlDeps, t.Desired)
+		}
+		for _, t := range b.Hopeless {
+			fmt.Printf("hopeless %-13s seed %s:%d\n", t.Name, t.SeedFile, t.SeedLine)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Print(b.Src())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.Src()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's evaluation tables over
+// the synthetic benchmark corpus:
+//
+//	experiments -table 1        benchmark characteristics (Table 1)
+//	experiments -table 2        locating injected bugs (Table 2)
+//	experiments -table 3        understanding tough casts (Table 3)
+//	experiments -scalability    §6.1 CI vs CS-with-heap-params growth
+//	experiments -all            everything
+//
+// Use -scale N to grow the generated benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinslice/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1, 2, or 3)")
+	scalability := flag.Bool("scalability", false, "run the scalability comparison")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Int("scale", 1, "benchmark generator scale")
+	flag.Parse()
+
+	if !*all && *table == 0 && !*scalability {
+		*all = true
+	}
+	run := func(n int) bool { return *all || *table == n }
+
+	if run(1) {
+		rows, err := experiments.Table1(*scale)
+		exitOn(err)
+		experiments.WriteTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run(2) {
+		rows, sum, err := experiments.Table2(*scale)
+		exitOn(err)
+		experiments.WriteTaskTable(os.Stdout,
+			"Table 2: locating bugs (BFS-inspected statements until the bug)", rows, sum)
+		hopeless, err := experiments.Hopeless(*scale)
+		exitOn(err)
+		experiments.WriteHopeless(os.Stdout, hopeless)
+		fmt.Println()
+	}
+	if run(3) {
+		rows, sum, err := experiments.Table3(*scale)
+		exitOn(err)
+		experiments.WriteTaskTable(os.Stdout,
+			"Table 3: understanding tough casts (BFS-inspected statements)", rows, sum)
+		fmt.Println()
+	}
+	if *all || *scalability {
+		rows, err := experiments.Scalability(*scale)
+		exitOn(err)
+		experiments.WriteScalability(os.Stdout, rows)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

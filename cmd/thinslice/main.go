@@ -1,0 +1,274 @@
+// Command thinslice slices MiniJava-style programs from a seed
+// statement:
+//
+//	thinslice -seed prog.mj:42 prog.mj [more.mj ...]
+//
+// By default it prints the thin slice (producer statements, paper §2).
+// Flags select the traditional baseline, control dependences, the
+// context-sensitive tabulation slicer, reduced pointer-analysis
+// precision, and on-demand explanations of heap aliasing and control
+// dependences for the slice (§4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core"
+	"thinslice/internal/core/expand"
+	"thinslice/internal/csslice"
+	"thinslice/internal/interp"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/token"
+)
+
+func main() {
+	seedFlag := flag.String("seed", "", "seed statement as file.mj:line (required)")
+	mode := flag.String("mode", "thin", "slicing mode: thin or traditional")
+	control := flag.Bool("control", false, "follow control dependences (traditional only)")
+	cs := flag.Bool("cs", false, "use the context-sensitive tabulation slicer (§5.3)")
+	noObjSens := flag.Bool("noobjsens", false, "disable object-sensitive container handling")
+	explainAliasing := flag.Bool("explain-aliasing", false, "print aliasing explanations for heap edges in the slice (§4.1)")
+	explainControl := flag.Bool("explain-control", false, "print control explanations for the seed (§4.2)")
+	why := flag.String("why", "", "explain why file.mj:line is in the slice (shortest producer chain)")
+	dynamic := flag.Bool("dynamic", false, "execute the program and print the dynamic thin slice of the seed")
+	inputs := flag.String("input", "", "comma-separated input() values for -dynamic")
+	inputInts := flag.String("inputint", "", "comma-separated inputInt() values for -dynamic")
+	flag.Parse()
+
+	if *seedFlag == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: thinslice -seed file.mj:line [flags] file.mj...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	seedFile, seedLine, err := parseSeed(*seedFlag)
+	exitOn(err)
+
+	sources := make(map[string]string)
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		exitOn(err)
+		sources[path] = string(data)
+	}
+
+	var opts []analyzer.Option
+	if *noObjSens {
+		opts = append(opts, analyzer.WithObjSens(false))
+	}
+	a, err := analyzer.Analyze(sources, opts...)
+	exitOn(err)
+
+	seeds := a.SeedsAt(seedFile, seedLine)
+	if len(seeds) == 0 {
+		exitOn(fmt.Errorf("no reachable statements at %s:%d", seedFile, seedLine))
+	}
+
+	thinMode := *mode == "thin"
+	if !thinMode && *mode != "traditional" {
+		exitOn(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *dynamic {
+		runDynamic(a, sources, seeds, *inputs, *inputInts)
+		return
+	}
+
+	var lines []token.Pos
+	if *cs {
+		mr := modref.Compute(a.Prog, a.Pts)
+		g := csslice.Build(a.Prog, a.Pts, mr)
+		s := csslice.NewSlicer(g, thinMode, *control)
+		slice := s.Slice(seeds...)
+		for p := range csslice.SliceLines(slice) {
+			lines = append(lines, p)
+		}
+		sort.Slice(lines, func(i, j int) bool { return posLess(lines[i], lines[j]) })
+		fmt.Printf("%s slice (context-sensitive) of %s:%d: %d statements\n",
+			*mode, seedFile, seedLine, len(slice))
+	} else {
+		var s *core.Slicer
+		if thinMode {
+			s = a.ThinSlicer()
+		} else {
+			s = a.TraditionalSlicer(*control)
+		}
+		slice := s.Slice(seeds...)
+		lines = slice.Lines()
+		fmt.Printf("%s slice of %s:%d: %d statements on %d lines\n",
+			*mode, seedFile, seedLine, slice.Size(), len(lines))
+		if *explainAliasing && thinMode {
+			printAliasing(a, slice)
+		}
+	}
+	printLines(sources, lines)
+
+	if *why != "" && !*cs {
+		whyFile, whyLine, err := parseSeed(*why)
+		exitOn(err)
+		var s *core.Slicer
+		if thinMode {
+			s = a.ThinSlicer()
+		} else {
+			s = a.TraditionalSlicer(*control)
+		}
+		explainWhy(a, s, sources, seeds, whyFile, whyLine)
+	}
+
+	if *explainControl {
+		fmt.Println("\ncontrol explanations of the seed (paper §4.2):")
+		for _, seed := range seeds {
+			for _, src := range expand.ControlExplanation(a.Graph, seed) {
+				fmt.Printf("  %s: %s\n", src.Pos(), src)
+			}
+		}
+	}
+}
+
+// explainWhy prints the shortest producer chain from the seed to the
+// named statement.
+func explainWhy(a *analyzer.Analysis, s *core.Slicer, sources map[string]string, seeds []ir.Instr, file string, line int) {
+	targets := a.SeedsAt(file, line)
+	if len(targets) == 0 {
+		exitOn(fmt.Errorf("no statements at %s:%d", file, line))
+	}
+	var path []core.PathStep
+	for _, target := range targets {
+		if p := s.PathTo(target, seeds...); p != nil && (path == nil || len(p) < len(path)) {
+			path = p
+		}
+	}
+	if path == nil {
+		fmt.Printf("\n%s:%d is NOT in the %s slice (an explainer statement; try -mode traditional,\n", file, line, s.Opts.Mode)
+		fmt.Println("or ask for -explain-aliasing / -explain-control)")
+		return
+	}
+	fmt.Printf("\nwhy %s:%d is in the slice (%d-step producer chain):\n", file, line, len(path)-1)
+	for i, step := range path {
+		arrow := "seed"
+		if i > 0 {
+			arrow = "<-" + step.Kind.String() + "-"
+		}
+		fmt.Printf("  %-12s %s: %s\n", arrow, step.Ins.Pos(), step.Ins)
+		if step.ViaCall != nil {
+			fmt.Printf("  %-12s   (passed at call %s)\n", "", step.ViaCall.Pos())
+		}
+	}
+}
+
+// runDynamic executes the program with scripted inputs and prints the
+// dynamic thin slice (§1's dynamic-dependence extension).
+func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Instr, inputCSV, intCSV string) {
+	m := interp.New(a.Prog)
+	m.Trace = interp.NewTrace()
+	if inputCSV != "" {
+		m.Inputs = strings.Split(inputCSV, ",")
+	}
+	for _, s := range strings.Split(intCSV, ",") {
+		if s == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		exitOn(err)
+		m.InputInts = append(m.InputInts, n)
+	}
+	runErr := m.Run("")
+	for _, line := range m.Output {
+		fmt.Printf("output: %s\n", line)
+	}
+	if runErr != nil {
+		fmt.Printf("execution ended with: %v\n", runErr)
+	}
+	members := make(map[ir.Instr]bool)
+	for _, seed := range seeds {
+		for ins := range m.Trace.DynamicThinSlice(seed) {
+			members[ins] = true
+		}
+	}
+	if len(members) == 0 {
+		fmt.Println("seed statement was not executed on this input")
+		return
+	}
+	var lines []token.Pos
+	seen := make(map[token.Pos]bool)
+	for ins := range members {
+		p := ins.Pos()
+		p.Col = 0
+		if p.IsValid() && !seen[p] {
+			seen[p] = true
+			lines = append(lines, p)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return posLess(lines[i], lines[j]) })
+	fmt.Printf("dynamic thin slice: %d statements on %d lines\n", len(members), len(lines))
+	printLines(sources, lines)
+}
+
+func printAliasing(a *analyzer.Analysis, slice *core.Slice) {
+	pairs := expand.HeapPairs(a.Graph, slice)
+	if len(pairs) == 0 {
+		return
+	}
+	fmt.Printf("\naliasing explanations (paper §4.1), %d heap edge(s):\n", len(pairs))
+	for i, pair := range pairs {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more\n", len(pairs)-i)
+			break
+		}
+		exp := expand.ExplainAliasing(a.Graph, pair)
+		load := a.Graph.InstrOf(pair.Load)
+		store := a.Graph.InstrOf(pair.Store)
+		fmt.Printf("  load %s <- store %s: %d common object(s)\n",
+			load.Pos(), store.Pos(), len(exp.Common))
+		for _, ins := range exp.Statements() {
+			fmt.Printf("    %s: %s\n", ins.Pos(), ins)
+		}
+	}
+}
+
+func printLines(sources map[string]string, lines []token.Pos) {
+	fileLines := make(map[string][]string)
+	for name, src := range sources {
+		fileLines[name] = strings.Split(src, "\n")
+	}
+	for _, p := range lines {
+		text := ""
+		if ls, ok := fileLines[p.File]; ok && p.Line-1 < len(ls) {
+			text = strings.TrimSpace(ls[p.Line-1])
+		} else if p.File != "" {
+			text = "(library)"
+		}
+		fmt.Printf("  %s:%d\t%s\n", p.File, p.Line, text)
+	}
+}
+
+func parseSeed(s string) (string, int, error) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return "", 0, fmt.Errorf("seed %q is not of the form file:line", s)
+	}
+	line, err := strconv.Atoi(s[i+1:])
+	if err != nil || line <= 0 {
+		return "", 0, fmt.Errorf("seed %q has an invalid line number", s)
+	}
+	return s[:i], line, nil
+}
+
+func posLess(a, b token.Pos) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	return a.Line < b.Line
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinslice:", err)
+		os.Exit(1)
+	}
+}

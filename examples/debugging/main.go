@@ -1,0 +1,82 @@
+// Debugging walkthrough: the paper's Figure 4 session. A File stored
+// in a Vector is retrieved twice; one alias closes it, the other hits
+// a ClosedException. The session combines a thin slice, a control
+// explanation (§4.2), and an aliasing explanation (§4.1).
+//
+//	go run ./examples/debugging
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core/expand"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+)
+
+func main() {
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		panic(err)
+	}
+	lines := strings.Split(src, "\n")
+	at := func(line int) string { return strings.TrimSpace(lines[line-1]) }
+
+	// Step 1: the failure is the throw. No value flows into it, so ask
+	// for its control explanation.
+	throwLine := papercases.Line(src, "THROW")
+	fmt.Printf("failure: %s:%d  %s\n\n", file, throwLine, at(throwLine))
+	var throwIns ir.Instr
+	for _, s := range a.SeedsAt(file, throwLine) {
+		if _, ok := s.(*ir.Throw); ok {
+			throwIns = s
+		}
+	}
+	fmt.Println("step 1 — control explanation of the throw (§4.2):")
+	for _, src := range expand.ControlExplanation(a.Graph, throwIns) {
+		fmt.Printf("  guarded by %s:%d  %s\n", src.Pos().File, src.Pos().Line, at(src.Pos().Line))
+	}
+
+	// Step 2: thin slice from the guard's value.
+	checkLine := papercases.Line(src, "CHECK")
+	thin := a.ThinSlicer()
+	sl := thin.Slice(a.SeedsAt(file, checkLine)...)
+	fmt.Printf("\nstep 2 — thin slice of the open-flag check (line %d):\n", checkLine)
+	for _, p := range sl.Lines() {
+		if p.File == file {
+			fmt.Printf("  %4d  %s\n", p.Line, at(p.Line))
+		}
+	}
+	fmt.Println("  → the flag is set true in the constructor and false in close().")
+
+	// Step 3: which File reaches close()? Explain the aliasing between
+	// the read in isOpen() and the store in close().
+	fmt.Println("\nstep 3 — aliasing explanation for the heap edge (§4.1):")
+	for _, pair := range expand.HeapPairs(a.Graph, sl) {
+		store := a.Graph.InstrOf(pair.Store)
+		if _, ok := store.(*ir.SetField); !ok {
+			continue
+		}
+		if store.Pos().Line != papercases.Line(src, "CLOSE") {
+			continue
+		}
+		exp := expand.ExplainAliasing(a.Graph, pair)
+		fmt.Printf("  %d common object(s) flow to both base pointers:\n", len(exp.Common))
+		seen := map[int]bool{}
+		for _, ins := range exp.Statements() {
+			p := ins.Pos()
+			if p.File == file && !seen[p.Line] {
+				seen[p.Line] = true
+				fmt.Printf("  %4d  %s\n", p.Line, at(p.Line))
+			}
+		}
+		break
+	}
+	fmt.Println("  → the File is added to the Vector once and retrieved twice;")
+	fmt.Println("    the first retrieval closes it. Note the Vector allocation")
+	fmt.Println("    itself is filtered out, exactly as in the paper.")
+}

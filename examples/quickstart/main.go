@@ -1,0 +1,54 @@
+// Quickstart: analyze the paper's Figure 1 program (first names stored
+// in a Vector behind session state) and compare the thin slice with
+// the traditional slice from the buggy print.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core"
+	"thinslice/internal/papercases"
+)
+
+func main() {
+	src := papercases.FirstNames
+	a, err := analyzer.Analyze(map[string]string{papercases.FirstNamesFile: src})
+	if err != nil {
+		panic(err)
+	}
+
+	seedLine := papercases.Line(src, "SEED")
+	seeds := a.SeedsAt(papercases.FirstNamesFile, seedLine)
+	fmt.Printf("seed: %s:%d (the print of a mangled first name)\n\n",
+		papercases.FirstNamesFile, seedLine)
+
+	thin := a.ThinSlicer().Slice(seeds...)
+	trad := a.TraditionalSlicer(true).Slice(seeds...)
+
+	show("THIN SLICE (producer statements only, paper §2)", src, thin)
+	fmt.Printf("\nTRADITIONAL SLICE: %d statements on %d lines — nearly the whole program,\n",
+		trad.Size(), len(trad.Lines()))
+	fmt.Printf("including the Vector construction and all SessionState plumbing.\n\n")
+
+	bugLine := papercases.Line(src, "BUG")
+	fmt.Printf("the off-by-one substring at line %d is in the thin slice: %t\n",
+		bugLine, thin.ContainsLine(papercases.FirstNamesFile, bugLine))
+	fmt.Printf("thin/traditional line counts: %d vs %d\n",
+		len(thin.Lines()), len(trad.Lines()))
+}
+
+func show(title, src string, sl *core.Slice) {
+	fmt.Println(title)
+	lines := strings.Split(src, "\n")
+	for _, p := range sl.Lines() {
+		if p.File != papercases.FirstNamesFile {
+			fmt.Printf("  %s:%d  (container library)\n", p.File, p.Line)
+			continue
+		}
+		fmt.Printf("  %4d  %s\n", p.Line, strings.TrimSpace(lines[p.Line-1]))
+	}
+}

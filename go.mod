@@ -1,0 +1,3 @@
+module thinslice
+
+go 1.22

@@ -1,0 +1,72 @@
+// Package cdg computes intraprocedural control dependences using the
+// Ferrante-Ottenstein-Warren construction over the postdominator tree.
+// A block B is control dependent on branch edge A->S when B
+// postdominates S but does not postdominate A.
+package cdg
+
+import (
+	"thinslice/internal/ir"
+	"thinslice/internal/ir/ssa"
+)
+
+// Graph holds the control dependences of one method.
+type Graph struct {
+	m *ir.Method
+	// deps[b.Index] is the set of branch instructions (If terminators)
+	// that block b is control dependent on.
+	deps [][]*ir.If
+}
+
+// Build computes control dependences for m.
+func Build(m *ir.Method) *Graph {
+	pd := ssa.PostDominators(m)
+	g := &Graph{m: m, deps: make([][]*ir.If, len(m.Blocks))}
+	seen := make([]map[*ir.If]bool, len(m.Blocks))
+	for i := range seen {
+		seen[i] = make(map[*ir.If]bool)
+	}
+	for _, a := range m.Blocks {
+		if len(a.Instrs) == 0 {
+			continue
+		}
+		br, ok := a.Instrs[len(a.Instrs)-1].(*ir.If)
+		if !ok {
+			continue
+		}
+		ipdomA := pd.IpdomIndex(a)
+		for _, s := range a.Succs {
+			// Walk up the postdominator tree from s to ipdom(a),
+			// marking every visited block control dependent on br.
+			runner := s.Index
+			for runner != ipdomA && runner < len(m.Blocks) {
+				if !seen[runner][br] {
+					seen[runner][br] = true
+					g.deps[runner] = append(g.deps[runner], br)
+				}
+				next := pd.IpdomIndex(m.Blocks[runner])
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return g
+}
+
+// BlockDeps returns the branches that b is control dependent on.
+func (g *Graph) BlockDeps(b *ir.Block) []*ir.If { return g.deps[b.Index] }
+
+// InstrDeps returns the branches that ins is control dependent on
+// (those of its block).
+func (g *Graph) InstrDeps(ins ir.Instr) []*ir.If {
+	return g.deps[ins.Block().Index]
+}
+
+// DependsOnEntry reports whether ins executes whenever the method is
+// entered, i.e. it has no intraprocedural control dependences. Such
+// instructions are (interprocedurally) control dependent on the call
+// sites of their method.
+func (g *Graph) DependsOnEntry(ins ir.Instr) bool {
+	return len(g.deps[ins.Block().Index]) == 0
+}

@@ -1,0 +1,191 @@
+package cdg_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analysis/cdg"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return ir.Lower(info)
+}
+
+func method(t *testing.T, prog *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+// findPrint returns the i-th print instruction of m.
+func findPrint(t *testing.T, m *ir.Method, i int) *ir.Print {
+	t.Helper()
+	var prints []*ir.Print
+	m.Instrs(func(ins ir.Instr) {
+		if p, ok := ins.(*ir.Print); ok {
+			prints = append(prints, p)
+		}
+	})
+	if i >= len(prints) {
+		t.Fatalf("only %d prints", len(prints))
+	}
+	return prints[i]
+}
+
+func TestIfControlDependence(t *testing.T) {
+	prog := lower(t, `class A {
+		void m(boolean c) {
+			print(0);
+			if (c) { print(1); }
+			print(2);
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	if deps := g.InstrDeps(findPrint(t, m, 0)); len(deps) != 0 {
+		t.Errorf("print(0) should be entry-dependent, got %v", deps)
+	}
+	if deps := g.InstrDeps(findPrint(t, m, 1)); len(deps) != 1 {
+		t.Errorf("print(1) should depend on the if, got %d deps", len(deps))
+	}
+	if deps := g.InstrDeps(findPrint(t, m, 2)); len(deps) != 0 {
+		t.Errorf("print(2) after join should be entry-dependent, got %d", len(deps))
+	}
+}
+
+func TestBothBranchesDependOnIf(t *testing.T) {
+	prog := lower(t, `class A {
+		void m(boolean c) {
+			if (c) { print(1); } else { print(2); }
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	for i := 0; i < 2; i++ {
+		if deps := g.InstrDeps(findPrint(t, m, i)); len(deps) != 1 {
+			t.Errorf("print(%d): got %d deps, want 1", i+1, len(deps))
+		}
+	}
+}
+
+func TestLoopBodyDependsOnCondition(t *testing.T) {
+	prog := lower(t, `class A {
+		void m(int n) {
+			int i = 0;
+			while (i < n) {
+				print(i);
+				i = i + 1;
+			}
+			print(99);
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	if deps := g.InstrDeps(findPrint(t, m, 0)); len(deps) != 1 {
+		t.Errorf("loop body: got %d deps, want 1", len(deps))
+	}
+	if deps := g.InstrDeps(findPrint(t, m, 1)); len(deps) != 0 {
+		t.Errorf("after loop: got %d deps, want 0", len(deps))
+	}
+	// The loop condition block is control dependent on itself (it runs
+	// again only if it takes the back edge).
+	var condIf *ir.If
+	m.Instrs(func(ins ir.Instr) {
+		if br, ok := ins.(*ir.If); ok {
+			condIf = br
+		}
+	})
+	deps := g.BlockDeps(condIf.Block())
+	self := false
+	for _, d := range deps {
+		if d == condIf {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("loop header should be control dependent on itself")
+	}
+}
+
+func TestNestedIfTransitivity(t *testing.T) {
+	prog := lower(t, `class A {
+		void m(boolean a, boolean b) {
+			if (a) {
+				if (b) {
+					print(1);
+				}
+			}
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	// print(1) directly depends only on the inner if.
+	deps := g.InstrDeps(findPrint(t, m, 0))
+	if len(deps) != 1 {
+		t.Fatalf("got %d direct deps, want 1", len(deps))
+	}
+	// The inner if's block depends on the outer if.
+	inner := deps[0]
+	outerDeps := g.BlockDeps(inner.Block())
+	if len(outerDeps) != 1 {
+		t.Fatalf("inner if should depend on outer if, got %d", len(outerDeps))
+	}
+}
+
+func TestThrowGuardDependence(t *testing.T) {
+	prog := lower(t, `
+		class E { }
+		class A {
+			void m(boolean open) {
+				if (!open) {
+					throw new E();
+				}
+				print(1);
+			}
+		}
+	`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	var thr *ir.Throw
+	m.Instrs(func(ins ir.Instr) {
+		if x, ok := ins.(*ir.Throw); ok {
+			thr = x
+		}
+	})
+	if deps := g.InstrDeps(thr); len(deps) != 1 {
+		t.Errorf("throw: got %d deps, want 1", len(deps))
+	}
+	// print(1) only executes when the exception is not thrown, so it is
+	// control dependent on the guard too.
+	if deps := g.InstrDeps(findPrint(t, m, 0)); len(deps) != 1 {
+		t.Errorf("statement after conditional throw: got %d deps, want 1", len(deps))
+	}
+}
+
+func TestDependsOnEntry(t *testing.T) {
+	prog := lower(t, `class A {
+		void m(boolean c) {
+			print(0);
+			if (c) { print(1); }
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	g := cdg.Build(m)
+	if !g.DependsOnEntry(findPrint(t, m, 0)) {
+		t.Error("print(0) should be entry-dependent")
+	}
+	if g.DependsOnEntry(findPrint(t, m, 1)) {
+		t.Error("print(1) should not be entry-dependent")
+	}
+}

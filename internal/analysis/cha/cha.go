@@ -1,0 +1,101 @@
+// Package cha implements class hierarchy analysis: a cheap, imprecise
+// call graph used as a baseline and for tests. A virtual call x.m()
+// with static receiver type C may target the m() implementation
+// inherited or overridden by any subclass of C.
+package cha
+
+import (
+	"sort"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// CallGraph is a class-hierarchy-based call graph.
+type CallGraph struct {
+	prog *ir.Program
+	// subclasses maps each class to all its subclasses (reflexive).
+	subclasses map[*types.ClassInfo][]*types.ClassInfo
+	reachable  map[*ir.Method]bool
+}
+
+// Build computes the CHA call graph of prog, with reachability seeded
+// from the given entry methods (or all static mains when nil).
+func Build(prog *ir.Program, entries []*ir.Method) *CallGraph {
+	g := &CallGraph{
+		prog:       prog,
+		subclasses: make(map[*types.ClassInfo][]*types.ClassInfo),
+		reachable:  make(map[*ir.Method]bool),
+	}
+	for _, ci := range prog.Info.Classes {
+		for c := ci; c != nil; c = c.Super {
+			g.subclasses[c] = append(g.subclasses[c], ci)
+		}
+	}
+	for _, subs := range g.subclasses {
+		sort.Slice(subs, func(i, j int) bool { return subs[i].Name < subs[j].Name })
+	}
+	if len(entries) == 0 {
+		for _, m := range prog.Methods {
+			if m.Sig.Static && m.Sig.Name == "main" {
+				entries = append(entries, m)
+			}
+		}
+	}
+	var work []*ir.Method
+	push := func(m *ir.Method) {
+		if m != nil && !g.reachable[m] {
+			g.reachable[m] = true
+			work = append(work, m)
+		}
+	}
+	for _, m := range entries {
+		push(m)
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		m.Instrs(func(ins ir.Instr) {
+			if call, ok := ins.(*ir.Call); ok {
+				for _, callee := range g.Callees(call) {
+					push(callee)
+				}
+			}
+		})
+	}
+	return g
+}
+
+// Callees returns the CHA-possible targets of a call, in deterministic
+// order.
+func (g *CallGraph) Callees(call *ir.Call) []*ir.Method {
+	switch call.Mode {
+	case ir.CallStatic, ir.CallCtor:
+		if m := g.prog.MethodOf[call.Callee]; m != nil {
+			return []*ir.Method{m}
+		}
+		return nil
+	}
+	// Virtual: dispatch over every subclass of the static receiver type.
+	recvClass := call.Callee.Owner
+	seen := make(map[*types.MethodInfo]bool)
+	var out []*ir.Method
+	for _, sub := range g.subclasses[recvClass] {
+		target := sub.LookupMethod(call.Callee.Name)
+		if target == nil || seen[target] {
+			continue
+		}
+		seen[target] = true
+		if m := g.prog.MethodOf[target]; m != nil {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Reachable reports whether m is CHA-reachable from the entries.
+func (g *CallGraph) Reachable(m *ir.Method) bool { return g.reachable[m] }
+
+// NumReachable returns the count of CHA-reachable methods.
+func (g *CallGraph) NumReachable() int { return len(g.reachable) }

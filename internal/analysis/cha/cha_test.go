@@ -1,0 +1,104 @@
+package cha_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analysis/cha"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return ir.Lower(info)
+}
+
+func method(t *testing.T, prog *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+func TestCHAOverapproximatesDispatch(t *testing.T) {
+	prog := lower(t, `
+		class Shape { int area() { return 0; } }
+		class Circle extends Shape { int area() { return 3; } }
+		class Square extends Shape { int area() { return 4; } }
+		class Main {
+			static void main() {
+				Shape s = new Circle();
+				print(s.area());
+			}
+		}
+	`)
+	g := cha.Build(prog, nil)
+	var call *ir.Call
+	method(t, prog, "Main.main").Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallVirtual {
+			call = c
+		}
+	})
+	names := map[string]bool{}
+	for _, m := range g.Callees(call) {
+		names[m.Name()] = true
+	}
+	// CHA cannot rule out Square.area or Shape.area: all three targets.
+	if !names["Shape.area"] || !names["Circle.area"] || !names["Square.area"] {
+		t.Fatalf("CHA targets wrong: %v", names)
+	}
+}
+
+func TestCHAReachability(t *testing.T) {
+	prog := lower(t, `
+		class A { void used() { } void dead() { } }
+		class Main {
+			static void main() {
+				A a = new A();
+				a.used();
+			}
+		}
+	`)
+	g := cha.Build(prog, nil)
+	if !g.Reachable(method(t, prog, "A.used")) {
+		t.Error("A.used should be CHA-reachable")
+	}
+	if g.Reachable(method(t, prog, "A.dead")) {
+		t.Error("A.dead should not be reachable")
+	}
+	if g.NumReachable() == 0 {
+		t.Error("no methods reachable")
+	}
+}
+
+func TestCHAInheritedMethodTarget(t *testing.T) {
+	prog := lower(t, `
+		class Base { void m() { } }
+		class Derived extends Base { }
+		class Main {
+			static void main() {
+				Derived d = new Derived();
+				d.m();
+			}
+		}
+	`)
+	g := cha.Build(prog, nil)
+	var call *ir.Call
+	method(t, prog, "Main.main").Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallVirtual {
+			call = c
+		}
+	})
+	callees := g.Callees(call)
+	if len(callees) != 1 || callees[0].Name() != "Base.m" {
+		t.Fatalf("inherited dispatch wrong: %v", callees)
+	}
+}

@@ -1,0 +1,176 @@
+// Package modref computes interprocedural MOD/REF sets: for each
+// method, the abstract heap locations (object × field, array elements,
+// and static fields) it may write or read, directly or transitively
+// through callees. The context-sensitive slicer uses these sets to
+// introduce heap parameters on procedures, following Ryder et al. [24]
+// as cited by the paper (§5.3).
+package modref
+
+import (
+	"sort"
+
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// Loc is an abstract heap location.
+type Loc struct {
+	// Obj is the abstract object whose field is accessed; nil for
+	// static fields.
+	Obj *pointsto.Object
+	// Field is the accessed field; nil means array elements of Obj.
+	Field *types.FieldInfo
+	// ArrayLen marks the pseudo-location holding an array's length.
+	ArrayLen bool
+}
+
+func (l Loc) String() string {
+	switch {
+	case l.Obj == nil:
+		return "static " + l.Field.QualifiedName()
+	case l.ArrayLen:
+		return l.Obj.String() + ".length"
+	case l.Field == nil:
+		return l.Obj.String() + "[*]"
+	default:
+		return l.Obj.String() + "." + l.Field.Name
+	}
+}
+
+// Result holds per-method MOD/REF sets.
+type Result struct {
+	mod map[*ir.Method]map[Loc]bool
+	ref map[*ir.Method]map[Loc]bool
+}
+
+// Mod returns the locations m may write (transitively), sorted
+// deterministically.
+func (r *Result) Mod(m *ir.Method) []Loc { return sortLocs(r.mod[m]) }
+
+// Ref returns the locations m may read (transitively).
+func (r *Result) Ref(m *ir.Method) []Loc { return sortLocs(r.ref[m]) }
+
+// ModSet returns the raw MOD set (do not mutate).
+func (r *Result) ModSet(m *ir.Method) map[Loc]bool { return r.mod[m] }
+
+// RefSet returns the raw REF set (do not mutate).
+func (r *Result) RefSet(m *ir.Method) map[Loc]bool { return r.ref[m] }
+
+func sortLocs(set map[Loc]bool) []Loc {
+	out := make([]Loc, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return locLess(out[i], out[j]) })
+	return out
+}
+
+func locLess(a, b Loc) bool {
+	ai, bi := -1, -1
+	if a.Obj != nil {
+		ai = a.Obj.ID
+	}
+	if b.Obj != nil {
+		bi = b.Obj.ID
+	}
+	if ai != bi {
+		return ai < bi
+	}
+	an, bn := "", ""
+	if a.Field != nil {
+		an = a.Field.QualifiedName()
+	}
+	if b.Field != nil {
+		bn = b.Field.QualifiedName()
+	}
+	if an != bn {
+		return an < bn
+	}
+	return !a.ArrayLen && b.ArrayLen
+}
+
+// Compute builds MOD/REF sets for every method reachable in pts.
+func Compute(prog *ir.Program, pts *pointsto.Result) *Result {
+	r := &Result{
+		mod: make(map[*ir.Method]map[Loc]bool),
+		ref: make(map[*ir.Method]map[Loc]bool),
+	}
+	methods := pts.ReachableMethods()
+	for _, m := range methods {
+		r.mod[m] = make(map[Loc]bool)
+		r.ref[m] = make(map[Loc]bool)
+	}
+	// Direct effects.
+	for _, m := range methods {
+		mod, ref := r.mod[m], r.ref[m]
+		m.Instrs(func(ins ir.Instr) {
+			switch ins := ins.(type) {
+			case *ir.SetField:
+				for _, o := range pts.PointsTo(ins.Obj) {
+					mod[Loc{Obj: o, Field: ins.Field}] = true
+				}
+			case *ir.GetField:
+				for _, o := range pts.PointsTo(ins.Obj) {
+					ref[Loc{Obj: o, Field: ins.Field}] = true
+				}
+			case *ir.SetStatic:
+				mod[Loc{Field: ins.Field}] = true
+			case *ir.GetStatic:
+				ref[Loc{Field: ins.Field}] = true
+			case *ir.ArrayStore:
+				for _, o := range pts.PointsTo(ins.Arr) {
+					mod[Loc{Obj: o}] = true
+				}
+			case *ir.ArrayLoad:
+				for _, o := range pts.PointsTo(ins.Arr) {
+					ref[Loc{Obj: o}] = true
+				}
+			case *ir.NewArray:
+				for _, o := range pts.PointsTo(ins.Dst) {
+					mod[Loc{Obj: o, ArrayLen: true}] = true
+				}
+			case *ir.ArrayLen:
+				for _, o := range pts.PointsTo(ins.Arr) {
+					ref[Loc{Obj: o, ArrayLen: true}] = true
+				}
+			}
+		})
+	}
+	// Transitive closure over the call graph (iterate to fixpoint to
+	// handle recursion).
+	callees := make(map[*ir.Method][]*ir.Method)
+	for _, m := range methods {
+		seen := make(map[*ir.Method]bool)
+		m.Instrs(func(ins ir.Instr) {
+			if call, ok := ins.(*ir.Call); ok {
+				for _, c := range pts.Callees(call) {
+					if !seen[c] {
+						seen[c] = true
+						callees[m] = append(callees[m], c)
+					}
+				}
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			for _, c := range callees[m] {
+				for l := range r.mod[c] {
+					if !r.mod[m][l] {
+						r.mod[m][l] = true
+						changed = true
+					}
+				}
+				for l := range r.ref[c] {
+					if !r.ref[m][l] {
+						r.ref[m][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return r
+}

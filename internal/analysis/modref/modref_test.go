@@ -1,0 +1,227 @@
+package modref_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/lang/prelude"
+)
+
+func setup(t *testing.T, src string) (*ir.Program, *pointsto.Result, *modref.Result) {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := ir.Lower(info)
+	pts := pointsto.Analyze(prog, pointsto.Config{
+		ObjSensContainers: true,
+		ContainerClasses:  prelude.ContainerClasses,
+	})
+	return prog, pts, modref.Compute(prog, pts)
+}
+
+func method(t *testing.T, prog *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+func hasLocWithField(locs []modref.Loc, fieldName string) bool {
+	for _, l := range locs {
+		if l.Field != nil && l.Field.Name == fieldName {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDirectModRef(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Box { int v; Box() { } void set(int x) { this.v = x; } int get() { return this.v; } }
+		class Main {
+			static void main() {
+				Box b = new Box();
+				b.set(1);
+				print(b.get());
+			}
+		}
+	`)
+	set := method(t, prog, "Box.set")
+	get := method(t, prog, "Box.get")
+	if !hasLocWithField(mr.Mod(set), "v") {
+		t.Errorf("Box.set MOD missing v: %v", mr.Mod(set))
+	}
+	if hasLocWithField(mr.Ref(set), "v") {
+		t.Errorf("Box.set REF should not include v: %v", mr.Ref(set))
+	}
+	if !hasLocWithField(mr.Ref(get), "v") {
+		t.Errorf("Box.get REF missing v: %v", mr.Ref(get))
+	}
+}
+
+func TestTransitiveModThroughCallee(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Box { int v; Box() { } void set(int x) { this.v = x; } }
+		class Main {
+			static void helper(Box b) { b.set(7); }
+			static void main() {
+				Box b = new Box();
+				helper(b);
+			}
+		}
+	`)
+	helper := method(t, prog, "Main.helper")
+	main := method(t, prog, "Main.main")
+	if !hasLocWithField(mr.Mod(helper), "v") {
+		t.Errorf("helper MOD missing transitive v")
+	}
+	if !hasLocWithField(mr.Mod(main), "v") {
+		t.Errorf("main MOD missing transitive v")
+	}
+}
+
+func TestRecursionTerminatesAndMerges(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Node { int val; Node next; Node() { } }
+		class Main {
+			static void visit(Node n) {
+				if (n == null) { return; }
+				n.val = 1;
+				visit(n.next);
+			}
+			static void main() {
+				Node a = new Node();
+				Node b = new Node();
+				a.next = b;
+				visit(a);
+			}
+		}
+	`)
+	visit := method(t, prog, "Main.visit")
+	if !hasLocWithField(mr.Mod(visit), "val") {
+		t.Errorf("recursive visit MOD missing val")
+	}
+}
+
+func TestVectorAddModsBackingStore(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Main {
+			static void main() {
+				Vector v = new Vector();
+				v.add("x");
+			}
+		}
+	`)
+	main := method(t, prog, "Main.main")
+	// Through v.add, main transitively mods the Vector's count field
+	// and its backing array elements.
+	mods := mr.Mod(main)
+	hasCount, hasElems, hasArray := false, false, false
+	for _, l := range mods {
+		if l.Field != nil && l.Field.Name == "count" {
+			hasCount = true
+		}
+		if l.Field != nil && l.Field.Name == "elems" {
+			hasElems = true
+		}
+		if l.Obj != nil && l.Field == nil && !l.ArrayLen && l.Obj.IsArray() {
+			hasArray = true
+		}
+	}
+	if !hasCount || !hasElems || !hasArray {
+		t.Errorf("main MOD missing vector internals (count=%t elems=%t array=%t)",
+			hasCount, hasElems, hasArray)
+	}
+}
+
+func TestStaticFieldLoc(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class G { static int counter; }
+		class Main {
+			static void bump() { G.counter = G.counter + 1; }
+			static void main() { bump(); }
+		}
+	`)
+	main := method(t, prog, "Main.main")
+	foundMod, foundRef := false, false
+	for _, l := range mr.Mod(main) {
+		if l.Obj == nil && l.Field != nil && l.Field.Name == "counter" {
+			foundMod = true
+			if !strings.Contains(l.String(), "static") {
+				t.Errorf("static loc should render as static: %s", l)
+			}
+		}
+	}
+	for _, l := range mr.Ref(main) {
+		if l.Obj == nil && l.Field != nil && l.Field.Name == "counter" {
+			foundRef = true
+		}
+	}
+	if !foundMod || !foundRef {
+		t.Errorf("static counter missing (mod=%t ref=%t)", foundMod, foundRef)
+	}
+}
+
+func TestArrayLenLoc(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Main {
+			static int size(int[] a) { return a.length; }
+			static void main() {
+				int[] a = new int[3];
+				print(size(a));
+			}
+		}
+	`)
+	size := method(t, prog, "Main.size")
+	found := false
+	for _, l := range mr.Ref(size) {
+		if l.ArrayLen {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("size REF missing array length: %v", mr.Ref(size))
+	}
+}
+
+func TestObjectSensitivityKeepsModSetsApart(t *testing.T) {
+	prog, _, mr := setup(t, `
+		class Main {
+			static void fill1(Vector v) { v.add("a"); }
+			static void main() {
+				Vector v1 = new Vector();
+				Vector v2 = new Vector();
+				fill1(v1);
+				v2.size();
+			}
+		}
+	`)
+	fill1 := method(t, prog, "Main.fill1")
+	// fill1 only touches v1's backing store (the initial array and the
+	// grown copy from ensure). Every modified array clone must carry
+	// v1's Vector as its heap context — none may belong to v2.
+	var ctxs []*pointsto.Object
+	for _, l := range mr.Mod(fill1) {
+		if l.Obj != nil && l.Obj.IsArray() && l.Field == nil && !l.ArrayLen {
+			ctxs = append(ctxs, l.Obj.Ctx)
+		}
+	}
+	if len(ctxs) == 0 {
+		t.Fatal("fill1 mods no array clones")
+	}
+	for _, c := range ctxs {
+		if c == nil || c != ctxs[0] {
+			t.Errorf("array clone context mismatch: %v", ctxs)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pointsto
+
+// White-box property tests for the solver's bitset, the core data
+// structure the points-to propagation relies on, checked against a
+// map-based reference implementation with testing/quick.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// model mirrors a bitset as a set of ints.
+type model map[int]bool
+
+func clampIdx(raw []uint16) []int {
+	out := make([]int, len(raw))
+	for i, r := range raw {
+		out[i] = int(r % 512)
+	}
+	return out
+}
+
+func TestBitsetAddHasAgainstModel(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var b bitset
+		m := model{}
+		for _, i := range clampIdx(raw) {
+			fresh := b.add(i)
+			if fresh == m[i] {
+				// add must report true exactly when the bit was absent.
+				return false
+			}
+			m[i] = true
+		}
+		for i := 0; i < 512; i++ {
+			if b.has(i) != m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetOrDiffAgainstModel(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		var a, b bitset
+		ma, mb := model{}, model{}
+		for _, i := range clampIdx(rawA) {
+			a.add(i)
+			ma[i] = true
+		}
+		for _, i := range clampIdx(rawB) {
+			b.add(i)
+			mb[i] = true
+		}
+		diff := a.orDiff(b)
+		// a must now be the union.
+		for i := 0; i < 512; i++ {
+			want := ma[i] || mb[i]
+			if a.has(i) != want {
+				return false
+			}
+			// diff must be exactly b \ old-a.
+			wantDiff := mb[i] && !ma[i]
+			if diff.has(i) != wantDiff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetForEachVisitsExactlySetBits(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var b bitset
+		m := model{}
+		for _, i := range clampIdx(raw) {
+			b.add(i)
+			m[i] = true
+		}
+		seen := model{}
+		b.forEach(func(i int) {
+			if seen[i] {
+				t.Logf("bit %d visited twice", i)
+			}
+			seen[i] = true
+		})
+		if len(seen) != len(m) {
+			return false
+		}
+		for i := range m {
+			if !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetEmpty(t *testing.T) {
+	var b bitset
+	if !b.empty() {
+		t.Error("zero bitset must be empty")
+	}
+	b.add(100)
+	if b.empty() {
+		t.Error("bitset with a bit must not be empty")
+	}
+	var c bitset
+	c = append(c, 0, 0, 0) // explicit zero words
+	if !c.empty() {
+		t.Error("zero-word bitset must be empty")
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if got := trailingZeros(uint64(1) << i); got != i {
+			t.Errorf("trailingZeros(1<<%d) = %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,823 @@
+// Package pointsto implements a subset-based (Andersen-style) pointer
+// analysis with on-the-fly call graph construction for the IR, in the
+// style the thin slicing paper builds on (Andersen [4] with on-the-fly
+// call graph [23] and object-sensitive cloning for key collections
+// classes [16], paper §6.1).
+//
+// The analysis is field-sensitive (one points-to cell per abstract
+// object and field) and optionally object-sensitive for a configured
+// set of container classes: methods of those classes are analyzed once
+// per abstract receiver object, and allocation sites inside them are
+// cloned per context. This is the precision lever behind the paper's
+// ThinNoObjSens/TradNoObjSens ablation columns.
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// Object is an abstract heap object: an allocation site plus a heap
+// context (the receiver object of the container method that allocated
+// it, or nil).
+type Object struct {
+	ID    int
+	Site  ir.Instr // New, NewArray, ConstStr, StrOp, or Input
+	Ctx   *Object  // heap context; nil for context-insensitive sites
+	Class *types.ClassInfo
+	// Elem is non-nil for array objects and holds the element type.
+	Elem  types.Type
+	depth int
+}
+
+// IsArray reports whether o is an array object.
+func (o *Object) IsArray() bool { return o.Elem != nil }
+
+func (o *Object) String() string {
+	name := "?"
+	if o.Class != nil {
+		name = o.Class.Name
+	} else if o.Elem != nil {
+		name = o.Elem.String() + "[]"
+	}
+	s := fmt.Sprintf("o%d<%s@%s>", o.ID, name, o.Site.Pos())
+	if o.Ctx != nil {
+		s += fmt.Sprintf("[ctx o%d]", o.Ctx.ID)
+	}
+	return s
+}
+
+// MCtx is a method analyzed under a context (a call-graph node).
+type MCtx struct {
+	ID     int
+	Method *ir.Method
+	Ctx    *Object // receiver object for container methods; nil otherwise
+}
+
+func (mc *MCtx) String() string {
+	if mc.Ctx == nil {
+		return mc.Method.Name()
+	}
+	return fmt.Sprintf("%s[o%d]", mc.Method.Name(), mc.Ctx.ID)
+}
+
+// Config controls the analysis.
+type Config struct {
+	// Entries are the root methods; if empty, all static methods named
+	// "main" are used, and if none exist, all methods are roots.
+	Entries []*ir.Method
+	// ObjSensContainers enables object-sensitive cloning of container
+	// classes. When false the analysis is fully context-insensitive
+	// (the paper's NoObjSens configuration).
+	ObjSensContainers bool
+	// ContainerClasses names the classes treated object-sensitively.
+	ContainerClasses []string
+	// MaxCtxDepth caps heap-context nesting (contexts deeper than this
+	// are truncated to keep the abstraction finite). 0 means 3.
+	MaxCtxDepth int
+}
+
+// Result is the analysis output.
+type Result struct {
+	prog       *ir.Program
+	objects    []*Object
+	mctxs      []*MCtx
+	mctxsOf    map[*ir.Method][]*MCtx
+	regNodes   map[*ir.Reg][]*node // all context instances of a register
+	varNodes   map[varKey]*node
+	callEdges  map[callSiteKey][]*MCtx
+	calleesCI  map[*ir.Call]map[*ir.Method]bool
+	reachableM map[*ir.Method]bool
+	entries    []*ir.Method
+}
+
+// callSiteKey identifies a call site in a caller context.
+type callSiteKey struct {
+	callID   int
+	callerID int
+}
+
+// MCtxs returns every reachable method-context (call graph node), in
+// discovery order.
+func (r *Result) MCtxs() []*MCtx { return r.mctxs }
+
+// MCtxsOf returns the contexts under which m was analyzed.
+func (r *Result) MCtxsOf(m *ir.Method) []*MCtx { return r.mctxsOf[m] }
+
+// PointsToIn returns the points-to set of reg in a specific method
+// context (empty for untracked or non-reference registers).
+func (r *Result) PointsToIn(reg *ir.Reg, mc *MCtx) []*Object {
+	n := r.varNodes[varKey{reg, mc.Ctx}]
+	if n == nil {
+		return nil
+	}
+	var out []*Object
+	n.pts.forEach(func(id int) { out = append(out, r.objects[id]) })
+	return out
+}
+
+// CalleesAt returns the callee contexts of a call site as invoked from
+// a specific caller context.
+func (r *Result) CalleesAt(call *ir.Call, caller *MCtx) []*MCtx {
+	return r.callEdges[callSiteKey{call.ID(), caller.ID}]
+}
+
+// Objects returns all abstract objects, in creation order.
+func (r *Result) Objects() []*Object { return r.objects }
+
+// NumCGNodes returns the number of call-graph nodes (method-context
+// pairs); with cloning this exceeds the number of distinct methods,
+// matching Table 1's "call graph nodes" metric.
+func (r *Result) NumCGNodes() int { return len(r.mctxs) }
+
+// ReachableMethods returns the distinct methods discovered during
+// on-the-fly call graph construction, in deterministic order.
+func (r *Result) ReachableMethods() []*ir.Method {
+	ms := make([]*ir.Method, 0, len(r.reachableM))
+	for m := range r.reachableM {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name() < ms[j].Name() })
+	return ms
+}
+
+// Reachable reports whether m was discovered by the analysis.
+func (r *Result) Reachable(m *ir.Method) bool { return r.reachableM[m] }
+
+// Entries returns the root methods used.
+func (r *Result) Entries() []*ir.Method { return r.entries }
+
+// PointsTo returns the context-insensitive projection of the points-to
+// set of reg: the union over all analyzed contexts.
+func (r *Result) PointsTo(reg *ir.Reg) []*Object {
+	seen := make(map[int]bool)
+	var out []*Object
+	for _, n := range r.regNodes[reg] {
+		n.pts.forEach(func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, r.objects[id])
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MayAlias reports whether two registers may point to a common object.
+func (r *Result) MayAlias(a, b *ir.Reg) bool {
+	seen := make(map[int]bool)
+	for _, n := range r.regNodes[a] {
+		n.pts.forEach(func(id int) { seen[id] = true })
+	}
+	for _, n := range r.regNodes[b] {
+		found := false
+		n.pts.forEach(func(id int) {
+			if seen[id] {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Callees returns the possible concrete targets of a call site,
+// context-insensitively, in deterministic order.
+func (r *Result) Callees(call *ir.Call) []*ir.Method {
+	set := r.calleesCI[call]
+	ms := make([]*ir.Method, 0, len(set))
+	for m := range set {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name() < ms[j].Name() })
+	return ms
+}
+
+// CastCheckable reports whether the points-to analysis verifies that a
+// cast cannot fail: every object in pts(src) is compatible with the
+// target type. A cast with a non-empty points-to set that is not
+// checkable is a "tough cast" candidate (paper §6.3).
+func (r *Result) CastCheckable(c *ir.Cast) (verified bool, nonEmpty bool) {
+	objs := r.PointsTo(c.Src)
+	if len(objs) == 0 {
+		return true, false
+	}
+	for _, o := range objs {
+		if !objCompatible(o, c.Target) {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+func objCompatible(o *Object, t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Class:
+		return o.Class != nil && o.Class.IsSubclassOf(t.Info)
+	case *types.Array:
+		return o.IsArray()
+	}
+	return false
+}
+
+// --- solver internals ---
+
+// bitset is a dense bitset over object IDs.
+type bitset []uint64
+
+func (b *bitset) add(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	if (*b)[w]&m != 0 {
+		return false
+	}
+	(*b)[w] |= m
+	return true
+}
+
+func (b bitset) has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(i%64)) != 0
+}
+
+// orDiff ors src into b and returns the newly-set bits.
+func (b *bitset) orDiff(src bitset) bitset {
+	var diff bitset
+	for len(*b) < len(src) {
+		*b = append(*b, 0)
+	}
+	for w, s := range src {
+		d := s &^ (*b)[w]
+		if d != 0 {
+			(*b)[w] |= d
+			for len(diff) <= w {
+				diff = append(diff, 0)
+			}
+			diff[w] = d
+		}
+	}
+	return diff
+}
+
+func (b bitset) forEach(f func(int)) {
+	for w, bits := range b {
+		for bits != 0 {
+			i := trailingZeros(bits)
+			f(w*64 + i)
+			bits &= bits - 1
+		}
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+type loadCon struct {
+	field *types.FieldInfo // nil for array elements
+	dst   *node
+}
+
+type storeCon struct {
+	field *types.FieldInfo
+	src   *node
+}
+
+type callCon struct {
+	call   *ir.Call
+	caller *MCtx
+}
+
+type node struct {
+	id       int
+	pts      bitset
+	frontier bitset // bits not yet propagated
+	succs    []*node
+	succSet  map[*node]bool
+	loads    []loadCon
+	stores   []storeCon
+	calls    []callCon
+	filters  []*filter
+	inWork   bool
+}
+
+type objFieldKey struct {
+	obj   *Object
+	field *types.FieldInfo // nil = array elements
+}
+
+type varKey struct {
+	reg *ir.Reg
+	ctx *Object
+}
+
+type objKey struct {
+	site ir.Instr
+	ctx  *Object
+}
+
+type mctxKey struct {
+	m   *ir.Method
+	ctx *Object
+}
+
+type solver struct {
+	prog     *ir.Program
+	cfg      Config
+	res      *Result
+	maxDepth int
+
+	containers map[string]bool
+	nodes      []*node
+	varNodes   map[varKey]*node
+	fieldNodes map[objFieldKey]*node
+	staticNode map[*types.FieldInfo]*node
+	objects    map[objKey]*Object
+	mctxs      map[mctxKey]*MCtx
+	processed  map[*MCtx]bool
+	linked     map[[3]int]bool // (caller MCtx ID, call instr ID, callee MCtx ID)
+	returnsOf  map[*ir.Method][]*ir.Return
+	work       []*node
+}
+
+// Analyze runs the pointer analysis over prog.
+func Analyze(prog *ir.Program, cfg Config) *Result {
+	s := &solver{
+		prog:       prog,
+		cfg:        cfg,
+		maxDepth:   cfg.MaxCtxDepth,
+		containers: make(map[string]bool),
+		varNodes:   make(map[varKey]*node),
+		fieldNodes: make(map[objFieldKey]*node),
+		staticNode: make(map[*types.FieldInfo]*node),
+		objects:    make(map[objKey]*Object),
+		mctxs:      make(map[mctxKey]*MCtx),
+		processed:  make(map[*MCtx]bool),
+		linked:     make(map[[3]int]bool),
+		returnsOf:  make(map[*ir.Method][]*ir.Return),
+	}
+	if s.maxDepth == 0 {
+		s.maxDepth = 3
+	}
+	if cfg.ObjSensContainers {
+		for _, c := range cfg.ContainerClasses {
+			s.containers[c] = true
+		}
+	}
+	s.res = &Result{
+		prog:       prog,
+		mctxsOf:    make(map[*ir.Method][]*MCtx),
+		regNodes:   make(map[*ir.Reg][]*node),
+		callEdges:  make(map[callSiteKey][]*MCtx),
+		calleesCI:  make(map[*ir.Call]map[*ir.Method]bool),
+		reachableM: make(map[*ir.Method]bool),
+	}
+	s.res.varNodes = s.varNodes
+	for _, m := range prog.Methods {
+		m.Instrs(func(ins ir.Instr) {
+			if r, ok := ins.(*ir.Return); ok {
+				s.returnsOf[m] = append(s.returnsOf[m], r)
+			}
+		})
+	}
+	entries := cfg.Entries
+	if len(entries) == 0 {
+		for _, m := range prog.Methods {
+			if m.Sig.Static && m.Sig.Name == "main" {
+				entries = append(entries, m)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		entries = prog.Methods
+	}
+	s.res.entries = entries
+	for _, m := range entries {
+		s.reach(m, nil)
+	}
+	s.solve()
+	return s.res
+}
+
+func isRefType(t types.Type) bool { return types.IsRef(t) }
+
+func (s *solver) newNode() *node {
+	n := &node{id: len(s.nodes), succSet: make(map[*node]bool)}
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+func (s *solver) varNode(reg *ir.Reg, ctx *Object) *node {
+	k := varKey{reg, ctx}
+	if n, ok := s.varNodes[k]; ok {
+		return n
+	}
+	n := s.newNode()
+	s.varNodes[k] = n
+	s.res.regNodes[reg] = append(s.res.regNodes[reg], n)
+	return n
+}
+
+func (s *solver) fieldNode(o *Object, f *types.FieldInfo) *node {
+	k := objFieldKey{o, f}
+	if n, ok := s.fieldNodes[k]; ok {
+		return n
+	}
+	n := s.newNode()
+	s.fieldNodes[k] = n
+	return n
+}
+
+func (s *solver) staticFieldNode(f *types.FieldInfo) *node {
+	if n, ok := s.staticNode[f]; ok {
+		return n
+	}
+	n := s.newNode()
+	s.staticNode[f] = n
+	return n
+}
+
+func (s *solver) object(site ir.Instr, ctx *Object, class *types.ClassInfo, elem types.Type) *Object {
+	// Truncate over-deep contexts to keep the abstraction finite.
+	depth := 0
+	if ctx != nil {
+		depth = ctx.depth + 1
+	}
+	if depth > s.maxDepth {
+		ctx = nil
+		depth = 0
+	}
+	k := objKey{site, ctx}
+	if o, ok := s.objects[k]; ok {
+		return o
+	}
+	o := &Object{ID: len(s.res.objects), Site: site, Ctx: ctx, Class: class, Elem: elem, depth: depth}
+	s.objects[k] = o
+	s.res.objects = append(s.res.objects, o)
+	return o
+}
+
+func (s *solver) mctx(m *ir.Method, ctx *Object) (*MCtx, bool) {
+	k := mctxKey{m, ctx}
+	if mc, ok := s.mctxs[k]; ok {
+		return mc, false
+	}
+	mc := &MCtx{ID: len(s.res.mctxs), Method: m, Ctx: ctx}
+	s.mctxs[k] = mc
+	s.res.mctxs = append(s.res.mctxs, mc)
+	s.res.mctxsOf[m] = append(s.res.mctxsOf[m], mc)
+	return mc, true
+}
+
+func (s *solver) push(n *node) {
+	if !n.inWork {
+		n.inWork = true
+		s.work = append(s.work, n)
+	}
+}
+
+func (s *solver) addObj(n *node, o *Object) {
+	if n.pts.add(o.ID) {
+		n.frontier.add(o.ID)
+		s.push(n)
+	}
+}
+
+func (s *solver) addEdge(from, to *node) {
+	if from == to || from.succSet[to] {
+		return
+	}
+	from.succSet[to] = true
+	from.succs = append(from.succs, to)
+	if !from.pts.empty() {
+		diff := to.pts.orDiff(from.pts)
+		if !diff.empty() {
+			mergeFrontier(to, diff)
+			s.push(to)
+		}
+	}
+}
+
+func mergeFrontier(n *node, diff bitset) {
+	for len(n.frontier) < len(diff) {
+		n.frontier = append(n.frontier, 0)
+	}
+	for w, d := range diff {
+		n.frontier[w] |= d
+	}
+}
+
+// reach ensures (m, ctx) is a call graph node and its constraints are
+// generated; returns the node.
+func (s *solver) reach(m *ir.Method, ctx *Object) *MCtx {
+	mc, fresh := s.mctx(m, ctx)
+	if fresh {
+		s.res.reachableM[m] = true
+		s.processBody(mc)
+	}
+	return mc
+}
+
+// calleeCtx decides the analysis context for a target method given the
+// receiver object.
+func (s *solver) calleeCtx(target *ir.Method, recv *Object) *Object {
+	if recv != nil && s.containers[target.Sig.Owner.Name] {
+		return recv
+	}
+	return nil
+}
+
+// heapCtx is the cloning context for allocation sites in mc.
+func (s *solver) heapCtx(mc *MCtx) *Object { return mc.Ctx }
+
+func (s *solver) processBody(mc *MCtx) {
+	ctx := mc.Ctx
+	strClass := s.prog.Info.String
+	mc.Method.Instrs(func(ins ir.Instr) {
+		switch ins := ins.(type) {
+		case *ir.New:
+			o := s.object(ins, s.heapCtx(mc), ins.Class, nil)
+			s.addObj(s.varNode(ins.Dst, ctx), o)
+		case *ir.NewArray:
+			o := s.object(ins, s.heapCtx(mc), nil, ins.Elem)
+			s.addObj(s.varNode(ins.Dst, ctx), o)
+		case *ir.ConstStr:
+			o := s.object(ins, s.heapCtx(mc), strClass, nil)
+			s.addObj(s.varNode(ins.Dst, ctx), o)
+		case *ir.StrOp:
+			if isRefType(ins.Dst.Typ) {
+				o := s.object(ins, s.heapCtx(mc), strClass, nil)
+				s.addObj(s.varNode(ins.Dst, ctx), o)
+			}
+		case *ir.Input:
+			if !ins.IsInt {
+				o := s.object(ins, s.heapCtx(mc), strClass, nil)
+				s.addObj(s.varNode(ins.Dst, ctx), o)
+			}
+		case *ir.Copy:
+			if isRefType(ins.Src.Typ) {
+				s.addEdge(s.varNode(ins.Src, ctx), s.varNode(ins.Dst, ctx))
+			}
+		case *ir.Cast:
+			if isRefType(ins.Dst.Typ) && isRefType(ins.Src.Typ) {
+				// Filtered edge: model checkcast by registering a
+				// load-like constraint that copies only compatible
+				// objects. Implemented as a direct edge plus filter in
+				// propagation would complicate the solver; instead use
+				// a dedicated filter node pattern: connect src -> dst
+				// and rely on the filter at propagation time.
+				s.addFilteredEdge(s.varNode(ins.Src, ctx), s.varNode(ins.Dst, ctx), ins.Target)
+			}
+		case *ir.Phi:
+			if isRefType(ins.Dst.Typ) || anyRef(ins.Edges) {
+				dst := s.varNode(ins.Dst, ctx)
+				for _, e := range ins.Edges {
+					s.addEdge(s.varNode(e, ctx), dst)
+				}
+			}
+		case *ir.GetField:
+			if isRefType(ins.Dst.Typ) {
+				base := s.varNode(ins.Obj, ctx)
+				base.loads = append(base.loads, loadCon{ins.Field, s.varNode(ins.Dst, ctx)})
+				s.replayObjects(base)
+			}
+		case *ir.SetField:
+			if isRefType(ins.Val.Typ) {
+				base := s.varNode(ins.Obj, ctx)
+				base.stores = append(base.stores, storeCon{ins.Field, s.varNode(ins.Val, ctx)})
+				s.replayObjects(base)
+			}
+		case *ir.GetStatic:
+			if isRefType(ins.Dst.Typ) {
+				s.addEdge(s.staticFieldNode(ins.Field), s.varNode(ins.Dst, ctx))
+			}
+		case *ir.SetStatic:
+			if isRefType(ins.Val.Typ) {
+				s.addEdge(s.varNode(ins.Val, ctx), s.staticFieldNode(ins.Field))
+			}
+		case *ir.ArrayLoad:
+			if isRefType(ins.Dst.Typ) {
+				base := s.varNode(ins.Arr, ctx)
+				base.loads = append(base.loads, loadCon{nil, s.varNode(ins.Dst, ctx)})
+				s.replayObjects(base)
+			}
+		case *ir.ArrayStore:
+			if isRefType(ins.Val.Typ) {
+				base := s.varNode(ins.Arr, ctx)
+				base.stores = append(base.stores, storeCon{nil, s.varNode(ins.Val, ctx)})
+				s.replayObjects(base)
+			}
+		case *ir.Call:
+			s.processCall(mc, ins)
+		}
+	})
+}
+
+func anyRef(regs []*ir.Reg) bool {
+	for _, r := range regs {
+		if isRefType(r.Typ) {
+			return true
+		}
+	}
+	return false
+}
+
+// addFilteredEdge adds a subset edge that only lets objects compatible
+// with t through (checkcast semantics, as in WALA's cast handling).
+func (s *solver) addFilteredEdge(from, to *node, t types.Type) {
+	from.filters = append(from.filters, &filter{dst: to, typ: t})
+	s.replayObjects(from)
+}
+
+type filter struct {
+	dst *node
+	typ types.Type
+}
+
+func (s *solver) processCall(mc *MCtx, call *ir.Call) {
+	ctx := mc.Ctx
+	switch call.Mode {
+	case ir.CallStatic:
+		target := s.prog.MethodOf[call.Callee]
+		if target == nil {
+			return
+		}
+		callee := s.reach(target, nil)
+		s.linkCall(mc, call, callee, nil)
+	case ir.CallVirtual, ir.CallCtor:
+		recv := s.varNode(call.Recv, ctx)
+		recv.calls = append(recv.calls, callCon{call: call, caller: mc})
+		s.replayObjects(recv)
+	}
+}
+
+// replayObjects re-applies complex constraints for objects already in a
+// node's points-to set (needed when constraints are registered after
+// propagation began).
+func (s *solver) replayObjects(n *node) {
+	if !n.pts.empty() {
+		// Move everything back into the frontier so the new constraint
+		// sees all known objects.
+		for len(n.frontier) < len(n.pts) {
+			n.frontier = append(n.frontier, 0)
+		}
+		for w, bits := range n.pts {
+			n.frontier[w] |= bits
+		}
+		s.push(n)
+	}
+}
+
+// linkCall connects a call site in (caller) to callee with the given
+// receiver object (nil for static calls).
+func (s *solver) linkCall(caller *MCtx, call *ir.Call, callee *MCtx, recvObj *Object) {
+	key := [3]int{caller.ID, call.ID(), callee.ID}
+	if s.linked[key] {
+		if recvObj != nil {
+			// Still need to flow this receiver object into the formal.
+			s.flowReceiver(callee, recvObj)
+		}
+		return
+	}
+	s.linked[key] = true
+	ck := callSiteKey{call.ID(), caller.ID}
+	s.res.callEdges[ck] = append(s.res.callEdges[ck], callee)
+	set := s.res.calleesCI[call]
+	if set == nil {
+		set = make(map[*ir.Method]bool)
+		s.res.calleesCI[call] = set
+	}
+	set[callee.Method] = true
+
+	params := callee.Method.Params
+	offset := 0
+	if !callee.Method.Sig.Static {
+		offset = 1
+		if recvObj != nil {
+			s.flowReceiver(callee, recvObj)
+		}
+	}
+	for i, arg := range call.Args {
+		if i+offset >= len(params) {
+			break
+		}
+		formal := params[i+offset]
+		if isRefType(arg.Typ) && isRefType(formal.Dst.Typ) {
+			s.addEdge(s.varNode(arg, caller.Ctx), s.varNode(formal.Dst, callee.Ctx))
+		}
+	}
+	if call.Dst != nil && isRefType(call.Dst.Typ) {
+		dst := s.varNode(call.Dst, caller.Ctx)
+		for _, ret := range s.returnsOf[callee.Method] {
+			if ret.Val != nil && isRefType(ret.Val.Typ) {
+				s.addEdge(s.varNode(ret.Val, callee.Ctx), dst)
+			}
+		}
+	}
+}
+
+func (s *solver) flowReceiver(callee *MCtx, recvObj *Object) {
+	if callee.Method.Sig.Static || len(callee.Method.Params) == 0 {
+		return
+	}
+	thisFormal := callee.Method.Params[0]
+	s.addObj(s.varNode(thisFormal.Dst, callee.Ctx), recvObj)
+}
+
+func (s *solver) solve() {
+	for len(s.work) > 0 {
+		n := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		n.inWork = false
+		delta := n.frontier
+		n.frontier = nil
+		if delta.empty() {
+			continue
+		}
+		// Apply complex constraints for each new object.
+		delta.forEach(func(id int) {
+			o := s.res.objects[id]
+			for _, lc := range n.loads {
+				if lc.field == nil && !o.IsArray() {
+					continue
+				}
+				if lc.field != nil && (o.Class == nil || !o.Class.IsSubclassOf(lc.field.Owner)) {
+					// Field loads only apply to objects whose class
+					// actually declares or inherits the field.
+					continue
+				}
+				s.addEdge(s.fieldNode(o, lc.field), lc.dst)
+			}
+			for _, sc := range n.stores {
+				if sc.field == nil && !o.IsArray() {
+					continue
+				}
+				if sc.field != nil && (o.Class == nil || !o.Class.IsSubclassOf(sc.field.Owner)) {
+					continue
+				}
+				s.addEdge(sc.src, s.fieldNode(o, sc.field))
+			}
+			for _, f := range n.filters {
+				if objCompatible(o, f.typ) {
+					s.addObj(f.dst, o)
+				}
+			}
+			for _, cc := range n.calls {
+				s.dispatch(cc, o)
+			}
+		})
+		// Propagate along copy edges.
+		for _, succ := range n.succs {
+			diff := succ.pts.orDiff(delta)
+			if !diff.empty() {
+				mergeFrontier(succ, diff)
+				s.push(succ)
+			}
+		}
+	}
+}
+
+func (s *solver) dispatch(cc callCon, o *Object) {
+	call := cc.call
+	var targetSig *types.MethodInfo
+	if call.Mode == ir.CallCtor {
+		targetSig = call.Callee
+	} else {
+		if o.Class == nil {
+			return // arrays have no methods
+		}
+		targetSig = o.Class.LookupMethod(call.Callee.Name)
+		if targetSig == nil {
+			return
+		}
+	}
+	target := s.prog.MethodOf[targetSig]
+	if target == nil {
+		return
+	}
+	ctx := s.calleeCtx(target, o)
+	callee := s.reach(target, ctx)
+	s.linkCall(cc.caller, call, callee, o)
+}

@@ -1,0 +1,533 @@
+package pointsto_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/lang/prelude"
+)
+
+func analyze(t *testing.T, src string, objSens bool) (*ir.Program, *pointsto.Result) {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := ir.Lower(info)
+	res := pointsto.Analyze(prog, pointsto.Config{
+		ObjSensContainers: objSens,
+		ContainerClasses:  prelude.ContainerClasses,
+	})
+	return prog, res
+}
+
+func method(t *testing.T, prog *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+// printArgs returns the points-to sets of all print arguments in m, in
+// order of appearance.
+func printArgs(res *pointsto.Result, m *ir.Method) [][]*pointsto.Object {
+	var out [][]*pointsto.Object
+	m.Instrs(func(ins ir.Instr) {
+		if p, ok := ins.(*ir.Print); ok {
+			out = append(out, res.PointsTo(p.Val))
+		}
+	})
+	return out
+}
+
+func allocClasses(objs []*pointsto.Object) map[string]int {
+	m := map[string]int{}
+	for _, o := range objs {
+		if o.Class != nil {
+			m[o.Class.Name]++
+		} else {
+			m["<array>"]++
+		}
+	}
+	return m
+}
+
+func TestAllocFlowsToVar(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Main { static void main() { P p = new P(); print(p); } }
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if len(args) != 1 || len(args[0]) != 1 || args[0][0].Class.Name != "P" {
+		t.Fatalf("got %v", args)
+	}
+}
+
+func TestCopyAndPhiFlow(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { } class Q extends P { }
+		class Main {
+			static void main() {
+				P p = null;
+				if (inputInt() > 0) { p = new P(); } else { p = new Q(); }
+				print(p);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	classes := allocClasses(args[0])
+	if classes["P"] != 1 || classes["Q"] != 1 {
+		t.Fatalf("phi should merge both allocs: %v", classes)
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	prog, res := analyze(t, `
+		class Box { Object v; Box() { } }
+		class A { } class B { }
+		class Main {
+			static void main() {
+				Box b1 = new Box();
+				Box b2 = new Box();
+				b1.v = new A();
+				b2.v = new B();
+				print(b1.v);
+				print(b2.v);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["A"] != 1 || c["B"] != 0 {
+		t.Errorf("b1.v: %v", c)
+	}
+	if c := allocClasses(args[1]); c["B"] != 1 || c["A"] != 0 {
+		t.Errorf("b2.v: %v", c)
+	}
+}
+
+func TestFieldMergingWhenAliased(t *testing.T) {
+	prog, res := analyze(t, `
+		class Box { Object v; Box() { } }
+		class A { } class B { }
+		class Main {
+			static void main() {
+				Box b1 = new Box();
+				Box b2 = b1;
+				b1.v = new A();
+				b2.v = new B();
+				print(b1.v);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	c := allocClasses(args[0])
+	if c["A"] != 1 || c["B"] != 1 {
+		t.Fatalf("aliased boxes must merge: %v", c)
+	}
+}
+
+func TestParamAndReturnFlow(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Util { static Object id(Object x) { return x; } }
+		class Main {
+			static void main() {
+				Object o = Util.id(new P());
+				print(o);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["P"] != 1 {
+		t.Fatalf("return flow lost: %v", c)
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	prog, res := analyze(t, `
+		class Shape { int area() { return 0; } }
+		class Circle extends Shape { int area() { return 3; } }
+		class Square extends Shape { int area() { return 4; } }
+		class Main {
+			static void main() {
+				Shape s = null;
+				if (inputInt() > 0) { s = new Circle(); } else { s = new Square(); }
+				int a = s.area();
+				print(a);
+			}
+		}
+	`, false)
+	m := method(t, prog, "Main.main")
+	var call *ir.Call
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallVirtual {
+			call = c
+		}
+	})
+	if call == nil {
+		t.Fatal("virtual call not found")
+	}
+	callees := res.Callees(call)
+	names := map[string]bool{}
+	for _, c := range callees {
+		names[c.Name()] = true
+	}
+	if !names["Circle.area"] || !names["Square.area"] || names["Shape.area"] {
+		t.Fatalf("dispatch targets wrong: %v", names)
+	}
+}
+
+func TestOnTheFlyReachability(t *testing.T) {
+	prog, res := analyze(t, `
+		class Used { void m() { } }
+		class Unused { void dead() { } }
+		class Main {
+			static void main() {
+				Used u = new Used();
+				u.m();
+			}
+		}
+	`, false)
+	if !res.Reachable(method(t, prog, "Used.m")) {
+		t.Error("Used.m should be reachable")
+	}
+	if res.Reachable(method(t, prog, "Unused.dead")) {
+		t.Error("Unused.dead should not be reachable")
+	}
+	// No receiver object of type Unused exists, so a virtual call on a
+	// null-valued variable reaches nothing.
+}
+
+func TestDispatchRequiresReceiverObject(t *testing.T) {
+	prog, res := analyze(t, `
+		class A { void m() { print(1); } }
+		class Main {
+			static void main() {
+				A a = null;
+				a.m();
+			}
+		}
+	`, false)
+	if res.Reachable(method(t, prog, "A.m")) {
+		t.Error("A.m unreachable: no A object is ever allocated")
+	}
+}
+
+func TestCastFilter(t *testing.T) {
+	prog, res := analyze(t, `
+		class A { } class B extends A { } class C extends A { }
+		class Main {
+			static void main() {
+				A a = null;
+				if (inputInt() > 0) { a = new B(); } else { a = new C(); }
+				B b = (B) a;
+				print(b);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	c := allocClasses(args[0])
+	if c["B"] != 1 || c["C"] != 0 {
+		t.Fatalf("cast must filter C out: %v", c)
+	}
+}
+
+func TestCastCheckable(t *testing.T) {
+	prog, res := analyze(t, `
+		class A { } class B extends A { }
+		class Main {
+			static void main() {
+				A ok = new B();
+				B b1 = (B) ok;
+				A bad = null;
+				if (inputInt() > 0) { bad = new A(); } else { bad = new B(); }
+				B b2 = (B) bad;
+				print(b1);
+				print(b2);
+			}
+		}
+	`, false)
+	m := method(t, prog, "Main.main")
+	var casts []*ir.Cast
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Cast); ok {
+			casts = append(casts, c)
+		}
+	})
+	if len(casts) != 2 {
+		t.Fatalf("got %d casts", len(casts))
+	}
+	if ok, _ := res.CastCheckable(casts[0]); !ok {
+		t.Error("cast of B-only value should verify")
+	}
+	if ok, nonEmpty := res.CastCheckable(casts[1]); ok || !nonEmpty {
+		t.Error("cast of {A,B} value to B must not verify")
+	}
+}
+
+func TestStaticFieldFlow(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class G { static Object cell; }
+		class Main {
+			static void main() {
+				G.cell = new P();
+				print(G.cell);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["P"] != 1 {
+		t.Fatalf("static field flow lost: %v", c)
+	}
+}
+
+func TestArrayElementFlow(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Main {
+			static void main() {
+				Object[] arr = new Object[4];
+				arr[0] = new P();
+				print(arr[1]);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["P"] != 1 {
+		t.Fatalf("array element flow lost: %v", c)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Main {
+			static void main() {
+				Vector v = new Vector();
+				v.add(new P());
+				print(v.get(0));
+			}
+		}
+	`, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["P"] != 1 {
+		t.Fatalf("vector round trip lost value: %v", c)
+	}
+}
+
+// The headline precision test: with object-sensitive containers, values
+// stored in one Vector do not leak into reads from another; without,
+// they merge. This is exactly the paper's ObjSens/NoObjSens contrast.
+func TestObjectSensitivitySeparatesVectors(t *testing.T) {
+	src := `
+		class A { } class B { }
+		class Main {
+			static void main() {
+				Vector v1 = new Vector();
+				Vector v2 = new Vector();
+				v1.add(new A());
+				v2.add(new B());
+				print(v1.get(0));
+				print(v2.get(0));
+			}
+		}
+	`
+	prog, res := analyze(t, src, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["A"] != 1 || c["B"] != 0 {
+		t.Errorf("objsens v1.get: %v", c)
+	}
+	if c := allocClasses(args[1]); c["B"] != 1 || c["A"] != 0 {
+		t.Errorf("objsens v2.get: %v", c)
+	}
+
+	progNo, resNo := analyze(t, src, false)
+	argsNo := printArgs(resNo, method(t, progNo, "Main.main"))
+	if c := allocClasses(argsNo[0]); c["A"] != 1 || c["B"] != 1 {
+		t.Errorf("noobjsens must merge vectors: %v", c)
+	}
+}
+
+func TestObjectSensitivitySeparatesHashMaps(t *testing.T) {
+	prog, res := analyze(t, `
+		class A { } class B { }
+		class Main {
+			static void main() {
+				HashMap m1 = new HashMap();
+				HashMap m2 = new HashMap();
+				m1.put("k", new A());
+				m2.put("k", new B());
+				print(m1.get("k"));
+			}
+		}
+	`, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	c := allocClasses(args[0])
+	if c["A"] != 1 || c["B"] != 0 {
+		t.Fatalf("objsens m1.get: %v", c)
+	}
+}
+
+func TestIteratorIsContextSensitive(t *testing.T) {
+	prog, res := analyze(t, `
+		class A { } class B { }
+		class Main {
+			static void main() {
+				Vector v1 = new Vector();
+				Vector v2 = new Vector();
+				v1.add(new A());
+				v2.add(new B());
+				Iterator it = v1.iterator();
+				print(it.next());
+			}
+		}
+	`, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	c := allocClasses(args[0])
+	if c["A"] != 1 || c["B"] != 0 {
+		t.Fatalf("iterator over v1 leaked v2 contents: %v", c)
+	}
+}
+
+func TestCGNodesExceedMethodsWithCloning(t *testing.T) {
+	src := `
+		class Main {
+			static void main() {
+				Vector v1 = new Vector();
+				Vector v2 = new Vector();
+				v1.add("a");
+				v2.add("b");
+			}
+		}
+	`
+	_, res := analyze(t, src, true)
+	_, resNo := analyze(t, src, false)
+	if res.NumCGNodes() <= resNo.NumCGNodes() {
+		t.Errorf("cloning should add CG nodes: objsens=%d noobjsens=%d",
+			res.NumCGNodes(), resNo.NumCGNodes())
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Main {
+			static void main() {
+				P p = new P();
+				P q = p;
+				P r = new P();
+				print(p); print(q); print(r);
+			}
+		}
+	`, false)
+	m := method(t, prog, "Main.main")
+	var prints []*ir.Print
+	m.Instrs(func(ins ir.Instr) {
+		if p, ok := ins.(*ir.Print); ok {
+			prints = append(prints, p)
+		}
+	})
+	if !res.MayAlias(prints[0].Val, prints[1].Val) {
+		t.Error("p and q must alias")
+	}
+	if res.MayAlias(prints[0].Val, prints[2].Val) {
+		t.Error("p and r must not alias")
+	}
+}
+
+func TestLinkedListFlow(t *testing.T) {
+	prog, res := analyze(t, `
+		class P { }
+		class Main {
+			static void main() {
+				LinkedList l = new LinkedList();
+				l.add(new P());
+				print(l.get(0));
+				print(l.first());
+			}
+		}
+	`, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	for i, a := range args {
+		if c := allocClasses(a); c["P"] != 1 {
+			t.Errorf("list read %d lost value: %v", i, c)
+		}
+	}
+}
+
+func TestStringsAreObjects(t *testing.T) {
+	prog, res := analyze(t, `
+		class Main {
+			static void main() {
+				Vector v = new Vector();
+				string s = input();
+				string first = s.substring(0, 3);
+				v.add(first);
+				print(v.get(0));
+			}
+		}
+	`, true)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	c := allocClasses(args[0])
+	if c["String"] != 1 {
+		t.Fatalf("string object lost through vector: %v", c)
+	}
+}
+
+func TestEntriesDefaultToMain(t *testing.T) {
+	_, res := analyze(t, `
+		class Main { static void main() { print(1); } }
+		class Other { static void main2() { print(2); } }
+	`, false)
+	if len(res.Entries()) != 1 || res.Entries()[0].Name() != "Main.main" {
+		t.Fatalf("entries: %v", res.Entries())
+	}
+}
+
+func TestDeterministicObjectIDs(t *testing.T) {
+	src := `
+		class P { } class Q { }
+		class Main {
+			static void main() {
+				Vector v = new Vector();
+				v.add(new P());
+				v.add(new Q());
+				print(v.get(0));
+			}
+		}
+	`
+	_, res1 := analyze(t, src, true)
+	_, res2 := analyze(t, src, true)
+	if len(res1.Objects()) != len(res2.Objects()) {
+		t.Fatalf("object counts differ: %d vs %d", len(res1.Objects()), len(res2.Objects()))
+	}
+	if res1.NumCGNodes() != res2.NumCGNodes() {
+		t.Fatalf("CG node counts differ")
+	}
+}
+
+func TestInheritedFieldThroughSubclass(t *testing.T) {
+	prog, res := analyze(t, `
+		class Base { Object slot; Base() { } }
+		class Derived extends Base { Derived() { } }
+		class P { }
+		class Main {
+			static void main() {
+				Derived d = new Derived();
+				d.slot = new P();
+				print(d.slot);
+			}
+		}
+	`, false)
+	args := printArgs(res, method(t, prog, "Main.main"))
+	if c := allocClasses(args[0]); c["P"] != 1 {
+		t.Fatalf("inherited field flow lost: %v", c)
+	}
+}

@@ -1,0 +1,112 @@
+package analyzer_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/papercases"
+)
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	a, err := analyzer.Analyze(map[string]string{
+		papercases.FirstNamesFile: papercases.FirstNames,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Info == nil || a.Prog == nil || a.Pts == nil || a.Graph == nil {
+		t.Fatal("incomplete analysis")
+	}
+	if len(a.Pts.Entries()) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(a.Pts.Entries()))
+	}
+}
+
+func TestAnalyzeReportsErrors(t *testing.T) {
+	_, err := analyzer.Analyze(map[string]string{"bad.mj": `class A { int m() { return undeclared; } }`})
+	if err == nil {
+		t.Fatal("expected a semantic error")
+	}
+	if !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestWithEntries(t *testing.T) {
+	src := `
+		class A { static void main() { print(1); } }
+		class B { static void other() { print(2); } }
+	`
+	a, err := analyzer.Analyze(map[string]string{"t.mj": src},
+		analyzer.WithEntries("B.other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pts.Entries()) != 1 || a.Pts.Entries()[0].Name() != "B.other" {
+		t.Fatalf("entries: %v", a.Pts.Entries())
+	}
+	if a.Graph.Reachable(a.Method("A.main")) {
+		t.Error("A.main should be unreachable from B.other")
+	}
+}
+
+func TestWithoutPrelude(t *testing.T) {
+	// A self-contained program that does not touch the containers.
+	a, err := analyzer.Analyze(map[string]string{"t.mj": `
+		class Main { static void main() { print(1); } }
+	`}, analyzer.WithoutPrelude())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Info.Classes["Vector"] != nil {
+		t.Error("prelude classes should be absent")
+	}
+	// Using the prelude without loading it must fail.
+	_, err = analyzer.Analyze(map[string]string{"t.mj": `
+		class Main { static void main() { Vector v = new Vector(); } }
+	`}, analyzer.WithoutPrelude())
+	if err == nil {
+		t.Error("expected an error without the prelude")
+	}
+}
+
+func TestMethodLookup(t *testing.T) {
+	a, err := analyzer.Analyze(map[string]string{"t.mj": `
+		class Main { static void main() { print(1); } }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Method("Main.main") == nil {
+		t.Error("Method lookup failed")
+	}
+	if a.Method("Nope.never") != nil {
+		t.Error("Method lookup invented a method")
+	}
+}
+
+func TestMustAnalyzePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAnalyze should panic on bad input")
+		}
+	}()
+	analyzer.MustAnalyze(map[string]string{"bad.mj": "class {"})
+}
+
+func TestSeedsAtSkipsBlankLines(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        print(1);
+    }
+}
+`
+	a := analyzer.MustAnalyze(map[string]string{"t.mj": src})
+	if len(a.SeedsAt("t.mj", 3)) == 0 {
+		t.Error("print line should have seeds")
+	}
+	if len(a.SeedsAt("t.mj", 1)) != 0 {
+		t.Error("class header line should have no statements")
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import "thinslice/internal/inspect"
+
+// genAnt mimics the Ant build tool: a Project with a property map, a
+// target graph, and a path-resolution routine with many return
+// statements (the trait behind the paper's ant-3 row and its 15
+// pre-identified control dependences). One extra failure point is
+// hopeless for any slicer, matching the paper's excluded ant bug.
+func genAnt(scale int) *Benchmark {
+	e := newEmitter()
+	file := "ant.mj"
+
+	e.w("class Project {")
+	e.w("    HashMap properties;")
+	e.w("    Vector targets;")
+	e.w("    Project() {")
+	e.w("        this.properties = new HashMap();")
+	e.w("        this.targets = new Vector();")
+	e.w("    }")
+	e.w("    void setProperty(string k, string v) {")
+	e.w("        this.properties.put(k, v);")
+	e.w("    }")
+	e.w("    string getProperty(string k) {")
+	e.w("        return (string) this.properties.get(k);")
+	e.w("    }")
+	e.w("    void addTarget(Target t) {")
+	e.w("        this.targets.add(t);")
+	e.w("    }")
+	e.w("    Target targetAt(int i) {")
+	e.w("        return (Target) this.targets.get(i);")
+	e.w("    }")
+	e.w("}")
+	e.w("class Target {")
+	e.w("    string name;")
+	e.w("    Project proj;")
+	e.w("    Vector dependsOn;")
+	e.w("    boolean executed;")
+	e.w("    Target(Project p, string name) {")
+	e.w("        this.proj = p;")
+	e.w("        this.name = name;")
+	e.w("        this.dependsOn = new Vector();")
+	e.w("        this.executed = false;")
+	e.w("    }")
+	e.w("    void execute() {")
+	e.w("        int i = 0;")
+	e.w("        while (i < this.dependsOn.size()) {")
+	e.w("            Target d = (Target) this.dependsOn.get(i);")
+	e.w("            if (!d.executed) {")
+	e.w("                d.execute();")
+	e.w("            }")
+	e.w("            i = i + 1;")
+	e.w("        }")
+	e.w("        this.executed = true;")
+	e.w("    }")
+	e.w("}")
+	e.w("class PathUtil {")
+	e.w("    static string join(string a, string b) {")
+	e.w("        string sep = \"/\";")
+	e.w("        return b + sep + b; //@bug3")
+	e.w("    }")
+	e.w("    static string resolve(Project p, int kind) {")
+	e.w("        string basedir = p.getProperty(\"basedir\");")
+	for i := 0; i < 11; i++ {
+		e.w("        if (kind == %d) { //@retguard%d", i, i)
+		switch i % 3 {
+		case 0:
+			e.w("            return PathUtil.join(basedir, \"dir%d\"); //@ret%d", i, i)
+		case 1:
+			e.w("            return p.getProperty(\"path%d\"); //@ret%d", i, i)
+		default:
+			e.w("            return basedir + \":%d\"; //@ret%d", i, i)
+		}
+		e.w("        }")
+	}
+	e.w("        return basedir; //@ret11")
+	e.w("    }")
+	e.w("}")
+	// Scaled filler: extra task types executing against the project.
+	e.w("class Tasks {")
+	for f := 0; f < 2*scale; f++ {
+		e.w("    static void run%d(Project p) {", f)
+		e.w("        string v = p.getProperty(\"opt%d\");", f)
+		e.w("        if (v == null) {")
+		e.w("            p.setProperty(\"opt%d\", \"default%d\");", f, f)
+		e.w("        }")
+		e.w("        print(p.getProperty(\"opt%d\"));", f)
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        Project p = new Project();")
+	e.w("        p.setProperty(\"basedir\", input());")
+	e.w("        Target compile = new Target(p, \"compile\");")
+	e.w("        Target dist = new Target(p, \"dist\");")
+	e.w("        dist.dependsOn.add(compile);")
+	e.w("        p.addTarget(compile);")
+	e.w("        p.addTarget(dist);")
+	e.w("        p.targetAt(1).execute();")
+	for f := 0; f < 2*scale; f++ {
+		e.w("        Tasks.run%d(p);", f)
+	}
+	// ant-1: a property lookup comes back null because the write was
+	// (notionally) deleted; the failure is one control hop from the
+	// buggy guard.
+	e.w("        string outProp = p.getProperty(\"output\");")
+	e.w("        if (outProp == null) { //@guard1")
+	e.w("            assert(1 == 2); //@seed1")
+	e.w("        }")
+	// ant-2: a corrupted property value flows through the map to its
+	// use.
+	e.w("        string distDir = input();")
+	e.w("        p.setProperty(\"dist\", distDir + distDir); //@bug2")
+	e.w("        string outPath = p.getProperty(\"dist\");")
+	e.w("        print(outPath); //@seed2")
+	// ant-3: a resolution result is wrong; the bug hides in the join
+	// helper behind one of twelve returns.
+	e.w("        print(PathUtil.resolve(p, inputInt())); //@seed3")
+	// ant-4: nested guards, bug two control hops up.
+	e.w("        int depCount = inputInt();")
+	e.w("        if (depCount > 1) { //@bug4")
+	e.w("            if (depCount < 100) { //@guard4")
+	e.w("                assert(3 == 4); //@seed4")
+	e.w("            }")
+	e.w("        }")
+	// The hopeless failure: a build fingerprint computed by a long
+	// mixing chain; slicing drags in the whole chain.
+	e.w("        int fp = 17;")
+	for i := 0; i < 10*scale; i++ {
+		if i == 5*scale {
+			e.w("        fp = fp * 31 + %d; //@hopelessbug", i)
+		} else {
+			e.w("        fp = fp * 33 + %d;", i)
+		}
+	}
+	e.w("        assert(fp == 424242); //@hopelessseed")
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "ant",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	b.Debug = []inspect.Task{
+		e.task(file, "ant-1", "seed1", 1, "guard1"),
+		e.task(file, "ant-2", "seed2", 0, "bug2"),
+		e.task(file, "ant-3", "seed3", 15, "bug3"),
+		e.task(file, "ant-4", "seed4", 2, "bug4"),
+	}
+	b.Hopeless = []inspect.Task{
+		e.task(file, "ant-hopeless", "hopelessseed", 1, "hopelessbug"),
+	}
+	return b
+}

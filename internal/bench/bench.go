@@ -1,0 +1,170 @@
+// Package bench generates the synthetic benchmark corpus standing in
+// for the paper's evaluation subjects. The SIR artifacts (nanoxml,
+// jtopas, ant, xml-security) and SPECjvm98 programs (mtrt, jess, javac,
+// jack) are Java-only and unavailable, so each generator produces a
+// program in our source language mimicking the structural traits the
+// paper attributes to its namesake — container-mediated value flow,
+// opcode-field class families, hash pipelines, many-return task
+// methods — together with the injected bugs (Table 2) or tough casts
+// (Table 3) measured on it. Generation is deterministic: the same
+// scale always produces the same program and tasks.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinslice/internal/inspect"
+)
+
+// Benchmark is one generated evaluation subject.
+type Benchmark struct {
+	Name    string
+	File    string
+	Sources map[string]string
+	// Debug are the injected-bug tasks (Table 2 rows).
+	Debug []inspect.Task
+	// Casts are the tough-cast tasks (Table 3 rows).
+	Casts []inspect.Task
+	// Hopeless are failure points for which no kind of slicing helps
+	// (the paper's five xml-security bugs and one ant bug, excluded
+	// from Table 2 with a note).
+	Hopeless []inspect.Task
+}
+
+// Src returns the single main source text of the benchmark.
+func (b *Benchmark) Src() string { return b.Sources[b.File] }
+
+// DebugNames lists the benchmarks used in the debugging experiment
+// (Table 2), in the paper's order.
+var DebugNames = []string{"nanoxml", "jtopas", "ant", "xmlsec"}
+
+// CastNames lists the benchmarks used in the tough-casts experiment
+// (Table 3), in the paper's order.
+var CastNames = []string{"mtrt", "jess", "javac", "jack"}
+
+// AllNames lists every benchmark name.
+var AllNames = append(append([]string{}, DebugNames...), CastNames...)
+
+type generator func(scale int) *Benchmark
+
+var registry = map[string]generator{
+	"nanoxml": genNanoXML,
+	"jtopas":  genJtopas,
+	"ant":     genAnt,
+	"xmlsec":  genXMLSec,
+	"mtrt":    genMtrt,
+	"jess":    genJess,
+	"javac":   genJavac,
+	"jack":    genJack,
+}
+
+// Generate builds the named benchmark at the given scale (1 is the
+// default evaluation size; larger values grow decoy structure for
+// scalability experiments). It panics on unknown names, which are
+// programming errors.
+func Generate(name string, scale int) *Benchmark {
+	g, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown benchmark %q", name))
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return g(scale)
+}
+
+// All generates every benchmark at scale 1, in the paper's order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(AllNames))
+	for _, n := range AllNames {
+		out = append(out, Generate(n, 1))
+	}
+	return out
+}
+
+// --- generation helpers ---
+
+// emitter accumulates source text and records marker lines.
+type emitter struct {
+	b       strings.Builder
+	line    int
+	markers map[string][]int
+}
+
+func newEmitter() *emitter {
+	return &emitter{line: 0, markers: make(map[string][]int)}
+}
+
+// w writes one source line; any "//@name" suffix registers a marker.
+func (e *emitter) w(format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	e.line++
+	if i := strings.Index(s, "//@"); i >= 0 {
+		name := strings.TrimSpace(s[i+3:])
+		e.markers[name] = append(e.markers[name], e.line)
+	}
+	e.b.WriteString(s)
+	e.b.WriteString("\n")
+}
+
+// mark returns the unique line of a marker, panicking on absent or
+// duplicated markers (generator bugs).
+func (e *emitter) mark(name string) int {
+	ls := e.markers[name]
+	if len(ls) != 1 {
+		panic(fmt.Sprintf("bench: marker %q has %d occurrences", name, len(ls)))
+	}
+	return ls[0]
+}
+
+// marks returns all lines of a marker prefix, sorted.
+func (e *emitter) marksWithPrefix(prefix string) []int {
+	var out []int
+	for name, ls := range e.markers {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, ls...)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *emitter) src() string { return e.b.String() }
+
+// task builds an inspect.Task with the seed at one marker and desired
+// statements at others.
+func (e *emitter) task(file, name, seedMark string, ctrl int, desiredMarks ...string) inspect.Task {
+	t := inspect.Task{
+		Name:        name,
+		SeedFile:    file,
+		SeedLine:    e.mark(seedMark),
+		ControlDeps: ctrl,
+	}
+	for _, m := range desiredMarks {
+		t.Desired = append(t.Desired, inspect.Line{File: file, Line: e.mark(m)})
+	}
+	return t
+}
+
+// rng is a small deterministic xorshift64* generator so benchmark
+// structure can vary without depending on the runtime's rand.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,90 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+	"thinslice/internal/interp"
+)
+
+// TestBenchmarksAreExecutablePrograms runs every generated benchmark
+// under the reference interpreter with inputs chosen to drive its main
+// path, verifying the corpus is real executable code — and that the
+// failures the tasks are built around actually occur where designed.
+func TestBenchmarksAreExecutablePrograms(t *testing.T) {
+	cases := []struct {
+		name      string
+		inputs    []string
+		inputInts []int64
+		// wantErr is a substring of the expected runtime failure, or
+		// empty for a clean run.
+		wantErr string
+	}{
+		// nanoxml parses one element then hits the injected attr bug;
+		// the run ends at the unexpectedly-disabled guard or cleanly,
+		// depending on cursor input. With cursor 0 it runs to the end.
+		{"nanoxml", []string{"name attr=v>txt"}, []int64{1, 0}, ""},
+		{"jtopas", []string{"abc 123 ;"}, nil, ""},
+		// ant ends at its fingerprint assertion (the hopeless bug).
+		{"ant", []string{"/base"}, []int64{3}, "assert"},
+		// xmlsec's hash assertions hold on this input; the buried bugs
+		// are slicing seeds, not guaranteed dynamic failures.
+		{"xmlsec", []string{"data blob"}, nil, ""},
+		{"mtrt", nil, []int64{1, 2, 3}, ""},
+		{"jess", nil, nil, ""},
+		{"javac", nil, nil, ""},
+		{"jack", []string{"tok"}, []int64{7}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := bench.Generate(c.name, 1)
+			a, err := analyzer.Analyze(b.Sources)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			m := interp.New(a.Prog)
+			m.Inputs = c.inputs
+			m.InputInts = c.inputInts
+			m.StepLimit = 5_000_000
+			runErr := m.Run("")
+			if c.wantErr == "" {
+				if runErr != nil {
+					t.Fatalf("expected a clean run, got: %v", runErr)
+				}
+				if len(m.Output) == 0 {
+					t.Error("program produced no output")
+				}
+				return
+			}
+			if runErr == nil || !strings.Contains(runErr.Error(), c.wantErr) {
+				t.Fatalf("expected failure containing %q, got: %v", c.wantErr, runErr)
+			}
+		})
+	}
+}
+
+// TestNanoxmlBugOutputs drives nanoxml to its printing seeds and checks
+// the container-mediated bugs corrupt the observable output exactly as
+// injected (the = and > are kept by the off-by-one substrings).
+func TestNanoxmlBugOutputs(t *testing.T) {
+	b := bench.Generate("nanoxml", 1)
+	a, err := analyzer.Analyze(b.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(a.Prog)
+	m.Inputs = []string{"name id=value>text"}
+	m.InputInts = []int64{1, 0}
+	if err := m.Run(""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	joined := strings.Join(m.Output, "\n")
+	if !strings.Contains(joined, "=value") {
+		t.Errorf("bug2 (attr keeps '='): output %q", joined)
+	}
+	if !strings.Contains(joined, ">text") {
+		t.Errorf("bug3 (text keeps '>'): output %q", joined)
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import "fmt"
+
+// genJack mimics the jack parser generator: tokens flow through a
+// Vector-backed stream into production methods that downcast them.
+// Cast safety rests on which token kinds the scanner pushed for which
+// slot, so the explanations run through container internals — this is
+// the benchmark where the paper observes 5.9–16.9× inflation without
+// object-sensitive container handling, which the decoy grammar-table
+// traffic below reproduces.
+func genJack(scale int) *Benchmark {
+	e := newEmitter()
+	file := "jack.mj"
+
+	e.w("class Token {")
+	e.w("    int kind;")
+	e.w("    string image;")
+	e.w("    Token(int kind, string image) {")
+	e.w("        this.kind = kind; //@setKind")
+	e.w("        this.image = image;")
+	e.w("    }")
+	e.w("}")
+	e.w("class IdentToken extends Token {")
+	e.w("    IdentToken(string image) {")
+	e.w("        super(1, image); //@kindIdent")
+	e.w("    }")
+	e.w("}")
+	e.w("class NumToken extends Token {")
+	e.w("    int value;")
+	e.w("    NumToken(string image, int v) {")
+	e.w("        super(2, image); //@kindNum")
+	e.w("        this.value = v;")
+	e.w("    }")
+	e.w("}")
+	e.w("class PunctToken extends Token {")
+	e.w("    PunctToken(string image) {")
+	e.w("        super(3, image); //@kindPunct")
+	e.w("    }")
+	e.w("}")
+	e.w("class TokenStream {")
+	e.w("    Vector toks;")
+	e.w("    int pos;")
+	e.w("    TokenStream() {")
+	e.w("        this.toks = new Vector();")
+	e.w("        this.pos = 0;")
+	e.w("    }")
+	e.w("    void push(Token t) {")
+	e.w("        this.toks.add(t); //@pushStore")
+	e.w("    }")
+	e.w("    Token at(int i) {")
+	e.w("        return (Token) this.toks.get(i);")
+	e.w("    }")
+	e.w("}")
+	// Productions: each downcasts a stream slot to the kind its grammar
+	// position requires. The stream holds all three kinds, so pointer
+	// analysis cannot verify the casts.
+	nProds := 10
+	e.w("class Productions {")
+	for i := 0; i < nProds; i++ {
+		castTo := []string{"IdentToken", "NumToken"}[i%2]
+		e.w("    static int reduce%d(TokenStream ts) {", i)
+		e.w("        Token raw = ts.at(%d);", i%4)
+		e.w("        %s t%d = (%s) raw; //@cast%d", castTo, i, castTo, i)
+		if i%2 == 1 {
+			e.w("        return t%d.value;", i)
+		} else {
+			e.w("        return t%d.image.length();", i)
+		}
+		e.w("    }")
+	}
+	e.w("}")
+	// Decoy grammar tables: rule and state names in their own Vectors.
+	e.w("class GrammarTables {")
+	for f := 0; f < 3*scale; f++ {
+		e.w("    static void load%d() {", f)
+		e.w("        Vector rules = new Vector();")
+		e.w("        LinkedList states = new LinkedList();")
+		for s := 0; s < 10; s++ {
+			e.w("        rules.add(\"rule-%d-%d\");", f, s)
+			e.w("        states.add(\"state-%d-%d\");", f, s)
+		}
+		e.w("        print((string) rules.get(%d));", f%10)
+		e.w("        print((string) states.get(0));")
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        TokenStream ts = new TokenStream();")
+	e.w("        ts.push(new IdentToken(input())); //@pushIdent0")
+	e.w("        ts.push(new NumToken(input(), inputInt())); //@pushNum1")
+	e.w("        ts.push(new IdentToken(input())); //@pushIdent2")
+	e.w("        ts.push(new NumToken(input(), inputInt())); //@pushNum3")
+	e.w("        ts.push(new PunctToken(\";\")); //@pushPunct")
+	for i := 0; i < nProds; i++ {
+		e.w("        print(Productions.reduce%d(ts));", i)
+	}
+	for f := 0; f < 3*scale; f++ {
+		e.w("        GrammarTables.load%d();", f)
+	}
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "jack",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	for i := 0; i < nProds; i++ {
+		pushMark := []string{"pushIdent0", "pushNum1", "pushIdent2", "pushNum3"}[i%4]
+		// Safety rests on which token the scanner pushed for this
+		// slot: the push site (which names the allocated token kind)
+		// is producer-reachable through the stream's Vector, with
+		// #Control = 0 as in the paper's jack rows.
+		b.Casts = append(b.Casts, e.task(file,
+			fmt.Sprintf("jack-%d", i+1), fmt.Sprintf("cast%d", i), 0, pushMark))
+	}
+	return b
+}

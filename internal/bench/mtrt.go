@@ -1,0 +1,121 @@
+package bench
+
+import "thinslice/internal/inspect"
+
+// genMtrt mimics the mtrt raytracer: vector math over a scene of
+// tagged primitives. Its two tough casts are justified by which
+// allocations flow into dedicated scene fields — no containers are
+// involved, so (as in Table 3) the NoObjSens configuration behaves
+// identically.
+func genMtrt(scale int) *Benchmark {
+	e := newEmitter()
+	file := "mtrt.mj"
+
+	e.w("class Vec {")
+	e.w("    int x;")
+	e.w("    int y;")
+	e.w("    int z;")
+	e.w("    Vec(int x, int y, int z) {")
+	e.w("        this.x = x;")
+	e.w("        this.y = y;")
+	e.w("        this.z = z;")
+	e.w("    }")
+	e.w("    int dot(Vec o) {")
+	e.w("        return this.x * o.x + this.y * o.y + this.z * o.z;")
+	e.w("    }")
+	e.w("    Vec add(Vec o) {")
+	e.w("        return new Vec(this.x + o.x, this.y + o.y, this.z + o.z);")
+	e.w("    }")
+	e.w("}")
+	e.w("class Prim {")
+	e.w("    int kind;")
+	e.w("    Vec center;")
+	e.w("    Prim(int kind, Vec c) {")
+	e.w("        this.kind = kind;")
+	e.w("        this.center = c;")
+	e.w("    }")
+	e.w("}")
+	e.w("class Sphere extends Prim {")
+	e.w("    int radius;")
+	e.w("    Sphere(Vec c, int r) {")
+	e.w("        super(1, c); //@sphereKind")
+	e.w("        this.radius = r;")
+	e.w("    }")
+	e.w("}")
+	e.w("class Tri extends Prim {")
+	e.w("    Vec a;")
+	e.w("    Tri(Vec c, Vec a) {")
+	e.w("        super(2, c); //@triKind")
+	e.w("        this.a = a;")
+	e.w("    }")
+	e.w("}")
+	e.w("class Scene {")
+	e.w("    Prim bounding;")
+	e.w("    Prim occluder;")
+	e.w("    Scene() {")
+	e.w("        this.bounding = null;")
+	e.w("        this.occluder = null;")
+	e.w("    }")
+	// install is the single registration chokepoint: pointer analysis
+	// merges both primitive kinds through its parameter, making the
+	// downstream casts tough, while the slot argument actually
+	// discriminates — the kind of undocumented global invariant §6.3
+	// describes.
+	e.w("    void install(Prim p, int slot) {")
+	e.w("        if (slot == 1) {")
+	e.w("            this.bounding = p; //@storeBounding")
+	e.w("        } else {")
+	e.w("            this.occluder = p; //@storeOccluder")
+	e.w("        }")
+	e.w("    }")
+	e.w("}")
+	e.w("class Tracer {")
+	e.w("    int shadeBounding(Scene s, Vec ray) {")
+	e.w("        Prim p = s.bounding;")
+	e.w("        Sphere sp = (Sphere) p; //@cast1")
+	e.w("        return sp.radius + ray.dot(sp.center);")
+	e.w("    }")
+	e.w("    int shadeOccluder(Scene s, Vec ray) {")
+	e.w("        Prim q = s.occluder;")
+	e.w("        Tri tr = (Tri) q; //@cast2")
+	e.w("        return ray.dot(tr.a);")
+	e.w("    }")
+	for f := 0; f < 3*scale; f++ {
+		e.w("    int bounce%d(Vec a, Vec b) {", f)
+		e.w("        Vec c = a.add(b);")
+		e.w("        Vec d = c.add(a);")
+		e.w("        return d.dot(b) + %d;", f)
+		e.w("    }")
+	}
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        Scene s = new Scene();")
+	e.w("        Vec o = new Vec(inputInt(), inputInt(), inputInt());")
+	e.w("        Sphere bound = new Sphere(o, 10); //@allocSphere")
+	e.w("        s.install(bound, 1); //@installSphere")
+	e.w("        Tri shadow = new Tri(o, new Vec(1, 2, 3)); //@allocTri")
+	e.w("        s.install(shadow, 2); //@installTri")
+	e.w("        Tracer t = new Tracer();")
+	e.w("        print(t.shadeBounding(s, o));")
+	e.w("        print(t.shadeOccluder(s, o));")
+	for f := 0; f < 3*scale; f++ {
+		e.w("        print(t.bounce%d(o, new Vec(%d, %d, %d)));", f, f, f+1, f+2)
+	}
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "mtrt",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	// Cast safety follows from which allocations are installed into
+	// which slot: the desired statements are the discriminating store,
+	// the install call, and the allocation.
+	b.Casts = []inspect.Task{
+		e.task(file, "mtrt-1", "cast1", 0, "storeBounding", "installSphere", "allocSphere"),
+		e.task(file, "mtrt-2", "cast2", 0, "storeOccluder", "installTri", "allocTri"),
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package bench
+
+import "thinslice/internal/inspect"
+
+// genNanoXML mimics the NanoXML parser: a tree of elements whose
+// attributes and text live in HashMaps and Vectors, plus unrelated
+// container traffic elsewhere in the application (decoys). The six
+// injected bugs follow the Table 2 rows: short local chains (bug 1),
+// container-mediated value corruption (bugs 2, 3, 6), a guarded
+// counter bug (bug 4), and a mutation-through-alias bug needing an
+// aliasing explanation (bug 5, the paper's nanoxml-5).
+func genNanoXML(scale int) *Benchmark {
+	e := newEmitter()
+	file := "nanoxml.mj"
+
+	e.w("class XMLElement {")
+	e.w("    string name;")
+	e.w("    Vector children;")
+	e.w("    HashMap attributes;")
+	e.w("    Vector textChunks;")
+	e.w("    boolean enabled;")
+	e.w("    int childCount;")
+	e.w("    XMLElement(string name) {")
+	e.w("        this.name = name;")
+	e.w("        this.children = new Vector();")
+	e.w("        this.attributes = new HashMap();")
+	e.w("        this.textChunks = new Vector();")
+	e.w("        this.enabled = true; //@enabledTrue")
+	e.w("        this.childCount = 0;")
+	e.w("    }")
+	e.w("    void addChild(XMLElement c) {")
+	e.w("        this.children.add(c);")
+	e.w("        this.childCount = this.childCount + 2; //@bug4")
+	e.w("    }")
+	e.w("    XMLElement childAt(int i) {")
+	e.w("        return (XMLElement) this.children.get(i);")
+	e.w("    }")
+	e.w("    void setAttribute(string k, string v) {")
+	e.w("        this.attributes.put(k, v); //@putAttr")
+	e.w("    }")
+	e.w("    string getAttribute(string k) {")
+	e.w("        return (string) this.attributes.get(k);")
+	e.w("    }")
+	e.w("    void addText(string t) {")
+	e.w("        this.textChunks.add(t);")
+	e.w("    }")
+	e.w("    string textAt(int i) {")
+	e.w("        return (string) this.textChunks.get(i);")
+	e.w("    }")
+	e.w("    void disable() {")
+	e.w("        this.enabled = false; //@bug5store")
+	e.w("    }")
+	e.w("    boolean isEnabled() {")
+	e.w("        return this.enabled;")
+	e.w("    }")
+	e.w("}")
+	e.w("class EntityDef {")
+	e.w("    string name;")
+	e.w("    string value;")
+	e.w("    EntityDef(string n, string v) {")
+	e.w("        this.name = n;")
+	e.w("        this.value = n; //@bug6")
+	e.w("    }")
+	e.w("}")
+	e.w("class EntityTable {")
+	e.w("    LinkedList entries;")
+	e.w("    EntityTable() {")
+	e.w("        this.entries = new LinkedList();")
+	e.w("    }")
+	e.w("    void define(string name, string value) {")
+	e.w("        this.entries.add(new EntityDef(name, value)); //@defineEntity")
+	e.w("    }")
+	e.w("    string resolve(int i) {")
+	e.w("        EntityDef d = (EntityDef) this.entries.get(i);")
+	e.w("        return d.value;")
+	e.w("    }")
+	e.w("}")
+	e.w("class XMLParser {")
+	e.w("    XMLElement parse(int n) {")
+	e.w("        XMLElement root = new XMLElement(\"root\");")
+	e.w("        int i = 0;")
+	e.w("        while (i < n) {")
+	e.w("            string line = input(); //@readLine")
+	e.w("            XMLElement el = new XMLElement(this.parseName(line));")
+	e.w("            el.setAttribute(\"id\", this.parseAttr(line)); //@setId")
+	e.w("            el.addText(this.parseText(line)); //@addTextCall")
+	e.w("            root.addChild(el);")
+	e.w("            i = i + 1;")
+	e.w("        }")
+	e.w("        return root;")
+	e.w("    }")
+	e.w("    string parseName(string line) {")
+	e.w("        int sp = line.indexOf(\" \");")
+	e.w("        string raw = line.substring(0, sp); //@parseName")
+	e.w("        return raw;")
+	e.w("    }")
+	e.w("    string parseAttr(string line) {")
+	e.w("        int eq = line.indexOf(\"=\");")
+	e.w("        string v = line.substring(eq, line.length()); //@bug2")
+	e.w("        return v;")
+	e.w("    }")
+	e.w("    string parseText(string line) {")
+	e.w("        int gt = line.indexOf(\">\");")
+	e.w("        string t = line.substring(gt, line.length()); //@bug3")
+	e.w("        return t;")
+	e.w("    }")
+	e.w("    int checksum(string name) {")
+	e.w("        int h = 7;")
+	e.w("        int i = 0;")
+	e.w("        while (i < name.length()) {")
+	e.w("            h = h * 33 + name.charAt(i); //@bug1")
+	e.w("            i = i + 1;")
+	e.w("        }")
+	e.w("        return h;")
+	e.w("    }")
+	e.w("}")
+
+	// Decoy container traffic: raw Vectors and HashMaps elsewhere in
+	// the application. With object-sensitive container cloning these
+	// stay apart from the document's containers; without it, every
+	// store below floods the BFS from any container read.
+	// Idx computes cursor positions. Indices are explainer material for
+	// thin slicing, so the hub functions below — called from every
+	// decoy loop — burden only the traditional slicer.
+	e.w("class Idx {")
+	for _, hub := range []string{"clamp", "norm"} {
+		e.w("    static int %s(int x) {", hub)
+		e.w("        if (x < 0) {")
+		e.w("            return 0 - x;")
+		e.w("        }")
+		e.w("        return x;")
+		e.w("    }")
+	}
+	e.w("}")
+	decoyFns := 4 * scale
+	storesPer := 16
+	e.w("class DecoyCache {")
+	for f := 0; f < decoyFns; f++ {
+		e.w("    static int warm%d() {", f)
+		e.w("        Vector v = new Vector();")
+		e.w("        HashMap m = new HashMap();")
+		e.w("        LinkedList l = new LinkedList();")
+		e.w("        int pos = 0;")
+		for s := 0; s < storesPer; s++ {
+			e.w("        v.add(\"cache-%d-%d\");", f, s)
+			e.w("        m.put(\"key%d%d\", \"val-%d-%d\");", f, s, f, s)
+			e.w("        l.add(\"entry-%d-%d\");", f, s)
+			e.w("        pos = Idx.clamp(pos + %d);", s)
+			e.w("        pos = Idx.norm(pos + %d);", s+1)
+		}
+		e.w("        print((string) v.get(0));")
+		e.w("        print((string) m.get(\"key%d0\"));", f)
+		e.w("        print((string) l.get(0));")
+		e.w("        return pos;")
+		e.w("    }")
+	}
+	e.w("}")
+
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        XMLParser p = new XMLParser();")
+	e.w("        XMLElement doc = p.parse(inputInt()); //@parseCall")
+	for f := 0; f < decoyFns; f++ {
+		e.w("        DecoyCache.warm%d();", f)
+	}
+	e.w("        int cursor = Idx.clamp(inputInt());")
+	e.w("        XMLElement first = doc.childAt(Idx.norm(cursor)); //@firstChild")
+	e.w("        print(p.checksum(first.name)); //@seed1")
+	e.w("        print(first.getAttribute(\"id\")); //@seed2")
+	e.w("        int tpos = Idx.clamp(cursor);")
+	e.w("        print(first.textAt(tpos)); //@seed3")
+	e.w("        if (doc.childCount > inputInt()) { //@guard4")
+	e.w("            print(doc.childCount); //@seed4")
+	e.w("        }")
+	e.w("        XMLElement alias = doc.childAt(Idx.norm(cursor)); //@aliasGet")
+	e.w("        alias.disable(); //@disableCall")
+	e.w("        if (!first.isEnabled()) { //@seed5")
+	e.w("            print(\"element unexpectedly disabled\");")
+	e.w("        }")
+	e.w("        EntityTable ents = new EntityTable();")
+	e.w("        ents.define(\"amp\", input()); //@defineCall")
+	e.w("        print(ents.resolve(0)); //@seed6")
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "nanoxml",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	aliasTask := e.task(file, "nanoxml-5", "seed5", 1, "bug5store", "disableCall")
+	aliasTask.ExplainAliasing = true
+	b.Debug = []inspect.Task{
+		e.task(file, "nanoxml-1", "seed1", 0, "bug1"),
+		e.task(file, "nanoxml-2", "seed2", 0, "bug2"),
+		e.task(file, "nanoxml-3", "seed3", 0, "bug3"),
+		e.task(file, "nanoxml-4", "seed4", 1, "bug4"),
+		aliasTask,
+		e.task(file, "nanoxml-6", "seed6", 0, "bug6"),
+	}
+	return b
+}

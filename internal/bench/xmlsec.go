@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"thinslice/internal/inspect"
+)
+
+// genXMLSec mimics the xml-security benchmark: a canonicalization and
+// digest pipeline whose hash computation spans many helper routines.
+// Its one table row (xml-security-1) sits right at the failure; the
+// other five injected bugs are buried in the digest internals, where
+// the paper observes that no kind of slicing helps — slicing from the
+// failing assertion inevitably brings in most of the hash code.
+func genXMLSec(scale int) *Benchmark {
+	e := newEmitter()
+	file := "xmlsec.mj"
+	rounds := 10 * scale
+
+	e.w("class Canonicalizer {")
+	e.w("    static string normalize(string s) {")
+	e.w("        int sp = s.indexOf(\" \");")
+	e.w("        if (sp < 0) {")
+	e.w("            return s;")
+	e.w("        }")
+	e.w("        return s.substring(0, sp);")
+	e.w("    }")
+	e.w("}")
+	e.w("class Digest {")
+	e.w("    static int mix(int h, int c) {")
+	e.w("        int r = h * 131 + c;")
+	e.w("        if (r < 0) {")
+	e.w("            r = 0 - r;")
+	e.w("        }")
+	e.w("        return r;")
+	e.w("    }")
+	// A chain of round functions; five of them carry buried bugs.
+	buried := map[int]int{rounds / 6: 1, rounds / 3: 2, rounds / 2: 3, 2 * rounds / 3: 4, 5 * rounds / 6: 5}
+	for i := 0; i < rounds; i++ {
+		e.w("    static int round%d(int h, string data) {", i)
+		e.w("        int i = 0;")
+		e.w("        int acc = h;")
+		e.w("        while (i < data.length()) {")
+		if k, isBug := buried[i]; isBug {
+			e.w("            acc = Digest.mix(acc, data.charAt(i) + %d); //@buried%d", i, k)
+		} else {
+			e.w("            acc = Digest.mix(acc, data.charAt(i));")
+		}
+		e.w("            i = i + 1;")
+		e.w("        }")
+		e.w("        return acc + %d;", i*7)
+		e.w("    }")
+	}
+	e.w("    static int compute(string data) {")
+	e.w("        int h = 5381;")
+	for i := 0; i < rounds; i++ {
+		e.w("        h = Digest.round%d(h, data);", i)
+	}
+	e.w("        return h;")
+	e.w("    }")
+	e.w("}")
+	e.w("class Main {")
+	e.w("    static void main() {")
+	e.w("        string data = Canonicalizer.normalize(input());")
+	// xml-security-1: the failure is one control hop from the buggy
+	// guard comparing a signature length.
+	e.w("        int sigLen = data.length() - 1;")
+	e.w("        if (sigLen == 0) { //@guard1")
+	e.w("            assert(5 == 6); //@seed1")
+	e.w("        }")
+	e.w("        int hash = Digest.compute(data); //@computeCall")
+	for k := 1; k <= 5; k++ {
+		e.w("        assert(hash > %d); //@hseed%d", k*1000, k)
+	}
+	e.w("        print(hash);")
+	e.w("    }")
+	e.w("}")
+
+	b := &Benchmark{
+		Name:    "xmlsec",
+		File:    file,
+		Sources: map[string]string{file: e.src()},
+	}
+	b.Debug = []inspect.Task{
+		e.task(file, "xml-security-1", "seed1", 1, "guard1"),
+	}
+	for k := 1; k <= 5; k++ {
+		b.Hopeless = append(b.Hopeless, e.task(file,
+			fmt.Sprintf("xml-security-h%d", k),
+			fmt.Sprintf("hseed%d", k), 1, fmt.Sprintf("buried%d", k)))
+	}
+	return b
+}

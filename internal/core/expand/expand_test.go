@@ -1,0 +1,334 @@
+package expand_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core"
+	"thinslice/internal/core/expand"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+)
+
+func analyzeCase(t *testing.T, file, src string) *analyzer.Analysis {
+	t.Helper()
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func seedAt(t *testing.T, a *analyzer.Analysis, file string, line int) []ir.Instr {
+	t.Helper()
+	seeds := a.SeedsAt(file, line)
+	if len(seeds) == 0 {
+		t.Fatalf("no statements at %s:%d", file, line)
+	}
+	return seeds
+}
+
+func containsLine(instrs []ir.Instr, file string, line int) bool {
+	for _, ins := range instrs {
+		p := ins.Pos()
+		if p.File == file && p.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+func mapContainsLine(set map[ir.Instr]bool, file string, line int) bool {
+	for ins := range set {
+		p := ins.Pos()
+		if p.File == file && p.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Figure 4: the full debugging session ---
+
+// TestFileBugSession walks the paper's §4 debugging session: thin slice
+// from the guard finds the open-flag producers; a control explanation
+// connects the throw to the guard; an aliasing explanation reveals
+// which File reaches close().
+func TestFileBugSession(t *testing.T) {
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a := analyzeCase(t, file, src)
+
+	// Step 1: the failure is the throw; its only control dependence is
+	// the guard.
+	throwSeeds := seedAt(t, a, file, papercases.Line(src, "THROW"))
+	var throwIns ir.Instr
+	for _, s := range throwSeeds {
+		if _, ok := s.(*ir.Throw); ok {
+			throwIns = s
+		}
+	}
+	if throwIns == nil {
+		t.Fatal("throw instruction not found")
+	}
+	ctrl := expand.ControlExplanation(a.Graph, throwIns)
+	guardLine := papercases.Line(src, "GUARD")
+	if !containsLine(ctrl, file, guardLine) {
+		t.Fatalf("control explanation of the throw must surface the guard, got %v", ctrl)
+	}
+
+	// Step 2: thin slice from the guard condition finds the open-flag
+	// producers: the constructor's store of true and close()'s store of
+	// false.
+	thin := a.ThinSlicer()
+	guardSlice := thin.Slice(seedAt(t, a, file, papercases.Line(src, "CHECK"))...)
+	for _, m := range []string{"OPEN", "CLOSE", "READ"} {
+		if !guardSlice.ContainsLine(file, papercases.Line(src, m)) {
+			t.Errorf("thin slice of the check missing %s", m)
+		}
+	}
+	// The Vector plumbing is not in the thin slice.
+	if guardSlice.ContainsLine(file, papercases.Line(src, "NEWVEC")) {
+		t.Error("thin slice must exclude the Vector construction")
+	}
+
+	// Step 3: the heap pair (read of this.open in isOpen, store in
+	// close) gets an aliasing explanation showing the File's flow
+	// through the Vector.
+	pairs := expand.HeapPairs(a.Graph, guardSlice)
+	var pair *expand.HeapPair
+	for i := range pairs {
+		loadIns := a.Graph.InstrOf(pairs[i].Load)
+		storeIns := a.Graph.InstrOf(pairs[i].Store)
+		if _, isSet := storeIns.(*ir.SetField); isSet {
+			if loadIns.Pos().Line == papercases.Line(src, "READ") &&
+				storeIns.Pos().Line == papercases.Line(src, "CLOSE") {
+				pair = &pairs[i]
+			}
+		}
+	}
+	if pair == nil {
+		t.Fatalf("heap pair READ<-CLOSE not found among %d pairs", len(pairs))
+	}
+	exp := expand.ExplainAliasing(a.Graph, *pair)
+	if len(exp.Common) == 0 {
+		t.Fatal("no common objects: aliasing unexplained")
+	}
+	stmts := exp.Statements()
+	for _, m := range []string{"NEWFILE", "ADD", "GET1", "GET2"} {
+		if !containsLine(stmts, file, papercases.Line(src, m)) {
+			t.Errorf("aliasing explanation missing %s", m)
+		}
+	}
+	// Paper: "line 16 is still omitted, as it does not touch the File
+	// object."
+	if containsLine(stmts, file, papercases.Line(src, "NEWVEC")) {
+		t.Error("aliasing explanation must exclude the Vector allocation")
+	}
+}
+
+func TestHeapPairsFindsVectorFlow(t *testing.T) {
+	src := papercases.FirstNames
+	file := papercases.FirstNamesFile
+	a := analyzeCase(t, file, src)
+	thin := a.ThinSlicer()
+	sl := thin.Slice(seedAt(t, a, file, papercases.Line(src, "SEED"))...)
+	pairs := expand.HeapPairs(a.Graph, sl)
+	if len(pairs) == 0 {
+		t.Fatal("no heap pairs in the first-names thin slice")
+	}
+	// At least one pair is the Vector's backing array load/store.
+	foundArray := false
+	for _, p := range pairs {
+		if _, ok := a.Graph.InstrOf(p.Load).(*ir.ArrayLoad); ok {
+			if _, ok := a.Graph.InstrOf(p.Store).(*ir.ArrayStore); ok {
+				foundArray = true
+			}
+		}
+	}
+	if !foundArray {
+		t.Error("expected an array element heap pair through the Vector")
+	}
+}
+
+func TestAliasExplanationFiltersUnrelatedFlow(t *testing.T) {
+	src := `class Box {
+    Object v;
+    Box() { }
+}
+class Main {
+    static Box route(Box b, Box unrelated) {
+        print(unrelated); // UNRELATED
+        return b; // ROUTE
+    }
+    static void main() {
+        Box b1 = new Box(); // TARGET
+        Box decoy = new Box(); // DECOY
+        Box b2 = route(b1, decoy); // CALL
+        b1.v = input(); // STORE
+        print(b2.v); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer()
+	sl := thin.Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	pairs := expand.HeapPairs(a.Graph, sl)
+	if len(pairs) != 1 {
+		t.Fatalf("got %d heap pairs, want 1", len(pairs))
+	}
+	exp := expand.ExplainAliasing(a.Graph, pairs[0])
+	stmts := exp.Statements()
+	if !containsLine(stmts, "t.mj", papercases.Line(src, "TARGET")) {
+		t.Error("explanation missing the common allocation")
+	}
+	if !containsLine(stmts, "t.mj", papercases.Line(src, "ROUTE")) {
+		t.Error("explanation missing the routing return")
+	}
+	if containsLine(stmts, "t.mj", papercases.Line(src, "DECOY")) {
+		t.Error("explanation must filter the decoy allocation (flows to neither base)")
+	}
+}
+
+func TestIndexFlowExplanation(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        Object[] a = new Object[8];
+        int i = inputInt(); // IDX
+        a[i] = new Object(); // STORE
+        print(a[i]); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer()
+	sl := thin.Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	pairs := expand.HeapPairs(a.Graph, sl)
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	exp := expand.ExplainAliasing(a.Graph, pairs[0])
+	if len(exp.IndexFlows) != 2 {
+		t.Fatalf("got %d index flows, want 2 (load and store)", len(exp.IndexFlows))
+	}
+	found := false
+	for _, fl := range exp.IndexFlows {
+		if fl.ContainsLine("t.mj", papercases.Line(src, "IDX")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index explanation missing the index computation")
+	}
+}
+
+func TestExpansionGrowsMonotonically(t *testing.T) {
+	src := papercases.FirstNames
+	file := papercases.FirstNamesFile
+	a := analyzeCase(t, file, src)
+	seeds := seedAt(t, a, file, papercases.Line(src, "SEED"))
+	e := expand.NewExpansion(a.Graph, true, seeds...)
+	prev := e.Size()
+	if prev == 0 {
+		t.Fatal("empty initial expansion")
+	}
+	for e.Step() {
+		if e.Size() < prev {
+			t.Fatal("expansion shrank")
+		}
+		prev = e.Size()
+		if e.Depth > 100 {
+			t.Fatal("expansion did not converge")
+		}
+	}
+}
+
+// TestExpansionLimitCoversTraditional checks the paper's §2 claim: the
+// hierarchical expansion, run to fixpoint without the common-object
+// filter, recovers (at least) the traditional slice with control
+// dependences.
+func TestExpansionLimitCoversTraditional(t *testing.T) {
+	cases := []struct{ file, src string }{
+		{papercases.ToyFile, papercases.Toy},
+		{papercases.FileBugFile, papercases.FileBug},
+		{papercases.ToughCastFile, papercases.ToughCast},
+		{papercases.FirstNamesFile, papercases.FirstNames},
+	}
+	for _, c := range cases {
+		a := analyzeCase(t, c.file, c.src)
+		trad := a.TraditionalSlicer(true)
+		// Take a handful of seeds spread across the program.
+		var seeds []ir.Instr
+		for _, m := range a.Prog.Methods {
+			if !a.Graph.Reachable(m) {
+				continue
+			}
+			m.Instrs(func(ins ir.Instr) {
+				switch ins.(type) {
+				case *ir.Print, *ir.Throw, *ir.Cast:
+					seeds = append(seeds, ins)
+				}
+			})
+		}
+		for _, seed := range seeds {
+			limit := expand.ExpandToTraditional(a.Graph, seed)
+			tslice := trad.Slice(seed)
+			for _, ins := range tslice.Instrs() {
+				if !limit[ins] {
+					t.Errorf("%s: expansion limit from %s missing traditional member %s",
+						c.file, seed, ins)
+					return
+				}
+			}
+			// The filtered interactive expansion stays within the thin
+			// closure of the traditional slice's statements (sanity:
+			// no wild growth beyond the program).
+			if len(limit) > a.Graph.NumNodes() {
+				t.Errorf("%s: expansion exceeded program size", c.file)
+			}
+		}
+	}
+}
+
+func TestControlExplanationOfToughCast(t *testing.T) {
+	src := papercases.ToughCast
+	file := papercases.ToughCastFile
+	a := analyzeCase(t, file, src)
+	castLine := papercases.Line(src, "CAST")
+	var cast ir.Instr
+	for _, s := range seedAt(t, a, file, castLine) {
+		if _, ok := s.(*ir.Cast); ok {
+			cast = s
+		}
+	}
+	ctrl := expand.ControlExplanation(a.Graph, cast)
+	if !containsLine(ctrl, file, papercases.Line(src, "GUARD")) {
+		t.Fatal("control explanation of the cast must surface the opcode guard")
+	}
+	// Thin slicing from the guard finds the constructor opcode writes —
+	// completing the paper's §6.3 workflow.
+	guardSeeds := seedAt(t, a, file, papercases.Line(src, "GUARD"))
+	sl := a.ThinSlicer().Slice(guardSeeds...)
+	for _, m := range []string{"SETOP", "ADDOP", "SUBOP"} {
+		if !sl.ContainsLine(file, papercases.Line(src, m)) {
+			t.Errorf("guard thin slice missing %s", m)
+		}
+	}
+}
+
+func TestFilteredExpansionStaysSmallerThanUnfiltered(t *testing.T) {
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a := analyzeCase(t, file, src)
+	seeds := seedAt(t, a, file, papercases.Line(src, "CHECK"))
+	filtered := expand.NewExpansion(a.Graph, true, seeds...)
+	filtered.Run()
+	unfiltered := expand.NewExpansion(a.Graph, false, seeds...)
+	unfiltered.Run()
+	if filtered.Size() > unfiltered.Size() {
+		t.Errorf("filtered expansion (%d) larger than unfiltered (%d)",
+			filtered.Size(), unfiltered.Size())
+	}
+	_ = mapContainsLine
+	_ = core.Thin
+}

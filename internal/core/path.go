@@ -1,0 +1,100 @@
+package core
+
+import (
+	"thinslice/internal/ir"
+	"thinslice/internal/sdg"
+)
+
+// PathStep is one hop of a dependence chain: the statement reached and
+// the edge kind used to reach it from the previous step (the first
+// step has no incoming edge and Kind is meaningless).
+type PathStep struct {
+	Node sdg.Node
+	Ins  ir.Instr
+	// Kind is the dependence kind connecting the previous step to this
+	// one (EdgeLocal for the seed step).
+	Kind sdg.EdgeKind
+	// ViaCall is the call site mediating a param edge, or nil.
+	ViaCall ir.Instr
+}
+
+// PathTo returns a shortest chain of dependence edges from any seed
+// statement to any instance of target, traversing only edges this
+// slicer follows — the "why is this statement in my slice?" question a
+// browsing tool must answer. It returns nil when target is not in the
+// slice. The chain starts at a seed and ends at target.
+func (s *Slicer) PathTo(target ir.Instr, seeds ...ir.Instr) []PathStep {
+	g := s.G
+	type parentEdge struct {
+		prev sdg.Node
+		kind sdg.EdgeKind
+		via  sdg.Node
+	}
+	parents := make(map[sdg.Node]parentEdge)
+	var queue []sdg.Node
+	inQueue := make(map[sdg.Node]bool)
+	for _, seed := range seeds {
+		for _, n := range g.NodesOf(seed) {
+			if !inQueue[n] {
+				inQueue[n] = true
+				parents[n] = parentEdge{prev: sdg.NoNode}
+				queue = append(queue, n)
+			}
+		}
+	}
+	targetNodes := make(map[sdg.Node]bool)
+	for _, n := range g.NodesOf(target) {
+		targetNodes[n] = true
+	}
+	var hit sdg.Node = sdg.NoNode
+	for len(queue) > 0 && hit == sdg.NoNode {
+		n := queue[0]
+		queue = queue[1:]
+		if targetNodes[n] {
+			hit = n
+			break
+		}
+		for _, d := range g.Deps(n) {
+			if !s.Follows(d.Kind) {
+				continue
+			}
+			// A Via call site is itself a reachable member: answer for
+			// it too, treating it as reached through the param edge.
+			if d.Via != sdg.NoNode && targetNodes[d.Via] {
+				if !inQueue[d.Via] {
+					inQueue[d.Via] = true
+					parents[d.Via] = parentEdge{prev: n, kind: d.Kind, via: sdg.NoNode}
+				}
+				hit = d.Via
+				break
+			}
+			if !inQueue[d.Src] {
+				inQueue[d.Src] = true
+				parents[d.Src] = parentEdge{prev: n, kind: d.Kind, via: d.Via}
+				queue = append(queue, d.Src)
+			}
+		}
+	}
+	if hit == sdg.NoNode {
+		return nil
+	}
+	// Walk parents back to the seed, then reverse into seed→target order.
+	var rev []PathStep
+	for n := hit; ; {
+		pe := parents[n]
+		step := PathStep{Node: n, Ins: g.InstrOf(n), Kind: pe.kind}
+		if pe.via != sdg.NoNode {
+			step.ViaCall = g.InstrOf(pe.via)
+		}
+		rev = append(rev, step)
+		if pe.prev == sdg.NoNode {
+			break
+		}
+		n = pe.prev
+	}
+	out := make([]PathStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+)
+
+func TestPathToFollowsProducerChain(t *testing.T) {
+	src := papercases.FirstNames
+	file := papercases.FirstNamesFile
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := a.ThinSlicer()
+	seeds := a.SeedsAt(file, papercases.Line(src, "SEED"))
+	var bug ir.Instr
+	for _, ins := range a.SeedsAt(file, papercases.Line(src, "BUG")) {
+		if s, ok := ins.(*ir.StrOp); ok && s.Op == ir.StrSubstring {
+			bug = ins
+		}
+	}
+	if bug == nil {
+		t.Fatal("substring not found at the bug line")
+	}
+	path := thin.PathTo(bug, seeds...)
+	if path == nil {
+		t.Fatal("no path from seed to the bug")
+	}
+	// The chain starts at a seed statement and ends at the bug.
+	first, last := path[0], path[len(path)-1]
+	if first.Ins.Pos().Line != papercases.Line(src, "SEED") {
+		t.Errorf("path starts at %s, want the seed line", first.Ins.Pos())
+	}
+	if last.Ins != bug {
+		t.Errorf("path ends at %s, want the bug", last.Ins.Pos())
+	}
+	// Every step after the first names an edge kind the slicer follows.
+	for _, step := range path[1:] {
+		if !thin.Follows(step.Kind) {
+			t.Errorf("path step uses unfollowed edge kind %s", step.Kind)
+		}
+	}
+	// The chain passes through the heap (the Vector hop of Figure 1).
+	sawHeap := false
+	for _, step := range path[1:] {
+		if step.Kind.String() == "heap" {
+			sawHeap = true
+		}
+	}
+	if !sawHeap {
+		t.Error("producer chain to the bug should cross the heap (Vector)")
+	}
+}
+
+func TestPathToMissingTarget(t *testing.T) {
+	src := papercases.FirstNames
+	file := papercases.FirstNamesFile
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := a.ThinSlicer()
+	seeds := a.SeedsAt(file, papercases.Line(src, "SEED"))
+	// The Vector construction is an explainer, not a producer: no thin
+	// path may reach it.
+	var newVec ir.Instr
+	for _, ins := range a.SeedsAt(file, papercases.Line(src, "new Vector()")) {
+		if _, ok := ins.(*ir.New); ok {
+			newVec = ins
+		}
+	}
+	if newVec == nil {
+		t.Fatal("vector allocation not found")
+	}
+	if path := thin.PathTo(newVec, seeds...); path != nil {
+		t.Fatalf("thin path to an explainer statement should not exist, got %d steps", len(path))
+	}
+	// The traditional slicer, following base edges, does reach it.
+	trad := a.TraditionalSlicer(false)
+	if path := trad.PathTo(newVec, seeds...); path == nil {
+		t.Fatal("traditional path should exist")
+	}
+}
+
+func TestPathToSeedItself(t *testing.T) {
+	a, err := analyzer.Analyze(map[string]string{"t.mj": `class Main {
+		static void main() { print(1); }
+	}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed ir.Instr
+	for _, m := range a.Pts.Entries() {
+		m.Instrs(func(ins ir.Instr) {
+			if _, ok := ins.(*ir.Print); ok {
+				seed = ins
+			}
+		})
+	}
+	path := a.ThinSlicer().PathTo(seed, seed)
+	if len(path) != 1 || path[0].Ins != seed {
+		t.Fatalf("self path wrong: %v", path)
+	}
+}
+
+// TestPathConsistentWithSlice: every member of a thin slice has a path,
+// and the path's statements are all members.
+func TestPathConsistentWithSlice(t *testing.T) {
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := a.ThinSlicer()
+	seeds := a.SeedsAt(file, papercases.Line(src, "CHECK"))
+	sl := thin.Slice(seeds...)
+	for _, member := range sl.Instrs() {
+		path := thin.PathTo(member, seeds...)
+		if path == nil {
+			t.Errorf("member %s (%s) has no path", member, member.Pos())
+			continue
+		}
+		for _, step := range path {
+			if !sl.Contains(step.Ins) {
+				t.Errorf("path step %s not a slice member", step.Ins.Pos())
+			}
+		}
+	}
+}

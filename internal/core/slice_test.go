@@ -1,0 +1,402 @@
+package core_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+	"thinslice/internal/sdg"
+)
+
+func analyzeCase(t *testing.T, file, src string) *analyzer.Analysis {
+	t.Helper()
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func seedAt(t *testing.T, a *analyzer.Analysis, file string, line int) []ir.Instr {
+	t.Helper()
+	seeds := a.SeedsAt(file, line)
+	if len(seeds) == 0 {
+		t.Fatalf("no statements at %s:%d", file, line)
+	}
+	return seeds
+}
+
+// userLines counts slice lines inside the given file (excluding the
+// prelude), a proxy for what the user reads.
+func userLines(sl *core.Slice, file string) int {
+	n := 0
+	for _, p := range sl.Lines() {
+		if p.File == file {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Figure 2: the toy heap-flow example ---
+
+func TestToyThinSliceMatchesPaper(t *testing.T) {
+	a := analyzeCase(t, papercases.ToyFile, papercases.Toy)
+	seedLine := papercases.Line(papercases.Toy, "L7")
+	thin := a.ThinSlicer().Slice(seedAt(t, a, papercases.ToyFile, seedLine)...)
+
+	mustHave := []string{"L5", "L3", "L7"}
+	mustNotHave := []string{"L1", "L2", "L4", "L6"}
+	for _, m := range mustHave {
+		if !thin.ContainsLine(papercases.ToyFile, papercases.Line(papercases.Toy, m)) {
+			t.Errorf("thin slice missing %s", m)
+		}
+	}
+	for _, m := range mustNotHave {
+		if thin.ContainsLine(papercases.ToyFile, papercases.Line(papercases.Toy, m)) {
+			t.Errorf("thin slice must exclude %s", m)
+		}
+	}
+}
+
+func TestToyTraditionalSliceIsWholeExample(t *testing.T) {
+	a := analyzeCase(t, papercases.ToyFile, papercases.Toy)
+	seedLine := papercases.Line(papercases.Toy, "L7")
+	trad := a.TraditionalSlicer(true).Slice(seedAt(t, a, papercases.ToyFile, seedLine)...)
+	for _, m := range []string{"L1", "L2", "L3", "L4", "L5", "L6", "L7"} {
+		if !trad.ContainsLine(papercases.ToyFile, papercases.Line(papercases.Toy, m)) {
+			t.Errorf("traditional slice missing %s", m)
+		}
+	}
+}
+
+func TestToyTraditionalWithoutControlExcludesBranch(t *testing.T) {
+	a := analyzeCase(t, papercases.ToyFile, papercases.Toy)
+	seedLine := papercases.Line(papercases.Toy, "L7")
+	trad := a.TraditionalSlicer(false).Slice(seedAt(t, a, papercases.ToyFile, seedLine)...)
+	// Base-pointer flow (L1, L2, L4) is included, but the branch L6 is
+	// a control dependence and must be excluded.
+	for _, m := range []string{"L1", "L2", "L4"} {
+		if !trad.ContainsLine(papercases.ToyFile, papercases.Line(papercases.Toy, m)) {
+			t.Errorf("traditional-no-control slice missing %s", m)
+		}
+	}
+	condLine := papercases.Line(papercases.Toy, "L6")
+	if trad.ContainsLine(papercases.ToyFile, condLine) {
+		t.Errorf("traditional-no-control slice must exclude the branch L6")
+	}
+}
+
+// --- Figure 1: first names through a Vector and session state ---
+
+func TestFirstNamesThinSliceFindsBug(t *testing.T) {
+	a := analyzeCase(t, papercases.FirstNamesFile, papercases.FirstNames)
+	src := papercases.FirstNames
+	seedLine := papercases.Line(src, "SEED")
+	bugLine := papercases.Line(src, "BUG")
+	thin := a.ThinSlicer().Slice(seedAt(t, a, papercases.FirstNamesFile, seedLine)...)
+
+	if !thin.ContainsLine(papercases.FirstNamesFile, bugLine) {
+		t.Fatal("thin slice must contain the buggy substring statement")
+	}
+	// The producer chain passes through the Vector: add call and the
+	// input read feeding the name.
+	addLine := papercases.Line(src, "firstNames.add(firstName)")
+	inputLine := papercases.Line(src, "input()")
+	if !thin.ContainsLine(papercases.FirstNamesFile, addLine) {
+		t.Error("thin slice must contain the add call (value-passing producer)")
+	}
+	if !thin.ContainsLine(papercases.FirstNamesFile, inputLine) {
+		t.Error("thin slice must contain the input read")
+	}
+	// Container construction and session-state plumbing are explainer
+	// material, not producers.
+	newVecLine := papercases.Line(src, "new Vector()")
+	setNamesLine := papercases.Line(src, "s.setNames(firstNames)")
+	if thin.ContainsLine(papercases.FirstNamesFile, newVecLine) {
+		t.Error("thin slice must exclude the Vector construction")
+	}
+	if thin.ContainsLine(papercases.FirstNamesFile, setNamesLine) {
+		t.Error("thin slice must exclude the SessionState plumbing")
+	}
+}
+
+func TestFirstNamesTraditionalIncludesPlumbing(t *testing.T) {
+	a := analyzeCase(t, papercases.FirstNamesFile, papercases.FirstNames)
+	src := papercases.FirstNames
+	seedLine := papercases.Line(src, "SEED")
+	trad := a.TraditionalSlicer(true).Slice(seedAt(t, a, papercases.FirstNamesFile, seedLine)...)
+	for _, marker := range []string{"new Vector()", "s.setNames(firstNames)", "SessionState s = getState()"} {
+		if !trad.ContainsLine(papercases.FirstNamesFile, papercases.Line(src, marker)) {
+			t.Errorf("traditional slice missing %q", marker)
+		}
+	}
+}
+
+func TestFirstNamesThinMuchSmallerThanTraditional(t *testing.T) {
+	a := analyzeCase(t, papercases.FirstNamesFile, papercases.FirstNames)
+	src := papercases.FirstNames
+	seedLine := papercases.Line(src, "SEED")
+	seeds := seedAt(t, a, papercases.FirstNamesFile, seedLine)
+	thin := a.ThinSlicer().Slice(seeds...)
+	trad := a.TraditionalSlicer(true).Slice(seeds...)
+	tn, tr := userLines(thin, papercases.FirstNamesFile), userLines(trad, papercases.FirstNamesFile)
+	if tn*2 >= tr {
+		t.Errorf("thin slice (%d lines) should be much smaller than traditional (%d lines)", tn, tr)
+	}
+}
+
+// --- Figure 5: the tough cast ---
+
+func TestToughCastNotVerifiedByPointerAnalysis(t *testing.T) {
+	a := analyzeCase(t, papercases.ToughCastFile, papercases.ToughCast)
+	castLine := papercases.Line(papercases.ToughCast, "CAST")
+	var cast *ir.Cast
+	for _, ins := range a.SeedsAt(papercases.ToughCastFile, castLine) {
+		if c, ok := ins.(*ir.Cast); ok {
+			cast = c
+		}
+	}
+	if cast == nil {
+		t.Fatal("cast statement not found")
+	}
+	verified, nonEmpty := a.Pts.CastCheckable(cast)
+	if verified || !nonEmpty {
+		t.Fatalf("the Figure 5 cast must be tough (verified=%t nonEmpty=%t)", verified, nonEmpty)
+	}
+}
+
+func TestToughCastThinSliceOfOpcodeFindsConstructors(t *testing.T) {
+	a := analyzeCase(t, papercases.ToughCastFile, papercases.ToughCast)
+	src := papercases.ToughCast
+	readLine := papercases.Line(src, "READOP")
+	thin := a.ThinSlicer().Slice(seedAt(t, a, papercases.ToughCastFile, readLine)...)
+	for _, m := range []string{"SETOP", "ADDOP", "SUBOP"} {
+		if !thin.ContainsLine(papercases.ToughCastFile, papercases.Line(src, m)) {
+			t.Errorf("thin slice of opcode read missing %s", m)
+		}
+	}
+}
+
+// --- slicer mechanics on small programs ---
+
+func TestSliceIncludesCallSitesAsProducers(t *testing.T) {
+	src := `class Util {
+    static int id(int x) {
+        return x; // RET
+    }
+}
+class Main {
+    static void main() {
+        int a = inputInt(); // IN
+        int b = Util.id(a); // CALL
+        print(b); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	for _, m := range []string{"IN", "CALL", "RET"} {
+		if !thin.ContainsLine("t.mj", papercases.Line(src, m)) {
+			t.Errorf("thin slice missing %s", m)
+		}
+	}
+}
+
+func TestCallResultDoesNotPullUnrelatedArgs(t *testing.T) {
+	// The return value of pick does not depend on its second argument's
+	// producer when the callee ignores it.
+	src := `class Util {
+    static int pick(int x, int y) {
+        return x;
+    }
+}
+class Main {
+    static void main() {
+        int wanted = inputInt(); // WANTED
+        int ignored = inputInt(); // IGNORED
+        int r = Util.pick(wanted, ignored);
+        print(r); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	if !thin.ContainsLine("t.mj", papercases.Line(src, "WANTED")) {
+		t.Error("thin slice missing the used argument")
+	}
+	if thin.ContainsLine("t.mj", papercases.Line(src, "IGNORED")) {
+		t.Error("thin slice must not include the ignored argument")
+	}
+}
+
+func TestFieldSlicingThroughDistinctObjects(t *testing.T) {
+	src := `class Box {
+    int v;
+    Box() { }
+}
+class Main {
+    static void main() {
+        Box b1 = new Box();
+        Box b2 = new Box();
+        b1.v = inputInt(); // GOOD
+        b2.v = inputInt(); // OTHER
+        print(b1.v); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	if !thin.ContainsLine("t.mj", papercases.Line(src, "GOOD")) {
+		t.Error("thin slice missing the store to b1.v")
+	}
+	if thin.ContainsLine("t.mj", papercases.Line(src, "OTHER")) {
+		t.Error("thin slice must exclude the store to the other box")
+	}
+}
+
+func TestStaticFieldFlow(t *testing.T) {
+	src := `class G {
+    static int conf;
+}
+class Main {
+    static void main() {
+        G.conf = inputInt(); // STORE
+        print(G.conf); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	if !thin.ContainsLine("t.mj", papercases.Line(src, "STORE")) {
+		t.Error("thin slice missing static field store")
+	}
+}
+
+func TestArrayLengthFlowsFromAllocation(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int n = inputInt(); // N
+        int[] a = new int[n]; // ALLOC
+        print(a.length); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	for _, m := range []string{"ALLOC", "N"} {
+		if !thin.ContainsLine("t.mj", papercases.Line(src, m)) {
+			t.Errorf("thin slice missing %s", m)
+		}
+	}
+}
+
+func TestArrayIndexExcludedFromThin(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int[] a = new int[10];
+        int i = inputInt(); // IDX
+        a[i] = inputInt(); // STORE
+        int j = inputInt(); // JDX
+        print(a[j]); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	thin := a.ThinSlicer().Slice(seedAt(t, a, "t.mj", papercases.Line(src, "SEED"))...)
+	if !thin.ContainsLine("t.mj", papercases.Line(src, "STORE")) {
+		t.Error("thin slice missing array store")
+	}
+	// Index computations are explainer material (paper §4.1): a[j]'s
+	// own line contains JDX's def... use distinct lines to check.
+	if thin.ContainsLine("t.mj", papercases.Line(src, "IDX")) {
+		t.Error("thin slice must exclude the store index computation")
+	}
+	if thin.ContainsLine("t.mj", papercases.Line(src, "JDX")) {
+		t.Error("thin slice must exclude the load index computation")
+	}
+}
+
+func TestSubsetProperty(t *testing.T) {
+	// thin ⊆ traditional(no control) ⊆ traditional(control), on every
+	// statement of the Figure 1 program.
+	a := analyzeCase(t, papercases.FirstNamesFile, papercases.FirstNames)
+	thin := a.ThinSlicer()
+	tradNC := a.TraditionalSlicer(false)
+	tradC := a.TraditionalSlicer(true)
+	count := 0
+	for _, m := range a.Prog.Methods {
+		if !a.Graph.Reachable(m) || count > 400 {
+			continue
+		}
+		m.Instrs(func(seed ir.Instr) {
+			count++
+			if count > 400 {
+				return
+			}
+			st := thin.Slice(seed)
+			snc := tradNC.Slice(seed)
+			sc := tradC.Slice(seed)
+			for _, ins := range st.Instrs() {
+				if !snc.Contains(ins) {
+					t.Fatalf("thin ⊄ traditional at seed %s: %s", seed, ins)
+				}
+			}
+			for _, ins := range snc.Instrs() {
+				if !sc.Contains(ins) {
+					t.Fatalf("trad-no-control ⊄ trad-control at seed %s: %s", seed, ins)
+				}
+			}
+		})
+	}
+}
+
+func TestSeedsAtIgnoresUnreachable(t *testing.T) {
+	src := `class Dead {
+    void never() {
+        print(1); // DEADPRINT
+    }
+}
+class Main {
+    static void main() {
+        print(2);
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	if seeds := a.SeedsAt("t.mj", papercases.Line(src, "DEADPRINT")); len(seeds) != 0 {
+		t.Errorf("unreachable code should yield no seeds, got %d", len(seeds))
+	}
+}
+
+func TestFollowsClassification(t *testing.T) {
+	a := analyzeCase(t, papercases.ToyFile, papercases.Toy)
+	thin := a.ThinSlicer()
+	trad := a.TraditionalSlicer(true)
+	tradNC := a.TraditionalSlicer(false)
+	cases := []struct {
+		kind           sdg.EdgeKind
+		thin, tnc, trd bool
+	}{
+		{sdg.EdgeLocal, true, true, true},
+		{sdg.EdgeHeap, true, true, true},
+		{sdg.EdgeParam, true, true, true},
+		{sdg.EdgeReturn, true, true, true},
+		{sdg.EdgeBase, false, true, true},
+		{sdg.EdgeControl, false, false, true},
+		{sdg.EdgeCallControl, false, false, true},
+	}
+	for _, c := range cases {
+		if thin.Follows(c.kind) != c.thin {
+			t.Errorf("thin.Follows(%s) = %t", c.kind, !c.thin)
+		}
+		if tradNC.Follows(c.kind) != c.tnc {
+			t.Errorf("tradNC.Follows(%s) = %t", c.kind, !c.tnc)
+		}
+		if trad.Follows(c.kind) != c.trd {
+			t.Errorf("trad.Follows(%s) = %t", c.kind, !c.trd)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package csslice implements the paper's context-sensitive slicing
+// algorithm (§5.3): a system dependence graph in which heap accesses
+// are threaded through per-procedure heap parameters (formal-in/out
+// nodes derived from the mod-ref analysis, actual-in/out nodes at call
+// sites, following Ryder et al. [24]), sliced by the classic two-phase
+// backward algorithm with tabulated summary edges (Reps et al. [20,21],
+// Horwitz et al. [11]).
+//
+// The heap-parameter construction is exactly the scalability
+// bottleneck the paper reports: the number of synthetic parameter
+// nodes grows with |call sites| × |mod-ref sets| and explodes on large
+// programs, which the scalability experiment demonstrates.
+package csslice
+
+import (
+	"thinslice/internal/analysis/cdg"
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+)
+
+// Kind classifies an edge for slicer filtering.
+type Kind int
+
+// Edge kinds. Producer/base/control mirror the CI graph; Call edges
+// ascend into callers, Ret edges descend into callees. Summary edges
+// are same-level shortcuts installed by the tabulation.
+const (
+	KindProducer Kind = iota
+	KindBase
+	KindControl
+	KindCall        // crossing from callee entry to caller (ascend)
+	KindCallControl // callee entry control-dependence on the call site
+	KindRet         // crossing from caller to callee exit (descend)
+)
+
+// Node is a CS-SDG node index.
+type Node int32
+
+// Edge is one incoming dependence of a node.
+type Edge struct {
+	Src  Node
+	Kind Kind
+	Site *ir.Call // for Call/CallControl/Ret edges
+}
+
+type nodeKind int
+
+const (
+	nkInstr nodeKind = iota
+	nkFormalIn
+	nkFormalOut
+	nkActualIn
+	nkActualOut
+	nkRetOut // synthetic per-method exit for the return value
+)
+
+type nodeInfo struct {
+	kind   nodeKind
+	ins    ir.Instr // for nkInstr
+	method *ir.Method
+	loc    modref.Loc // for heap parameter nodes
+	site   *ir.Call   // for actual-in/out
+}
+
+// Graph is the context-sensitive SDG.
+type Graph struct {
+	Prog *ir.Program
+	Pts  *pointsto.Result
+	MR   *modref.Result
+
+	nodes []nodeInfo
+	deps  [][]Edge
+
+	instrNode map[ir.Instr]Node
+	formalIn  map[*ir.Method]map[modref.Loc]Node
+	formalOut map[*ir.Method]map[modref.Loc]Node
+	actualIn  map[*ir.Call]map[modref.Loc]Node
+	actualOut map[*ir.Call]map[modref.Loc]Node
+	retOut    map[*ir.Method]Node
+
+	// entries/exits per method, for summary computation.
+	entries map[*ir.Method][]Node
+	exits   map[*ir.Method][]Node
+	// methodOf maps every node to its enclosing method.
+	methodOf []*ir.Method
+	// callsIn lists the call instructions of each method.
+	callsIn map[*ir.Method][]*ir.Call
+	// calleesOf are the possible targets of each call.
+	calleesOf map[*ir.Call][]*ir.Method
+	// argNodes lists, per call, the nodes feeding each formal param
+	// (receiver first for instance methods); -1 marks absent defs.
+	argNodes map[*ir.Call][]Node
+	// entryDependent lists each method's statements with no
+	// intraprocedural control dependence.
+	entryDependent map[*ir.Method][]Node
+}
+
+// NumNodes returns the node count including heap parameter nodes —
+// the quantity whose growth breaks CS slicing on large programs.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumHeapParamNodes returns only the synthetic heap parameter nodes.
+func (g *Graph) NumHeapParamNodes() int {
+	n := 0
+	for _, ni := range g.nodes {
+		switch ni.kind {
+		case nkFormalIn, nkFormalOut, nkActualIn, nkActualOut:
+			n++
+		}
+	}
+	return n
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, d := range g.deps {
+		n += len(d)
+	}
+	return n
+}
+
+// InstrOf returns the instruction of an instruction node, or nil for
+// synthetic nodes.
+func (g *Graph) InstrOf(n Node) ir.Instr { return g.nodes[n].ins }
+
+// NodeOf returns the node of an instruction.
+func (g *Graph) NodeOf(ins ir.Instr) (Node, bool) {
+	n, ok := g.instrNode[ins]
+	return n, ok
+}
+
+func (g *Graph) newNode(ni nodeInfo) Node {
+	n := Node(len(g.nodes))
+	g.nodes = append(g.nodes, ni)
+	g.deps = append(g.deps, nil)
+	g.methodOf = append(g.methodOf, ni.method)
+	return n
+}
+
+func (g *Graph) addEdge(to Node, e Edge) {
+	g.deps[to] = append(g.deps[to], e)
+}
+
+// Build constructs the CS-SDG for the methods reachable in pts.
+func Build(prog *ir.Program, pts *pointsto.Result, mr *modref.Result) *Graph {
+	g := &Graph{
+		Prog:           prog,
+		Pts:            pts,
+		MR:             mr,
+		instrNode:      make(map[ir.Instr]Node),
+		formalIn:       make(map[*ir.Method]map[modref.Loc]Node),
+		formalOut:      make(map[*ir.Method]map[modref.Loc]Node),
+		actualIn:       make(map[*ir.Call]map[modref.Loc]Node),
+		actualOut:      make(map[*ir.Call]map[modref.Loc]Node),
+		retOut:         make(map[*ir.Method]Node),
+		entries:        make(map[*ir.Method][]Node),
+		exits:          make(map[*ir.Method][]Node),
+		callsIn:        make(map[*ir.Method][]*ir.Call),
+		calleesOf:      make(map[*ir.Call][]*ir.Method),
+		argNodes:       make(map[*ir.Call][]Node),
+		entryDependent: make(map[*ir.Method][]Node),
+	}
+	methods := pts.ReachableMethods()
+
+	// Pass 1: create nodes.
+	for _, m := range methods {
+		m.Instrs(func(ins ir.Instr) {
+			g.instrNode[ins] = g.newNode(nodeInfo{kind: nkInstr, ins: ins, method: m})
+		})
+		g.formalIn[m] = make(map[modref.Loc]Node)
+		g.formalOut[m] = make(map[modref.Loc]Node)
+		for _, loc := range mr.Ref(m) {
+			n := g.newNode(nodeInfo{kind: nkFormalIn, method: m, loc: loc})
+			g.formalIn[m][loc] = n
+			g.entries[m] = append(g.entries[m], n)
+		}
+		for _, loc := range mr.Mod(m) {
+			n := g.newNode(nodeInfo{kind: nkFormalOut, method: m, loc: loc})
+			g.formalOut[m][loc] = n
+			g.exits[m] = append(g.exits[m], n)
+		}
+		g.retOut[m] = g.newNode(nodeInfo{kind: nkRetOut, method: m})
+		g.exits[m] = append(g.exits[m], g.retOut[m])
+		for _, p := range m.Params {
+			g.entries[m] = append(g.entries[m], g.instrNode[p])
+		}
+	}
+	// Actual-in/out nodes per call site, sized by the union of callee
+	// mod-ref sets.
+	for _, m := range methods {
+		m.Instrs(func(ins ir.Instr) {
+			call, ok := ins.(*ir.Call)
+			if !ok {
+				return
+			}
+			g.callsIn[m] = append(g.callsIn[m], call)
+			g.calleesOf[call] = pts.Callees(call)
+			ain := make(map[modref.Loc]Node)
+			aout := make(map[modref.Loc]Node)
+			for _, callee := range g.calleesOf[call] {
+				for _, loc := range mr.Ref(callee) {
+					if _, ok := ain[loc]; !ok {
+						ain[loc] = g.newNode(nodeInfo{kind: nkActualIn, method: m, loc: loc, site: call})
+					}
+				}
+				for _, loc := range mr.Mod(callee) {
+					if _, ok := aout[loc]; !ok {
+						aout[loc] = g.newNode(nodeInfo{kind: nkActualOut, method: m, loc: loc, site: call})
+					}
+				}
+			}
+			g.actualIn[call] = ain
+			g.actualOut[call] = aout
+		})
+	}
+
+	// Pass 2: edges.
+	for _, m := range methods {
+		g.buildIntra(m)
+	}
+	for _, m := range methods {
+		for _, call := range g.callsIn[m] {
+			g.linkCall(m, call)
+		}
+	}
+	return g
+}
+
+// locsOfAccess returns the abstract locations a heap access touches.
+func (g *Graph) locsOfAccess(ins ir.Instr) []modref.Loc {
+	switch ins := ins.(type) {
+	case *ir.GetField:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Obj) {
+			out = append(out, modref.Loc{Obj: o, Field: ins.Field})
+		}
+		return out
+	case *ir.SetField:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Obj) {
+			out = append(out, modref.Loc{Obj: o, Field: ins.Field})
+		}
+		return out
+	case *ir.ArrayLoad:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Arr) {
+			out = append(out, modref.Loc{Obj: o})
+		}
+		return out
+	case *ir.ArrayStore:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Arr) {
+			out = append(out, modref.Loc{Obj: o})
+		}
+		return out
+	case *ir.ArrayLen:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Arr) {
+			out = append(out, modref.Loc{Obj: o, ArrayLen: true})
+		}
+		return out
+	case *ir.NewArray:
+		var out []modref.Loc
+		for _, o := range g.Pts.PointsTo(ins.Dst) {
+			out = append(out, modref.Loc{Obj: o, ArrayLen: true})
+		}
+		return out
+	case *ir.GetStatic:
+		return []modref.Loc{{Field: ins.Field}}
+	case *ir.SetStatic:
+		return []modref.Loc{{Field: ins.Field}}
+	}
+	return nil
+}
+
+func isHeapLoad(ins ir.Instr) bool {
+	switch ins.(type) {
+	case *ir.GetField, *ir.ArrayLoad, *ir.ArrayLen, *ir.GetStatic:
+		return true
+	}
+	return false
+}
+
+func isHeapStore(ins ir.Instr) bool {
+	switch ins.(type) {
+	case *ir.SetField, *ir.ArrayStore, *ir.SetStatic, *ir.NewArray:
+		return true
+	}
+	return false
+}
+
+// buildIntra adds the intraprocedural edges of m: local def-use,
+// flow-insensitive heap threading through formal/actual parameter
+// nodes (paper §5.3), and control dependences.
+func (g *Graph) buildIntra(m *ir.Method) {
+	// Index stores and actual-outs by location.
+	storesByLoc := make(map[modref.Loc][]Node)
+	m.Instrs(func(ins ir.Instr) {
+		if isHeapStore(ins) {
+			n := g.instrNode[ins]
+			for _, loc := range g.locsOfAccess(ins) {
+				storesByLoc[loc] = append(storesByLoc[loc], n)
+			}
+		}
+	})
+	// sourcesOf returns the in-method producers of a location's value:
+	// same-method stores, formal-in, and actual-outs of calls.
+	sourcesOf := func(loc modref.Loc) []Edge {
+		var out []Edge
+		for _, st := range storesByLoc[loc] {
+			out = append(out, Edge{Src: st, Kind: KindProducer})
+		}
+		if fi, ok := g.formalIn[m][loc]; ok {
+			out = append(out, Edge{Src: fi, Kind: KindProducer})
+		}
+		for _, call := range g.callsIn[m] {
+			if ao, ok := g.actualOut[call][loc]; ok {
+				out = append(out, Edge{Src: ao, Kind: KindProducer})
+			}
+		}
+		return out
+	}
+
+	cg := cdg.Build(m)
+	m.Instrs(func(ins ir.Instr) {
+		node := g.instrNode[ins]
+		// Local def-use (call operands feed actual-in/param linkage
+		// instead, handled in linkCall).
+		if _, isCall := ins.(*ir.Call); !isCall {
+			uses := ins.Uses()
+			roles := ins.UseRoles()
+			for i, u := range uses {
+				if u.Def == nil {
+					continue
+				}
+				kind := KindProducer
+				if roles[i] == ir.RoleBase {
+					kind = KindBase
+				}
+				g.addEdge(node, Edge{Src: g.instrNode[u.Def], Kind: kind})
+			}
+		}
+		// Heap loads read the location's in-method sources.
+		if isHeapLoad(ins) {
+			for _, loc := range g.locsOfAccess(ins) {
+				for _, e := range g.deduped(sourcesOf(loc), node) {
+					g.addEdge(node, e)
+				}
+			}
+		}
+		// Returns feed the synthetic return-out exit.
+		if ret, ok := ins.(*ir.Return); ok && ret.Val != nil {
+			g.addEdge(g.retOut[m], Edge{Src: node, Kind: KindProducer})
+		}
+		// Control dependence.
+		for _, br := range cg.InstrDeps(ins) {
+			if br != ins {
+				g.addEdge(node, Edge{Src: g.instrNode[br], Kind: KindControl})
+			}
+		}
+	})
+	// Formal-outs collect the location's in-method sources (including
+	// the weak pass-through from formal-in).
+	for loc, fo := range g.formalOut[m] {
+		for _, e := range g.deduped(sourcesOf(loc), fo) {
+			g.addEdge(fo, e)
+		}
+	}
+	// Actual-ins collect the location's in-method sources too.
+	for _, call := range g.callsIn[m] {
+		for loc, ai := range g.actualIn[call] {
+			for _, e := range g.deduped(sourcesOf(loc), ai) {
+				g.addEdge(ai, e)
+			}
+		}
+	}
+	// Entry-dependent statements are control dependent on call sites
+	// (added in linkCall); record which instructions those are.
+	m.Instrs(func(ins ir.Instr) {
+		if cg.DependsOnEntry(ins) {
+			g.entryDependent[m] = append(g.entryDependent[m], g.instrNode[ins])
+		}
+	})
+}
+
+// deduped drops self-edges and duplicate sources.
+func (g *Graph) deduped(es []Edge, self Node) []Edge {
+	seen := make(map[Node]bool, len(es))
+	var out []Edge
+	for _, e := range es {
+		if e.Src == self || seen[e.Src] {
+			continue
+		}
+		seen[e.Src] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// linkCall connects a call site to each possible callee.
+func (g *Graph) linkCall(caller *ir.Method, call *ir.Call) {
+	callNode := g.instrNode[call]
+	for _, callee := range g.calleesOf[call] {
+		params := callee.Params
+		offset := 0
+		var args []Node
+		if !callee.Sig.Static {
+			offset = 1
+			if call.Recv != nil && call.Recv.Def != nil {
+				args = append(args, g.instrNode[call.Recv.Def])
+			} else {
+				args = append(args, -1)
+			}
+		}
+		for _, a := range call.Args {
+			if a.Def != nil {
+				args = append(args, g.instrNode[a.Def])
+			} else {
+				args = append(args, -1)
+			}
+		}
+		_ = offset // args already parallel params (receiver first)
+		for i, p := range params {
+			if i < len(args) && args[i] >= 0 {
+				g.addEdge(g.instrNode[p], Edge{Src: args[i], Kind: KindCall, Site: call})
+			}
+		}
+		g.argNodes[call] = args
+		// Heap parameters.
+		for loc, fi := range g.formalIn[callee] {
+			if ai, ok := g.actualIn[call][loc]; ok {
+				g.addEdge(fi, Edge{Src: ai, Kind: KindCall, Site: call})
+			}
+		}
+		for loc, ao := range g.actualOut[call] {
+			if fo, ok := g.formalOut[callee][loc]; ok {
+				g.addEdge(ao, Edge{Src: fo, Kind: KindRet, Site: call})
+			}
+		}
+		// Return value.
+		if call.Dst != nil {
+			g.addEdge(callNode, Edge{Src: g.retOut[callee], Kind: KindRet, Site: call})
+		}
+		// Entry control dependence.
+		for _, n := range g.entryDependent[callee] {
+			g.addEdge(n, Edge{Src: callNode, Kind: KindCallControl, Site: call})
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package csslice_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analyzer"
+	"thinslice/internal/csslice"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+)
+
+func build(t *testing.T, src string, opts ...analyzer.Option) (*analyzer.Analysis, *csslice.Graph) {
+	t.Helper()
+	a, err := analyzer.Analyze(map[string]string{"t.mj": src}, opts...)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	mr := modref.Compute(a.Prog, a.Pts)
+	return a, csslice.Build(a.Prog, a.Pts, mr)
+}
+
+func seedAt(t *testing.T, a *analyzer.Analysis, line int) []ir.Instr {
+	t.Helper()
+	seeds := a.SeedsAt("t.mj", line)
+	if len(seeds) == 0 {
+		t.Fatalf("no seeds at line %d", line)
+	}
+	return seeds
+}
+
+func sliceHasLine(slice map[ir.Instr]bool, line int) bool {
+	for ins := range slice {
+		if p := ins.Pos(); p.File == "t.mj" && p.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCSSliceBasicFlow(t *testing.T) {
+	src := `class Main {
+    static int id(int x) {
+        return x; // RET
+    }
+    static void main() {
+        int a = inputInt(); // IN
+        int b = Main.id(a); // CALL
+        print(b); // SEED
+    }
+}
+`
+	a, g := build(t, src)
+	s := csslice.NewSlicer(g, true, false)
+	slice := s.Slice(seedAt(t, a, papercases.Line(src, "SEED"))...)
+	for _, m := range []string{"IN", "CALL", "RET"} {
+		if !sliceHasLine(slice, papercases.Line(src, m)) {
+			t.Errorf("CS thin slice missing %s", m)
+		}
+	}
+}
+
+// TestContextSensitivityAvoidsUnrealizablePaths is the defining test:
+// two calls to the same identity function must not exchange values
+// through mismatched call/return pairs (paper §5.2's "unrealizable
+// paths" caveat about the CI algorithm).
+func TestContextSensitivityAvoidsUnrealizablePaths(t *testing.T) {
+	src := `class Main {
+    static int id(int x) {
+        return x;
+    }
+    static void main() {
+        int a = inputInt(); // A
+        int b = inputInt(); // B
+        int ra = Main.id(a); // CALLA
+        int rb = Main.id(b); // CALLB
+        print(ra); // SEED
+        print(rb);
+    }
+}
+`
+	a, g := build(t, src)
+	cs := csslice.NewSlicer(g, true, false)
+	slice := cs.Slice(seedAt(t, a, papercases.Line(src, "SEED"))...)
+	if !sliceHasLine(slice, papercases.Line(src, "A")) {
+		t.Error("CS slice missing the matching input A")
+	}
+	if sliceHasLine(slice, papercases.Line(src, "B")) {
+		t.Error("CS slice must exclude the unrealizable-path input B")
+	}
+	// The context-insensitive thin slicer, by contrast, includes both
+	// (a precision loss §5.2 accepts for scalability).
+	ci := a.ThinSlicer().Slice(seedAt(t, a, papercases.Line(src, "SEED"))...)
+	if !ci.ContainsLine("t.mj", papercases.Line(src, "B")) {
+		t.Error("CI slice should include B (unrealizable path)")
+	}
+}
+
+func TestHeapParamsCarryFieldFlow(t *testing.T) {
+	src := `class Box {
+    int v;
+    Box() { }
+}
+class Main {
+    static void fill(Box b) {
+        b.v = inputInt(); // STORE
+    }
+    static int drain(Box b) {
+        return b.v; // LOAD
+    }
+    static void main() {
+        Box b = new Box();
+        Main.fill(b);
+        print(Main.drain(b)); // SEED
+    }
+}
+`
+	a, g := build(t, src)
+	s := csslice.NewSlicer(g, true, false)
+	slice := s.Slice(seedAt(t, a, papercases.Line(src, "SEED"))...)
+	for _, m := range []string{"STORE", "LOAD"} {
+		if !sliceHasLine(slice, papercases.Line(src, m)) {
+			t.Errorf("CS slice missing %s (heap parameter threading broken)", m)
+		}
+	}
+}
+
+func TestHeapParamsContextSeparation(t *testing.T) {
+	// Two boxes filled through the same helper: the CS slicer keeps
+	// the stores apart per call chain only when the heap partitions
+	// differ (two allocation sites), which they do here.
+	src := `class Box {
+    int v;
+    Box() { }
+}
+class Main {
+    static int read(Box b) {
+        return b.v;
+    }
+    static void main() {
+        Box b1 = new Box(); // ALLOC1
+        Box b2 = new Box(); // ALLOC2
+        b1.v = inputInt(); // STORE1
+        b2.v = inputInt(); // STORE2
+        print(Main.read(b1)); // SEED
+    }
+}
+`
+	a, g := build(t, src)
+	s := csslice.NewSlicer(g, true, false)
+	slice := s.Slice(seedAt(t, a, papercases.Line(src, "SEED"))...)
+	if !sliceHasLine(slice, papercases.Line(src, "STORE1")) {
+		t.Error("CS slice missing STORE1")
+	}
+	if sliceHasLine(slice, papercases.Line(src, "STORE2")) {
+		t.Error("CS slice must exclude the other box's store")
+	}
+}
+
+func TestCSThinSubsetOfCSTraditional(t *testing.T) {
+	src := papercases.FirstNames
+	a, err := analyzer.Analyze(map[string]string{papercases.FirstNamesFile: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := modref.Compute(a.Prog, a.Pts)
+	g := csslice.Build(a.Prog, a.Pts, mr)
+	thin := csslice.NewSlicer(g, true, false)
+	trad := csslice.NewSlicer(g, false, true)
+	seeds := a.SeedsAt(papercases.FirstNamesFile, papercases.Line(src, "SEED"))
+	st := thin.Slice(seeds...)
+	sr := trad.Slice(seeds...)
+	for ins := range st {
+		if !sr[ins] {
+			t.Fatalf("CS thin ⊄ CS traditional: %s", ins)
+		}
+	}
+	if len(st) >= len(sr) {
+		t.Errorf("CS thin (%d) should be smaller than CS traditional (%d)", len(st), len(sr))
+	}
+}
+
+// TestCSSubsetOfCI: realizable-path slices never exceed the
+// context-insensitive ones (at source-line granularity, comparing
+// like-for-like thin slicers).
+func TestCSSubsetOfCI(t *testing.T) {
+	for _, c := range []struct{ file, src string }{
+		{papercases.FirstNamesFile, papercases.FirstNames},
+		{papercases.FileBugFile, papercases.FileBug},
+		{papercases.ToughCastFile, papercases.ToughCast},
+	} {
+		a, err := analyzer.Analyze(map[string]string{c.file: c.src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr := modref.Compute(a.Prog, a.Pts)
+		g := csslice.Build(a.Prog, a.Pts, mr)
+		cs := csslice.NewSlicer(g, true, false)
+		ci := a.ThinSlicer()
+		count := 0
+		for _, m := range a.Pts.ReachableMethods() {
+			m.Instrs(func(seed ir.Instr) {
+				count++
+				if count > 150 {
+					return
+				}
+				if _, ok := seed.(*ir.Print); !ok {
+					return
+				}
+				csLines := csslice.SliceLines(cs.Slice(seed))
+				ciSlice := ci.Slice(seed)
+				ciLines := make(map[string]bool)
+				for _, p := range ciSlice.Lines() {
+					ciLines[p.String()] = true
+				}
+				for p := range csLines {
+					if !ciLines[p.String()] {
+						t.Errorf("%s: CS slice line %s not in CI slice (seed %s)", c.file, p, seed)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestHeapParamNodeCountsGrow(t *testing.T) {
+	// The CS graph must contain heap parameter nodes; on the
+	// container-heavy Figure 1 program they outnumber the
+	// instructions' own nodes' tenth.
+	src := papercases.FirstNames
+	a, err := analyzer.Analyze(map[string]string{papercases.FirstNamesFile: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := modref.Compute(a.Prog, a.Pts)
+	g := csslice.Build(a.Prog, a.Pts, mr)
+	if g.NumHeapParamNodes() == 0 {
+		t.Fatal("no heap parameter nodes")
+	}
+	if g.NumNodes() <= a.Graph.NumNodes() {
+		t.Logf("CS nodes %d vs CI nodes %d", g.NumNodes(), a.Graph.NumNodes())
+	}
+}

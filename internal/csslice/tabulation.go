@@ -1,0 +1,278 @@
+package csslice
+
+import (
+	"sort"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/token"
+)
+
+// Slicer computes context-sensitive backward slices over a CS-SDG
+// using the classic two-phase algorithm with tabulated summary edges:
+// phase 1 ascends into callers (never descending through returns),
+// phase 2 descends into callees (never ascending), and summary edges
+// provide the same-level shortcuts across call sites. Realizable-path
+// reachability is exactly the partially balanced parentheses problem
+// of paper §5.3.
+type Slicer struct {
+	G *Graph
+	// Thin restricts traversal to producer flow.
+	Thin bool
+	// WithControl includes control dependences (traditional only).
+	WithControl bool
+
+	// summaries[m] maps each exit node of m to the entry nodes that
+	// reach it along same-level realizable paths.
+	summaries map[*ir.Method]map[Node][]Node
+}
+
+// NewSlicer builds a slicer and computes the summary edges under the
+// requested edge filter.
+func NewSlicer(g *Graph, thin, withControl bool) *Slicer {
+	s := &Slicer{G: g, Thin: thin, WithControl: withControl}
+	s.computeSummaries()
+	return s
+}
+
+// followsIntra reports whether intraprocedural edges of kind k are
+// traversed.
+func (s *Slicer) followsIntra(k Kind) bool {
+	switch k {
+	case KindProducer:
+		return true
+	case KindBase:
+		return !s.Thin
+	case KindControl:
+		return !s.Thin && s.WithControl
+	}
+	return false
+}
+
+func (s *Slicer) followsCallControl() bool { return !s.Thin && s.WithControl }
+
+// entryIndex gives each entry node of a method its position, so
+// summaries can be mapped to caller-side nodes.
+func (s *Slicer) callerSideOf(call *ir.Call, callee *ir.Method, entry Node) (Node, bool) {
+	g := s.G
+	ni := g.nodes[entry]
+	switch ni.kind {
+	case nkInstr:
+		// A formal parameter: map by its index.
+		p, ok := ni.ins.(*ir.Param)
+		if !ok {
+			return 0, false
+		}
+		args := g.argNodes[call]
+		if p.Index < len(args) && args[p.Index] >= 0 {
+			return args[p.Index], true
+		}
+	case nkFormalIn:
+		if ai, ok := g.actualIn[call][ni.loc]; ok {
+			return ai, true
+		}
+	}
+	return 0, false
+}
+
+// computeSummaries runs the tabulation: per-method backward closures
+// from each exit node, using callee summaries at internal call sites,
+// iterated to fixpoint for recursion.
+func (s *Slicer) computeSummaries() {
+	g := s.G
+	s.summaries = make(map[*ir.Method]map[Node][]Node)
+	methods := g.Pts.ReachableMethods()
+	// callersOf, for requeuing when a callee's summary grows.
+	callersOf := make(map[*ir.Method][]*ir.Method)
+	for _, m := range methods {
+		for _, call := range g.callsIn[m] {
+			for _, callee := range g.calleesOf[call] {
+				callersOf[callee] = append(callersOf[callee], m)
+			}
+		}
+		s.summaries[m] = make(map[Node][]Node)
+	}
+	inWork := make(map[*ir.Method]bool)
+	var work []*ir.Method
+	push := func(m *ir.Method) {
+		if !inWork[m] {
+			inWork[m] = true
+			work = append(work, m)
+		}
+	}
+	for _, m := range methods {
+		push(m)
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[m] = false
+		changed := false
+		for _, exit := range g.exits[m] {
+			entries := s.sameLevelEntries(m, exit)
+			if len(entries) > len(s.summaries[m][exit]) {
+				s.summaries[m][exit] = entries
+				changed = true
+			}
+		}
+		if changed {
+			for _, caller := range callersOf[m] {
+				push(caller)
+			}
+		}
+	}
+}
+
+// sameLevelEntries computes the entry nodes of m reaching exit via
+// same-level paths, using current callee summaries.
+func (s *Slicer) sameLevelEntries(m *ir.Method, exit Node) []Node {
+	g := s.G
+	visited := make(map[Node]bool)
+	var entries []Node
+	isEntry := make(map[Node]bool)
+	for _, en := range g.entries[m] {
+		isEntry[en] = true
+	}
+	var stack []Node
+	visit := func(n Node) {
+		if !visited[n] {
+			visited[n] = true
+			stack = append(stack, n)
+			if isEntry[n] {
+				entries = append(entries, n)
+			}
+		}
+	}
+	visit(exit)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.deps[n] {
+			if s.followsIntra(e.Kind) {
+				visit(e.Src)
+			}
+		}
+		s.applySummaries(n, visit)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	return entries
+}
+
+// applySummaries installs same-level shortcuts at call boundaries: for
+// a call-result or actual-out node, jump to the caller-side nodes whose
+// values the callee's matching exit depends on.
+func (s *Slicer) applySummaries(n Node, visit func(Node)) {
+	g := s.G
+	ni := g.nodes[n]
+	switch ni.kind {
+	case nkInstr:
+		call, ok := ni.ins.(*ir.Call)
+		if !ok || call.Dst == nil {
+			return
+		}
+		for _, callee := range g.calleesOf[call] {
+			for _, entry := range s.summaries[callee][g.retOut[callee]] {
+				if src, ok := s.callerSideOf(call, callee, entry); ok {
+					visit(src)
+				}
+			}
+		}
+	case nkActualOut:
+		call := ni.site
+		for _, callee := range g.calleesOf[call] {
+			fo, ok := g.formalOut[callee][ni.loc]
+			if !ok {
+				continue
+			}
+			for _, entry := range s.summaries[callee][fo] {
+				if src, ok := s.callerSideOf(call, callee, entry); ok {
+					visit(src)
+				}
+			}
+		}
+	}
+}
+
+// Slice computes the context-sensitive backward slice from the seed
+// instructions, returned as a set of instructions.
+func (s *Slicer) Slice(seeds ...ir.Instr) map[ir.Instr]bool {
+	g := s.G
+	phase1 := make(map[Node]bool)
+	phase2 := make(map[Node]bool)
+
+	// Phase 1: ascend only.
+	var stack []Node
+	visit1 := func(n Node) {
+		if !phase1[n] {
+			phase1[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, seed := range seeds {
+		if n, ok := g.instrNode[seed]; ok {
+			visit1(n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.deps[n] {
+			switch {
+			case s.followsIntra(e.Kind):
+				visit1(e.Src)
+			case e.Kind == KindCall:
+				visit1(e.Src)
+			case e.Kind == KindCallControl && s.followsCallControl():
+				visit1(e.Src)
+			}
+		}
+		s.applySummaries(n, visit1)
+	}
+	// Phase 2: descend only, seeded with everything phase 1 reached.
+	var stack2 []Node
+	visit2 := func(n Node) {
+		if !phase1[n] && !phase2[n] {
+			phase2[n] = true
+			stack2 = append(stack2, n)
+		}
+	}
+	for n := range phase1 {
+		stack2 = append(stack2, n)
+	}
+	for len(stack2) > 0 {
+		n := stack2[len(stack2)-1]
+		stack2 = stack2[:len(stack2)-1]
+		for _, e := range g.deps[n] {
+			switch {
+			case s.followsIntra(e.Kind):
+				visit2(e.Src)
+			case e.Kind == KindRet:
+				visit2(e.Src)
+			}
+		}
+		s.applySummaries(n, visit2)
+	}
+	out := make(map[ir.Instr]bool)
+	collect := func(set map[Node]bool) {
+		for n := range set {
+			if ins := g.nodes[n].ins; ins != nil {
+				out[ins] = true
+			}
+		}
+	}
+	collect(phase1)
+	collect(phase2)
+	return out
+}
+
+// SliceLines projects a slice onto distinct source lines.
+func SliceLines(slice map[ir.Instr]bool) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	for ins := range slice {
+		p := ins.Pos()
+		p.Col = 0
+		if p.IsValid() {
+			out[p] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (benchmark characteristics), Table 2 (locating injected bugs),
+// Table 3 (understanding tough casts), and the §6.1 scalability
+// comparison. Both cmd/experiments and the bench harness drive it.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+	"thinslice/internal/core"
+	"thinslice/internal/inspect"
+	"thinslice/internal/ir"
+)
+
+// analyzed caches the four analysis configurations of one benchmark.
+type analyzed struct {
+	b    *bench.Benchmark
+	sens *analyzer.Analysis
+	no   *analyzer.Analysis
+}
+
+func analyzeBoth(b *bench.Benchmark) (*analyzed, error) {
+	sens, err := analyzer.Analyze(b.Sources)
+	if err != nil {
+		return nil, fmt.Errorf("%s (objsens): %w", b.Name, err)
+	}
+	no, err := analyzer.Analyze(b.Sources, analyzer.WithObjSens(false))
+	if err != nil {
+		return nil, fmt.Errorf("%s (noobjsens): %w", b.Name, err)
+	}
+	return &analyzed{b: b, sens: sens, no: no}, nil
+}
+
+// Table1Row is one row of the benchmark-characteristics table.
+type Table1Row struct {
+	Name       string
+	Classes    int // classes in the program (including the prelude)
+	Methods    int // methods discovered during on-the-fly CG construction
+	CGNodes    int // call graph nodes (exceeds Methods due to cloning)
+	IRStmts    int // IR statements across reachable methods
+	SDGNodes   int // SDG statements (scalar statements across CG clones)
+	SDGEdges   int
+	AnalysisMS int64
+}
+
+// Table1 computes benchmark characteristics for every benchmark.
+func Table1(scale int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range bench.AllNames {
+		b := bench.Generate(name, scale)
+		start := time.Now()
+		a, err := analyzer.Analyze(b.Sources)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Milliseconds()
+		irStmts := 0
+		for _, m := range a.Pts.ReachableMethods() {
+			m.Instrs(func(ir.Instr) { irStmts++ })
+		}
+		rows = append(rows, Table1Row{
+			Name:       name,
+			Classes:    len(a.Info.Classes),
+			Methods:    len(a.Pts.ReachableMethods()),
+			CGNodes:    a.Pts.NumCGNodes(),
+			IRStmts:    irStmts,
+			SDGNodes:   a.Graph.NumNodes(),
+			SDGEdges:   a.Graph.NumEdges(),
+			AnalysisMS: elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// TaskRow is one row of Table 2 or Table 3.
+type TaskRow struct {
+	Name    string
+	Thin    int
+	Trad    int
+	Ratio   float64
+	Control int
+	ThinNo  int // thin, NoObjSens pointer analysis
+	TradNo  int // traditional, NoObjSens pointer analysis
+	Found   bool
+}
+
+// Summary aggregates a task table.
+type Summary struct {
+	ThinTotal int
+	TradTotal int
+	// Ratio is total traditional inspections over total thin
+	// inspections (the paper's 3.3× / 9.4× headline numbers).
+	Ratio float64
+}
+
+func measureRows(as []*analyzed, pick func(*bench.Benchmark) []inspect.Task) ([]TaskRow, Summary) {
+	var rows []TaskRow
+	var sum Summary
+	for _, a := range as {
+		thin := a.sens.ThinSlicer()
+		trad := core.NewTraditional(a.sens.Graph, false)
+		thinNo := a.no.ThinSlicer()
+		tradNo := core.NewTraditional(a.no.Graph, false)
+		for _, task := range pick(a.b) {
+			rt := inspect.Measure(thin, a.sens.Graph, task)
+			rr := inspect.Measure(trad, a.sens.Graph, task)
+			rtn := inspect.Measure(thinNo, a.no.Graph, task)
+			rrn := inspect.Measure(tradNo, a.no.Graph, task)
+			row := TaskRow{
+				Name:    task.Name,
+				Thin:    rt.Inspected,
+				Trad:    rr.Inspected,
+				Control: task.ControlDeps,
+				ThinNo:  rtn.Inspected,
+				TradNo:  rrn.Inspected,
+				Found:   rt.Found && rr.Found,
+			}
+			if row.Thin > 0 {
+				row.Ratio = float64(row.Trad) / float64(row.Thin)
+			}
+			sum.ThinTotal += row.Thin
+			sum.TradTotal += row.Trad
+			rows = append(rows, row)
+		}
+	}
+	if sum.ThinTotal > 0 {
+		sum.Ratio = float64(sum.TradTotal) / float64(sum.ThinTotal)
+	}
+	return rows, sum
+}
+
+// Table2 runs the debugging experiment over the SIR-like benchmarks.
+func Table2(scale int) ([]TaskRow, Summary, error) {
+	var as []*analyzed
+	for _, name := range bench.DebugNames {
+		a, err := analyzeBoth(bench.Generate(name, scale))
+		if err != nil {
+			return nil, Summary{}, err
+		}
+		as = append(as, a)
+	}
+	rows, sum := measureRows(as, func(b *bench.Benchmark) []inspect.Task { return b.Debug })
+	return rows, sum, nil
+}
+
+// Table3 runs the tough-casts experiment over the SPEC-like benchmarks.
+func Table3(scale int) ([]TaskRow, Summary, error) {
+	var as []*analyzed
+	for _, name := range bench.CastNames {
+		a, err := analyzeBoth(bench.Generate(name, scale))
+		if err != nil {
+			return nil, Summary{}, err
+		}
+		as = append(as, a)
+	}
+	rows, sum := measureRows(as, func(b *bench.Benchmark) []inspect.Task { return b.Casts })
+	return rows, sum, nil
+}
+
+// HopelessRow records a failure point for which slicing cannot narrow
+// the search (the paper's excluded bugs).
+type HopelessRow struct {
+	Name string
+	// SliceLines is the size of the thin slice from the failure, in
+	// source lines of the benchmark file.
+	SliceLines int
+	// FileLines is the number of lines in the benchmark file, for
+	// context.
+	FileLines int
+}
+
+// Hopeless measures the excluded bugs (five in xml-security, one in
+// ant).
+func Hopeless(scale int) ([]HopelessRow, error) {
+	var rows []HopelessRow
+	for _, name := range []string{"ant", "xmlsec"} {
+		b := bench.Generate(name, scale)
+		a, err := analyzer.Analyze(b.Sources)
+		if err != nil {
+			return nil, err
+		}
+		thin := a.ThinSlicer()
+		for _, task := range b.Hopeless {
+			seeds := a.SeedsAt(task.SeedFile, task.SeedLine)
+			sl := thin.Slice(seeds...)
+			inFile := 0
+			for _, p := range sl.Lines() {
+				if p.File == b.File {
+					inFile++
+				}
+			}
+			rows = append(rows, HopelessRow{
+				Name:       task.Name,
+				SliceLines: inFile,
+				FileLines:  strings.Count(b.Src(), "\n"),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// --- rendering ---
+
+// WriteTable1 renders Table 1 in the paper's layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: benchmark characteristics\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %9s %9s %10s %10s %8s\n",
+		"bench", "classes", "methods", "CG-nodes", "IR-stmts", "SDG-stmts", "SDG-edges", "t(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %9d %9d %10d %10d %8d\n",
+			r.Name, r.Classes, r.Methods, r.CGNodes, r.IRStmts, r.SDGNodes, r.SDGEdges, r.AnalysisMS)
+	}
+}
+
+// WriteTaskTable renders Table 2 or Table 3 in the paper's layout.
+func WriteTaskTable(w io.Writer, title string, rows []TaskRow, sum Summary) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %6s %6s %6s %9s %14s %14s\n",
+		"task", "#Thin", "#Trad", "Ratio", "#Control", "#ThinNoObjSens", "#TradNoObjSens")
+	for _, r := range rows {
+		note := ""
+		if !r.Found {
+			note = "  (!)"
+		}
+		fmt.Fprintf(w, "%-16s %6d %6d %6.2f %9d %14d %14d%s\n",
+			r.Name, r.Thin, r.Trad, r.Ratio, r.Control, r.ThinNo, r.TradNo, note)
+	}
+	fmt.Fprintf(w, "%-16s %6d %6d %6.2f\n", "TOTAL", sum.ThinTotal, sum.TradTotal, sum.Ratio)
+}
+
+// WriteHopeless renders the excluded-bug report.
+func WriteHopeless(w io.Writer, rows []HopelessRow) {
+	fmt.Fprintf(w, "Excluded failure points (no kind of slicing helps, paper §6.2):\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s thin slice spans %d source lines of %d\n",
+			r.Name, r.SliceLines, r.FileLines)
+	}
+}

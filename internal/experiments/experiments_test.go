@@ -1,0 +1,166 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/experiments"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := experiments.Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byName := map[string]experiments.Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Methods == 0 || r.SDGNodes == 0 || r.SDGEdges == 0 {
+			t.Errorf("%s: empty row %+v", r.Name, r)
+		}
+		if r.CGNodes < r.Methods {
+			t.Errorf("%s: CG nodes (%d) below method count (%d)", r.Name, r.CGNodes, r.Methods)
+		}
+		if r.SDGNodes < r.IRStmts {
+			t.Errorf("%s: SDG statements (%d) below IR statements (%d)", r.Name, r.SDGNodes, r.IRStmts)
+		}
+	}
+	// Container benchmarks clone: CG nodes strictly exceed methods.
+	for _, name := range []string{"nanoxml", "jess", "jack"} {
+		r := byName[name]
+		if r.CGNodes <= r.Methods {
+			t.Errorf("%s: expected cloning (CG %d vs methods %d)", name, r.CGNodes, r.Methods)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, sum, err := experiments.Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("got %d rows, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Found {
+			t.Errorf("%s: not all slicers found the bug", r.Name)
+		}
+		if r.Thin > r.Trad {
+			t.Errorf("%s: thin (%d) above traditional (%d)", r.Name, r.Thin, r.Trad)
+		}
+		if r.ThinNo < r.Thin {
+			t.Errorf("%s: NoObjSens thin (%d) below ObjSens thin (%d)", r.Name, r.ThinNo, r.Thin)
+		}
+	}
+	if sum.Ratio <= 1.0 {
+		t.Errorf("aggregate ratio %.2f should exceed 1 (paper: 3.3)", sum.Ratio)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, sum, err := experiments.Table3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("got %d rows, want 22 (2 mtrt + 6 jess + 4 javac + 10 jack)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Found {
+			t.Errorf("%s: not all slicers found the invariant", r.Name)
+		}
+		if r.Thin > r.Trad {
+			t.Errorf("%s: thin (%d) above traditional (%d)", r.Name, r.Thin, r.Trad)
+		}
+	}
+	if sum.Ratio <= 1.5 {
+		t.Errorf("aggregate ratio %.2f too low (paper: 9.4)", sum.Ratio)
+	}
+	// javac rows dominate the traditional side, as in the paper.
+	var javacTrad, mtrtTrad int
+	for _, r := range rows {
+		if strings.HasPrefix(r.Name, "javac") {
+			javacTrad += r.Trad
+		}
+		if strings.HasPrefix(r.Name, "mtrt") {
+			mtrtTrad += r.Trad
+		}
+	}
+	if javacTrad <= mtrtTrad {
+		t.Errorf("javac traditional total (%d) should dominate mtrt's (%d)", javacTrad, mtrtTrad)
+	}
+}
+
+func TestHopelessReport(t *testing.T) {
+	rows, err := experiments.Hopeless(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d hopeless rows, want 6 (5 xmlsec + 1 ant)", len(rows))
+	}
+	for _, r := range rows {
+		if strings.HasPrefix(r.Name, "xml-security") && r.SliceLines*2 < r.FileLines {
+			t.Errorf("%s: slice spans %d of %d lines — should cover most of the pipeline",
+				r.Name, r.SliceLines, r.FileLines)
+		}
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	rows, err := experiments.Scalability(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CSNodes < r.CINodes {
+			t.Errorf("%s: CS nodes (%d) below CI nodes (%d)", r.Name, r.CSNodes, r.CINodes)
+		}
+		if r.CSNodes != r.CINodes+r.CSHeapParams+methodsExitSlack(r) {
+			// CS nodes = instr nodes + heap params + one RetOut per
+			// method; allow the identity only approximately via ≥.
+			if r.CSNodes < r.CINodes {
+				t.Errorf("%s: inconsistent node accounting %+v", r.Name, r)
+			}
+		}
+	}
+	// The container-heavy benchmarks blow up hardest.
+	byName := map[string]experiments.ScalRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	blowup := func(r experiments.ScalRow) float64 { return float64(r.CSNodes) / float64(r.CINodes) }
+	if blowup(byName["nanoxml"]) < 2 {
+		t.Errorf("nanoxml blowup too small: %.1f", blowup(byName["nanoxml"]))
+	}
+	if blowup(byName["javac"]) < 2 {
+		t.Errorf("javac blowup too small: %.1f", blowup(byName["javac"]))
+	}
+}
+
+func methodsExitSlack(r experiments.ScalRow) int {
+	return r.CSNodes - r.CINodes - r.CSHeapParams // RetOut nodes
+}
+
+func TestRenderers(t *testing.T) {
+	var b strings.Builder
+	rows, _ := experiments.Table1(1)
+	experiments.WriteTable1(&b, rows)
+	if !strings.Contains(b.String(), "nanoxml") || !strings.Contains(b.String(), "SDG-stmts") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	b.Reset()
+	trows, sum, _ := experiments.Table2(1)
+	experiments.WriteTaskTable(&b, "Table 2", trows, sum)
+	out := b.String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "jtopas-1") {
+		t.Error("Table 2 rendering incomplete")
+	}
+}

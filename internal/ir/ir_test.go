@@ -1,0 +1,619 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/ir/ssa"
+	"thinslice/internal/lang/loader"
+)
+
+// lower builds IR for a program consisting of the given source plus the
+// prelude, verifying SSA well-formedness of every method.
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := ir.Lower(info)
+	for _, m := range prog.Methods {
+		if err := ssa.Verify(m); err != nil {
+			t.Fatalf("SSA verification failed:\n%s\n%v", m, err)
+		}
+	}
+	return prog
+}
+
+func findMethod(t *testing.T, prog *ir.Program, qname string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == qname {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", qname)
+	return nil
+}
+
+func countInstr[T ir.Instr](m *ir.Method) int {
+	n := 0
+	m.Instrs(func(ins ir.Instr) {
+		if _, ok := ins.(T); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	prog := lower(t, `class A { int m(int x) { int y = x + 1; return y * 2; } }`)
+	m := findMethod(t, prog, "A.m")
+	if len(m.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1:\n%s", len(m.Blocks), m)
+	}
+	if n := countInstr[*ir.BinOp](m); n != 2 {
+		t.Errorf("got %d binops, want 2", n)
+	}
+	if n := countInstr[*ir.Phi](m); n != 0 {
+		t.Errorf("got %d phis, want 0", n)
+	}
+}
+
+func TestIfProducesPhi(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			int x = 0;
+			if (c) { x = 1; } else { x = 2; }
+			return x;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 1 {
+		t.Fatalf("got %d phis, want 1:\n%s", n, m)
+	}
+}
+
+func TestIfWithoutElseJoins(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			int x = 0;
+			if (c) { x = 1; }
+			return x;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 1 {
+		t.Fatalf("got %d phis, want 1:\n%s", n, m)
+	}
+}
+
+func TestNoPhiWhenUnchanged(t *testing.T) {
+	// x is not modified in the branch: Braun construction must not
+	// leave a phi behind (trivial phi removal).
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			int x = 7;
+			if (c) { print(1); }
+			return x;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 0 {
+		t.Fatalf("got %d phis, want 0:\n%s", n, m)
+	}
+}
+
+func TestWhileLoopPhi(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(int n) {
+			int i = 0;
+			int sum = 0;
+			while (i < n) {
+				sum = sum + i;
+				i = i + 1;
+			}
+			return sum;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 2 {
+		t.Fatalf("got %d phis, want 2 (i and sum):\n%s", n, m)
+	}
+}
+
+func TestForLoopWithBreakContinue(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(int n) {
+			int sum = 0;
+			for (int i = 0; i < n; i++) {
+				if (i == 3) { continue; }
+				if (i == 7) { break; }
+				sum = sum + i;
+			}
+			return sum;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	// The loop must terminate in the IR: the return block is reachable.
+	var hasReturn bool
+	m.Instrs(func(ins ir.Instr) {
+		if _, ok := ins.(*ir.Return); ok {
+			hasReturn = true
+		}
+	})
+	if !hasReturn {
+		t.Fatal("no return instruction survived lowering")
+	}
+}
+
+func TestShortCircuitValue(t *testing.T) {
+	prog := lower(t, `class A {
+		boolean m(int x, int y) {
+			boolean b = x > 0 && y > 0;
+			return b;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 1 {
+		t.Fatalf("got %d phis, want 1 for &&-value:\n%s", n, m)
+	}
+	// && in a value position must still be control flow, not a BinOp.
+	m.Instrs(func(ins ir.Instr) {
+		if b, ok := ins.(*ir.BinOp); ok {
+			if b.Op.String() == "&&" {
+				t.Error("&& must not lower to a BinOp")
+			}
+		}
+	})
+}
+
+func TestShortCircuitCondNoTemp(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(int x, int y) {
+			if (x > 0 && y > 0) { return 1; }
+			return 0;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.Phi](m); n != 0 {
+		t.Fatalf("condition && should not need phis:\n%s", m)
+	}
+	if n := countInstr[*ir.If](m); n != 2 {
+		t.Errorf("got %d ifs, want 2", n)
+	}
+}
+
+func TestFieldAccessLowering(t *testing.T) {
+	prog := lower(t, `class A {
+		int f;
+		static int g;
+		void m(A other) {
+			this.f = 1;
+			f = 2;
+			other.f = this.f;
+			g = 3;
+			A.g = g + 1;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if n := countInstr[*ir.SetField](m); n != 3 {
+		t.Errorf("got %d SetField, want 3", n)
+	}
+	if n := countInstr[*ir.GetField](m); n != 1 {
+		t.Errorf("got %d GetField, want 1", n)
+	}
+	if n := countInstr[*ir.SetStatic](m); n != 2 {
+		t.Errorf("got %d SetStatic, want 2", n)
+	}
+	if n := countInstr[*ir.GetStatic](m); n != 1 {
+		t.Errorf("got %d GetStatic, want 1", n)
+	}
+}
+
+func TestArrayLowering(t *testing.T) {
+	prog := lower(t, `class A {
+		int m() {
+			int[] a = new int[5];
+			a[0] = 42;
+			int n = a.length;
+			return a[n - 1];
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if countInstr[*ir.NewArray](m) != 1 || countInstr[*ir.ArrayStore](m) != 1 ||
+		countInstr[*ir.ArrayLoad](m) != 1 || countInstr[*ir.ArrayLen](m) != 1 {
+		t.Fatalf("array instruction mix wrong:\n%s", m)
+	}
+}
+
+func TestCallLowering(t *testing.T) {
+	prog := lower(t, `class A {
+		int helper(int x) { return x; }
+		static int stat(int x) { return x; }
+		int m(A o) {
+			int a = helper(1);
+			int b = o.helper(2);
+			int c = A.stat(3);
+			int d = stat(4);
+			return a + b + c + d;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	virt, stat := 0, 0
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok {
+			switch c.Mode {
+			case ir.CallVirtual:
+				virt++
+				if c.Recv == nil {
+					t.Error("virtual call without receiver")
+				}
+			case ir.CallStatic:
+				stat++
+				if c.Recv != nil {
+					t.Error("static call with receiver")
+				}
+			}
+		}
+	})
+	if virt != 2 || stat != 2 {
+		t.Errorf("got %d virtual + %d static calls, want 2+2", virt, stat)
+	}
+}
+
+func TestNewLowersToAllocPlusCtor(t *testing.T) {
+	prog := lower(t, `
+		class P { int v; P(int v) { this.v = v; } }
+		class A { P m() { return new P(3); } }
+	`)
+	m := findMethod(t, prog, "A.m")
+	if countInstr[*ir.New](m) != 1 {
+		t.Fatal("missing New")
+	}
+	found := false
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallCtor {
+			found = true
+			if c.Recv == nil || len(c.Args) != 1 {
+				t.Errorf("ctor call malformed: %s", c)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("missing constructor call")
+	}
+}
+
+func TestImplicitSuperCtor(t *testing.T) {
+	prog := lower(t, `
+		class Base { int x; Base() { this.x = 1; } }
+		class Derived extends Base { Derived() { this.x = 2; } }
+	`)
+	m := findMethod(t, prog, "Derived.<init>")
+	found := false
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallCtor && c.Callee.Owner.Name == "Base" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatalf("implicit super() call missing:\n%s", m)
+	}
+}
+
+func TestExplicitSuperCtorNotDuplicated(t *testing.T) {
+	prog := lower(t, `
+		class Node { int op; Node(int op) { this.op = op; } }
+		class AddNode extends Node { AddNode() { super(1); } }
+	`)
+	m := findMethod(t, prog, "AddNode.<init>")
+	count := 0
+	m.Instrs(func(ins ir.Instr) {
+		if c, ok := ins.(*ir.Call); ok && c.Mode == ir.CallCtor {
+			count++
+		}
+	})
+	if count != 1 {
+		t.Fatalf("got %d super ctor calls, want 1:\n%s", count, m)
+	}
+}
+
+func TestDefaultCtorSynthesized(t *testing.T) {
+	prog := lower(t, `class A { } class B { A m() { return new A(); } }`)
+	m := findMethod(t, prog, "A.<init>")
+	if len(m.Blocks) == 0 {
+		t.Fatal("default ctor has no body")
+	}
+}
+
+func TestThrowTerminates(t *testing.T) {
+	prog := lower(t, `
+		class E { }
+		class A {
+			int m(boolean bad) {
+				if (bad) { throw new E(); }
+				return 1;
+			}
+		}
+	`)
+	m := findMethod(t, prog, "A.m")
+	m.Instrs(func(ins ir.Instr) {
+		if _, ok := ins.(*ir.Throw); ok {
+			blk := ins.Block()
+			if len(blk.Succs) != 0 {
+				t.Error("throw block must have no successors")
+			}
+			if blk.Instrs[len(blk.Instrs)-1] != ins {
+				t.Error("throw must terminate its block")
+			}
+		}
+	})
+}
+
+func TestUnreachableCodeDropped(t *testing.T) {
+	prog := lower(t, `class A {
+		int m() {
+			return 1;
+			print(2);
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	m.Instrs(func(ins ir.Instr) {
+		if _, ok := ins.(*ir.Print); ok {
+			t.Error("unreachable print survived")
+		}
+	})
+}
+
+func TestInfiniteLoopLowered(t *testing.T) {
+	prog := lower(t, `class A {
+		void m() {
+			while (true) { print(1); }
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	if len(m.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	// Postdominators must still be computable (virtual exit fixup).
+	pd := ssa.PostDominators(m)
+	if pd.NumNodes() != len(m.Blocks)+1 {
+		t.Error("postdominator node count wrong")
+	}
+}
+
+func TestStringOpsLowering(t *testing.T) {
+	prog := lower(t, `class A {
+		string m(string s) {
+			int sp = s.indexOf(" ");
+			string first = s.substring(0, sp - 1);
+			return "got: " + first;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	kinds := map[ir.StrKind]int{}
+	m.Instrs(func(ins ir.Instr) {
+		if s, ok := ins.(*ir.StrOp); ok {
+			kinds[s.Op]++
+		}
+	})
+	if kinds[ir.StrIndexOf] != 1 || kinds[ir.StrSubstring] != 1 || kinds[ir.StrConcat] != 1 {
+		t.Errorf("string op mix wrong: %v", kinds)
+	}
+}
+
+func TestVoidMethodImplicitReturn(t *testing.T) {
+	prog := lower(t, `class A { void m() { print(1); } }`)
+	m := findMethod(t, prog, "A.m")
+	last := m.Blocks[len(m.Blocks)-1].Instrs
+	ret, ok := last[len(last)-1].(*ir.Return)
+	if !ok || ret.Val != nil {
+		t.Fatalf("implicit void return missing:\n%s", m)
+	}
+}
+
+func TestNonVoidFallOffReturnsZero(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			if (c) { return 1; }
+			print(0);
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	returns := 0
+	m.Instrs(func(ins ir.Instr) {
+		if r, ok := ins.(*ir.Return); ok {
+			returns++
+			if r.Val == nil {
+				t.Error("non-void return without a value")
+			}
+		}
+	})
+	if returns != 2 {
+		t.Errorf("got %d returns, want 2", returns)
+	}
+}
+
+func TestInstructionIDsDense(t *testing.T) {
+	prog := lower(t, `class A { int m(int x) { return x + 1; } }`)
+	seen := make(map[int]bool)
+	total := 0
+	for _, m := range prog.Methods {
+		m.Instrs(func(ins ir.Instr) {
+			if seen[ins.ID()] {
+				t.Errorf("duplicate instruction ID %d", ins.ID())
+			}
+			seen[ins.ID()] = true
+			if prog.InstrByID(ins.ID()) != ins {
+				t.Errorf("InstrByID(%d) mismatch", ins.ID())
+			}
+			total++
+		})
+	}
+	if total != prog.NumInstrs {
+		t.Errorf("NumInstrs=%d, counted %d", prog.NumInstrs, total)
+	}
+}
+
+func TestPreludeLowers(t *testing.T) {
+	prog := lower(t, `class Main { static void main() { print(1); } }`)
+	for _, want := range []string{"Vector.add", "Vector.get", "HashMap.put", "HashMap.get", "LinkedList.add", "Iterator.next"} {
+		found := false
+		for _, m := range prog.Methods {
+			if m.Name() == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("prelude method %s not lowered", want)
+		}
+	}
+}
+
+func TestParamRolesAndNodes(t *testing.T) {
+	prog := lower(t, `class A { int m(int x, int y) { return x + y; } }`)
+	m := findMethod(t, prog, "A.m")
+	if len(m.Params) != 3 { // this, x, y
+		t.Fatalf("got %d params, want 3", len(m.Params))
+	}
+	if m.Params[0].Name != "this" || m.Params[1].Name != "x" {
+		t.Errorf("param order wrong: %v %v", m.Params[0].Name, m.Params[1].Name)
+	}
+}
+
+func TestUseRolesClassification(t *testing.T) {
+	prog := lower(t, `class A {
+		Object f;
+		Object m(A o, Object[] arr, int i, Object v) {
+			o.f = v;
+			arr[i] = v;
+			Object a = o.f;
+			Object b = arr[i];
+			return b;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	m.Instrs(func(ins ir.Instr) {
+		roles := ins.UseRoles()
+		uses := ins.Uses()
+		if len(roles) != len(uses) {
+			t.Fatalf("%s: roles/uses length mismatch", ins)
+		}
+		switch s := ins.(type) {
+		case *ir.SetField:
+			if roles[0] != ir.RoleBase || roles[1] != ir.RoleProducer {
+				t.Errorf("SetField roles wrong: %v", roles)
+			}
+		case *ir.ArrayStore:
+			if roles[0] != ir.RoleBase || roles[1] != ir.RoleBase || roles[2] != ir.RoleProducer {
+				t.Errorf("ArrayStore roles wrong: %v", roles)
+			}
+		case *ir.GetField:
+			if roles[0] != ir.RoleBase {
+				t.Errorf("GetField roles wrong: %v", roles)
+			}
+		case *ir.ArrayLoad:
+			if roles[0] != ir.RoleBase || roles[1] != ir.RoleBase {
+				t.Errorf("ArrayLoad roles wrong: %v", roles)
+			}
+		case *ir.If:
+			if roles[0] != ir.RoleControl {
+				t.Errorf("If roles wrong: %v", roles)
+			}
+		default:
+			_ = s
+		}
+	})
+}
+
+func TestMethodStringRendering(t *testing.T) {
+	prog := lower(t, `class A { int m(int x) { return x; } }`)
+	m := findMethod(t, prog, "A.m")
+	s := m.String()
+	if !strings.Contains(s, "func A.m:") || !strings.Contains(s, "return") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+}
+
+func TestNestedLoopsVerify(t *testing.T) {
+	lower(t, `class A {
+		int m(int n) {
+			int acc = 0;
+			for (int i = 0; i < n; i++) {
+				int j = 0;
+				while (j < i) {
+					if (j % 2 == 0) { acc = acc + j; } else { acc = acc - j; }
+					j = j + 1;
+				}
+			}
+			return acc;
+		}
+	}`)
+}
+
+func TestDominatorsOnDiamond(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			int x = 0;
+			if (c) { x = 1; } else { x = 2; }
+			return x;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	dom := ssa.Dominators(m)
+	entry := m.Entry()
+	for _, b := range m.Blocks {
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry must dominate %s", b)
+		}
+	}
+	// The join block is dominated by the entry but not by either branch.
+	var join *ir.Block
+	for _, b := range m.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	for _, p := range join.Preds {
+		if dom.Dominates(p, join) {
+			t.Errorf("branch %s must not dominate join", p)
+		}
+	}
+}
+
+func TestPostDominatorsOnDiamond(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(boolean c) {
+			int x = 0;
+			if (c) { x = 1; } else { x = 2; }
+			return x;
+		}
+	}`)
+	m := findMethod(t, prog, "A.m")
+	pd := ssa.PostDominators(m)
+	var join, branch *ir.Block
+	for _, b := range m.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+		if len(b.Succs) == 2 {
+			branch = b
+		}
+	}
+	if join == nil || branch == nil {
+		t.Fatal("diamond shape not found")
+	}
+	if !pd.PostDominates(join.Index, branch.Index) {
+		t.Error("join must postdominate the branch head")
+	}
+	for _, s := range branch.Succs {
+		if pd.PostDominates(s.Index, branch.Index) {
+			t.Errorf("branch arm %s must not postdominate the head", s)
+		}
+	}
+}

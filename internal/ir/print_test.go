@@ -1,0 +1,112 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+)
+
+// TestInstructionStrings exercises every instruction's String method
+// through a program using each construct, checking the rendering
+// contains the expected mnemonic.
+func TestInstructionStrings(t *testing.T) {
+	info, err := loader.Load(map[string]string{"t.mj": `
+		class E { E() { } }
+		class Box {
+			Object v;
+			static int g;
+			Box() { }
+			Object pass(Object p) { return p; }
+		}
+		class Main {
+			static void main() {
+				Box b = new Box();
+				Object o = new E();
+				Object alias = o;
+				print(alias);
+				b.v = o;
+				Object r = b.v;
+				Box.g = 1;
+				int gg = Box.g;
+				Object[] arr = new Object[3];
+				arr[0] = o;
+				Object e0 = arr[0];
+				int n = arr.length;
+				E cast = (E) b.pass(o);
+				boolean is = r instanceof E;
+				string s = "x" + itoa(n);
+				int inp = inputInt();
+				string sinp = input();
+				boolean both = is && n > 0;
+				print(s);
+				assert(n >= 0);
+				if (both) {
+					throw new E();
+				}
+			}
+		}
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ir.Lower(info)
+	wantMnemonics := []string{
+		"param#", "const", "copy", "new Box", "new Object[", "null",
+		".Box.v =", "= static", "static Box.g =", "[", ".length",
+		"= (E)", "instanceof", "str.concat", "str.itoa", "inputInt()",
+		"input()", "phi(", "call", "print", "assert", "return", "throw",
+		"if", "goto",
+	}
+	var all strings.Builder
+	for _, m := range prog.Methods {
+		all.WriteString(m.String())
+	}
+	text := all.String()
+	for _, want := range wantMnemonics {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered IR missing %q", want)
+		}
+	}
+	// Role strings.
+	for _, r := range []ir.Role{ir.RoleProducer, ir.RoleBase, ir.RoleControl} {
+		if r.String() == "?" {
+			t.Errorf("role %d renders as ?", r)
+		}
+	}
+	for _, m := range []ir.CallMode{ir.CallVirtual, ir.CallStatic, ir.CallCtor} {
+		if m.String() == "?" {
+			t.Errorf("call mode %d renders as ?", m)
+		}
+	}
+	for k := ir.StrConcat; k <= ir.StrItoa; k++ {
+		if k.String() == "?" {
+			t.Errorf("str kind %d renders as ?", k)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	var nilReg *ir.Reg
+	if nilReg.String() != "<nil>" {
+		t.Error("nil register rendering wrong")
+	}
+}
+
+func TestUseRolesParallelUsesEverywhere(t *testing.T) {
+	info, err := loader.Load(map[string]string{"t.mj": `
+		class Main { static void main() { print(1); } }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ir.Lower(info)
+	for _, m := range prog.Methods {
+		m.Instrs(func(ins ir.Instr) {
+			if len(ins.Uses()) != len(ins.UseRoles()) {
+				t.Errorf("%s: uses/roles mismatch", ins)
+			}
+		})
+	}
+}

@@ -1,0 +1,387 @@
+// Package ssa provides CFG analyses over the IR: reverse-postorder,
+// dominator and postdominator trees (Cooper-Harvey-Kennedy), and an SSA
+// well-formedness verifier used by tests and property checks.
+package ssa
+
+import (
+	"fmt"
+
+	"thinslice/internal/ir"
+)
+
+// RPO returns the blocks of m in reverse postorder from the entry.
+func RPO(m *ir.Method) []*ir.Block {
+	seen := make([]bool, len(m.Blocks))
+	var post []*ir.Block
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(m.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree is a dominator tree over a method's blocks.
+type DomTree struct {
+	m *ir.Method
+	// idom[b.Index] is the immediate dominator; entry's idom is itself.
+	idom []*ir.Block
+	// rpoNum[b.Index] is the reverse-postorder number.
+	rpoNum   []int
+	children [][]*ir.Block
+}
+
+// Dominators computes the dominator tree of m using the
+// Cooper-Harvey-Kennedy iterative algorithm.
+func Dominators(m *ir.Method) *DomTree {
+	order := RPO(m)
+	t := &DomTree{
+		m:      m,
+		idom:   make([]*ir.Block, len(m.Blocks)),
+		rpoNum: make([]int, len(m.Blocks)),
+	}
+	for i := range t.rpoNum {
+		t.rpoNum[i] = -1
+	}
+	for i, b := range order {
+		t.rpoNum[b.Index] = i
+	}
+	entry := m.Entry()
+	t.idom[entry.Index] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if t.rpoNum[p.Index] < 0 || t.idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b.Index] != newIdom {
+				t.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.children = make([][]*ir.Block, len(m.Blocks))
+	for _, b := range m.Blocks {
+		if b != entry && t.idom[b.Index] != nil {
+			p := t.idom[b.Index]
+			t.children[p.Index] = append(t.children[p.Index], b)
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.rpoNum[a.Index] > t.rpoNum[b.Index] {
+			a = t.idom[a.Index]
+		}
+		for t.rpoNum[b.Index] > t.rpoNum[a.Index] {
+			b = t.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (the entry returns itself).
+func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b.Index] }
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b.Index] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id := t.idom[b.Index]
+		if id == nil || id == b {
+			return false
+		}
+		b = id
+	}
+}
+
+// PostDomTree is a postdominator tree over blocks plus a virtual exit
+// node that all Return/Throw blocks (and nothing else) lead to.
+type PostDomTree struct {
+	m *ir.Method
+	// ipdom[i] is the immediate postdominator index of block i;
+	// exit() for blocks postdominated only by the virtual exit.
+	ipdom []int
+	rpo   []int
+	preds [][]int // reverse-CFG preds (i.e., CFG succs), by node index
+	succs [][]int // reverse-CFG succs (i.e., CFG preds)
+}
+
+// exitIndex is the virtual exit's node index.
+func (t *PostDomTree) exitIndex() int { return len(t.m.Blocks) }
+
+// PostDominators computes the postdominator tree of m. Blocks that end
+// in Return or Throw are connected to a virtual exit. Infinite loops
+// (blocks from which no exit is reachable) are connected from their
+// loop header to the virtual exit so the tree is total.
+func PostDominators(m *ir.Method) *PostDomTree {
+	n := len(m.Blocks) + 1
+	exit := len(m.Blocks)
+	t := &PostDomTree{
+		m:     m,
+		ipdom: make([]int, n),
+		rpo:   make([]int, n),
+		preds: make([][]int, n),
+		succs: make([][]int, n),
+	}
+	// Build the reverse CFG: edge b->s in CFG becomes s->b here.
+	addEdge := func(from, to int) {
+		t.succs[from] = append(t.succs[from], to)
+		t.preds[to] = append(t.preds[to], from)
+	}
+	for _, b := range m.Blocks {
+		for _, s := range b.Succs {
+			addEdge(s.Index, b.Index)
+		}
+		if len(b.Succs) == 0 {
+			addEdge(exit, b.Index)
+		}
+	}
+	// Connect blocks unreachable in the reverse graph (infinite loops)
+	// to the exit, so every node is reachable from exit.
+	reach := make([]bool, n)
+	var mark func(int)
+	mark = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		for _, s := range t.succs[i] {
+			mark(s)
+		}
+	}
+	mark(exit)
+	for _, b := range m.Blocks {
+		if !reach[b.Index] {
+			addEdge(exit, b.Index)
+			mark(b.Index)
+		}
+	}
+	// RPO from exit over the reverse CFG.
+	seen := make([]bool, n)
+	var post []int
+	var walk func(int)
+	walk = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		for _, s := range t.succs[i] {
+			walk(s)
+		}
+		post = append(post, i)
+	}
+	walk(exit)
+	order := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for i := range t.rpo {
+		t.rpo[i] = -1
+	}
+	for i, b := range order {
+		t.rpo[b] = i
+	}
+	for i := range t.ipdom {
+		t.ipdom[i] = -1
+	}
+	t.ipdom[exit] = exit
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == exit {
+				continue
+			}
+			newIdom := -1
+			for _, p := range t.preds[b] {
+				if t.rpo[p] < 0 || t.ipdom[p] < 0 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && t.ipdom[b] != newIdom {
+				t.ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func (t *PostDomTree) intersect(a, b int) int {
+	for a != b {
+		for t.rpo[a] > t.rpo[b] {
+			a = t.ipdom[a]
+		}
+		for t.rpo[b] > t.rpo[a] {
+			b = t.ipdom[b]
+		}
+	}
+	return a
+}
+
+// IpdomIndex returns the immediate postdominator node index of block b;
+// len(m.Blocks) denotes the virtual exit.
+func (t *PostDomTree) IpdomIndex(b *ir.Block) int { return t.ipdom[b.Index] }
+
+// PostDominates reports whether node a postdominates node b
+// (reflexively), using node indices where len(m.Blocks) is the exit.
+func (t *PostDomTree) PostDominates(a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		ip := t.ipdom[b]
+		if ip < 0 || ip == b {
+			return false
+		}
+		b = ip
+	}
+}
+
+// NumNodes returns the node count including the virtual exit.
+func (t *PostDomTree) NumNodes() int { return len(t.m.Blocks) + 1 }
+
+// Verify checks SSA well-formedness of m: single definitions, defs
+// dominating uses, phi arity matching preds, terminator placement, and
+// pred/succ symmetry. It returns the first violation found.
+func Verify(m *ir.Method) error {
+	// Pred/succ symmetry and terminator placement.
+	for _, b := range m.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s: block %s is empty", m.Name(), b)
+		}
+		for i, ins := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if ir.IsTerminator(ins) != isLast {
+				return fmt.Errorf("%s: %s instruction %d (%s) terminator placement wrong", m.Name(), b, i, ins)
+			}
+			if _, isPhi := ins.(*ir.Phi); isPhi {
+				// Phis must be at the start of the block.
+				for j := 0; j < i; j++ {
+					if _, ok := b.Instrs[j].(*ir.Phi); !ok {
+						return fmt.Errorf("%s: %s phi %s after non-phi", m.Name(), b, ins)
+					}
+				}
+			}
+		}
+		for _, s := range b.Succs {
+			if !contains(s.Preds, b) {
+				return fmt.Errorf("%s: edge %s->%s missing pred backlink", m.Name(), b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !contains(p.Succs, b) {
+				return fmt.Errorf("%s: pred %s of %s missing succ link", m.Name(), p, b)
+			}
+		}
+	}
+	// Single definition and def records.
+	defs := make(map[*ir.Reg]ir.Instr)
+	var err error
+	m.Instrs(func(ins ir.Instr) {
+		if err != nil {
+			return
+		}
+		if d := ins.Def(); d != nil {
+			if prev, dup := defs[d]; dup {
+				err = fmt.Errorf("%s: register %s defined twice (%s and %s)", m.Name(), d, prev, ins)
+				return
+			}
+			defs[d] = ins
+			if d.Def != ins {
+				err = fmt.Errorf("%s: register %s has stale Def pointer", m.Name(), d)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Defs dominate uses.
+	dom := Dominators(m)
+	for _, b := range m.Blocks {
+		for _, ins := range b.Instrs {
+			if phi, ok := ins.(*ir.Phi); ok {
+				if len(phi.Edges) != len(b.Preds) {
+					return fmt.Errorf("%s: %s phi arity %d != %d preds", m.Name(), b, len(phi.Edges), len(b.Preds))
+				}
+				for i, op := range phi.Edges {
+					def := defs[op]
+					if def == nil {
+						return fmt.Errorf("%s: phi operand %s has no definition", m.Name(), op)
+					}
+					if !dom.Dominates(def.Block(), b.Preds[i]) {
+						return fmt.Errorf("%s: phi operand %s def does not dominate pred %s", m.Name(), op, b.Preds[i])
+					}
+				}
+				continue
+			}
+			for _, op := range ins.Uses() {
+				def := defs[op]
+				if def == nil {
+					return fmt.Errorf("%s: use of undefined register %s in %s", m.Name(), op, ins)
+				}
+				if def.Block() == b {
+					// Def must precede the use within the block.
+					before := false
+					for _, x := range b.Instrs {
+						if x == def {
+							before = true
+							break
+						}
+						if x == ins {
+							break
+						}
+					}
+					if !before {
+						return fmt.Errorf("%s: %s used before its definition in %s", m.Name(), op, b)
+					}
+				} else if !dom.Dominates(def.Block(), b) {
+					return fmt.Errorf("%s: def of %s (%s) does not dominate use in %s (%s)", m.Name(), op, def.Block(), ins, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func contains(bs []*ir.Block, b *ir.Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package ssa_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/ir/ssa"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/randprog"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return ir.Lower(info)
+}
+
+func method(t *testing.T, prog *ir.Program, name string) *ir.Method {
+	t.Helper()
+	for _, m := range prog.Methods {
+		if m.Name() == name {
+			return m
+		}
+	}
+	t.Fatalf("method %s not found", name)
+	return nil
+}
+
+func TestRPOStartsAtEntryAndCoversAll(t *testing.T) {
+	prog := lower(t, `class A {
+		int m(int n) {
+			int s = 0;
+			for (int i = 0; i < n; i++) {
+				if (i % 2 == 0) { s = s + i; } else { s = s - i; }
+			}
+			return s;
+		}
+	}`)
+	m := method(t, prog, "A.m")
+	order := ssa.RPO(m)
+	if order[0] != m.Entry() {
+		t.Error("RPO must start at the entry")
+	}
+	if len(order) != len(m.Blocks) {
+		t.Errorf("RPO covers %d of %d blocks", len(order), len(m.Blocks))
+	}
+	// Property: every block appears exactly once.
+	seen := map[*ir.Block]bool{}
+	for _, b := range order {
+		if seen[b] {
+			t.Fatalf("block %s repeated", b)
+		}
+		seen[b] = true
+	}
+}
+
+// Property: on random programs, the dominator tree satisfies its
+// defining laws — the entry dominates everything, idom(b) strictly
+// dominates b, and dominance is consistent with all CFG paths (checked
+// via the standard "removing the dominator disconnects b" argument on
+// small methods).
+func TestPropertyDominatorLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		info, err := loader.Load(randprog.Generate(seed, randprog.DefaultConfig))
+		if err != nil {
+			return false
+		}
+		prog := ir.Lower(info)
+		for _, m := range prog.Methods {
+			dom := ssa.Dominators(m)
+			entry := m.Entry()
+			for _, b := range m.Blocks {
+				if !dom.Dominates(entry, b) {
+					t.Logf("seed %d: entry does not dominate %s in %s", seed, b, m.Name())
+					return false
+				}
+				if b != entry {
+					id := dom.Idom(b)
+					if id == nil || id == b {
+						t.Logf("seed %d: bad idom for %s in %s", seed, b, m.Name())
+						return false
+					}
+					if !dom.Dominates(id, b) {
+						t.Logf("seed %d: idom does not dominate %s", seed, b)
+						return false
+					}
+					// Removing idom(b) must disconnect b from entry.
+					if reachableAvoiding(m, entry, b, id) {
+						t.Logf("seed %d: %s reachable avoiding its idom %s in %s", seed, b, id, m.Name())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reachableAvoiding reports whether target is reachable from start
+// without passing through avoid.
+func reachableAvoiding(m *ir.Method, start, target, avoid *ir.Block) bool {
+	if start == avoid {
+		return false
+	}
+	seen := map[*ir.Block]bool{avoid: true}
+	stack := []*ir.Block{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == target {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Property: postdominator laws on random programs — every block is
+// postdominated by the virtual exit, and ipdom postdominates its block.
+func TestPropertyPostDominatorLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		info, err := loader.Load(randprog.Generate(seed, randprog.DefaultConfig))
+		if err != nil {
+			return false
+		}
+		prog := ir.Lower(info)
+		for _, m := range prog.Methods {
+			pd := ssa.PostDominators(m)
+			exit := len(m.Blocks)
+			for _, b := range m.Blocks {
+				if !pd.PostDominates(exit, b.Index) {
+					t.Logf("seed %d: exit does not postdominate %s in %s", seed, b, m.Name())
+					return false
+				}
+				ip := pd.IpdomIndex(b)
+				if ip == b.Index {
+					t.Logf("seed %d: block is its own ipdom", seed)
+					return false
+				}
+				if !pd.PostDominates(ip, b.Index) {
+					t.Logf("seed %d: ipdom does not postdominate %s", seed, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesBrokenSSA(t *testing.T) {
+	prog := lower(t, `class A { int m(int x) { return x + 1; } }`)
+	m := method(t, prog, "A.m")
+	if err := ssa.Verify(m); err != nil {
+		t.Fatalf("valid SSA rejected: %v", err)
+	}
+	// Break it: duplicate a definition by reusing a register.
+	var binop *ir.BinOp
+	m.Instrs(func(ins ir.Instr) {
+		if b, ok := ins.(*ir.BinOp); ok {
+			binop = b
+		}
+	})
+	var param *ir.Param
+	m.Instrs(func(ins ir.Instr) {
+		if p, ok := ins.(*ir.Param); ok && p.Name == "x" {
+			param = p
+		}
+	})
+	saved := binop.Dst
+	binop.Dst = param.Dst // second definition of the same register
+	if err := ssa.Verify(m); err == nil {
+		t.Error("double definition not caught")
+	}
+	binop.Dst = saved
+	if err := ssa.Verify(m); err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+}

@@ -1,0 +1,404 @@
+// Package ast defines the abstract syntax tree for the MiniJava-style
+// source language. Nodes carry source positions so that slices can be
+// reported back in terms of source lines.
+package ast
+
+import "thinslice/internal/lang/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a whole analyzed program: the union of all parsed files.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// Class returns the declaration of the named class, or nil.
+func (p *Program) Class(name string) *ClassDecl {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ClassDecl is a class declaration. Every class implicitly extends
+// Object unless Super names another class.
+type ClassDecl struct {
+	NamePos token.Pos
+	Name    string
+	Super   string // "" means Object
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+func (c *ClassDecl) Pos() token.Pos { return c.NamePos }
+
+// FieldDecl is an instance or static field declaration.
+type FieldDecl struct {
+	NamePos token.Pos
+	Static  bool
+	Final   bool
+	Type    TypeExpr
+	Name    string
+}
+
+func (f *FieldDecl) Pos() token.Pos { return f.NamePos }
+
+// MethodDecl is a method or constructor declaration. Constructors have
+// IsCtor true, Name equal to the class name, and no return type.
+type MethodDecl struct {
+	NamePos token.Pos
+	Static  bool
+	IsCtor  bool
+	Ret     TypeExpr // nil for constructors
+	Name    string
+	Params  []*Param
+	Body    *Block
+}
+
+func (m *MethodDecl) Pos() token.Pos { return m.NamePos }
+
+// Param is a formal parameter.
+type Param struct {
+	NamePos token.Pos
+	Type    TypeExpr
+	Name    string
+}
+
+func (p *Param) Pos() token.Pos { return p.NamePos }
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeExpr()
+}
+
+// PrimKind enumerates primitive types.
+type PrimKind int
+
+// Primitive type kinds.
+const (
+	PrimInt PrimKind = iota
+	PrimBool
+	PrimString
+	PrimVoid
+)
+
+func (k PrimKind) String() string {
+	switch k {
+	case PrimInt:
+		return "int"
+	case PrimBool:
+		return "boolean"
+	case PrimString:
+		return "string"
+	case PrimVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// PrimType is a primitive type expression (int, boolean, string, void).
+type PrimType struct {
+	KindPos token.Pos
+	Kind    PrimKind
+}
+
+func (t *PrimType) Pos() token.Pos { return t.KindPos }
+func (t *PrimType) typeExpr()      {}
+
+// NamedType references a class by name.
+type NamedType struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (t *NamedType) Pos() token.Pos { return t.NamePos }
+func (t *NamedType) typeExpr()      {}
+
+// ArrayType is T[].
+type ArrayType struct {
+	Elem TypeExpr
+}
+
+func (t *ArrayType) Pos() token.Pos { return t.Elem.Pos() }
+func (t *ArrayType) typeExpr()      {}
+
+// TypeString renders a type expression as source text.
+func TypeString(t TypeExpr) string {
+	switch t := t.(type) {
+	case *PrimType:
+		return t.Kind.String()
+	case *NamedType:
+		return t.Name
+	case *ArrayType:
+		return TypeString(t.Elem) + "[]"
+	}
+	return "?"
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is { stmts... }.
+type Block struct {
+	LbracePos token.Pos
+	Stmts     []Stmt
+}
+
+func (s *Block) Pos() token.Pos { return s.LbracePos }
+func (s *Block) stmt()          {}
+
+// VarDecl declares a local variable, optionally with an initializer.
+type VarDecl struct {
+	NamePos token.Pos
+	Type    TypeExpr
+	Name    string
+	Init    Expr // may be nil
+}
+
+func (s *VarDecl) Pos() token.Pos { return s.NamePos }
+func (s *VarDecl) stmt()          {}
+
+// Assign assigns RHS to an lvalue (Ident, FieldAccess, or Index).
+type Assign struct {
+	AssignPos token.Pos
+	LHS       Expr
+	RHS       Expr
+}
+
+func (s *Assign) Pos() token.Pos { return s.AssignPos }
+func (s *Assign) stmt()          {}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+func (s *If) Pos() token.Pos { return s.IfPos }
+func (s *If) stmt()          {}
+
+// While is a pre-test loop.
+type While struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+func (s *While) Pos() token.Pos { return s.WhilePos }
+func (s *While) stmt()          {}
+
+// For is a C-style for loop; Init and Post may be nil.
+type For struct {
+	ForPos token.Pos
+	Init   Stmt // VarDecl, Assign, or ExprStmt
+	Cond   Expr // may be nil (treated as true)
+	Post   Stmt
+	Body   Stmt
+}
+
+func (s *For) Pos() token.Pos { return s.ForPos }
+func (s *For) stmt()          {}
+
+// Return exits a method, optionally with a value.
+type Return struct {
+	RetPos token.Pos
+	Value  Expr // may be nil
+}
+
+func (s *Return) Pos() token.Pos { return s.RetPos }
+func (s *Return) stmt()          {}
+
+// ExprStmt evaluates an expression (a call) for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmt()          {}
+
+// Throw raises an exception object; control does not continue.
+type Throw struct {
+	ThrowPos token.Pos
+	X        Expr
+}
+
+func (s *Throw) Pos() token.Pos { return s.ThrowPos }
+func (s *Throw) stmt()          {}
+
+// Assert checks a condition; failure is a program failure point.
+type Assert struct {
+	AssertPos token.Pos
+	Cond      Expr
+}
+
+func (s *Assert) Pos() token.Pos { return s.AssertPos }
+func (s *Assert) stmt()          {}
+
+// Break exits the innermost loop.
+type Break struct{ BreakPos token.Pos }
+
+func (s *Break) Pos() token.Pos { return s.BreakPos }
+func (s *Break) stmt()          {}
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ ContinuePos token.Pos }
+
+func (s *Continue) Pos() token.Pos { return s.ContinuePos }
+func (s *Continue) stmt()          {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal (also used for char literals).
+type IntLit struct {
+	LitPos token.Pos
+	Value  int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) expr()          {}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos token.Pos
+	Value  bool
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.LitPos }
+func (e *BoolLit) expr()          {}
+
+// StrLit is a string literal.
+type StrLit struct {
+	LitPos token.Pos
+	Value  string
+}
+
+func (e *StrLit) Pos() token.Pos { return e.LitPos }
+func (e *StrLit) expr()          {}
+
+// NullLit is the null reference.
+type NullLit struct{ LitPos token.Pos }
+
+func (e *NullLit) Pos() token.Pos { return e.LitPos }
+func (e *NullLit) expr()          {}
+
+// Ident names a local variable, parameter, field of this, or class (in
+// a static field/method access position).
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (e *Ident) expr()          {}
+
+// This is the receiver reference.
+type This struct{ ThisPos token.Pos }
+
+func (e *This) Pos() token.Pos { return e.ThisPos }
+func (e *This) expr()          {}
+
+// Binary is a binary operation X Op Y.
+type Binary struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+}
+
+func (e *Binary) Pos() token.Pos { return e.X.Pos() }
+func (e *Binary) expr()          {}
+
+// Unary is !X or -X.
+type Unary struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+func (e *Unary) Pos() token.Pos { return e.OpPos }
+func (e *Unary) expr()          {}
+
+// FieldAccess is X.Name, including array .length and static Class.f.
+type FieldAccess struct {
+	X       Expr
+	NamePos token.Pos
+	Name    string
+}
+
+func (e *FieldAccess) Pos() token.Pos { return e.NamePos }
+func (e *FieldAccess) expr()          {}
+
+// Index is X[I].
+type Index struct {
+	X, I Expr
+}
+
+func (e *Index) Pos() token.Pos { return e.X.Pos() }
+func (e *Index) expr()          {}
+
+// Call invokes a method. Recv is nil for unqualified calls (implicit
+// this, a static method of the enclosing class, or a builtin such as
+// print). A Recv that is an Ident naming a class is a static call.
+type Call struct {
+	Recv    Expr // may be nil
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+	IsSuper bool // true for super(...) constructor calls
+}
+
+func (e *Call) Pos() token.Pos { return e.NamePos }
+func (e *Call) expr()          {}
+
+// New allocates an object and runs its constructor.
+type New struct {
+	NewPos token.Pos
+	Class  string
+	Args   []Expr
+}
+
+func (e *New) Pos() token.Pos { return e.NewPos }
+func (e *New) expr()          {}
+
+// NewArray allocates an array: new T[Len].
+type NewArray struct {
+	NewPos token.Pos
+	Elem   TypeExpr
+	Len    Expr
+}
+
+func (e *NewArray) Pos() token.Pos { return e.NewPos }
+func (e *NewArray) expr()          {}
+
+// Cast is (T) X.
+type Cast struct {
+	LparenPos token.Pos
+	Type      TypeExpr
+	X         Expr
+}
+
+func (e *Cast) Pos() token.Pos { return e.LparenPos }
+func (e *Cast) expr()          {}
+
+// InstanceOf is X instanceof Class.
+type InstanceOf struct {
+	X     Expr
+	Class string
+}
+
+func (e *InstanceOf) Pos() token.Pos { return e.X.Pos() }
+func (e *InstanceOf) expr()          {}

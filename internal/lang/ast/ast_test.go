@@ -1,0 +1,108 @@
+package ast_test
+
+import (
+	"testing"
+
+	"thinslice/internal/lang/ast"
+	"thinslice/internal/lang/token"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  ast.TypeExpr
+		want string
+	}{
+		{&ast.PrimType{Kind: ast.PrimInt}, "int"},
+		{&ast.PrimType{Kind: ast.PrimBool}, "boolean"},
+		{&ast.PrimType{Kind: ast.PrimString}, "string"},
+		{&ast.PrimType{Kind: ast.PrimVoid}, "void"},
+		{&ast.NamedType{Name: "Foo"}, "Foo"},
+		{&ast.ArrayType{Elem: &ast.NamedType{Name: "Foo"}}, "Foo[]"},
+		{&ast.ArrayType{Elem: &ast.ArrayType{Elem: &ast.PrimType{Kind: ast.PrimInt}}}, "int[][]"},
+	}
+	for _, c := range cases {
+		if got := ast.TypeString(c.typ); got != c.want {
+			t.Errorf("TypeString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramClassLookup(t *testing.T) {
+	prog := &ast.Program{Classes: []*ast.ClassDecl{
+		{Name: "A"}, {Name: "B"},
+	}}
+	if prog.Class("B") == nil || prog.Class("B").Name != "B" {
+		t.Error("lookup failed")
+	}
+	if prog.Class("C") != nil {
+		t.Error("phantom class")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	pos := token.Pos{File: "f", Line: 4, Col: 2}
+	nodes := []ast.Node{
+		&ast.ClassDecl{NamePos: pos},
+		&ast.FieldDecl{NamePos: pos},
+		&ast.MethodDecl{NamePos: pos},
+		&ast.Param{NamePos: pos},
+		&ast.VarDecl{NamePos: pos},
+		&ast.If{IfPos: pos},
+		&ast.While{WhilePos: pos},
+		&ast.For{ForPos: pos},
+		&ast.Return{RetPos: pos},
+		&ast.Throw{ThrowPos: pos},
+		&ast.Assert{AssertPos: pos},
+		&ast.Break{BreakPos: pos},
+		&ast.Continue{ContinuePos: pos},
+		&ast.Block{LbracePos: pos},
+		&ast.IntLit{LitPos: pos},
+		&ast.BoolLit{LitPos: pos},
+		&ast.StrLit{LitPos: pos},
+		&ast.NullLit{LitPos: pos},
+		&ast.Ident{NamePos: pos},
+		&ast.This{ThisPos: pos},
+		&ast.Unary{OpPos: pos},
+		&ast.New{NewPos: pos},
+		&ast.NewArray{NewPos: pos},
+		&ast.Cast{LparenPos: pos},
+		&ast.Call{NamePos: pos},
+		&ast.FieldAccess{NamePos: pos},
+	}
+	for _, n := range nodes {
+		if n.Pos() != pos {
+			t.Errorf("%T.Pos() = %v", n, n.Pos())
+		}
+	}
+	// Derived positions.
+	x := &ast.Ident{NamePos: pos}
+	if (&ast.Binary{X: x}).Pos() != pos {
+		t.Error("Binary position should come from X")
+	}
+	if (&ast.Index{X: x}).Pos() != pos {
+		t.Error("Index position should come from X")
+	}
+	if (&ast.InstanceOf{X: x}).Pos() != pos {
+		t.Error("InstanceOf position should come from X")
+	}
+	if (&ast.ExprStmt{X: x}).Pos() != pos {
+		t.Error("ExprStmt position should come from X")
+	}
+	if (&ast.Assign{AssignPos: pos}).Pos() != pos {
+		t.Error("Assign position wrong")
+	}
+	at := &ast.ArrayType{Elem: x0type(pos)}
+	if at.Pos() != pos {
+		t.Error("ArrayType position should come from elem")
+	}
+}
+
+func x0type(pos token.Pos) ast.TypeExpr { return &ast.NamedType{NamePos: pos, Name: "T"} }
+
+func TestPrimKindString(t *testing.T) {
+	for _, k := range []ast.PrimKind{ast.PrimInt, ast.PrimBool, ast.PrimString, ast.PrimVoid} {
+		if k.String() == "?" {
+			t.Errorf("kind %d renders as ?", k)
+		}
+	}
+}

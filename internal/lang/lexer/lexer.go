@@ -1,0 +1,304 @@
+// Package lexer tokenizes MiniJava-style source text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"thinslice/internal/lang/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a source buffer into tokens. Comments are skipped.
+type Lexer struct {
+	file   string
+	src    string
+	off    int // byte offset of current rune
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a lexer over src, reporting positions in file.
+func New(file, src string) *Lexer {
+	// Normalize line endings so positions are stable across platforms.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+// Errors returns lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+// peek returns the current rune without consuming it, or -1 at EOF.
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+// peek2 returns the rune after the current one, or -1.
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) next() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isLetter(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			l.next()
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.next()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.next()
+			l.next()
+			closed := false
+			for l.peek() != -1 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.next()
+					l.next()
+					closed = true
+					break
+				}
+				l.next()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns EOF
+// tokens forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isLetter(r):
+		start := l.off
+		for isLetter(l.peek()) || isDigit(l.peek()) {
+			l.next()
+		}
+		lit := l.src[start:l.off]
+		return token.Token{Kind: token.Lookup(lit), Pos: pos, Lit: lit}
+	case isDigit(r):
+		start := l.off
+		for isDigit(l.peek()) {
+			l.next()
+		}
+		if isLetter(l.peek()) {
+			l.errorf(pos, "identifier cannot start with a digit")
+		}
+		return token.Token{Kind: token.INT, Pos: pos, Lit: l.src[start:l.off]}
+	case r == '"':
+		return l.scanString(pos)
+	case r == '\'':
+		return l.scanChar(pos)
+	}
+	l.next()
+	two := func(second rune, twoKind, oneKind token.Kind) token.Token {
+		if l.peek() == second {
+			l.next()
+			return token.Token{Kind: twoKind, Pos: pos}
+		}
+		return token.Token{Kind: oneKind, Pos: pos}
+	}
+	switch r {
+	case '+':
+		if l.peek() == '+' {
+			l.next()
+			return token.Token{Kind: token.INCR, Pos: pos}
+		}
+		return two('=', token.PLUSEQ, token.ADD)
+	case '-':
+		if l.peek() == '-' {
+			l.next()
+			return token.Token{Kind: token.DECR, Pos: pos}
+		}
+		return two('=', token.MINUSEQ, token.SUB)
+	case '*':
+		return token.Token{Kind: token.MUL, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.QUO, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.REM, Pos: pos}
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		return two('=', token.GEQ, token.GTR)
+	case '&':
+		if l.peek() == '&' {
+			l.next()
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean &&?)", r)
+		return token.Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(r)}
+	case '|':
+		if l.peek() == '|' {
+			l.next()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean ||?)", r)
+		return token.Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(r)}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Pos: pos, Lit: string(r)}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.next() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		switch r {
+		case -1, '\n':
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.STRING, Pos: pos, Lit: b.String()}
+		case '"':
+			l.next()
+			return token.Token{Kind: token.STRING, Pos: pos, Lit: b.String()}
+		case '\\':
+			l.next()
+			b.WriteRune(l.unescape(pos))
+		default:
+			l.next()
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.next() // opening quote
+	var val rune
+	switch r := l.peek(); r {
+	case -1, '\n':
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.CHAR, Pos: pos, Lit: ""}
+	case '\\':
+		l.next()
+		val = l.unescape(pos)
+	default:
+		l.next()
+		val = r
+	}
+	if l.peek() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+	} else {
+		l.next()
+	}
+	return token.Token{Kind: token.CHAR, Pos: pos, Lit: string(val)}
+}
+
+func (l *Lexer) unescape(pos token.Pos) rune {
+	r := l.next()
+	switch r {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '\\':
+		return '\\'
+	case '"':
+		return '"'
+	case '\'':
+		return '\''
+	case '0':
+		return 0
+	}
+	l.errorf(pos, "invalid escape sequence \\%c", r)
+	return r
+}
+
+// ScanAll tokenizes the entire input, excluding the trailing EOF token.
+func ScanAll(file, src string) ([]token.Token, []*Error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+		toks = append(toks, t)
+	}
+}

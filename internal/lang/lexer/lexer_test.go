@@ -1,0 +1,228 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thinslice/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	src := `class Foo extends Bar { int x; }`
+	toks, errs := ScanAll("t.mj", src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.CLASS, token.IDENT, token.EXTENDS, token.IDENT,
+		token.LBRACE, token.INTK, token.IDENT, token.SEMI, token.RBRACE,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `+ - * / % && || ! == != < <= > >= = ++ -- += -=`
+	toks, errs := ScanAll("t.mj", src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LAND, token.LOR, token.NOT,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.ASSIGN, token.INCR, token.DECR, token.PLUSEQ, token.MINUSEQ,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, errs := ScanAll("t.mj", `"hello \"world\"\n"`)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 1 || toks[0].Kind != token.STRING {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[0].Lit != "hello \"world\"\n" {
+		t.Errorf("got %q", toks[0].Lit)
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	toks, errs := ScanAll("t.mj", `'a' '\n' ' '`)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	wantLits := []string{"a", "\n", " "}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.CHAR || toks[i].Lit != w {
+			t.Errorf("token %d: got %v lit=%q, want CHAR %q", i, toks[i].Kind, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "x // line comment\n/* block\ncomment */ y"
+	toks, errs := ScanAll("t.mj", src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 2 || toks[0].Lit != "x" || toks[1].Lit != "y" {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("y at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "a\n  bb\n    ccc"
+	toks, _ := ScanAll("f.mj", src)
+	wantPos := []struct{ line, col int }{{1, 1}, {2, 3}, {3, 5}}
+	for i, w := range wantPos {
+		if toks[i].Pos.Line != w.line || toks[i].Pos.Col != w.col {
+			t.Errorf("token %d at %d:%d, want %d:%d", i, toks[i].Pos.Line, toks[i].Pos.Col, w.line, w.col)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := ScanAll("t.mj", `"abc`)
+	if len(errs) == 0 {
+		t.Fatal("expected an error for unterminated string")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("t.mj", `/* abc`)
+	if len(errs) == 0 {
+		t.Fatal("expected an error for unterminated comment")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := ScanAll("t.mj", `x # y`)
+	if len(errs) == 0 {
+		t.Fatal("expected an error for illegal character")
+	}
+	if len(toks) != 3 || toks[1].Kind != token.ILLEGAL {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestSingleAmpersandAndPipe(t *testing.T) {
+	_, errs := ScanAll("t.mj", `a & b | c`)
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors, got %v", errs)
+	}
+}
+
+func TestKeywordsNotIdents(t *testing.T) {
+	for _, kw := range []string{"class", "while", "instanceof", "null", "this", "new", "assert"} {
+		toks, _ := ScanAll("t.mj", kw)
+		if len(toks) != 1 || toks[0].Kind == token.IDENT {
+			t.Errorf("%q lexed as %v, want keyword", kw, toks)
+		}
+	}
+	// Prefix of a keyword is an identifier.
+	toks, _ := ScanAll("t.mj", "classy whiled nullx")
+	for _, tok := range toks {
+		if tok.Kind != token.IDENT {
+			t.Errorf("%q lexed as %v, want IDENT", tok.Lit, tok.Kind)
+		}
+	}
+}
+
+func TestDigitPrefixedIdentRejected(t *testing.T) {
+	_, errs := ScanAll("t.mj", "123abc")
+	if len(errs) == 0 {
+		t.Fatal("expected error for digit-prefixed identifier")
+	}
+}
+
+// Property: lexing never panics and always terminates on arbitrary input.
+func TestLexerTotalOnArbitraryInput(t *testing.T) {
+	f := func(s string) bool {
+		toks, _ := ScanAll("t.mj", s)
+		for _, tok := range toks {
+			if tok.Kind == token.EOF {
+				return false // EOF must not appear in ScanAll output
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for identifier-and-space-only inputs, the concatenation of
+// literals equals the input with spaces removed.
+func TestLexerPreservesIdentText(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			var b strings.Builder
+			for _, r := range w {
+				if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+					b.WriteRune(r)
+				}
+			}
+			if b.Len() > 0 && token.Lookup(b.String()) == token.IDENT {
+				clean = append(clean, b.String())
+			}
+		}
+		src := strings.Join(clean, " ")
+		toks, errs := ScanAll("t.mj", src)
+		if len(errs) != 0 || len(toks) != len(clean) {
+			return false
+		}
+		for i, tok := range toks {
+			if tok.Lit != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("t.mj", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package loader_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinslice/internal/lang/loader"
+)
+
+func TestLoadIncludesPrelude(t *testing.T) {
+	info, err := loader.Load(map[string]string{"m.mj": `
+		class Main { static void main() { Vector v = new Vector(); v.add("x"); } }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Vector", "HashMap", "LinkedList", "Iterator", "Object", "String"} {
+		if info.Classes[name] == nil {
+			t.Errorf("class %s missing", name)
+		}
+	}
+}
+
+func TestLoadBareExcludesPrelude(t *testing.T) {
+	info, err := loader.LoadBare(map[string]string{"m.mj": `class Main { static void main() { print(1); } }`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Classes["Vector"] != nil {
+		t.Error("LoadBare must not include the prelude")
+	}
+	if info.Classes["Object"] == nil || info.Classes["String"] == nil {
+		t.Error("predeclared classes must exist even without the prelude")
+	}
+}
+
+func TestLoadParseErrorPropagates(t *testing.T) {
+	_, err := loader.Load(map[string]string{"m.mj": `class {`})
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestLoadSemanticErrorPropagates(t *testing.T) {
+	_, err := loader.Load(map[string]string{"m.mj": `class A { int m() { return nope; } }`})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("expected semantic error, got %v", err)
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLoad should panic on bad input")
+		}
+	}()
+	loader.MustLoad(map[string]string{"m.mj": "class {"})
+}
+
+func TestMustLoadOK(t *testing.T) {
+	info := loader.MustLoad(map[string]string{"m.mj": `class Main { static void main() { print(1); } }`})
+	if info == nil {
+		t.Fatal("nil info")
+	}
+}
+
+func TestUserClassMayNotShadowPrelude(t *testing.T) {
+	_, err := loader.Load(map[string]string{"m.mj": `class Vector { }`})
+	if err == nil || !strings.Contains(err.Error(), "duplicate class") {
+		t.Fatalf("expected duplicate-class error, got %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// wantParseError asserts parsing src fails with a message containing
+// fragment.
+func wantParseError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := ParseFile("t.mj", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		// ErrorList prints only the first; search the whole list.
+		found := false
+		for _, e := range err.(ErrorList) {
+			if strings.Contains(e.Msg, fragment) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("error %v does not mention %q", err, fragment)
+		}
+	}
+}
+
+func TestErrorMissingClassKeyword(t *testing.T) {
+	wantParseError(t, `int x;`, "expected 'class'")
+}
+
+func TestErrorBadMemberType(t *testing.T) {
+	wantParseError(t, `class A { ; }`, "expected type")
+}
+
+func TestErrorUnclosedClass(t *testing.T) {
+	wantParseError(t, `class A { void m() { }`, "expected }")
+}
+
+func TestErrorBadExpression(t *testing.T) {
+	wantParseError(t, `class A { void m() { int x = ; } }`, "expected expression")
+}
+
+func TestErrorExprStatementMustBeCall(t *testing.T) {
+	wantParseError(t, `class A { void m() { x + 1; } }`, "must be a call")
+}
+
+func TestErrorSuperOutsideCall(t *testing.T) {
+	wantParseError(t, `class A { void m() { Object o = super; } }`, "super")
+}
+
+func TestErrorBadNewTarget(t *testing.T) {
+	wantParseError(t, `class A { void m() { Object o = new ; } }`, "expected type after 'new'")
+}
+
+func TestErrorMissingSemicolon(t *testing.T) {
+	wantParseError(t, `class A { void m() { int x = 1 } }`, "expected ;")
+}
+
+func TestErrorBadParamList(t *testing.T) {
+	wantParseError(t, `class A { void m(int) { } }`, "expected IDENT")
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	_, err := ParseFile("t.mj", `class A { void m() { int = ; bool = ; } }`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "more error") && len(err.(ErrorList)) > 1 {
+		t.Errorf("multi-error message should say how many more: %q", msg)
+	}
+	if (ErrorList{}).Error() != "no errors" {
+		t.Error("empty list formatting wrong")
+	}
+}
+
+func TestParseProgramAggregatesAcrossFiles(t *testing.T) {
+	prog, err := ParseProgram(map[string]string{
+		"b.mj": `class B { }`,
+		"a.mj": `class A { broken`,
+	})
+	if err == nil {
+		t.Fatal("expected errors from a.mj")
+	}
+	if prog.Class("B") == nil {
+		t.Error("valid file's classes must survive")
+	}
+}
+
+func TestIntLiteralOverflow(t *testing.T) {
+	wantParseError(t, `class A { void m() { int x = 99999999999999999999; } }`, "invalid integer literal")
+}
+
+func TestRecoveryAcrossMembers(t *testing.T) {
+	classes, err := ParseFile("t.mj", `class A {
+		void broken( { }
+		void ok() { print(1); }
+	}`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if len(classes) != 1 {
+		t.Fatalf("class lost during recovery")
+	}
+	found := false
+	for _, m := range classes[0].Methods {
+		if m.Name == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recovery failed to reach the next member")
+	}
+}

@@ -1,0 +1,645 @@
+// Package parser builds an AST from MiniJava-style source text using
+// recursive descent with arbitrary lookahead.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"thinslice/internal/lang/ast"
+	"thinslice/internal/lang/lexer"
+	"thinslice/internal/lang/token"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msg := l[0].Error()
+	if len(l) > 1 {
+		msg += fmt.Sprintf(" (and %d more errors)", len(l)-1)
+	}
+	return msg
+}
+
+type parser struct {
+	toks   []token.Token
+	i      int
+	errors ErrorList
+}
+
+// ParseFile parses one source file into a list of class declarations.
+func ParseFile(file, src string) ([]*ast.ClassDecl, error) {
+	toks, lexErrs := lexer.ScanAll(file, src)
+	p := &parser{toks: toks}
+	for _, e := range lexErrs {
+		p.errors = append(p.errors, &Error{Pos: e.Pos, Msg: e.Msg})
+	}
+	var classes []*ast.ClassDecl
+	for !p.atEOF() {
+		c := p.parseClass()
+		if c != nil {
+			classes = append(classes, c)
+		}
+	}
+	if len(p.errors) > 0 {
+		return classes, p.errors
+	}
+	return classes, nil
+}
+
+// ParseProgram parses several named sources into one program.
+// Sources is a map from file name to content; order of iteration does
+// not affect the result because classes are name-resolved later.
+func ParseProgram(sources map[string]string) (*ast.Program, error) {
+	prog := &ast.Program{}
+	var all ErrorList
+	// Iterate deterministically for stable error ordering.
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		classes, err := ParseFile(name, sources[name])
+		prog.Classes = append(prog.Classes, classes...)
+		if err != nil {
+			all = append(all, err.(ErrorList)...)
+		}
+	}
+	if len(all) > 0 {
+		return prog, all
+	}
+	return prog, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (p *parser) cur() token.Token {
+	if p.i < len(p.toks) {
+		return p.toks[p.i]
+	}
+	var pos token.Pos
+	if len(p.toks) > 0 {
+		pos = p.toks[len(p.toks)-1].Pos
+	}
+	return token.Token{Kind: token.EOF, Pos: pos}
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+// peekKind returns the kind of the token n positions ahead (0 = current).
+func (p *parser) peekKind(n int) token.Kind {
+	if p.i+n < len(p.toks) {
+		return p.toks[p.i+n].Kind
+	}
+	return token.EOF
+}
+
+func (p *parser) atEOF() bool { return p.i >= len(p.toks) }
+
+func (p *parser) advance() token.Token {
+	t := p.cur()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errors = append(p.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// sync skips tokens until a likely statement/declaration boundary, to
+// recover from errors without cascading.
+func (p *parser) sync() {
+	for !p.atEOF() {
+		switch p.cur().Kind {
+		case token.SEMI:
+			p.advance()
+			return
+		case token.RBRACE, token.CLASS, token.IF, token.WHILE, token.FOR,
+			token.RETURN, token.THROW, token.ASSERT:
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseClass() *ast.ClassDecl {
+	if !p.at(token.CLASS) {
+		p.errorf(p.cur().Pos, "expected 'class', found %s", p.cur())
+		p.advance()
+		return nil
+	}
+	p.advance()
+	nameTok := p.expect(token.IDENT)
+	c := &ast.ClassDecl{NamePos: nameTok.Pos, Name: nameTok.Lit}
+	if p.at(token.EXTENDS) {
+		p.advance()
+		c.Super = p.expect(token.IDENT).Lit
+	}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.atEOF() {
+		p.parseMember(c)
+	}
+	p.expect(token.RBRACE)
+	return c
+}
+
+func (p *parser) parseMember(c *ast.ClassDecl) {
+	static := false
+	final := false
+	for p.at(token.STATIC) || p.at(token.FINAL) {
+		if p.advance().Kind == token.STATIC {
+			static = true
+		} else {
+			final = true
+		}
+	}
+	// Constructor: ClassName followed by '('.
+	if p.at(token.IDENT) && p.cur().Lit == c.Name && p.peekKind(1) == token.LPAREN {
+		nameTok := p.advance()
+		m := &ast.MethodDecl{
+			NamePos: nameTok.Pos, Name: nameTok.Lit, IsCtor: true,
+			Params: p.parseParams(),
+		}
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+	typ := p.parseType()
+	if typ == nil {
+		p.sync()
+		return
+	}
+	nameTok := p.expect(token.IDENT)
+	if p.at(token.LPAREN) {
+		m := &ast.MethodDecl{
+			NamePos: nameTok.Pos, Static: static, Ret: typ,
+			Name: nameTok.Lit, Params: p.parseParams(),
+		}
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+	// Field declaration (no initializers on fields; constructors set them).
+	c.Fields = append(c.Fields, &ast.FieldDecl{
+		NamePos: nameTok.Pos, Static: static, Final: final, Type: typ, Name: nameTok.Lit,
+	})
+	p.expect(token.SEMI)
+}
+
+func (p *parser) parseParams() []*ast.Param {
+	p.expect(token.LPAREN)
+	var params []*ast.Param
+	for !p.at(token.RPAREN) && !p.atEOF() {
+		if len(params) > 0 {
+			p.expect(token.COMMA)
+		}
+		typ := p.parseType()
+		if typ == nil {
+			p.sync()
+			break
+		}
+		nameTok := p.expect(token.IDENT)
+		params = append(params, &ast.Param{NamePos: nameTok.Pos, Type: typ, Name: nameTok.Lit})
+	}
+	p.expect(token.RPAREN)
+	return params
+}
+
+// parseType parses a type expression, or returns nil with an error
+// recorded if the current token cannot start a type.
+func (p *parser) parseType() ast.TypeExpr {
+	var base ast.TypeExpr
+	switch t := p.cur(); t.Kind {
+	case token.INTK:
+		p.advance()
+		base = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimInt}
+	case token.BOOLK:
+		p.advance()
+		base = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimBool}
+	case token.STRK:
+		p.advance()
+		base = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimString}
+	case token.VOID:
+		p.advance()
+		base = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimVoid}
+	case token.IDENT:
+		p.advance()
+		base = &ast.NamedType{NamePos: t.Pos, Name: t.Lit}
+	default:
+		p.errorf(t.Pos, "expected type, found %s", t)
+		return nil
+	}
+	for p.at(token.LBRACK) && p.peekKind(1) == token.RBRACK {
+		p.advance()
+		p.advance()
+		base = &ast.ArrayType{Elem: base}
+	}
+	return base
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBRACE)
+	b := &ast.Block{LbracePos: lb.Pos}
+	for !p.at(token.RBRACE) && !p.atEOF() {
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// typeStartsDecl reports whether the token stream at the current
+// position begins a local variable declaration rather than an
+// expression statement.
+func (p *parser) typeStartsDecl() bool {
+	switch p.cur().Kind {
+	case token.INTK, token.BOOLK, token.STRK:
+		return true
+	case token.IDENT:
+		// "Foo x", "Foo[] x", "Foo[][] x" are declarations;
+		// "Foo[i]" or "Foo.m()" or "Foo = e" are expressions.
+		j := 1
+		for p.peekKind(j) == token.LBRACK && p.peekKind(j+1) == token.RBRACK {
+			j += 2
+		}
+		return p.peekKind(j) == token.IDENT
+	}
+	return false
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch t := p.cur(); t.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.IF:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		s := &ast.If{IfPos: t.Pos, Cond: cond, Then: p.parseStmt()}
+		if p.at(token.ELSE) {
+			p.advance()
+			s.Else = p.parseStmt()
+		}
+		return s
+	case token.WHILE:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.While{WhilePos: t.Pos, Cond: cond, Body: p.parseStmt()}
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		p.advance()
+		s := &ast.Return{RetPos: t.Pos}
+		if !p.at(token.SEMI) {
+			s.Value = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return s
+	case token.THROW:
+		p.advance()
+		s := &ast.Throw{ThrowPos: t.Pos, X: p.parseExpr()}
+		p.expect(token.SEMI)
+		return s
+	case token.ASSERT:
+		p.advance()
+		p.expect(token.LPAREN)
+		s := &ast.Assert{AssertPos: t.Pos, Cond: p.parseExpr()}
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return s
+	case token.BREAK:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.Break{BreakPos: t.Pos}
+	case token.CONTINUE:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.Continue{ContinuePos: t.Pos}
+	case token.SEMI:
+		p.advance()
+		return nil
+	}
+	if p.typeStartsDecl() {
+		s := p.parseVarDecl()
+		p.expect(token.SEMI)
+		return s
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.SEMI)
+	return s
+}
+
+func (p *parser) parseVarDecl() ast.Stmt {
+	typ := p.parseType()
+	nameTok := p.expect(token.IDENT)
+	d := &ast.VarDecl{NamePos: nameTok.Pos, Type: typ, Name: nameTok.Lit}
+	if p.at(token.ASSIGN) {
+		p.advance()
+		d.Init = p.parseExpr()
+	}
+	return d
+}
+
+// parseSimpleStmt parses assignments, op-assignments, ++/--, and call
+// statements (everything that can appear in a for-init/post position).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	lhs := p.parseExpr()
+	switch t := p.cur(); t.Kind {
+	case token.ASSIGN:
+		p.advance()
+		return &ast.Assign{AssignPos: t.Pos, LHS: lhs, RHS: p.parseExpr()}
+	case token.PLUSEQ, token.MINUSEQ:
+		p.advance()
+		op := token.ADD
+		if t.Kind == token.MINUSEQ {
+			op = token.SUB
+		}
+		rhs := p.parseExpr()
+		return &ast.Assign{AssignPos: t.Pos, LHS: lhs,
+			RHS: &ast.Binary{OpPos: t.Pos, Op: op, X: lhs, Y: rhs}}
+	case token.INCR, token.DECR:
+		p.advance()
+		op := token.ADD
+		if t.Kind == token.DECR {
+			op = token.SUB
+		}
+		one := &ast.IntLit{LitPos: t.Pos, Value: 1}
+		return &ast.Assign{AssignPos: t.Pos, LHS: lhs,
+			RHS: &ast.Binary{OpPos: t.Pos, Op: op, X: lhs, Y: one}}
+	}
+	if _, ok := lhs.(*ast.Call); !ok {
+		if _, ok := lhs.(*ast.New); !ok {
+			p.errorf(lhs.Pos(), "expression statement must be a call")
+		}
+	}
+	return &ast.ExprStmt{X: lhs}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	forTok := p.advance()
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if !p.at(token.SEMI) {
+		if p.typeStartsDecl() {
+			init = p.parseVarDecl()
+		} else {
+			init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(token.SEMI)
+	var cond ast.Expr
+	if !p.at(token.SEMI) {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	var post ast.Stmt
+	if !p.at(token.RPAREN) {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	return &ast.For{ForPos: forTok.Pos, Init: init, Cond: cond, Post: post, Body: p.parseStmt()}
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		t := p.cur()
+		prec := t.Kind.Precedence()
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		p.advance()
+		if t.Kind == token.INSTANCEOF {
+			cls := p.expect(token.IDENT)
+			x = &ast.InstanceOf{X: x, Class: cls.Lit}
+			continue
+		}
+		y := p.parseBinary(prec + 1)
+		x = &ast.Binary{OpPos: t.Pos, Op: t.Kind, X: x, Y: y}
+	}
+}
+
+// castLookahead reports whether the tokens at the current position
+// (which must be LPAREN) form a cast "(T)" or "(T[])" followed by an
+// operand, rather than a parenthesized expression.
+func (p *parser) castLookahead() bool {
+	if !p.at(token.LPAREN) {
+		return false
+	}
+	j := 1
+	switch p.peekKind(j) {
+	case token.INTK, token.BOOLK, token.STRK:
+		// (int) e is always a cast.
+	case token.IDENT:
+		// Ambiguous: "(x)" could be a parenthesized identifier.
+	default:
+		return false
+	}
+	isIdent := p.peekKind(j) == token.IDENT
+	j++
+	sawBrackets := false
+	for p.peekKind(j) == token.LBRACK && p.peekKind(j+1) == token.RBRACK {
+		j += 2
+		sawBrackets = true
+	}
+	if p.peekKind(j) != token.RPAREN {
+		return false
+	}
+	if !isIdent || sawBrackets {
+		return true
+	}
+	// "(Foo) <operand>": only a cast if followed by something that can
+	// start a unary operand but cannot continue a binary expression.
+	switch p.peekKind(j + 1) {
+	case token.IDENT, token.INT, token.STRING, token.CHAR, token.LPAREN,
+		token.THIS, token.NEW, token.NULL, token.TRUE, token.FALSE, token.NOT:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch t := p.cur(); t.Kind {
+	case token.NOT:
+		p.advance()
+		return &ast.Unary{OpPos: t.Pos, Op: token.NOT, X: p.parseUnary()}
+	case token.SUB:
+		p.advance()
+		return &ast.Unary{OpPos: t.Pos, Op: token.SUB, X: p.parseUnary()}
+	}
+	if p.castLookahead() {
+		lp := p.advance()
+		typ := p.parseType()
+		p.expect(token.RPAREN)
+		return &ast.Cast{LparenPos: lp.Pos, Type: typ, X: p.parseUnary()}
+	}
+	return p.parsePostfix(p.parsePrimary())
+}
+
+func (p *parser) parsePostfix(x ast.Expr) ast.Expr {
+	for {
+		switch t := p.cur(); t.Kind {
+		case token.DOT:
+			p.advance()
+			nameTok := p.expect(token.IDENT)
+			if p.at(token.LPAREN) {
+				x = &ast.Call{Recv: x, NamePos: nameTok.Pos, Name: nameTok.Lit, Args: p.parseArgs()}
+			} else {
+				x = &ast.FieldAccess{X: x, NamePos: nameTok.Pos, Name: nameTok.Lit}
+			}
+		case token.LBRACK:
+			p.advance()
+			i := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.Index{X: x, I: i}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	p.expect(token.LPAREN)
+	var args []ast.Expr
+	for !p.at(token.RPAREN) && !p.atEOF() {
+		if len(args) > 0 {
+			p.expect(token.COMMA)
+		}
+		args = append(args, p.parseExpr())
+	}
+	p.expect(token.RPAREN)
+	return args
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch t := p.cur(); t.Kind {
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.CHAR:
+		p.advance()
+		var v int64
+		for _, r := range t.Lit {
+			v = int64(r)
+			break
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.STRING:
+		p.advance()
+		return &ast.StrLit{LitPos: t.Pos, Value: t.Lit}
+	case token.TRUE:
+		p.advance()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.advance()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.NULL:
+		p.advance()
+		return &ast.NullLit{LitPos: t.Pos}
+	case token.THIS:
+		p.advance()
+		return &ast.This{ThisPos: t.Pos}
+	case token.SUPER:
+		p.advance()
+		if p.at(token.LPAREN) {
+			return &ast.Call{NamePos: t.Pos, Name: "super", Args: p.parseArgs(), IsSuper: true}
+		}
+		p.errorf(t.Pos, "'super' is only supported as a constructor call super(...)")
+		return &ast.NullLit{LitPos: t.Pos}
+	case token.NEW:
+		p.advance()
+		typ := p.parseTypeForNew(t.Pos)
+		return typ
+	case token.IDENT:
+		p.advance()
+		if p.at(token.LPAREN) {
+			return &ast.Call{NamePos: t.Pos, Name: t.Lit, Args: p.parseArgs()}
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.LPAREN:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	}
+	t := p.cur()
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.advance()
+	return &ast.NullLit{LitPos: t.Pos}
+}
+
+// parseTypeForNew parses the remainder of a 'new' expression:
+// new C(args), new T[len], or new T[len][] (unsupported multi-dim
+// allocations report an error).
+func (p *parser) parseTypeForNew(newPos token.Pos) ast.Expr {
+	var elem ast.TypeExpr
+	switch t := p.cur(); t.Kind {
+	case token.INTK:
+		p.advance()
+		elem = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimInt}
+	case token.BOOLK:
+		p.advance()
+		elem = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimBool}
+	case token.STRK:
+		p.advance()
+		elem = &ast.PrimType{KindPos: t.Pos, Kind: ast.PrimString}
+	case token.IDENT:
+		p.advance()
+		if p.at(token.LPAREN) {
+			return &ast.New{NewPos: newPos, Class: t.Lit, Args: p.parseArgs()}
+		}
+		elem = &ast.NamedType{NamePos: t.Pos, Name: t.Lit}
+	default:
+		p.errorf(t.Pos, "expected type after 'new', found %s", t)
+		return &ast.NullLit{LitPos: newPos}
+	}
+	p.expect(token.LBRACK)
+	length := p.parseExpr()
+	p.expect(token.RBRACK)
+	for p.at(token.LBRACK) && p.peekKind(1) == token.RBRACK {
+		p.advance()
+		p.advance()
+		elem = &ast.ArrayType{Elem: elem}
+	}
+	return &ast.NewArray{NewPos: newPos, Elem: elem, Len: length}
+}

@@ -1,0 +1,328 @@
+package parser
+
+import (
+	"testing"
+
+	"thinslice/internal/lang/ast"
+	"thinslice/internal/lang/token"
+)
+
+func parseOne(t *testing.T, src string) *ast.ClassDecl {
+	t.Helper()
+	classes, err := ParseFile("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if len(classes) != 1 {
+		t.Fatalf("got %d classes, want 1", len(classes))
+	}
+	return classes[0]
+}
+
+// parseBody parses a method body wrapped in a scaffold class.
+func parseBody(t *testing.T, body string) []ast.Stmt {
+	t.Helper()
+	c := parseOne(t, "class T { void m() { "+body+" } }")
+	return c.Methods[0].Body.Stmts
+}
+
+func TestClassHeader(t *testing.T) {
+	c := parseOne(t, "class A extends B { }")
+	if c.Name != "A" || c.Super != "B" {
+		t.Errorf("got name=%s super=%s", c.Name, c.Super)
+	}
+}
+
+func TestFieldsAndMethods(t *testing.T) {
+	c := parseOne(t, `class A {
+		int x;
+		static boolean flag;
+		final int op;
+		Object[] elems;
+		void m(int a, string b) { }
+		static int sq(int n) { return n * n; }
+	}`)
+	if len(c.Fields) != 4 {
+		t.Fatalf("got %d fields", len(c.Fields))
+	}
+	if !c.Fields[1].Static {
+		t.Error("flag should be static")
+	}
+	if !c.Fields[2].Final {
+		t.Error("op should be final")
+	}
+	if _, ok := c.Fields[3].Type.(*ast.ArrayType); !ok {
+		t.Errorf("elems should have array type, got %T", c.Fields[3].Type)
+	}
+	if len(c.Methods) != 2 {
+		t.Fatalf("got %d methods", len(c.Methods))
+	}
+	if len(c.Methods[0].Params) != 2 {
+		t.Errorf("m has %d params", len(c.Methods[0].Params))
+	}
+	if !c.Methods[1].Static {
+		t.Error("sq should be static")
+	}
+}
+
+func TestConstructor(t *testing.T) {
+	c := parseOne(t, `class Node { int op; Node(int op) { this.op = op; } }`)
+	if len(c.Methods) != 1 || !c.Methods[0].IsCtor {
+		t.Fatalf("constructor not recognized: %+v", c.Methods)
+	}
+}
+
+func TestSuperCall(t *testing.T) {
+	c := parseOne(t, `class AddNode extends Node { AddNode() { super(1); } }`)
+	body := c.Methods[0].Body.Stmts
+	es, ok := body[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("got %T", body[0])
+	}
+	call, ok := es.X.(*ast.Call)
+	if !ok || !call.IsSuper {
+		t.Fatalf("got %#v", es.X)
+	}
+}
+
+func TestVarDeclVsExprDisambiguation(t *testing.T) {
+	stmts := parseBody(t, `
+		Foo x = null;
+		Foo[] ys = null;
+		x = null;
+		arr[i] = v;
+	`)
+	if _, ok := stmts[0].(*ast.VarDecl); !ok {
+		t.Errorf("stmt 0: got %T, want VarDecl", stmts[0])
+	}
+	if d, ok := stmts[1].(*ast.VarDecl); !ok {
+		t.Errorf("stmt 1: got %T, want VarDecl", stmts[1])
+	} else if _, isArr := d.Type.(*ast.ArrayType); !isArr {
+		t.Errorf("stmt 1: type %T, want array", d.Type)
+	}
+	if _, ok := stmts[2].(*ast.Assign); !ok {
+		t.Errorf("stmt 2: got %T, want Assign", stmts[2])
+	}
+	if a, ok := stmts[3].(*ast.Assign); !ok {
+		t.Errorf("stmt 3: got %T, want Assign", stmts[3])
+	} else if _, isIdx := a.LHS.(*ast.Index); !isIdx {
+		t.Errorf("stmt 3: LHS %T, want Index", a.LHS)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	stmts := parseBody(t, `
+		Object o = null;
+		String s = (String) o;
+		int x = (y);
+		Foo[] a = (Foo[]) o;
+		int z = (int) w;
+	`)
+	if d := stmts[1].(*ast.VarDecl); true {
+		if _, ok := d.Init.(*ast.Cast); !ok {
+			t.Errorf("(String) o parsed as %T, want Cast", d.Init)
+		}
+	}
+	if d := stmts[2].(*ast.VarDecl); true {
+		if _, ok := d.Init.(*ast.Ident); !ok {
+			t.Errorf("(y) parsed as %T, want Ident", d.Init)
+		}
+	}
+	if d := stmts[3].(*ast.VarDecl); true {
+		if _, ok := d.Init.(*ast.Cast); !ok {
+			t.Errorf("(Foo[]) o parsed as %T, want Cast", d.Init)
+		}
+	}
+	if d := stmts[4].(*ast.VarDecl); true {
+		if _, ok := d.Init.(*ast.Cast); !ok {
+			t.Errorf("(int) w parsed as %T, want Cast", d.Init)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	stmts := parseBody(t, `x = a + b * c;`)
+	a := stmts[0].(*ast.Assign)
+	add, ok := a.RHS.(*ast.Binary)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("top is %#v, want +", a.RHS)
+	}
+	mul, ok := add.Y.(*ast.Binary)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs of + is %#v, want *", add.Y)
+	}
+}
+
+func TestLogicalPrecedence(t *testing.T) {
+	stmts := parseBody(t, `b = x < y && p || q;`)
+	a := stmts[0].(*ast.Assign)
+	or, ok := a.RHS.(*ast.Binary)
+	if !ok || or.Op != token.LOR {
+		t.Fatalf("top is %#v, want ||", a.RHS)
+	}
+	and, ok := or.X.(*ast.Binary)
+	if !ok || and.Op != token.LAND {
+		t.Fatalf("lhs of || is %#v, want &&", or.X)
+	}
+	lss, ok := and.X.(*ast.Binary)
+	if !ok || lss.Op != token.LSS {
+		t.Fatalf("lhs of && is %#v, want <", and.X)
+	}
+}
+
+func TestIncrementDesugars(t *testing.T) {
+	stmts := parseBody(t, `i++; j += 2; k--;`)
+	for i, s := range stmts {
+		a, ok := s.(*ast.Assign)
+		if !ok {
+			t.Fatalf("stmt %d: got %T", i, s)
+		}
+		if _, ok := a.RHS.(*ast.Binary); !ok {
+			t.Errorf("stmt %d: RHS %T, want Binary", i, a.RHS)
+		}
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	stmts := parseBody(t, `for (int i = 0; i < n; i++) { print(i); }`)
+	f, ok := stmts[0].(*ast.For)
+	if !ok {
+		t.Fatalf("got %T", stmts[0])
+	}
+	if _, ok := f.Init.(*ast.VarDecl); !ok {
+		t.Errorf("init is %T", f.Init)
+	}
+	if f.Cond == nil || f.Post == nil {
+		t.Error("missing cond or post")
+	}
+}
+
+func TestForLoopEmptyClauses(t *testing.T) {
+	stmts := parseBody(t, `for (;;) { break; }`)
+	f := stmts[0].(*ast.For)
+	if f.Init != nil || f.Cond != nil || f.Post != nil {
+		t.Errorf("clauses should be nil: %+v", f)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	stmts := parseBody(t, `if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }`)
+	s := stmts[0].(*ast.If)
+	inner, ok := s.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else branch is %T", s.Else)
+	}
+	if inner.Else == nil {
+		t.Error("inner else missing")
+	}
+}
+
+func TestNewForms(t *testing.T) {
+	stmts := parseBody(t, `
+		Vector v = new Vector();
+		Object[] a = new Object[10];
+		int[] b = new int[n + 1];
+	`)
+	if _, ok := stmts[0].(*ast.VarDecl).Init.(*ast.New); !ok {
+		t.Error("new Vector() not a New")
+	}
+	na, ok := stmts[1].(*ast.VarDecl).Init.(*ast.NewArray)
+	if !ok {
+		t.Fatal("new Object[10] not a NewArray")
+	}
+	if _, ok := na.Elem.(*ast.NamedType); !ok {
+		t.Errorf("elem type %T", na.Elem)
+	}
+}
+
+func TestCallsAndChaining(t *testing.T) {
+	stmts := parseBody(t, `x = v.get(i).foo(1, 2); helper(a); C.stat();`)
+	a := stmts[0].(*ast.Assign)
+	outer, ok := a.RHS.(*ast.Call)
+	if !ok || outer.Name != "foo" || len(outer.Args) != 2 {
+		t.Fatalf("got %#v", a.RHS)
+	}
+	if inner, ok := outer.Recv.(*ast.Call); !ok || inner.Name != "get" {
+		t.Fatalf("receiver %#v", outer.Recv)
+	}
+	unq := stmts[1].(*ast.ExprStmt).X.(*ast.Call)
+	if unq.Recv != nil || unq.Name != "helper" {
+		t.Fatalf("got %#v", unq)
+	}
+	st := stmts[2].(*ast.ExprStmt).X.(*ast.Call)
+	if st.Recv == nil {
+		t.Fatal("C.stat() lost its receiver")
+	}
+}
+
+func TestInstanceof(t *testing.T) {
+	stmts := parseBody(t, `b = x instanceof Foo && y;`)
+	a := stmts[0].(*ast.Assign)
+	and := a.RHS.(*ast.Binary)
+	if _, ok := and.X.(*ast.InstanceOf); !ok {
+		t.Fatalf("lhs %#v", and.X)
+	}
+}
+
+func TestThrowAssert(t *testing.T) {
+	stmts := parseBody(t, `assert(x == 1); throw new Error();`)
+	if _, ok := stmts[0].(*ast.Assert); !ok {
+		t.Errorf("got %T", stmts[0])
+	}
+	if _, ok := stmts[1].(*ast.Throw); !ok {
+		t.Errorf("got %T", stmts[1])
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	classes, err := ParseFile("t.mj", `class A { void m() { x = ; y = 2; } } class B { }`)
+	if err == nil {
+		t.Fatal("expected parse errors")
+	}
+	if len(classes) != 2 {
+		t.Fatalf("recovery failed: got %d classes, want 2", len(classes))
+	}
+}
+
+func TestFieldAccessChain(t *testing.T) {
+	stmts := parseBody(t, `x = this.a.b.c;`)
+	a := stmts[0].(*ast.Assign)
+	fc, ok := a.RHS.(*ast.FieldAccess)
+	if !ok || fc.Name != "c" {
+		t.Fatalf("got %#v", a.RHS)
+	}
+	fb, ok := fc.X.(*ast.FieldAccess)
+	if !ok || fb.Name != "b" {
+		t.Fatalf("got %#v", fc.X)
+	}
+}
+
+func TestArrayLength(t *testing.T) {
+	stmts := parseBody(t, `n = arr.length;`)
+	a := stmts[0].(*ast.Assign)
+	fc, ok := a.RHS.(*ast.FieldAccess)
+	if !ok || fc.Name != "length" {
+		t.Fatalf("got %#v", a.RHS)
+	}
+}
+
+func TestStatementPositionsSurvive(t *testing.T) {
+	src := "class A {\n  void m() {\n    int x = 1;\n  }\n}"
+	classes, err := ParseFile("pos.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := classes[0].Methods[0].Body.Stmts[0].(*ast.VarDecl)
+	if d.Pos().Line != 3 || d.Pos().File != "pos.mj" {
+		t.Errorf("got pos %v", d.Pos())
+	}
+}
+
+func TestUnaryChains(t *testing.T) {
+	stmts := parseBody(t, `b = !!p; n = -(-m);`)
+	a := stmts[0].(*ast.Assign)
+	u1 := a.RHS.(*ast.Unary)
+	if _, ok := u1.X.(*ast.Unary); !ok {
+		t.Errorf("got %#v", u1.X)
+	}
+}

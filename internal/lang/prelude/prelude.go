@@ -1,0 +1,198 @@
+// Package prelude provides the in-language standard container library
+// that analyzed programs link against: Vector, HashMap, LinkedList, and
+// an Iterator. The containers are written in the MiniJava-style source
+// language itself so that, exactly as in Java, their internals pollute
+// traditional slices and exercise the object-sensitive handling of
+// "key collections classes" that the thin slicing paper relies on
+// (paper §6.1, citing Milanova et al. [16]).
+package prelude
+
+// FileName is the pseudo file name under which the prelude is parsed.
+const FileName = "<prelude>"
+
+// ContainerClasses lists the collection classes that the pointer
+// analysis treats object-sensitively in its precise configuration
+// (the paper's ObjSens setting).
+var ContainerClasses = []string{
+	"Vector", "HashMap", "HashMapEntry", "LinkedList", "ListNode", "Iterator",
+}
+
+// Source is the prelude source text.
+const Source = `
+// Growable array-backed container, modeled on java.util.Vector.
+class Vector {
+    Object[] elems;
+    int count;
+    Vector() {
+        this.elems = new Object[10];
+        this.count = 0;
+    }
+    void add(Object p) {
+        this.ensure(this.count + 1);
+        this.elems[this.count] = p;
+        this.count = this.count + 1;
+    }
+    Object get(int ind) {
+        return this.elems[ind];
+    }
+    void set(int ind, Object p) {
+        this.elems[ind] = p;
+    }
+    Object removeLast() {
+        this.count = this.count - 1;
+        Object r = this.elems[this.count];
+        this.elems[this.count] = null;
+        return r;
+    }
+    int size() {
+        return this.count;
+    }
+    boolean isEmpty() {
+        return this.count == 0;
+    }
+    void ensure(int cap) {
+        if (cap > this.elems.length) {
+            Object[] bigger = new Object[cap * 2];
+            int i = 0;
+            while (i < this.count) {
+                bigger[i] = this.elems[i];
+                i = i + 1;
+            }
+            this.elems = bigger;
+        }
+    }
+    Iterator iterator() {
+        Iterator it = new Iterator(this);
+        return it;
+    }
+}
+
+// Index-based iterator over a Vector.
+class Iterator {
+    Vector src;
+    int pos;
+    Iterator(Vector v) {
+        this.src = v;
+        this.pos = 0;
+    }
+    boolean hasNext() {
+        return this.pos < this.src.size();
+    }
+    Object next() {
+        Object r = this.src.get(this.pos);
+        this.pos = this.pos + 1;
+        return r;
+    }
+}
+
+// Separate-chaining hash map with string keys.
+class HashMapEntry {
+    string key;
+    Object value;
+    HashMapEntry nxt;
+    HashMapEntry(string k, Object v, HashMapEntry n) {
+        this.key = k;
+        this.value = v;
+        this.nxt = n;
+    }
+}
+
+class HashMap {
+    HashMapEntry[] buckets;
+    int count;
+    HashMap() {
+        this.buckets = new HashMapEntry[16];
+        this.count = 0;
+    }
+    int hash(string key) {
+        int h = 0;
+        int i = 0;
+        while (i < key.length()) {
+            h = h * 31 + key.charAt(i);
+            i = i + 1;
+        }
+        if (h < 0) {
+            h = 0 - h;
+        }
+        return h % this.buckets.length;
+    }
+    void put(string key, Object value) {
+        int b = this.hash(key);
+        HashMapEntry e = this.buckets[b];
+        while (e != null) {
+            if (e.key.equals(key)) {
+                e.value = value;
+                return;
+            }
+            e = e.nxt;
+        }
+        HashMapEntry fresh = new HashMapEntry(key, value, this.buckets[b]);
+        this.buckets[b] = fresh;
+        this.count = this.count + 1;
+    }
+    Object get(string key) {
+        int b = this.hash(key);
+        HashMapEntry e = this.buckets[b];
+        while (e != null) {
+            if (e.key.equals(key)) {
+                return e.value;
+            }
+            e = e.nxt;
+        }
+        return null;
+    }
+    boolean containsKey(string key) {
+        Object v = this.get(key);
+        return !(v == null);
+    }
+    int size() {
+        return this.count;
+    }
+}
+
+// Singly linked list.
+class ListNode {
+    Object item;
+    ListNode nxt;
+    ListNode(Object v) {
+        this.item = v;
+        this.nxt = null;
+    }
+}
+
+class LinkedList {
+    ListNode head;
+    ListNode tail;
+    int count;
+    LinkedList() {
+        this.head = null;
+        this.tail = null;
+        this.count = 0;
+    }
+    void add(Object v) {
+        ListNode n = new ListNode(v);
+        if (this.tail == null) {
+            this.head = n;
+        } else {
+            this.tail.nxt = n;
+        }
+        this.tail = n;
+        this.count = this.count + 1;
+    }
+    Object get(int ind) {
+        ListNode n = this.head;
+        int i = 0;
+        while (i < ind) {
+            n = n.nxt;
+            i = i + 1;
+        }
+        return n.item;
+    }
+    Object first() {
+        return this.head.item;
+    }
+    int size() {
+        return this.count;
+    }
+}
+`

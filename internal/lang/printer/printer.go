@@ -1,0 +1,248 @@
+// Package printer renders ASTs back to source text. The output
+// re-parses to a structurally identical tree (a property the tests
+// check by fixpoint), which makes it useful for debugging generated
+// programs and for golden output in tools.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"thinslice/internal/lang/ast"
+	"thinslice/internal/lang/token"
+)
+
+// Program renders all classes of a program.
+func Program(prog *ast.Program) string {
+	var b strings.Builder
+	for i, c := range prog.Classes {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(Class(c))
+	}
+	return b.String()
+}
+
+// Class renders one class declaration.
+func Class(c *ast.ClassDecl) string {
+	p := &printer{}
+	p.class(c)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteString("\n")
+}
+
+func (p *printer) class(c *ast.ClassDecl) {
+	head := "class " + c.Name
+	if c.Super != "" {
+		head += " extends " + c.Super
+	}
+	p.line("%s {", head)
+	p.indent++
+	for _, f := range c.Fields {
+		mods := ""
+		if f.Static {
+			mods += "static "
+		}
+		if f.Final {
+			mods += "final "
+		}
+		p.line("%s%s %s;", mods, ast.TypeString(f.Type), f.Name)
+	}
+	for _, m := range c.Methods {
+		p.method(m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) method(m *ast.MethodDecl) {
+	var params []string
+	for _, prm := range m.Params {
+		params = append(params, ast.TypeString(prm.Type)+" "+prm.Name)
+	}
+	head := ""
+	if m.Static {
+		head += "static "
+	}
+	if m.IsCtor {
+		head += m.Name
+	} else {
+		head += ast.TypeString(m.Ret) + " " + m.Name
+	}
+	p.line("%s(%s) {", head, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) blockBody(s ast.Stmt) {
+	p.indent++
+	if blk, ok := s.(*ast.Block); ok {
+		for _, st := range blk.Stmts {
+			p.stmt(st)
+		}
+	} else if s != nil {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		p.line("{")
+		p.blockBody(s)
+		p.line("}")
+	case *ast.VarDecl:
+		if s.Init != nil {
+			p.line("%s %s = %s;", ast.TypeString(s.Type), s.Name, Expr(s.Init))
+		} else {
+			p.line("%s %s;", ast.TypeString(s.Type), s.Name)
+		}
+	case *ast.Assign:
+		p.line("%s = %s;", Expr(s.LHS), Expr(s.RHS))
+	case *ast.If:
+		p.line("if (%s) {", Expr(s.Cond))
+		p.blockBody(s.Then)
+		if s.Else != nil {
+			p.line("} else {")
+			p.blockBody(s.Else)
+		}
+		p.line("}")
+	case *ast.While:
+		p.line("while (%s) {", Expr(s.Cond))
+		p.blockBody(s.Body)
+		p.line("}")
+	case *ast.For:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(p.capture(s.Init)), ";")
+		}
+		if s.Cond != nil {
+			cond = Expr(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(p.capture(s.Post)), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.blockBody(s.Body)
+		p.line("}")
+	case *ast.Return:
+		if s.Value != nil {
+			p.line("return %s;", Expr(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *ast.ExprStmt:
+		p.line("%s;", Expr(s.X))
+	case *ast.Throw:
+		p.line("throw %s;", Expr(s.X))
+	case *ast.Assert:
+		p.line("assert(%s);", Expr(s.Cond))
+	case *ast.Break:
+		p.line("break;")
+	case *ast.Continue:
+		p.line("continue;")
+	default:
+		p.line("/* unknown statement %T */;", s)
+	}
+}
+
+// capture renders a single statement to a string (used for for-clauses).
+func (p *printer) capture(s ast.Stmt) string {
+	sub := &printer{}
+	sub.stmt(s)
+	return sub.b.String()
+}
+
+// Expr renders an expression with minimal necessary parentheses.
+func Expr(e ast.Expr) string { return exprPrec(e, 0) }
+
+// exprPrec renders e assuming it appears in a context of the given
+// binding strength; parentheses are added when e binds looser.
+func exprPrec(e ast.Expr, ctx int) string {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return strconv.FormatInt(e.Value, 10)
+	case *ast.BoolLit:
+		return strconv.FormatBool(e.Value)
+	case *ast.StrLit:
+		return strconv.Quote(e.Value)
+	case *ast.NullLit:
+		return "null"
+	case *ast.Ident:
+		return e.Name
+	case *ast.This:
+		return "this"
+	case *ast.Binary:
+		prec := e.Op.Precedence()
+		s := exprPrec(e.X, prec) + " " + e.Op.String() + " " + exprPrec(e.Y, prec+1)
+		if prec < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.Unary:
+		operand := exprPrec(e.X, 7)
+		if e.Op == token.SUB {
+			// Avoid "--x" gluing into a decrement token.
+			if strings.HasPrefix(operand, "-") {
+				operand = "(" + operand + ")"
+			}
+			return "-" + operand
+		}
+		return "!" + operand
+	case *ast.FieldAccess:
+		return exprPrec(e.X, 8) + "." + e.Name
+	case *ast.Index:
+		return exprPrec(e.X, 8) + "[" + Expr(e.I) + "]"
+	case *ast.Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, Expr(a))
+		}
+		if e.IsSuper {
+			return "super(" + strings.Join(args, ", ") + ")"
+		}
+		if e.Recv == nil {
+			return e.Name + "(" + strings.Join(args, ", ") + ")"
+		}
+		return exprPrec(e.Recv, 8) + "." + e.Name + "(" + strings.Join(args, ", ") + ")"
+	case *ast.New:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, Expr(a))
+		}
+		return "new " + e.Class + "(" + strings.Join(args, ", ") + ")"
+	case *ast.NewArray:
+		return "new " + ast.TypeString(e.Elem) + "[" + Expr(e.Len) + "]"
+	case *ast.Cast:
+		s := "(" + ast.TypeString(e.Type) + ") " + exprPrec(e.X, 7)
+		if ctx > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.InstanceOf:
+		prec := token.INSTANCEOF.Precedence()
+		s := exprPrec(e.X, prec) + " instanceof " + e.Class
+		if prec < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}

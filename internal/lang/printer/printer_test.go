@@ -1,0 +1,125 @@
+package printer_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thinslice/internal/lang/parser"
+	"thinslice/internal/lang/prelude"
+	"thinslice/internal/lang/printer"
+	"thinslice/internal/papercases"
+	"thinslice/internal/randprog"
+)
+
+// reprint parses src and renders it back.
+func reprint(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := parser.ParseProgram(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return printer.Program(prog)
+}
+
+// TestRoundTripFixpoint: print∘parse is a fixpoint — printing, parsing
+// and printing again yields the identical text. This implies the
+// printed form re-parses to a structurally identical tree.
+func TestRoundTripFixpoint(t *testing.T) {
+	sources := map[string]string{
+		"prelude":    prelude.Source,
+		"firstnames": papercases.FirstNames,
+		"toy":        papercases.Toy,
+		"filebug":    papercases.FileBug,
+		"toughcast":  papercases.ToughCast,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			once := reprint(t, src)
+			twice := reprint(t, once)
+			if once != twice {
+				t.Fatalf("not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", once, twice)
+			}
+		})
+	}
+}
+
+// TestPropertyRoundTripOnRandomPrograms runs the fixpoint property over
+// the random program generator.
+func TestPropertyRoundTripOnRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randprog.Generate(seed, randprog.DefaultConfig)["rand.mj"]
+		prog, err := parser.ParseProgram(map[string]string{"rand.mj": src})
+		if err != nil {
+			return false
+		}
+		once := printer.Program(prog)
+		prog2, err := parser.ParseProgram(map[string]string{"rand.mj": once})
+		if err != nil {
+			t.Logf("seed %d: reprint does not parse: %v\n%s", seed, err, once)
+			return false
+		}
+		twice := printer.Program(prog2)
+		if once != twice {
+			t.Logf("seed %d: not a fixpoint", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecedenceParenthesization(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x = a + b * c;", "x = a + b * c;"},
+		{"x = (a + b) * c;", "x = (a + b) * c;"},
+		{"b = x < y && p || q;", "b = x < y && p || q;"},
+		{"b = x < (y + 1);", "b = x < y + 1;"}, // redundant parens dropped
+		{"b = !(p && q);", "b = !(p && q);"},
+		{"x = a - (b - c);", "x = a - (b - c);"}, // left-assoc preserved
+		{"x = -(-y);", "x = -(-y);"},             // not a decrement
+	}
+	for _, c := range cases {
+		src := "class A { void m(int a, int b, int c, int x, int y, boolean p, boolean q) { " + c.src + " } }"
+		out := reprint(t, src)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%q printed without %q:\n%s", c.src, c.want, out)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	src := `class A { void m() { print("line\nbreak \"quoted\""); } }`
+	once := reprint(t, src)
+	twice := reprint(t, once)
+	if once != twice {
+		t.Fatalf("escape round trip broken:\n%s\nvs\n%s", once, twice)
+	}
+	if !strings.Contains(once, `\n`) {
+		t.Error("newline escape lost")
+	}
+}
+
+func TestForLoopClauses(t *testing.T) {
+	src := `class A { void m(int n) { for (int i = 0; i < n; i++) { print(i); } for (;;) { break; } } }`
+	out := reprint(t, src)
+	if !strings.Contains(out, "for (int i = 0; i < n; i = i + 1)") {
+		t.Errorf("for clauses wrong (note ++ desugars in the AST):\n%s", out)
+	}
+	if !strings.Contains(out, "for (; ; )") {
+		t.Errorf("empty clauses wrong:\n%s", out)
+	}
+}
+
+func TestSuperAndCtor(t *testing.T) {
+	src := `class Node { int op; Node(int op) { this.op = op; } }
+class AddNode extends Node { AddNode() { super(1); } }`
+	out := reprint(t, src)
+	for _, want := range []string{"class AddNode extends Node {", "AddNode() {", "super(1);", "this.op = op;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package token defines the lexical tokens of the MiniJava-style source
+// language analyzed by the thin slicer, together with source positions.
+//
+// The language is a small Java subset: classes with single inheritance,
+// virtual dispatch, object fields, arrays, strings, casts, instanceof,
+// and structured control flow. It is rich enough to exhibit the
+// heap-mediated value flow (containers, opcode-field class families) that
+// the thin slicing paper (PLDI 2007) studies.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Literal kinds carry their text in Token.Lit.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	STRING // "abc"
+	CHAR   // 'a'
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN // =
+
+	LPAREN  // (
+	RPAREN  // )
+	LBRACE  // {
+	RBRACE  // }
+	LBRACK  // [
+	RBRACK  // ]
+	COMMA   // ,
+	SEMI    // ;
+	DOT     // .
+	INCR    // ++ (statement-level only)
+	DECR    // -- (statement-level only)
+	PLUSEQ  // +=
+	MINUSEQ // -=
+
+	// Keywords.
+	kwStart
+	CLASS
+	EXTENDS
+	STATIC
+	FINAL
+	VOID
+	INTK  // int
+	BOOLK // boolean
+	STRK  // string
+	IF
+	ELSE
+	WHILE
+	FOR
+	RETURN
+	NEW
+	THIS
+	SUPER
+	NULL
+	TRUE
+	FALSE
+	THROW
+	ASSERT
+	INSTANCEOF
+	BREAK
+	CONTINUE
+	kwEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", COMMENT: "COMMENT",
+	IDENT: "IDENT", INT: "INT", STRING: "STRING", CHAR: "CHAR",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", LEQ: "<=", GTR: ">", GEQ: ">=",
+	ASSIGN: "=",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";", DOT: ".",
+	INCR: "++", DECR: "--", PLUSEQ: "+=", MINUSEQ: "-=",
+	CLASS: "class", EXTENDS: "extends", STATIC: "static", FINAL: "final",
+	VOID: "void", INTK: "int", BOOLK: "boolean", STRK: "string",
+	IF: "if", ELSE: "else", WHILE: "while", FOR: "for", RETURN: "return",
+	NEW: "new", THIS: "this", SUPER: "super", NULL: "null",
+	TRUE: "true", FALSE: "false", THROW: "throw", ASSERT: "assert",
+	INSTANCEOF: "instanceof", BREAK: "break", CONTINUE: "continue",
+}
+
+// String returns a human-readable name or the operator/keyword spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > kwStart && k < kwEnd }
+
+// keywords maps spelling to keyword kind.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := kwStart + 1; k < kwEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup returns the keyword kind for an identifier spelling, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column plus the file name.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexeme with its position and literal text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string // literal text for IDENT, INT, STRING, CHAR, COMMENT
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, CHAR:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Precedence returns the binary operator precedence (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ:
+		return 3
+	case LSS, LEQ, GTR, GEQ, INSTANCEOF:
+		return 4
+	case ADD, SUB:
+		return 5
+	case MUL, QUO, REM:
+		return 6
+	}
+	return 0
+}

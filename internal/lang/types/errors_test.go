@@ -1,0 +1,38 @@
+package types_test
+
+import "testing"
+
+// Table-driven semantic error cases exercising the checker's
+// diagnostic paths.
+func TestSemanticErrorTable(t *testing.T) {
+	cases := []struct{ name, src, fragment string }{
+		{"instantiate-string", `class A { void m() { string s = new String(); } }`, "cannot instantiate String"},
+		{"redeclare-predeclared", `class String { }`, "predeclared class"},
+		{"compare-mismatch", `class A { void m(int x, boolean b) { boolean r = x == b; } }`, "cannot compare"},
+		{"concat-bad-operand", `class A { void m(boolean b) { string s = "x" + b; } }`, "string concatenation"},
+		{"call-on-int", `class A { void m(int x) { x.foo(); } }`, "non-object"},
+		{"no-such-method", `class B { } class A { void m(B b) { b.nope(); } }`, "no method nope"},
+		{"string-no-method", `class A { void m(string s) { s.reverse(); } }`, "String has no method"},
+		{"field-on-int", `class A { void m(int x) { int y = x.f; } }`, "non-object"},
+		{"no-such-field", `class B { } class A { void m(B b) { int y = b.f; } }`, "no field f"},
+		{"arrays-no-field", `class A { void m(int[] a) { int n = a.count; } }`, "arrays have no field"},
+		{"static-call-missing", `class K { void inst() { } } class A { void m() { K.inst(); } }`, "no static method"},
+		{"arg-count", `class A { int f(int x) { return x; } void m() { int y = f(); } }`, "0 arguments, want 1"},
+		{"arg-type", `class A { int f(int x) { return x; } void m() { int y = f(true); } }`, "argument 1"},
+		{"ctor-arg-count", `class B { B(int x) { } } class A { void m() { B b = new B(); } }`, "takes 1 arguments"},
+		{"new-undeclared", `class A { void m() { Object o = new Zzz(); } }`, "undeclared class Zzz"},
+		{"unary-not-int", `class A { void m(int x) { boolean b = !x; } }`, "requires boolean"},
+		{"unary-minus-bool", `class A { void m(boolean b) { int x = -b; } }`, "requires int"},
+		{"operand-not-int", `class A { void m(boolean b) { int x = b * 2; } }`, "must be int"},
+		{"operand-not-bool", `class A { void m(int x) { boolean b = x && true; } }`, "must be boolean"},
+		{"assign-mismatch", `class A { void m() { int x = 0; x = "s"; } }`, "cannot assign"},
+		{"invalid-target", `class A { int f() { return 1; } void m() { f() = 2; } }`, "invalid assignment target"},
+		{"static-changes", `class B { void m() { } } class C extends B { static void m() { } }`, "changes staticness"},
+		{"undeclared-super-field", `class A { void m() { q = 2; } }`, "undeclared identifier"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantError(t, c.src, c.fragment)
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package papercases encodes the paper's running examples (Figures 1,
+// 2, 4, and 5) as programs in our source language, with helpers to
+// locate their interesting lines. Tests, examples, and documentation
+// all reference these programs, so the paper's walkthroughs can be
+// checked mechanically.
+package papercases
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FirstNamesFile names the Figure 1 source.
+const FirstNamesFile = "firstnames.mj"
+
+// FirstNames is Figure 1: full names are read, first names extracted
+// (with an off-by-one bug) and stored in a Vector; a web-session-style
+// indirection later retrieves and prints them. The thin slice from the
+// print leads straight to the buggy substring.
+const FirstNames = `class Names {
+    Vector readNames(int n) {
+        Vector firstNames = new Vector();
+        int i = 0;
+        while (i < n) {
+            string fullName = input();
+            int spaceInd = fullName.indexOf(" ");
+            string firstName = fullName.substring(0, spaceInd - 1); // BUG: off by one
+            firstNames.add(firstName);
+            i = i + 1;
+        }
+        return firstNames;
+    }
+    void printNames(Vector firstNames) {
+        int i = 0;
+        while (i < firstNames.size()) {
+            string firstName = (string) firstNames.get(i);
+            print("FIRST NAME: " + firstName); // SEED
+            i = i + 1;
+        }
+    }
+}
+class SessionState {
+    Vector names;
+    SessionState() { }
+    void setNames(Vector v) { this.names = v; }
+    Vector getNames() { return this.names; }
+}
+class Main {
+    static SessionState state;
+    static SessionState getState() {
+        if (Main.state == null) {
+            Main.state = new SessionState();
+        }
+        return Main.state;
+    }
+    static void main() {
+        Names app = new Names();
+        Vector firstNames = app.readNames(inputInt());
+        SessionState s = getState();
+        s.setNames(firstNames);
+        SessionState t = getState();
+        app.printNames(t.getNames());
+    }
+}
+`
+
+// ToyFile names the Figure 2 source.
+const ToyFile = "toy.mj"
+
+// Toy is Figure 2: the minimal heap-flow example. The thin slice for
+// the read of z.f is {store w.f = y, alloc of y, seed}; the statements
+// establishing the aliasing of w and z and the branch are explainers.
+const Toy = `class A2 {
+    Object f;
+    A2() { }
+}
+class Main {
+    static void main() {
+        A2 x = new A2(); // L1
+        A2 z = x; // L2
+        Object y = new Object(); // L3
+        A2 w = x; // L4
+        w.f = y; // L5
+        if (w == z) { // L6
+            Object v = z.f; // L7 (seed)
+            print(v);
+        }
+    }
+}
+`
+
+// FileBugFile names the Figure 4 source.
+const FileBugFile = "filebug.mj"
+
+// FileBug is Figure 4: a File is stored in a Vector, retrieved and
+// erroneously closed, then retrieved again and read, throwing. The
+// debugging session needs one control dependence (the guard of the
+// throw) and one aliasing explanation (which File reaches close()).
+const FileBug = `class ClosedException {
+    ClosedException() { }
+}
+class File {
+    boolean open;
+    File() {
+        this.open = true; // OPEN
+    }
+    boolean isOpen() {
+        return this.open; // READ
+    }
+    void close() {
+        this.open = false; // CLOSE
+    }
+}
+class Main {
+    static void readFromFile(File f) {
+        boolean open = f.isOpen(); // CHECK
+        if (!open) { // GUARD
+            throw new ClosedException(); // THROW (failure)
+        }
+    }
+    static void main() {
+        File f = new File(); // NEWFILE
+        Vector files = new Vector(); // NEWVEC
+        files.add(f); // ADD
+        File g = (File) files.get(0); // GET1
+        g.close(); // CLOSECALL
+        File h = (File) files.get(0); // GET2
+        readFromFile(h); // READCALL
+    }
+}
+`
+
+// ToughCastFile names the Figure 5 source.
+const ToughCastFile = "toughcast.mj"
+
+// ToughCast is Figure 5: a javac-style opcode-field invariant makes a
+// downcast safe in ways pointer analysis cannot verify. Understanding
+// it requires one control dependence (the switch guard) and a thin
+// slice of the opcode field.
+const ToughCast = `class Node {
+    int op;
+    Node(int op) {
+        this.op = op; // SETOP
+    }
+}
+class AddNode extends Node {
+    int lhs;
+    AddNode() {
+        super(1); // ADDOP
+    }
+}
+class SubNode extends Node {
+    SubNode() {
+        super(2); // SUBOP
+    }
+}
+class Main {
+    static void simplify(Node n) {
+        int op = n.op; // READOP
+        if (op == 1) { // GUARD
+            AddNode add = (AddNode) n; // CAST (tough)
+            print(add.lhs);
+        }
+    }
+    static void main() {
+        Node a = new AddNode();
+        Node b = new SubNode();
+        simplify(a);
+        simplify(b);
+    }
+}
+`
+
+// Line returns the 1-based line number of the first source line
+// containing marker; it panics when the marker is missing, since the
+// cases are fixed constants.
+func Line(src, marker string) int {
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			return i + 1
+		}
+	}
+	panic(fmt.Sprintf("papercases: marker %q not found", marker))
+}

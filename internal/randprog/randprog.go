@@ -1,0 +1,373 @@
+// Package randprog generates random, well-typed programs in the
+// MiniJava-style source language, for property-based testing
+// (testing/quick) across the whole pipeline: SSA well-formedness,
+// slicer inclusion laws, points-to soundness against the interpreter,
+// and dynamic-vs-static slice containment.
+//
+// Generated programs always terminate: loops are bounded counters, and
+// there is no recursion. Reference-typed expressions may evaluate to
+// null, so generated field accesses are guarded.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Classes is the number of data classes (≥1).
+	Classes int
+	// Stmts is the rough number of statements in main.
+	Stmts int
+	// MaxDepth bounds expression nesting.
+	MaxDepth int
+}
+
+// DefaultConfig is a moderate size suitable for quick.Check rounds.
+var DefaultConfig = Config{Classes: 3, Stmts: 25, MaxDepth: 3}
+
+// Generate produces a deterministic random program for a seed.
+func Generate(seed int64, cfg Config) map[string]string {
+	if cfg.Classes < 1 {
+		cfg.Classes = 1
+	}
+	if cfg.Stmts < 1 {
+		cfg.Stmts = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return map[string]string{"rand.mj": g.program()}
+}
+
+type varInfo struct {
+	name string
+	typ  string // "int", "boolean", "string", or a class name
+}
+
+type gen struct {
+	rng    *rand.Rand
+	cfg    Config
+	b      strings.Builder
+	indent int
+	vars   []varInfo
+	nVars  int
+	loops  int
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+}
+
+func (g *gen) fresh() string {
+	g.nVars++
+	return fmt.Sprintf("v%d", g.nVars)
+}
+
+func (g *gen) className(i int) string { return fmt.Sprintf("P%d", i) }
+
+func (g *gen) program() string {
+	// Data classes: each has an int field, a string field, a reference
+	// to the previous class, and getter/setter/compute methods.
+	for i := 0; i < g.cfg.Classes; i++ {
+		name := g.className(i)
+		g.w("class %s {", name)
+		g.indent++
+		g.w("int val;")
+		g.w("string tag;")
+		if i > 0 {
+			g.w("%s prev;", g.className(i-1))
+		}
+		g.w("%s(int v) {", name)
+		g.indent++
+		g.w("this.val = v;")
+		g.w("this.tag = \"%s-\" + itoa(v);", name)
+		if i > 0 {
+			g.w("this.prev = null;")
+		}
+		g.indent--
+		g.w("}")
+		g.w("int value() {")
+		g.indent++
+		g.w("return this.val;")
+		g.indent--
+		g.w("}")
+		g.w("void setValue(int v) {")
+		g.indent++
+		g.w("this.val = v;")
+		g.indent--
+		g.w("}")
+		g.w("int compute(int x) {")
+		g.indent++
+		g.w("return this.val * %d + x;", g.rng.Intn(7)+1)
+		g.indent--
+		g.w("}")
+		g.indent--
+		g.w("}")
+	}
+	// Utility statics.
+	g.w("class Util {")
+	g.indent++
+	g.w("static int twice(int x) {")
+	g.indent++
+	g.w("return x + x;")
+	g.indent--
+	g.w("}")
+	g.w("static int pickMax(int a, int b) {")
+	g.indent++
+	g.w("if (a > b) {")
+	g.indent++
+	g.w("return a;")
+	g.indent--
+	g.w("}")
+	g.w("return b;")
+	g.indent--
+	g.w("}")
+	g.indent--
+	g.w("}")
+
+	g.w("class Main {")
+	g.indent++
+	g.w("static void main() {")
+	g.indent++
+	// Seed variables so expressions always have material.
+	g.declare("int", fmt.Sprintf("%d", g.rng.Intn(100)))
+	g.declare("int", "inputInt()")
+	g.declare("boolean", "true")
+	g.declare("string", "input()")
+	for i := 0; i < g.cfg.Classes; i++ {
+		cls := g.className(i)
+		g.declare(cls, fmt.Sprintf("new %s(%d)", cls, g.rng.Intn(50)))
+	}
+	g.declare("Vector", "new Vector()")
+	for i := 0; i < g.cfg.Stmts; i++ {
+		g.stmt(0)
+	}
+	// Always end by printing everything, so every variable is a
+	// potential seed with real flow behind it.
+	for _, v := range g.vars {
+		switch v.typ {
+		case "int", "boolean", "string":
+			g.w("print(%s);", v.name)
+		}
+	}
+	g.indent--
+	g.w("}")
+	g.indent--
+	g.w("}")
+	return g.b.String()
+}
+
+func (g *gen) declare(typ, init string) string {
+	name := g.fresh()
+	g.w("%s %s = %s;", typ, name, init)
+	g.vars = append(g.vars, varInfo{name, typ})
+	return name
+}
+
+// pick returns a random in-scope variable of the given type, or "".
+func (g *gen) pick(typ string) string {
+	var cands []string
+	for _, v := range g.vars {
+		if v.typ == typ {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+func (g *gen) anyClassVar() (string, string) {
+	var cands []varInfo
+	for _, v := range g.vars {
+		if strings.HasPrefix(v.typ, "P") {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return "", ""
+	}
+	c := cands[g.rng.Intn(len(cands))]
+	return c.name, c.typ
+}
+
+// intExpr generates an int-typed expression.
+func (g *gen) intExpr(depth int) string {
+	if depth >= g.cfg.MaxDepth || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		case 1:
+			if v := g.pick("int"); v != "" {
+				return v
+			}
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		default:
+			if v, _ := g.anyClassVar(); v != "" {
+				return fmt.Sprintf("%s.val", v)
+			}
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 2:
+		return fmt.Sprintf("(%s * %d)", g.intExpr(depth+1), g.rng.Intn(5)+1)
+	case 3:
+		return fmt.Sprintf("Util.twice(%s)", g.intExpr(depth+1))
+	case 4:
+		return fmt.Sprintf("Util.pickMax(%s, %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	default:
+		if v, _ := g.anyClassVar(); v != "" {
+			return fmt.Sprintf("%s.compute(%s)", v, g.intExpr(depth+1))
+		}
+		return g.intExpr(depth + 1)
+	}
+}
+
+func (g *gen) boolExpr(depth int) string {
+	if depth >= g.cfg.MaxDepth || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			if v := g.pick("boolean"); v != "" {
+				return v
+			}
+		}
+		return []string{"true", "false"}[g.rng.Intn(2)]
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s < %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s == %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 2:
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth+1), g.boolExpr(depth+1))
+	default:
+		return fmt.Sprintf("(!%s)", g.boolExpr(depth+1))
+	}
+}
+
+func (g *gen) strExpr(depth int) string {
+	if depth >= g.cfg.MaxDepth || g.rng.Intn(2) == 0 {
+		if g.rng.Intn(2) == 0 {
+			if v := g.pick("string"); v != "" {
+				return v
+			}
+		}
+		return fmt.Sprintf("\"s%d\"", g.rng.Intn(50))
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.strExpr(depth+1), g.strExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("itoa(%s)", g.intExpr(depth+1))
+	default:
+		if v, _ := g.anyClassVar(); v != "" {
+			return fmt.Sprintf("%s.tag", v)
+		}
+		return fmt.Sprintf("\"t%d\"", g.rng.Intn(50))
+	}
+}
+
+// stmt emits one random statement. nesting bounds block depth.
+func (g *gen) stmt(nesting int) {
+	choice := g.rng.Intn(12)
+	if nesting >= 2 && choice >= 9 {
+		choice = g.rng.Intn(9)
+	}
+	switch choice {
+	case 0:
+		g.declare("int", g.intExpr(0))
+	case 1:
+		g.declare("boolean", g.boolExpr(0))
+	case 2:
+		g.declare("string", g.strExpr(0))
+	case 3:
+		if v := g.pick("int"); v != "" {
+			g.w("%s = %s;", v, g.intExpr(0))
+		} else {
+			g.declare("int", g.intExpr(0))
+		}
+	case 4:
+		if v, _ := g.anyClassVar(); v != "" {
+			g.w("%s.setValue(%s);", v, g.intExpr(0))
+		} else {
+			g.declare("int", g.intExpr(0))
+		}
+	case 5:
+		if v, _ := g.anyClassVar(); v != "" {
+			g.w("%s.val = %s;", v, g.intExpr(0))
+		} else {
+			g.declare("int", g.intExpr(0))
+		}
+	case 6:
+		// Container round trip: push a value, pull it back with a cast.
+		vec := g.pick("Vector")
+		cv, ct := g.anyClassVar()
+		if vec != "" && cv != "" {
+			g.w("%s.add(%s);", vec, cv)
+			name := g.fresh()
+			g.w("%s %s = (%s) %s.get(%s.size() - 1);", ct, name, ct, vec, vec)
+			g.vars = append(g.vars, varInfo{name, ct})
+		}
+	case 7:
+		cls := g.className(g.rng.Intn(g.cfg.Classes))
+		g.declare(cls, fmt.Sprintf("new %s(%s)", cls, g.intExpr(0)))
+	case 8:
+		g.w("print(%s);", g.intExpr(0))
+	case 9:
+		// Bounded if.
+		g.w("if (%s) {", g.boolExpr(0))
+		g.indent++
+		saved := len(g.vars)
+		n := g.rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			g.stmt(nesting + 1)
+		}
+		g.vars = g.vars[:saved]
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			saved := len(g.vars)
+			g.stmt(nesting + 1)
+			g.vars = g.vars[:saved]
+			g.indent--
+		}
+		g.w("}")
+	case 10:
+		// Bounded counter loop: always terminates.
+		i := g.fresh()
+		bound := g.rng.Intn(5) + 1
+		g.w("int %s = 0;", i)
+		g.w("while (%s < %d) {", i, bound)
+		g.indent++
+		saved := len(g.vars)
+		g.stmt(nesting + 1)
+		g.vars = g.vars[:saved]
+		g.w("%s = %s + 1;", i, i)
+		g.indent--
+		g.w("}")
+	default:
+		// Link two class instances if the hierarchy allows it.
+		if g.cfg.Classes > 1 {
+			hi := g.rng.Intn(g.cfg.Classes-1) + 1
+			a := g.pick(g.className(hi))
+			b := g.pick(g.className(hi - 1))
+			if a != "" && b != "" {
+				g.w("%s.prev = %s;", a, b)
+				return
+			}
+		}
+		g.w("print(%s);", g.strExpr(0))
+	}
+}

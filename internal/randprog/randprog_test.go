@@ -1,0 +1,67 @@
+package randprog_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/ir/ssa"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/randprog"
+)
+
+func TestGeneratedProgramsTypeCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		srcs := randprog.Generate(seed, randprog.DefaultConfig)
+		_, err := loader.Load(srcs)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, srcs["rand.mj"])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedProgramsLowerToValidSSA(t *testing.T) {
+	f := func(seed int64) bool {
+		info, err := loader.Load(randprog.Generate(seed, randprog.DefaultConfig))
+		if err != nil {
+			return false
+		}
+		prog := ir.Lower(info)
+		for _, m := range prog.Methods {
+			if err := ssa.Verify(m); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a := randprog.Generate(7, randprog.DefaultConfig)
+	b := randprog.Generate(7, randprog.DefaultConfig)
+	if a["rand.mj"] != b["rand.mj"] {
+		t.Fatal("same seed produced different programs")
+	}
+	c := randprog.Generate(8, randprog.DefaultConfig)
+	if a["rand.mj"] == c["rand.mj"] {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestLargerConfigs(t *testing.T) {
+	cfg := randprog.Config{Classes: 5, Stmts: 80, MaxDepth: 4}
+	for seed := int64(0); seed < 5; seed++ {
+		if _, err := loader.Load(randprog.Generate(seed, cfg)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

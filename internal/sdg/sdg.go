@@ -1,0 +1,389 @@
+// Package sdg builds the context-insensitive dependence graph variant
+// of paper §5.2. Nodes are (instruction, call-graph-context) pairs:
+// like WALA, the graph contains one copy of a method's statements per
+// call graph node, so the object-sensitive cloning of container classes
+// performed by the pointer analysis (paper §6.1) is visible to the
+// slicers. Edges carry the classification thin slicing needs —
+// producer flow, base-pointer flow, heap flow (direct store→load edges
+// justified by the points-to analysis), parameter/return flow, and
+// control dependence.
+//
+// Following §5.2, heap dependences are direct interprocedural edges
+// from stores to may-aliased loads, avoiding the heap parameters that
+// make the context-sensitive SDG (§5.3, package csslice) blow up.
+package sdg
+
+import (
+	"sort"
+
+	"thinslice/internal/analysis/cdg"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+)
+
+// EdgeKind classifies a dependence edge.
+type EdgeKind int
+
+// Edge kinds. Thin slices traverse Local/Heap/Param/Return flow;
+// traditional slices additionally traverse Base flow and control.
+const (
+	// EdgeLocal is intraprocedural SSA def-use flow into a producer
+	// (or branch-condition) operand.
+	EdgeLocal EdgeKind = iota
+	// EdgeBase is def-use flow into a base-pointer or array-index
+	// operand: a "base pointer flow dependence" (paper §3), ignored by
+	// thin slicing.
+	EdgeBase
+	// EdgeHeap is a direct store→load edge between may-aliased heap
+	// accesses (producer flow through the heap).
+	EdgeHeap
+	// EdgeParam is actual-argument → formal-parameter flow; Via names
+	// the call site, which is itself a producer statement.
+	EdgeParam
+	// EdgeReturn is return-value → call-result flow.
+	EdgeReturn
+	// EdgeControl is intraprocedural control dependence on a branch.
+	EdgeControl
+	// EdgeCallControl makes callee statements that always execute on
+	// entry control dependent on the call sites of their method.
+	EdgeCallControl
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeLocal:
+		return "local"
+	case EdgeBase:
+		return "base"
+	case EdgeHeap:
+		return "heap"
+	case EdgeParam:
+		return "param"
+	case EdgeReturn:
+		return "return"
+	case EdgeControl:
+		return "control"
+	case EdgeCallControl:
+		return "call-control"
+	}
+	return "?"
+}
+
+// IsProducerFlow reports whether edges of kind k carry producer value
+// flow (the edges a thin slice follows).
+func (k EdgeKind) IsProducerFlow() bool {
+	switch k {
+	case EdgeLocal, EdgeHeap, EdgeParam, EdgeReturn:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether k is a control dependence kind.
+func (k EdgeKind) IsControl() bool {
+	return k == EdgeControl || k == EdgeCallControl
+}
+
+// Node identifies one statement instance: an instruction in a
+// particular call-graph context.
+type Node int32
+
+// NoNode is the absent-node sentinel (e.g. Dep.Via on non-param edges).
+const NoNode Node = -1
+
+// Dep is one incoming dependence of a node: the node depends on Src.
+// Via is the call-site node mediating param flow (itself part of the
+// producer chain), or NoNode.
+type Dep struct {
+	Src  Node
+	Kind EdgeKind
+	Via  Node
+}
+
+// Graph is the dependence graph, stored as in-edges per node.
+type Graph struct {
+	Prog *ir.Program
+	Pts  *pointsto.Result
+
+	deps     [][]Dep
+	mctxs    []*pointsto.MCtx
+	base     map[*pointsto.MCtx]int32 // first node of each context
+	nodeCtx  []*pointsto.MCtx         // dense: node → context (one entry per node)
+	firstID  map[*ir.Method]int       // first instruction ID of each method
+	numEdges int
+	// callerNodes are the call-site nodes that may invoke a context.
+	callerNodes map[*pointsto.MCtx][]Node
+}
+
+// NumNodes returns the number of statement instances (the paper's
+// "SDG Statements": scalar statements across call-graph clones,
+// without heap parameters).
+func (g *Graph) NumNodes() int { return len(g.nodeCtx) }
+
+// NumEdges returns the number of dependence edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Deps returns the dependences of node n.
+func (g *Graph) Deps(n Node) []Dep { return g.deps[n] }
+
+// CtxOf returns the call-graph context of n.
+func (g *Graph) CtxOf(n Node) *pointsto.MCtx { return g.nodeCtx[n] }
+
+// InstrOf returns the instruction of n.
+func (g *Graph) InstrOf(n Node) ir.Instr {
+	mc := g.nodeCtx[n]
+	local := int(n) - int(g.base[mc])
+	return g.Prog.InstrByID(g.firstID[mc.Method] + local)
+}
+
+// NodeOf returns the node for an instruction in a specific context.
+func (g *Graph) NodeOf(mc *pointsto.MCtx, ins ir.Instr) Node {
+	return Node(int(g.base[mc]) + ins.ID() - g.firstID[ins.Block().Method])
+}
+
+// NodesOf returns all statement instances of an instruction (one per
+// context its method was analyzed under).
+func (g *Graph) NodesOf(ins ir.Instr) []Node {
+	m := ins.Block().Method
+	var out []Node
+	for _, mc := range g.Pts.MCtxsOf(m) {
+		out = append(out, g.NodeOf(mc, ins))
+	}
+	return out
+}
+
+// Reachable reports whether m has at least one analyzed context.
+func (g *Graph) Reachable(m *ir.Method) bool {
+	return len(g.Pts.MCtxsOf(m)) > 0
+}
+
+// CallerNodes returns the call-site nodes that may invoke context mc.
+func (g *Graph) CallerNodes(mc *pointsto.MCtx) []Node { return g.callerNodes[mc] }
+
+type heapAccess struct {
+	node Node
+	objs []int // sorted object IDs of the base pointer in this context
+}
+
+// Build constructs the dependence graph over the contexts reachable in
+// pts.
+func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
+	g := &Graph{
+		Prog:        prog,
+		Pts:         pts,
+		base:        make(map[*pointsto.MCtx]int32),
+		firstID:     make(map[*ir.Method]int),
+		callerNodes: make(map[*pointsto.MCtx][]Node),
+	}
+	for _, m := range prog.Methods {
+		first := -1
+		m.Instrs(func(ins ir.Instr) {
+			if first < 0 {
+				first = ins.ID()
+			}
+		})
+		g.firstID[m] = first
+	}
+	g.mctxs = pts.MCtxs()
+	total := 0
+	for _, mc := range g.mctxs {
+		g.base[mc] = int32(total)
+		n := 0
+		mc.Method.Instrs(func(ir.Instr) { n++ })
+		total += n
+		for i := 0; i < n; i++ {
+			g.nodeCtx = append(g.nodeCtx, mc)
+		}
+	}
+	g.deps = make([][]Dep, total)
+
+	// Heap access indexes, built per context so cloned container
+	// methods keep their backing stores apart.
+	fieldStores := make(map[string][]heapAccess)
+	fieldLoads := make(map[string][]heapAccess)
+	var elemStores, elemLoads, lenReads []heapAccess
+	staticStores := make(map[string][]Node)
+	staticLoads := make(map[string][]Node)
+
+	for _, mc := range g.mctxs {
+		ctx := mc
+		objIDs := func(r *ir.Reg) []int {
+			objs := pts.PointsToIn(r, ctx)
+			ids := make([]int, len(objs))
+			for i, o := range objs {
+				ids[i] = o.ID
+			}
+			sort.Ints(ids)
+			return ids
+		}
+		mc.Method.Instrs(func(ins ir.Instr) {
+			node := g.NodeOf(mc, ins)
+			// Local/base def-use edges from operand definitions. Call
+			// operands are excluded: argument flow reaches the callee's
+			// formal parameters via EdgeParam, and the call node itself
+			// only receives EdgeReturn flow — following the SDG shape,
+			// where a call result does not directly depend on the
+			// arguments in the caller.
+			if _, isCall := ins.(*ir.Call); !isCall {
+				uses := ins.Uses()
+				roles := ins.UseRoles()
+				for i, u := range uses {
+					if u.Def == nil {
+						continue
+					}
+					kind := EdgeLocal
+					if roles[i] == ir.RoleBase {
+						kind = EdgeBase
+					}
+					g.addDep(node, Dep{Src: g.NodeOf(mc, u.Def), Kind: kind, Via: NoNode})
+				}
+			}
+			switch ins := ins.(type) {
+			case *ir.SetField:
+				fieldStores[ins.Field.QualifiedName()] = append(
+					fieldStores[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
+			case *ir.GetField:
+				fieldLoads[ins.Field.QualifiedName()] = append(
+					fieldLoads[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
+			case *ir.ArrayStore:
+				elemStores = append(elemStores, heapAccess{node, objIDs(ins.Arr)})
+			case *ir.ArrayLoad:
+				elemLoads = append(elemLoads, heapAccess{node, objIDs(ins.Arr)})
+			case *ir.ArrayLen:
+				lenReads = append(lenReads, heapAccess{node, objIDs(ins.Arr)})
+			case *ir.SetStatic:
+				staticStores[ins.Field.QualifiedName()] = append(staticStores[ins.Field.QualifiedName()], node)
+			case *ir.GetStatic:
+				staticLoads[ins.Field.QualifiedName()] = append(staticLoads[ins.Field.QualifiedName()], node)
+			case *ir.Call:
+				g.linkCall(mc, node, ins)
+			}
+		})
+	}
+
+	// Heap edges: store→load when the base points-to sets (in the
+	// respective contexts) intersect.
+	for fname, loads := range fieldLoads {
+		for _, ld := range loads {
+			for _, st := range fieldStores[fname] {
+				if intersects(ld.objs, st.objs) {
+					g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+				}
+			}
+		}
+	}
+	for _, ld := range elemLoads {
+		for _, st := range elemStores {
+			if intersects(ld.objs, st.objs) {
+				g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+	// Array lengths flow from the allocation's length operand; the
+	// allocation may live in another context (the object's heap
+	// context names the allocating container context only indirectly,
+	// so connect to every context instance of the allocation site).
+	for _, lr := range lenReads {
+		seen := make(map[Node]bool)
+		for _, id := range lr.objs {
+			o := pts.Objects()[id]
+			if !o.IsArray() {
+				continue
+			}
+			for _, src := range g.NodesOf(o.Site) {
+				if !seen[src] {
+					seen[src] = true
+					g.addDep(lr.node, Dep{Src: src, Kind: EdgeHeap, Via: NoNode})
+				}
+			}
+		}
+	}
+	// Static fields are single global locations: every store reaches
+	// every load of the same field.
+	for fname, loads := range staticLoads {
+		for _, ld := range loads {
+			for _, st := range staticStores[fname] {
+				g.addDep(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+
+	// Control dependence edges (intraprocedural graphs are shared
+	// across contexts; edges are added per context instance).
+	cdgCache := make(map[*ir.Method]*cdg.Graph)
+	for _, mc := range g.mctxs {
+		cg := cdgCache[mc.Method]
+		if cg == nil {
+			cg = cdg.Build(mc.Method)
+			cdgCache[mc.Method] = cg
+		}
+		callers := g.callerNodes[mc]
+		mc.Method.Instrs(func(ins ir.Instr) {
+			node := g.NodeOf(mc, ins)
+			for _, br := range cg.InstrDeps(ins) {
+				if br != ins {
+					g.addDep(node, Dep{Src: g.NodeOf(mc, br), Kind: EdgeControl, Via: NoNode})
+				}
+			}
+			if cg.DependsOnEntry(ins) {
+				for _, caller := range callers {
+					g.addDep(node, Dep{Src: caller, Kind: EdgeCallControl, Via: NoNode})
+				}
+			}
+		})
+	}
+	return g
+}
+
+func (g *Graph) addDep(to Node, d Dep) {
+	g.deps[to] = append(g.deps[to], d)
+	g.numEdges++
+}
+
+// linkCall adds parameter and return edges for every callee context of
+// a call site in a caller context.
+func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call) {
+	for _, callee := range g.Pts.CalleesAt(call, caller) {
+		g.callerNodes[callee] = append(g.callerNodes[callee], callNode)
+		params := callee.Method.Params
+		offset := 0
+		if !callee.Method.Sig.Static {
+			offset = 1
+			if call.Recv != nil && call.Recv.Def != nil {
+				g.addDep(g.NodeOf(callee, params[0]),
+					Dep{Src: g.NodeOf(caller, call.Recv.Def), Kind: EdgeParam, Via: callNode})
+			}
+		}
+		for i, arg := range call.Args {
+			if i+offset >= len(params) {
+				break
+			}
+			if arg.Def != nil {
+				g.addDep(g.NodeOf(callee, params[i+offset]),
+					Dep{Src: g.NodeOf(caller, arg.Def), Kind: EdgeParam, Via: callNode})
+			}
+		}
+		if call.Dst != nil {
+			callee.Method.Instrs(func(ins ir.Instr) {
+				if ret, ok := ins.(*ir.Return); ok && ret.Val != nil {
+					g.addDep(callNode, Dep{Src: g.NodeOf(callee, ret), Kind: EdgeReturn, Via: NoNode})
+				}
+			})
+		}
+	}
+}
+
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
