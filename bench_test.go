@@ -111,10 +111,12 @@ func BenchmarkScalability_PointerAnalysis(b *testing.B) {
 			a := analyzed(b, name, true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				pointsto.Analyze(a.Prog, pointsto.Config{
+				if _, err := pointsto.Analyze(a.Prog, pointsto.Config{
 					ObjSensContainers: true,
 					ContainerClasses:  prelude.ContainerClasses,
-				})
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -8,6 +8,10 @@
 // context-sensitive tabulation slicer, reduced pointer-analysis
 // precision, and on-demand explanations of heap aliasing and control
 // dependences for the slice (§4).
+//
+// Resource limits: -timeout and -max-steps bound the whole run, and
+// -fuel bounds -dynamic execution. A run that was cut short but still
+// produced a (partial) result exits with code 3; hard failures exit 1.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"thinslice/internal/analysis/modref"
 	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
 	"thinslice/internal/core"
 	"thinslice/internal/core/expand"
 	"thinslice/internal/csslice"
@@ -27,6 +32,9 @@ import (
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
 )
+
+// exitPartial is the exit code for a truncated-but-usable result.
+const exitPartial = 3
 
 func main() {
 	seedFlag := flag.String("seed", "", "seed statement as file.mj:line (required)")
@@ -40,6 +48,9 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "execute the program and print the dynamic thin slice of the seed")
 	inputs := flag.String("input", "", "comma-separated input() values for -dynamic")
 	inputInts := flag.String("inputint", "", "comma-separated inputInt() values for -dynamic")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole run (e.g. 2s; 0 = unlimited)")
+	maxSteps := flag.Int64("max-steps", 0, "per-phase analysis step cap (0 = unlimited)")
+	fuel := flag.Int("fuel", 0, "instruction fuel for -dynamic execution (0 = default 2,000,000)")
 	flag.Parse()
 
 	if *seedFlag == "" || flag.NArg() == 0 {
@@ -57,12 +68,28 @@ func main() {
 		sources[path] = string(data)
 	}
 
+	// One budget bounds the whole run: analysis phases and -dynamic
+	// execution share the wall-clock deadline.
+	var bopts []budget.Option
+	if *timeout > 0 {
+		bopts = append(bopts, budget.WithTimeout(*timeout))
+	}
+	if *maxSteps > 0 {
+		bopts = append(bopts, budget.WithSteps(*maxSteps))
+	}
+	bud := budget.New(nil, bopts...)
+
 	var opts []analyzer.Option
 	if *noObjSens {
 		opts = append(opts, analyzer.WithObjSens(false))
 	}
+	opts = append(opts, analyzer.WithBudget(bud))
 	a, err := analyzer.Analyze(sources, opts...)
 	exitOn(err)
+	partial := a.Partial()
+	if partial {
+		fmt.Fprintln(os.Stderr, "thinslice: warning: budget exhausted during analysis; results may be incomplete")
+	}
 
 	seeds := a.SeedsAt(seedFile, seedLine)
 	if len(seeds) == 0 {
@@ -75,7 +102,9 @@ func main() {
 	}
 
 	if *dynamic {
-		runDynamic(a, sources, seeds, *inputs, *inputInts)
+		if runDynamic(a, sources, seeds, *inputs, *inputInts, bud, *fuel) || partial {
+			os.Exit(exitPartial)
+		}
 		return
 	}
 
@@ -100,6 +129,10 @@ func main() {
 		}
 		slice := s.Slice(seeds...)
 		lines = slice.Lines()
+		if slice.Truncated {
+			partial = true
+			fmt.Fprintf(os.Stderr, "thinslice: warning: slice truncated (%v)\n", slice.Err)
+		}
 		fmt.Printf("%s slice of %s:%d: %d statements on %d lines\n",
 			*mode, seedFile, seedLine, slice.Size(), len(lines))
 		if *explainAliasing && thinMode {
@@ -127,6 +160,10 @@ func main() {
 				fmt.Printf("  %s: %s\n", src.Pos(), src)
 			}
 		}
+	}
+
+	if partial {
+		os.Exit(exitPartial)
 	}
 }
 
@@ -162,10 +199,16 @@ func explainWhy(a *analyzer.Analysis, s *core.Slicer, sources map[string]string,
 }
 
 // runDynamic executes the program with scripted inputs and prints the
-// dynamic thin slice (§1's dynamic-dependence extension).
-func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Instr, inputCSV, intCSV string) {
+// dynamic thin slice (§1's dynamic-dependence extension). It reports
+// whether execution was cut short by a resource bound (fuel, budget),
+// in which case the printed slice covers only the executed prefix.
+func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Instr, inputCSV, intCSV string, bud *budget.Budget, fuel int) bool {
 	m := interp.New(a.Prog)
 	m.Trace = interp.NewTrace()
+	m.Budget = bud
+	if fuel > 0 {
+		m.StepLimit = fuel
+	}
 	if inputCSV != "" {
 		m.Inputs = strings.Split(inputCSV, ",")
 	}
@@ -181,8 +224,12 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 	for _, line := range m.Output {
 		fmt.Printf("output: %s\n", line)
 	}
+	truncated := interp.Truncated(runErr)
 	if runErr != nil {
 		fmt.Printf("execution ended with: %v\n", runErr)
+		if truncated {
+			fmt.Println("(execution truncated; the dynamic slice covers the executed prefix)")
+		}
 	}
 	members := make(map[ir.Instr]bool)
 	for _, seed := range seeds {
@@ -192,7 +239,7 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 	}
 	if len(members) == 0 {
 		fmt.Println("seed statement was not executed on this input")
-		return
+		return truncated
 	}
 	var lines []token.Pos
 	seen := make(map[token.Pos]bool)
@@ -207,6 +254,7 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 	sort.Slice(lines, func(i, j int) bool { return posLess(lines[i], lines[j]) })
 	fmt.Printf("dynamic thin slice: %d statements on %d lines\n", len(members), len(lines))
 	printLines(sources, lines)
+	return truncated
 }
 
 func printAliasing(a *analyzer.Analysis, slice *core.Slice) {

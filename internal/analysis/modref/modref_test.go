@@ -18,10 +18,13 @@ func setup(t *testing.T, src string) (*ir.Program, *pointsto.Result, *modref.Res
 		t.Fatalf("load: %v", err)
 	}
 	prog := ir.Lower(info)
-	pts := pointsto.Analyze(prog, pointsto.Config{
+	pts, err := pointsto.Analyze(prog, pointsto.Config{
 		ObjSensContainers: true,
 		ContainerClasses:  prelude.ContainerClasses,
 	})
+	if err != nil {
+		t.Fatalf("pointsto: %v", err)
+	}
 	return prog, pts, modref.Compute(prog, pts)
 }
 

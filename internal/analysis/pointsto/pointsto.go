@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"thinslice/internal/budget"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/types"
 )
@@ -78,10 +79,26 @@ type Config struct {
 	// MaxCtxDepth caps heap-context nesting (contexts deeper than this
 	// are truncated to keep the abstraction finite). 0 means 3.
 	MaxCtxDepth int
+	// Budget bounds the solver (PhasePointsTo steps, cancellation,
+	// deadline). Nil means unlimited. When the step cap is exhausted
+	// under object-sensitive cloning, Analyze restarts the solver
+	// context-insensitively with a fresh allowance before giving up.
+	Budget *budget.Budget
 }
 
 // Result is the analysis output.
 type Result struct {
+	// Downgraded reports that the object-sensitive run exhausted its
+	// step budget and the analysis restarted context-insensitively
+	// (the paper's NoObjSens precision), trading precision for
+	// termination within budget.
+	Downgraded bool
+	// Truncated reports that the solver stopped before reaching its
+	// fixpoint: points-to sets and the call graph are valid but
+	// incomplete. LimitErr carries the triggering *budget.ErrExhausted.
+	Truncated bool
+	LimitErr  error
+
 	prog       *ir.Program
 	objects    []*Object
 	mctxs      []*MCtx
@@ -360,10 +377,64 @@ type solver struct {
 	linked     map[[3]int]bool // (caller MCtx ID, call instr ID, callee MCtx ID)
 	returnsOf  map[*ir.Method][]*ir.Return
 	work       []*node
+
+	meter *budget.Meter
+	// stop is the sticky budget violation that ended the run early.
+	stop error
 }
 
-// Analyze runs the pointer analysis over prog.
-func Analyze(prog *ir.Program, cfg Config) *Result {
+// tick spends one budget step; once it fails the solver stops
+// generating constraints and drains no further work.
+func (s *solver) tick() bool {
+	if s.stop != nil {
+		return false
+	}
+	if err := s.meter.Tick(); err != nil {
+		s.stop = err
+		return false
+	}
+	return true
+}
+
+// Analyze runs the pointer analysis over prog under cfg.Budget.
+//
+// Degradation ladder: a canceled context or passed deadline aborts with
+// a typed *budget.ErrCanceled. An exhausted step cap first downgrades —
+// when object-sensitive cloning is on, the solver restarts
+// context-insensitively with a fresh allowance and marks the result
+// Downgraded — and only if that run also exhausts does Analyze return
+// the partial fixpoint marked Truncated (with a nil error): callers get
+// a sound-but-incomplete call graph rather than a hang or a crash.
+func Analyze(prog *ir.Program, cfg Config) (*Result, error) {
+	res := run(prog, cfg)
+	stop := res.LimitErr
+	if stop == nil {
+		return res, nil
+	}
+	if budget.IsCanceled(stop) {
+		return nil, stop
+	}
+	if cfg.ObjSensContainers {
+		cfg2 := cfg
+		cfg2.ObjSensContainers = false
+		res2 := run(prog, cfg2)
+		res2.Downgraded = true
+		switch {
+		case res2.LimitErr == nil:
+			return res2, nil
+		case budget.IsCanceled(res2.LimitErr):
+			return nil, res2.LimitErr
+		}
+		res2.Truncated = true
+		return res2, nil
+	}
+	res.Truncated = true
+	return res, nil
+}
+
+// run performs one solver pass; budget violations are left in the
+// result's LimitErr for Analyze to interpret.
+func run(prog *ir.Program, cfg Config) *Result {
 	s := &solver{
 		prog:       prog,
 		cfg:        cfg,
@@ -377,6 +448,7 @@ func Analyze(prog *ir.Program, cfg Config) *Result {
 		processed:  make(map[*MCtx]bool),
 		linked:     make(map[[3]int]bool),
 		returnsOf:  make(map[*ir.Method][]*ir.Return),
+		meter:      cfg.Budget.Phase(budget.PhasePointsTo),
 	}
 	if s.maxDepth == 0 {
 		s.maxDepth = 3
@@ -418,6 +490,7 @@ func Analyze(prog *ir.Program, cfg Config) *Result {
 		s.reach(m, nil)
 	}
 	s.solve()
+	s.res.LimitErr = s.stop
 	return s.res
 }
 
@@ -556,6 +629,9 @@ func (s *solver) processBody(mc *MCtx) {
 	ctx := mc.Ctx
 	strClass := s.prog.Info.String
 	mc.Method.Instrs(func(ins ir.Instr) {
+		if !s.tick() {
+			return
+		}
 		switch ins := ins.(type) {
 		case *ir.New:
 			o := s.object(ins, s.heapCtx(mc), ins.Class, nil)
@@ -748,6 +824,9 @@ func (s *solver) flowReceiver(callee *MCtx, recvObj *Object) {
 
 func (s *solver) solve() {
 	for len(s.work) > 0 {
+		if !s.tick() {
+			return
+		}
 		n := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		n.inWork = false
@@ -758,6 +837,9 @@ func (s *solver) solve() {
 		}
 		// Apply complex constraints for each new object.
 		delta.forEach(func(id int) {
+			if !s.tick() {
+				return
+			}
 			o := s.res.objects[id]
 			for _, lc := range n.loads {
 				if lc.field == nil && !o.IsArray() {

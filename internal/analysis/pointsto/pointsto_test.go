@@ -16,10 +16,13 @@ func analyze(t *testing.T, src string, objSens bool) (*ir.Program, *pointsto.Res
 		t.Fatalf("load: %v", err)
 	}
 	prog := ir.Lower(info)
-	res := pointsto.Analyze(prog, pointsto.Config{
+	res, err := pointsto.Analyze(prog, pointsto.Config{
 		ObjSensContainers: objSens,
 		ContainerClasses:  prelude.ContainerClasses,
 	})
+	if err != nil {
+		t.Fatalf("pointsto: %v", err)
+	}
 	return prog, res
 }
 

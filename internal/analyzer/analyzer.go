@@ -5,7 +5,15 @@
 package analyzer
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
 	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/budget"
 	"thinslice/internal/core"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/loader"
@@ -20,6 +28,17 @@ type Analysis struct {
 	Prog  *ir.Program
 	Pts   *pointsto.Result
 	Graph *sdg.Graph
+
+	// budget, when non-nil, bounds slicers handed out by this analysis.
+	budget *budget.Budget
+}
+
+// Partial reports whether any phase stopped early on an exhausted
+// budget: the analysis is sound but may under-approximate (missing
+// points-to facts or dependence edges). See Pts.Downgraded,
+// Pts.Truncated, and Graph.Truncated for which phase degraded.
+func (a *Analysis) Partial() bool {
+	return (a.Pts != nil && a.Pts.Truncated) || (a.Graph != nil && a.Graph.Truncated)
 }
 
 type config struct {
@@ -27,6 +46,9 @@ type config struct {
 	containers []string
 	entries    []string // qualified method names
 	noPrelude  bool
+	budget     *budget.Budget
+	timeout    time.Duration
+	maxSteps   int64
 }
 
 // Option configures Analyze.
@@ -51,14 +73,56 @@ func WithEntries(names ...string) Option {
 // WithoutPrelude analyzes the sources without the container prelude.
 func WithoutPrelude() Option { return func(c *config) { c.noPrelude = true } }
 
+// WithBudget bounds the whole pipeline by an explicit budget. It takes
+// precedence over WithTimeout/WithMaxSteps and the context passed to
+// AnalyzeCtx.
+func WithBudget(b *budget.Budget) Option { return func(c *config) { c.budget = b } }
+
+// WithTimeout bounds the whole pipeline by a wall-clock timeout.
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithMaxSteps caps every phase at n steps (see budget.WithSteps).
+func WithMaxSteps(n int64) Option { return func(c *config) { c.maxSteps = n } }
+
 // Analyze runs the pipeline over the given sources (name → content).
 func Analyze(sources map[string]string, opts ...Option) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), sources, opts...)
+}
+
+// AnalyzeCtx is Analyze bounded by a context: cancellation, context
+// deadline, and any WithBudget/WithTimeout/WithMaxSteps options stop
+// the pipeline promptly with a typed, phase-tagged error (see package
+// budget) — or, for step exhaustion past the points-to phase, a partial
+// Analysis for which Partial reports true. It never panics: internal
+// faults surface as *budget.ErrInternal tagged with the running phase.
+func AnalyzeCtx(ctx context.Context, sources map[string]string, opts ...Option) (a *Analysis, err error) {
 	cfg := config{objSens: true, containers: prelude.ContainerClasses}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	b := cfg.budget
+	if b == nil {
+		var bopts []budget.Option
+		if cfg.timeout > 0 {
+			bopts = append(bopts, budget.WithTimeout(cfg.timeout))
+		}
+		if cfg.maxSteps > 0 {
+			bopts = append(bopts, budget.WithSteps(cfg.maxSteps))
+		}
+		b = budget.New(ctx, bopts...)
+	}
+
+	phase := budget.PhaseLoad
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, &budget.ErrInternal{Phase: phase, Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	if err := b.Err(budget.PhaseLoad); err != nil {
+		return nil, err
+	}
 	var info *types.Info
-	var err error
 	if cfg.noPrelude {
 		info, err = loader.LoadBare(sources)
 	} else {
@@ -67,22 +131,73 @@ func Analyze(sources map[string]string, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := ir.Lower(info)
-	var entries []*ir.Method
-	for _, name := range cfg.entries {
-		for _, m := range prog.Methods {
-			if m.Name() == name {
-				entries = append(entries, m)
-			}
-		}
+
+	phase = budget.PhaseLower
+	if err := b.Err(budget.PhaseLower); err != nil {
+		return nil, err
 	}
-	pts := pointsto.Analyze(prog, pointsto.Config{
+	prog := ir.Lower(info)
+	if len(prog.Diags) > 0 {
+		return nil, prog.Diags
+	}
+
+	phase = budget.PhasePointsTo
+	entries, err := resolveEntries(prog, cfg.entries)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := pointsto.Analyze(prog, pointsto.Config{
 		Entries:           entries,
 		ObjSensContainers: cfg.objSens,
 		ContainerClasses:  cfg.containers,
+		Budget:            b,
 	})
-	graph := sdg.Build(prog, pts)
-	return &Analysis{Info: info, Prog: prog, Pts: pts, Graph: graph}, nil
+	if err != nil {
+		return nil, err
+	}
+
+	phase = budget.PhaseSDG
+	graph, err := sdg.BuildBudget(prog, pts, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Info: info, Prog: prog, Pts: pts, Graph: graph, budget: b}, nil
+}
+
+// resolveEntries maps explicit entry names to methods. A name that
+// matches nothing is an error naming the available candidates, rather
+// than a silent empty analysis.
+func resolveEntries(prog *ir.Program, names []string) ([]*ir.Method, error) {
+	var entries []*ir.Method
+	var missing []string
+	for _, name := range names {
+		found := false
+		for _, m := range prog.Methods {
+			if m.Name() == name {
+				entries = append(entries, m)
+				found = true
+			}
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		var mains []string
+		for _, m := range prog.Methods {
+			if m.Sig.Static && m.Sig.Name == "main" {
+				mains = append(mains, m.Name())
+			}
+		}
+		sort.Strings(mains)
+		candidates := "none found"
+		if len(mains) > 0 {
+			candidates = strings.Join(mains, ", ")
+		}
+		return nil, fmt.Errorf("analyzer: entry method(s) not found: %s (available main candidates: %s)",
+			strings.Join(missing, ", "), candidates)
+	}
+	return entries, nil
 }
 
 // MustAnalyze is Analyze panicking on error, for known-good sources.
@@ -94,13 +209,16 @@ func MustAnalyze(sources map[string]string, opts ...Option) *Analysis {
 	return a
 }
 
-// ThinSlicer returns a thin slicer over the analysis' graph.
-func (a *Analysis) ThinSlicer() *core.Slicer { return core.NewThin(a.Graph) }
+// ThinSlicer returns a thin slicer over the analysis' graph, bounded
+// by the analysis' budget.
+func (a *Analysis) ThinSlicer() *core.Slicer {
+	return core.NewThin(a.Graph).WithBudget(a.budget)
+}
 
 // TraditionalSlicer returns a traditional slicer; withControl includes
 // transitive control dependences.
 func (a *Analysis) TraditionalSlicer(withControl bool) *core.Slicer {
-	return core.NewTraditional(a.Graph, withControl)
+	return core.NewTraditional(a.Graph, withControl).WithBudget(a.budget)
 }
 
 // SeedsAt returns the reachable statements at file:line.

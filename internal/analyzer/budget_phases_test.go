@@ -1,0 +1,168 @@
+// Per-phase budget behavior, exercised through the real pipeline
+// packages rather than the facade, so each phase's cancellation and
+// exhaustion handling is pinned independently.
+package analyzer_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
+	"thinslice/internal/core/expand"
+	"thinslice/internal/lang/prelude"
+	"thinslice/internal/papercases"
+	"thinslice/internal/sdg"
+)
+
+func canceledBudget() *budget.Budget {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return budget.New(ctx)
+}
+
+func analysisFixture(t *testing.T) *analyzer.Analysis {
+	t.Helper()
+	a, err := analyzer.Analyze(map[string]string{
+		papercases.FirstNamesFile: papercases.FirstNames,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func wantCanceledIn(t *testing.T, phase budget.Phase, elapsed time.Duration, err error) {
+	t.Helper()
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation noticed after %v, want < 100ms", elapsed)
+	}
+	if !budget.IsCanceled(err) {
+		t.Fatalf("IsCanceled(%v) = false, want true", err)
+	}
+	if p, ok := budget.PhaseOf(err); !ok || p != phase {
+		t.Fatalf("PhaseOf(%v) = %q, want %q", err, p, phase)
+	}
+}
+
+func TestPointsToCancellation(t *testing.T) {
+	a := analysisFixture(t)
+	start := time.Now()
+	_, err := pointsto.Analyze(a.Prog, pointsto.Config{
+		ObjSensContainers: true,
+		ContainerClasses:  prelude.ContainerClasses,
+		Budget:            canceledBudget(),
+	})
+	wantCanceledIn(t, budget.PhasePointsTo, time.Since(start), err)
+}
+
+func TestPointsToExhaustionDowngradesThenTruncates(t *testing.T) {
+	a := analysisFixture(t)
+	res, err := pointsto.Analyze(a.Prog, pointsto.Config{
+		ObjSensContainers: true,
+		ContainerClasses:  prelude.ContainerClasses,
+		Budget:            budget.New(nil, budget.WithSteps(10)),
+	})
+	if err != nil {
+		t.Fatalf("exhaustion must degrade, not fail: %v", err)
+	}
+	if !res.Downgraded {
+		t.Error("want Downgraded after obj-sens exhaustion")
+	}
+	if !res.Truncated {
+		t.Error("want Truncated when the downgraded run is also exhausted")
+	}
+	if !budget.IsExhausted(res.LimitErr) {
+		t.Errorf("LimitErr = %v, want ErrExhausted", res.LimitErr)
+	}
+}
+
+func TestSDGCancellation(t *testing.T) {
+	a := analysisFixture(t)
+	start := time.Now()
+	_, err := sdg.BuildBudget(a.Prog, a.Pts, canceledBudget())
+	wantCanceledIn(t, budget.PhaseSDG, time.Since(start), err)
+}
+
+func TestSDGExhaustionTruncates(t *testing.T) {
+	a := analysisFixture(t)
+	g, err := sdg.BuildBudget(a.Prog, a.Pts, budget.New(nil, budget.WithSteps(10)))
+	if err != nil {
+		t.Fatalf("exhaustion must yield a partial graph, not fail: %v", err)
+	}
+	if !g.Truncated {
+		t.Error("want Truncated graph on a 10-step budget")
+	}
+	if !budget.IsExhausted(g.LimitErr) {
+		t.Errorf("LimitErr = %v, want ErrExhausted", g.LimitErr)
+	}
+}
+
+func TestSliceCancellation(t *testing.T) {
+	a := analysisFixture(t)
+	seeds := a.SeedsAt(papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "SEED"))
+	if len(seeds) == 0 {
+		t.Fatal("no seeds at the Figure 1 print line")
+	}
+	s := a.ThinSlicer().WithBudget(canceledBudget())
+	start := time.Now()
+	sl := s.Slice(seeds...)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation noticed after %v, want < 100ms", elapsed)
+	}
+	if !sl.Truncated {
+		t.Fatal("want a Truncated slice under a canceled budget")
+	}
+	if !budget.IsCanceled(sl.Err) {
+		t.Fatalf("slice Err = %v, want canceled", sl.Err)
+	}
+}
+
+func TestSliceExhaustionTruncates(t *testing.T) {
+	a := analysisFixture(t)
+	seeds := a.SeedsAt(papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "SEED"))
+	full := a.ThinSlicer().Slice(seeds...)
+	b := budget.New(nil, budget.WithPhaseSteps(budget.PhaseSlice, 3))
+	part := a.ThinSlicer().WithBudget(b).Slice(seeds...)
+	if !part.Truncated {
+		t.Fatal("want Truncated slice on a 3-step budget")
+	}
+	if !budget.IsExhausted(part.Err) {
+		t.Fatalf("slice Err = %v, want ErrExhausted", part.Err)
+	}
+	if part.Size() > full.Size() {
+		t.Fatalf("truncated slice (%d) larger than full slice (%d)", part.Size(), full.Size())
+	}
+}
+
+func TestExpandCancellation(t *testing.T) {
+	a := analysisFixture(t)
+	seeds := a.SeedsAt(papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "SEED"))
+	start := time.Now()
+	e := expand.NewExpansionBudget(a.Graph, true, canceledBudget(), seeds...)
+	for e.Step() {
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation noticed after %v, want < 100ms", elapsed)
+	}
+	if !e.Truncated {
+		t.Fatal("want Truncated expansion under a canceled budget")
+	}
+	if !budget.IsCanceled(e.Err) {
+		t.Fatalf("expansion Err = %v, want canceled", e.Err)
+	}
+}
+
+func TestExpandExhaustionTruncates(t *testing.T) {
+	a := analysisFixture(t)
+	seeds := a.SeedsAt(papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "SEED"))
+	b := budget.New(nil, budget.WithPhaseSteps(budget.PhaseExpand, 1))
+	e := expand.NewExpansionBudget(a.Graph, true, b, seeds...)
+	for e.Step() {
+	}
+	if !e.Truncated {
+		t.Fatal("want Truncated expansion on a 1-step budget")
+	}
+}

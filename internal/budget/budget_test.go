@@ -1,0 +1,119 @@
+package budget_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *budget.Budget
+	m := b.Phase(budget.PhasePointsTo)
+	for i := 0; i < 10_000; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatalf("nil meter ticked with error: %v", err)
+		}
+	}
+	if err := b.Err(budget.PhaseSDG); err != nil {
+		t.Fatalf("nil budget Err: %v", err)
+	}
+	if m.Spent() != 0 {
+		t.Fatalf("nil meter Spent = %d", m.Spent())
+	}
+}
+
+func TestStepExhaustion(t *testing.T) {
+	b := budget.New(context.Background(), budget.WithSteps(100))
+	m := b.Phase(budget.PhaseSlice)
+	var err error
+	ticks := 0
+	for err == nil {
+		err = m.Tick()
+		ticks++
+		if ticks > 1000 {
+			t.Fatal("meter never exhausted")
+		}
+	}
+	if !budget.IsExhausted(err) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	var ex *budget.ErrExhausted
+	errors.As(err, &ex)
+	if ex.Phase != budget.PhaseSlice || ex.Limit != 100 {
+		t.Fatalf("bad exhaustion tag: %+v", ex)
+	}
+	if p, ok := budget.PhaseOf(err); !ok || p != budget.PhaseSlice {
+		t.Fatalf("PhaseOf = %v, %v", p, ok)
+	}
+}
+
+func TestPerPhaseLimitsOverrideDefault(t *testing.T) {
+	b := budget.New(context.Background(),
+		budget.WithSteps(5), budget.WithPhaseSteps(budget.PhaseSDG, 0))
+	if err := b.Phase(budget.PhaseSDG).TickN(1000); err != nil {
+		t.Fatalf("uncapped phase errored: %v", err)
+	}
+	if err := b.Phase(budget.PhaseSlice).TickN(1000); !budget.IsExhausted(err) {
+		t.Fatalf("capped phase did not exhaust: %v", err)
+	}
+}
+
+func TestCancellationDetectedOnFirstTick(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := budget.New(ctx)
+	err := b.Phase(budget.PhasePointsTo).Tick()
+	if !budget.IsCanceled(err) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	var ce *budget.ErrCanceled
+	errors.As(err, &ce)
+	if ce.Phase != budget.PhasePointsTo || !errors.Is(err, context.Canceled) {
+		t.Fatalf("bad cancellation tag: %+v", ce)
+	}
+}
+
+func TestDeadlinePromptness(t *testing.T) {
+	b := budget.New(context.Background(), budget.WithTimeout(20*time.Millisecond))
+	m := b.Phase(budget.PhaseInterp)
+	start := time.Now()
+	var err error
+	for err == nil && time.Since(start) < 2*time.Second {
+		err = m.Tick()
+	}
+	elapsed := time.Since(start)
+	if !budget.IsCanceled(err) {
+		t.Fatalf("want ErrCanceled on deadline, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should be DeadlineExceeded: %v", err)
+	}
+	if elapsed > 120*time.Millisecond {
+		t.Fatalf("deadline noticed after %v, want ~20ms (+100ms slack)", elapsed)
+	}
+}
+
+func TestContextDeadlineTightensBudget(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(10*time.Millisecond))
+	defer cancel()
+	b := budget.New(ctx, budget.WithTimeout(time.Hour))
+	time.Sleep(15 * time.Millisecond)
+	if err := b.Err(budget.PhaseLoad); !budget.IsCanceled(err) {
+		t.Fatalf("context deadline ignored: %v", err)
+	}
+}
+
+func TestFreshMeterPerPhaseCall(t *testing.T) {
+	b := budget.New(context.Background(), budget.WithSteps(10))
+	if err := b.Phase(budget.PhasePointsTo).TickN(11); !budget.IsExhausted(err) {
+		t.Fatal("first meter should exhaust")
+	}
+	// A retry (e.g. the degraded context-insensitive run) gets a fresh
+	// allowance.
+	if err := b.Phase(budget.PhasePointsTo).TickN(10); err != nil {
+		t.Fatalf("fresh meter should not start exhausted: %v", err)
+	}
+}

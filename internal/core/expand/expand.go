@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/budget"
 	"thinslice/internal/core"
 	"thinslice/internal/ir"
 	"thinslice/internal/sdg"
@@ -118,6 +119,12 @@ func (e *AliasExplanation) Statements() []ir.Instr {
 // pointers and filtered to the flow of objects common to both
 // points-to sets (in the respective contexts of the two accesses).
 func ExplainAliasing(g *sdg.Graph, pair HeapPair) *AliasExplanation {
+	return explainAliasing(g, pair, core.NewThin(g))
+}
+
+// explainAliasing is ExplainAliasing over a caller-provided thin
+// slicer, so expansions can reuse one carrying their budget.
+func explainAliasing(g *sdg.Graph, pair HeapPair, thin *core.Slicer) *AliasExplanation {
 	exp := &AliasExplanation{Pair: pair}
 	loadIns := g.InstrOf(pair.Load)
 	storeIns := g.InstrOf(pair.Store)
@@ -137,7 +144,6 @@ func ExplainAliasing(g *sdg.Graph, pair HeapPair) *AliasExplanation {
 		commonIDs[o.ID] = true
 	}
 	keep := func(ins ir.Instr) bool { return carriesObject(g.Pts, ins, commonIDs) }
-	thin := core.NewThin(g)
 	if loadBase.Def != nil {
 		exp.LoadFlow = thin.SliceFiltered(keep, g.NodeOf(loadCtx, loadBase.Def))
 	}
@@ -238,20 +244,49 @@ type Expansion struct {
 	// pointer flow (the limit construction covering the traditional
 	// slice).
 	Filtered bool
+	// Truncated reports that a violated budget stopped the expansion
+	// before its fixpoint; Err carries the typed budget error.
+	Truncated bool
+	Err       error
+
+	meter *budget.Meter
 }
 
-// NewExpansion starts an expansion from the thin slice of the seeds.
+// NewExpansion starts an unbounded expansion from the thin slice of
+// the seeds.
 func NewExpansion(g *sdg.Graph, filtered bool, seeds ...ir.Instr) *Expansion {
+	return NewExpansionBudget(g, filtered, nil, seeds...)
+}
+
+// NewExpansionBudget starts an expansion whose rounds and inner thin
+// slices are bounded by b (PhaseExpand / PhaseSlice). A violated
+// budget leaves the expansion at its current member set, flagged
+// Truncated — by construction every member is still a valid
+// explanation statement.
+func NewExpansionBudget(g *sdg.Graph, filtered bool, b *budget.Budget, seeds ...ir.Instr) *Expansion {
 	e := &Expansion{
 		g:        g,
-		thin:     core.NewThin(g),
+		thin:     core.NewThin(g).WithBudget(b),
 		Members:  make(map[sdg.Node]bool),
 		Filtered: filtered,
+		meter:    b.Phase(budget.PhaseExpand),
 	}
-	for _, n := range e.thin.Slice(seeds...).Nodes() {
+	initial := e.thin.Slice(seeds...)
+	e.noteSlice(initial)
+	for _, n := range initial.Nodes() {
 		e.Members[n] = true
 	}
 	return e
+}
+
+// noteSlice folds a component slice's truncation into the expansion.
+func (e *Expansion) noteSlice(sl *core.Slice) {
+	if sl != nil && sl.Truncated {
+		e.Truncated = true
+		if e.Err == nil {
+			e.Err = sl.Err
+		}
+	}
 }
 
 // Size returns the current statement-instance count.
@@ -286,6 +321,7 @@ func (e *Expansion) Step() bool {
 		if sl == nil {
 			return
 		}
+		e.noteSlice(sl)
 		for _, n := range sl.Nodes() {
 			add(n)
 		}
@@ -296,6 +332,13 @@ func (e *Expansion) Step() bool {
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	for _, n := range members {
+		if err := e.meter.Tick(); err != nil {
+			e.Truncated = true
+			if e.Err == nil {
+				e.Err = err
+			}
+			return false
+		}
 		ctx := e.g.CtxOf(n)
 		// Control: include the branches/calls and their producer chains.
 		for _, d := range e.g.Deps(n) {
@@ -304,7 +347,7 @@ func (e *Expansion) Step() bool {
 				add(d.Src)
 				addSlice(e.thin.SliceNodes(d.Src))
 			case d.Kind == sdg.EdgeHeap && e.Filtered:
-				exp := ExplainAliasing(e.g, HeapPair{Load: n, Store: d.Src})
+				exp := explainAliasing(e.g, HeapPair{Load: n, Store: d.Src}, e.thin)
 				if exp.LoadFlow != nil {
 					addSlice(exp.LoadFlow)
 				}

@@ -8,6 +8,7 @@ package core
 import (
 	"sort"
 
+	"thinslice/internal/budget"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
 	"thinslice/internal/sdg"
@@ -47,6 +48,16 @@ type Options struct {
 type Slicer struct {
 	G    *sdg.Graph
 	Opts Options
+	// Budget bounds each Slice call (PhaseSlice, one step per node
+	// admitted or edge traversed). Nil means unlimited. A violated
+	// budget stops the closure early and flags the slice Truncated.
+	Budget *budget.Budget
+}
+
+// WithBudget attaches a budget to the slicer and returns it.
+func (s *Slicer) WithBudget(b *budget.Budget) *Slicer {
+	s.Budget = b
+	return s
 }
 
 // NewThin returns a thin slicer (producer statements only).
@@ -77,6 +88,13 @@ func (s *Slicer) Follows(k sdg.EdgeKind) bool {
 // Slice is a computed backward slice: a set of statement instances,
 // projected onto instructions and source lines for reporting.
 type Slice struct {
+	// Truncated reports that the backward closure stopped early on a
+	// violated budget: every member is a true producer statement, but
+	// the slice may be missing members. Err carries the typed,
+	// phase-tagged budget error that stopped the traversal.
+	Truncated bool
+	Err       error
+
 	g     *sdg.Graph
 	seeds []sdg.Node
 	nodes map[sdg.Node]bool
@@ -183,6 +201,12 @@ func (s *Slicer) sliceFiltered(keep func(ir.Instr) bool, seeds []sdg.Node) *Slic
 		nodes:  make(map[sdg.Node]bool),
 		instrs: make(map[ir.Instr]bool),
 	}
+	// Inherit the graph's truncation: a slice over an incomplete graph
+	// is itself potentially incomplete.
+	if s.G.Truncated {
+		sl.Truncated, sl.Err = true, s.G.LimitErr
+	}
+	meter := s.Budget.Phase(budget.PhaseSlice)
 	var work []sdg.Node
 	// traversed is distinct from membership: call sites recorded as
 	// Via members must still be traversable if reached through an
@@ -207,6 +231,10 @@ func (s *Slicer) sliceFiltered(keep func(ir.Instr) bool, seeds []sdg.Node) *Slic
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
+		if err := meter.TickN(1 + int64(len(s.G.Deps(n)))); err != nil {
+			sl.Truncated, sl.Err = true, err
+			return sl
+		}
 		for _, d := range s.G.Deps(n) {
 			if !s.Follows(d.Kind) {
 				continue

@@ -126,8 +126,13 @@ func WriteScalability(w io.Writer, rows []ScalRow) {
 // noObjSensPointsTo exists for ablation benches: a pointer analysis at
 // reduced precision over the same program.
 func noObjSensPointsTo(a *analyzer.Analysis) *pointsto.Result {
-	return pointsto.Analyze(a.Prog, pointsto.Config{
+	// No budget: the ablation run is unbounded, so Analyze cannot fail.
+	res, err := pointsto.Analyze(a.Prog, pointsto.Config{
 		ObjSensContainers: false,
 		ContainerClasses:  prelude.ContainerClasses,
 	})
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

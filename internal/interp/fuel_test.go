@@ -1,0 +1,137 @@
+package interp_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/interp"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+)
+
+func machineFor(t *testing.T, src string) *interp.Machine {
+	t.Helper()
+	info, err := loader.Load(map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return interp.New(ir.Lower(info))
+}
+
+const whileTrue = `class Main {
+	static void main() {
+		int x = 0;
+		while (true) { x = x + 1; }
+		print(x);
+	}
+}`
+
+// TestFuelTerminatesInfiniteLoop is the -dynamic hang fix: executing
+// while(true) must end with a truncation error instead of hanging.
+func TestFuelTerminatesInfiniteLoop(t *testing.T) {
+	m := machineFor(t, whileTrue)
+	m.StepLimit = 50_000
+	start := time.Now()
+	err := m.Run("")
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v, want < 2s", elapsed)
+	}
+	if err == nil {
+		t.Fatal("want fuel-exhaustion error, got nil")
+	}
+	if !interp.Truncated(err) {
+		t.Fatalf("Truncated(%v) = false, want true", err)
+	}
+	if !budget.IsExhausted(err) {
+		t.Fatalf("IsExhausted(%v) = false, want true (fuel error must wrap ErrExhausted)", err)
+	}
+	if p, ok := budget.PhaseOf(err); !ok || p != budget.PhaseInterp {
+		t.Fatalf("PhaseOf(%v) = %q, want %q", err, p, budget.PhaseInterp)
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Errorf("error should mention the limit: %v", err)
+	}
+}
+
+// TestDefaultFuelIsBounded guards the default: a fresh machine has
+// fuel, so -dynamic cannot hang even when callers forget to set it.
+func TestDefaultFuelIsBounded(t *testing.T) {
+	m := machineFor(t, whileTrue)
+	if m.StepLimit <= 0 {
+		t.Fatalf("default StepLimit = %d, want > 0", m.StepLimit)
+	}
+	if m.MaxDepth <= 0 {
+		t.Fatalf("default MaxDepth = %d, want > 0", m.MaxDepth)
+	}
+}
+
+// TestDepthLimitStopsRunawayRecursion: unbounded recursion must become
+// a RuntimeError, not a Go stack overflow.
+func TestDepthLimitStopsRunawayRecursion(t *testing.T) {
+	m := machineFor(t, `class Main {
+		static int down(int n) { return Main.down(n + 1); }
+		static void main() { print(Main.down(0)); }
+	}`)
+	m.MaxDepth = 500
+	err := m.Run("")
+	if err == nil {
+		t.Fatal("want depth error, got nil")
+	}
+	if !interp.Truncated(err) {
+		t.Fatalf("Truncated(%v) = false, want true", err)
+	}
+	if !strings.Contains(err.Error(), "depth") {
+		t.Errorf("error should mention call depth: %v", err)
+	}
+}
+
+// TestBudgetCancellationStopsExecution: a canceled budget context is
+// noticed promptly mid-run.
+func TestBudgetCancellationStopsExecution(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := machineFor(t, whileTrue)
+	m.Budget = budget.New(ctx)
+	start := time.Now()
+	err := m.Run("")
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation noticed after %v, want < 100ms", elapsed)
+	}
+	if !budget.IsCanceled(err) {
+		t.Fatalf("IsCanceled(%v) = false, want true", err)
+	}
+	if !interp.Truncated(err) {
+		t.Fatalf("Truncated(%v) = false, want true", err)
+	}
+}
+
+// TestBudgetDeadlineStopsExecution: the wall-clock deadline bounds a
+// run that still has fuel.
+func TestBudgetDeadlineStopsExecution(t *testing.T) {
+	m := machineFor(t, whileTrue)
+	m.Budget = budget.New(nil, budget.WithTimeout(30*time.Millisecond))
+	start := time.Now()
+	err := m.Run("")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline noticed after %v, want well under 1s", elapsed)
+	}
+	if !budget.IsCanceled(err) {
+		t.Fatalf("IsCanceled(%v) = false, want true", err)
+	}
+}
+
+// TestFinishedRunUnaffectedByLimits: generous limits leave a normal
+// run untouched.
+func TestFinishedRunUnaffectedByLimits(t *testing.T) {
+	m := machineFor(t, `class Main { static void main() { print(41 + 1); } }`)
+	m.Budget = budget.New(nil, budget.WithTimeout(5*time.Second), budget.WithSteps(1_000_000))
+	if err := m.Run(""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != "42" {
+		t.Fatalf("output = %q, want [42]", m.Output)
+	}
+}

@@ -10,9 +10,11 @@ package interp
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
+	"thinslice/internal/budget"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
 	"thinslice/internal/lang/types"
@@ -43,15 +45,36 @@ type Array struct {
 func (a *Array) String() string { return fmt.Sprintf("%s[%d]@%d", a.Elem, len(a.Elems), a.id) }
 
 // RuntimeError is an execution failure (uncaught throw, failed assert,
-// null dereference, bad cast, out-of-bounds access, step exhaustion).
+// null dereference, bad cast, out-of-bounds access, fuel/budget
+// exhaustion, call-depth overflow).
 type RuntimeError struct {
 	Pos  token.Pos
 	Kind string
 	Msg  string
+	// Cause is the underlying typed error for resource failures: a
+	// *budget.ErrExhausted for fuel/step exhaustion, *budget.ErrCanceled
+	// for cancellation, so errors.As/budget.IsExhausted work through it.
+	Cause error
 }
 
 func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Kind, e.Msg)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Cause }
+
+// Truncated reports whether err means execution was cut off by a
+// resource bound (fuel, budget, deadline, call depth) rather than a
+// program fault — the "partial result" outcomes a caller may want to
+// treat as soft failures.
+func Truncated(err error) bool {
+	if budget.IsExhausted(err) || budget.IsCanceled(err) {
+		return true
+	}
+	if re, ok := err.(*RuntimeError); ok {
+		return re.Kind == "limit" || re.Kind == "depth"
+	}
+	return false
 }
 
 // Machine executes a program.
@@ -61,8 +84,16 @@ type Machine struct {
 	// one entry (cycling when exhausted, defaulting to ""/0 if empty).
 	Inputs    []string
 	InputInts []int64
-	// StepLimit bounds executed instructions (default 2_000_000).
+	// StepLimit is the fuel: it bounds executed instructions (default
+	// 2_000_000), guaranteeing termination on unterminated loops.
 	StepLimit int
+	// MaxDepth bounds the call stack (default 10_000), converting
+	// runaway recursion into a RuntimeError instead of a fatal Go
+	// stack overflow.
+	MaxDepth int
+	// Budget, when non-nil, additionally bounds execution by the shared
+	// pipeline budget (PhaseInterp steps, cancellation, deadline).
+	Budget *budget.Budget
 	// Output collects print() results.
 	Output []string
 	// Trace, when non-nil, records dynamic dependences (see trace.go).
@@ -73,6 +104,8 @@ type Machine struct {
 	BaseHook func(ins ir.Instr, base Value)
 
 	steps    int
+	depth    int
+	meter    *budget.Meter
 	nextID   int
 	statics  map[*types.FieldInfo]Value
 	inputPos int
@@ -84,13 +117,22 @@ func New(prog *ir.Program) *Machine {
 	return &Machine{
 		Prog:      prog,
 		StepLimit: 2_000_000,
+		MaxDepth:  10_000,
 		statics:   make(map[*types.FieldInfo]Value),
 	}
 }
 
 // Run executes the entry method (a static method named main when name
-// is empty).
-func (m *Machine) Run(entryName string) error {
+// is empty). It never panics: internal faults are converted to a
+// phase-tagged *budget.ErrInternal, and resource bounds (fuel, budget,
+// call depth) surface as RuntimeErrors for which Truncated reports
+// true.
+func (m *Machine) Run(entryName string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &budget.ErrInternal{Phase: budget.PhaseInterp, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	var entry *ir.Method
 	for _, mm := range m.Prog.Methods {
 		if entryName == "" && mm.Sig.Static && mm.Sig.Name == "main" {
@@ -105,7 +147,8 @@ func (m *Machine) Run(entryName string) error {
 	if entry == nil {
 		return fmt.Errorf("interp: entry method %q not found", entryName)
 	}
-	_, err := m.call(entry, nil, nil)
+	m.meter = m.Budget.Phase(budget.PhaseInterp)
+	_, err = m.call(entry, nil, nil)
 	return err
 }
 
@@ -128,6 +171,15 @@ func (f *frame) set(r *ir.Reg, v Value) {
 // instance methods). cc carries tracing info for the call boundary and
 // is nil when tracing is off or at the entry method.
 func (m *Machine) call(meth *ir.Method, args []Value, cc *callCtx) (Value, error) {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.MaxDepth > 0 && m.depth > m.MaxDepth {
+		return nil, &RuntimeError{
+			Kind:  "depth",
+			Msg:   fmt.Sprintf("call depth %d exceeded entering %s", m.MaxDepth, meth.Name()),
+			Cause: &budget.ErrExhausted{Phase: budget.PhaseInterp, Limit: int64(m.MaxDepth), Spent: int64(m.depth)},
+		}
+	}
 	f := &frame{regs: make(map[*ir.Reg]Value)}
 	if m.Trace != nil {
 		f.defInst = make(map[*ir.Reg]int)
@@ -181,8 +233,21 @@ func (m *Machine) call(meth *ir.Method, args []Value, cc *callCtx) (Value, error
 				continue // handled on entry
 			}
 			m.steps++
-			if m.steps > m.StepLimit {
-				return nil, m.errAt(ins, "limit", "step limit %d exceeded", m.StepLimit)
+			if m.StepLimit > 0 && m.steps > m.StepLimit {
+				rerr := m.errAt(ins, "limit", "step limit %d exceeded (out of fuel)", m.StepLimit)
+				rerr.Cause = &budget.ErrExhausted{
+					Phase: budget.PhaseInterp, Limit: int64(m.StepLimit), Spent: int64(m.steps),
+				}
+				return nil, rerr
+			}
+			if err := m.meter.Tick(); err != nil {
+				kind := "limit"
+				if budget.IsCanceled(err) {
+					kind = "canceled"
+				}
+				rerr := m.errAt(ins, kind, "budget violated: %v", err)
+				rerr.Cause = err
+				return nil, rerr
 			}
 			next, ret, returned, err := m.exec(f, ins, cc)
 			if err != nil {

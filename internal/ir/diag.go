@@ -1,0 +1,43 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"thinslice/internal/lang/token"
+)
+
+// Diagnostic records a malformed construct encountered during lowering.
+// Lower no longer panics on input that slipped past the type checker:
+// it lowers such constructs to safe placeholder values and accumulates
+// a Diagnostic per site, so the facade can reject the program with a
+// descriptive error instead of crashing the caller.
+type Diagnostic struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (d Diagnostic) Error() string {
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	}
+	return d.Msg
+}
+
+// Diagnostics is an accumulated list of lowering problems; it
+// implements error so the whole batch can be returned as one failure.
+type Diagnostics []Diagnostic
+
+func (ds Diagnostics) Error() string {
+	const max = 10
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("ir: %d lowering diagnostic(s):", len(ds)))
+	for i, d := range ds {
+		if i == max {
+			sb.WriteString(fmt.Sprintf("\n\t... and %d more", len(ds)-max))
+			break
+		}
+		sb.WriteString("\n\t" + d.Error())
+	}
+	return sb.String()
+}

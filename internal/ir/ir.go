@@ -22,6 +22,9 @@ type Program struct {
 	// NumInstrs is the total number of instructions, which also bounds
 	// instruction IDs (IDs are program-unique, dense from 0).
 	NumInstrs int
+	// Diags accumulates malformed constructs found during lowering; a
+	// program with diagnostics is not safe to analyze (see Lower).
+	Diags     Diagnostics
 	instrByID []Instr
 }
 

@@ -8,8 +8,10 @@ import (
 	"thinslice/internal/lang/types"
 )
 
-// Lower translates a checked program into SSA IR. It panics on ASTs
-// that did not pass the type checker; callers must check first.
+// Lower translates a checked program into SSA IR. Constructs that
+// escaped the type checker are lowered to safe placeholder values and
+// recorded in the program's Diags instead of panicking; callers should
+// reject programs with non-empty Diags.
 func Lower(info *types.Info) *Program {
 	prog := &Program{Info: info, MethodOf: make(map[*types.MethodInfo]*Method)}
 	for _, decl := range info.Prog.Classes {
@@ -22,12 +24,12 @@ func Lower(info *types.Info) *Program {
 			if mi == nil {
 				continue
 			}
-			m := lowerMethod(info, mi)
+			m := lowerMethod(prog, info, mi)
 			prog.Methods = append(prog.Methods, m)
 			prog.MethodOf[mi] = m
 		}
 		if ci.Ctor != nil && ci.Ctor.Decl == nil {
-			m := lowerMethod(info, ci.Ctor) // synthesized default constructor
+			m := lowerMethod(prog, info, ci.Ctor) // synthesized default constructor
 			prog.Methods = append(prog.Methods, m)
 			prog.MethodOf[ci.Ctor] = m
 		}
@@ -59,6 +61,7 @@ type loopCtx struct {
 }
 
 type builder struct {
+	prog *Program
 	info *types.Info
 	m    *Method
 	sig  *types.MethodInfo
@@ -75,9 +78,10 @@ type builder struct {
 	loops       []loopCtx
 }
 
-func lowerMethod(info *types.Info, sig *types.MethodInfo) *Method {
+func lowerMethod(prog *Program, info *types.Info, sig *types.MethodInfo) *Method {
 	m := &Method{Sig: sig}
 	b := &builder{
+		prog:        prog,
 		info:        info,
 		m:           m,
 		sig:         sig,
@@ -172,6 +176,19 @@ func collectParams(entry *Block) []*Param {
 	return params
 }
 
+// diag records a malformed construct and lets lowering continue with a
+// placeholder; the program is rejected afterwards via prog.Diags.
+func (b *builder) diag(pos token.Pos, format string, args ...any) {
+	b.prog.Diags = append(b.prog.Diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// badValue emits a well-formed placeholder definition for a value that
+// could not be lowered, keeping the SSA invariants (every reachable use
+// has a defining instruction) intact.
+func (b *builder) badValue(t types.Type, pos token.Pos) *Reg {
+	return b.zeroValue(t, pos)
+}
+
 func (b *builder) resolveType(t ast.TypeExpr) types.Type {
 	switch t := t.(type) {
 	case *ast.PrimType:
@@ -192,7 +209,8 @@ func (b *builder) resolveType(t ast.TypeExpr) types.Type {
 	case *ast.ArrayType:
 		return &types.Array{Elem: b.resolveType(t.Elem)}
 	}
-	panic(fmt.Sprintf("ir: unresolvable type at %s", t.Pos()))
+	b.diag(t.Pos(), "unresolvable type")
+	return types.IntT
 }
 
 func (b *builder) newBlock() *Block {
@@ -512,16 +530,20 @@ func (b *builder) lowerStmt(s ast.Stmt) {
 		b.emit(a)
 	case *ast.Break:
 		if len(b.loops) == 0 {
-			panic(fmt.Sprintf("ir: break outside loop at %s", s.Pos()))
+			b.diag(s.Pos(), "break outside loop")
+			b.cur = nil // code after the bad jump is unreachable
+			return
 		}
 		b.jump(b.loops[len(b.loops)-1].brk, s.Pos())
 	case *ast.Continue:
 		if len(b.loops) == 0 {
-			panic(fmt.Sprintf("ir: continue outside loop at %s", s.Pos()))
+			b.diag(s.Pos(), "continue outside loop")
+			b.cur = nil
+			return
 		}
 		b.jump(b.loops[len(b.loops)-1].cont, s.Pos())
 	default:
-		panic(fmt.Sprintf("ir: unexpected statement %T", s))
+		b.diag(s.Pos(), "unexpected statement %T", s)
 	}
 }
 
@@ -530,6 +552,10 @@ func (b *builder) lowerAssign(s *ast.Assign) {
 	case *ast.Ident:
 		ref := b.info.Refs[lhs]
 		val := b.lowerExpr(s.RHS)
+		if ref == nil {
+			b.diag(lhs.Pos(), "unresolved assignment target %s", lhs.Name)
+			return
+		}
 		switch ref.Kind {
 		case types.RefLocal:
 			b.write(ref.Local, b.materializeCopy(s.RHS, val, s.Pos()))
@@ -545,12 +571,14 @@ func (b *builder) lowerAssign(s *ast.Assign) {
 			st.pos = s.Pos()
 			b.emit(st)
 		default:
-			panic(fmt.Sprintf("ir: bad assign target at %s", s.Pos()))
+			b.diag(s.Pos(), "bad assign target %s", lhs.Name)
 		}
 	case *ast.FieldAccess:
 		f := b.info.FieldRefs[lhs]
 		if f == nil {
-			panic(fmt.Sprintf("ir: unresolved field at %s", lhs.Pos()))
+			b.diag(lhs.Pos(), "unresolved field in assignment")
+			b.lowerExpr(s.RHS) // still lower the RHS for its effects
+			return
 		}
 		if f.Static {
 			val := b.lowerExpr(s.RHS)
@@ -572,7 +600,7 @@ func (b *builder) lowerAssign(s *ast.Assign) {
 		st.pos = s.Pos()
 		b.emit(st)
 	default:
-		panic(fmt.Sprintf("ir: bad assign target %T", s.LHS))
+		b.diag(s.Pos(), "bad assign target %T", s.LHS)
 	}
 }
 
@@ -801,7 +829,8 @@ func (b *builder) lowerExpr(e ast.Expr) *Reg {
 		b.emit(io)
 		return r
 	}
-	panic(fmt.Sprintf("ir: unexpected expression %T at %s", e, e.Pos()))
+	b.diag(e.Pos(), "unexpected expression %T", e)
+	return b.badValue(types.IntT, e.Pos())
 }
 
 func (b *builder) elemType(arrExpr ast.Expr) types.Type {
@@ -814,7 +843,8 @@ func (b *builder) elemType(arrExpr ast.Expr) types.Type {
 func (b *builder) lowerIdent(e *ast.Ident) *Reg {
 	ref := b.info.Refs[e]
 	if ref == nil {
-		panic(fmt.Sprintf("ir: unresolved identifier %s at %s", e.Name, e.Pos()))
+		b.diag(e.Pos(), "unresolved identifier %s", e.Name)
+		return b.badValue(types.IntT, e.Pos())
 	}
 	switch ref.Kind {
 	case types.RefLocal:
@@ -835,7 +865,8 @@ func (b *builder) lowerIdent(e *ast.Ident) *Reg {
 		b.emit(g)
 		return r
 	}
-	panic(fmt.Sprintf("ir: identifier %s names a class at %s", e.Name, e.Pos()))
+	b.diag(e.Pos(), "identifier %s names a class", e.Name)
+	return b.badValue(types.IntT, e.Pos())
 }
 
 func (b *builder) lowerBinary(e *ast.Binary) *Reg {
@@ -909,7 +940,8 @@ func (b *builder) lowerFieldAccess(e *ast.FieldAccess) *Reg {
 	}
 	f := b.info.FieldRefs[e]
 	if f == nil {
-		panic(fmt.Sprintf("ir: unresolved field access at %s", e.Pos()))
+		b.diag(e.Pos(), "unresolved field access")
+		return b.badValue(types.IntT, e.Pos())
 	}
 	if f.Static {
 		r := b.newReg(f.Type)
@@ -938,7 +970,8 @@ var strIntrinsicKinds = map[types.Intrinsic]StrKind{
 func (b *builder) lowerCall(e *ast.Call) *Reg {
 	ci := b.info.Calls[e]
 	if ci == nil {
-		panic(fmt.Sprintf("ir: unresolved call %s at %s", e.Name, e.Pos()))
+		b.diag(e.Pos(), "unresolved call %s", e.Name)
+		return b.badValue(types.IntT, e.Pos())
 	}
 	switch ci.Intrinsic {
 	case types.BuiltinPrint:
@@ -1017,6 +1050,10 @@ func (b *builder) lowerCall(e *ast.Call) *Reg {
 
 func (b *builder) lowerNew(e *ast.New) *Reg {
 	ci := b.info.Classes[e.Class]
+	if ci == nil {
+		b.diag(e.Pos(), "unresolved class %s", e.Class)
+		return b.badValue(types.IntT, e.Pos())
+	}
 	r := b.newReg(types.ClassType(ci))
 	n := &New{Dst: r, Class: ci}
 	n.pos = e.Pos()

@@ -30,12 +30,3 @@ func LoadBare(sources map[string]string) (*types.Info, error) {
 	return types.Check(prog)
 }
 
-// MustLoad is Load but panics on error; intended for tests and examples
-// operating on known-good sources.
-func MustLoad(sources map[string]string) *types.Info {
-	info, err := Load(sources)
-	if err != nil {
-		panic(err)
-	}
-	return info
-}

@@ -48,17 +48,21 @@ func TestLoadSemanticErrorPropagates(t *testing.T) {
 	}
 }
 
-func TestMustLoadPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustLoad should panic on bad input")
+func TestLoadNeverPanicsOnBadInput(t *testing.T) {
+	// The loader reports failures as errors, never panics.
+	for _, src := range []string{"class {", "class A { int m() { return", "\x00\x01"} {
+		_, err := loader.Load(map[string]string{"m.mj": src})
+		if err == nil {
+			t.Errorf("expected error for %q", src)
 		}
-	}()
-	loader.MustLoad(map[string]string{"m.mj": "class {"})
+	}
 }
 
-func TestMustLoadOK(t *testing.T) {
-	info := loader.MustLoad(map[string]string{"m.mj": `class Main { static void main() { print(1); } }`})
+func TestLoadOK(t *testing.T) {
+	info, err := loader.Load(map[string]string{"m.mj": `class Main { static void main() { print(1); } }`})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if info == nil {
 		t.Fatal("nil info")
 	}

@@ -166,7 +166,14 @@ func (p *parser) parseClass() *ast.ClassDecl {
 	}
 	p.expect(token.LBRACE)
 	for !p.at(token.RBRACE) && !p.atEOF() {
+		before := p.i
 		p.parseMember(c)
+		if p.i == before {
+			// parseMember's error recovery stopped at a token it does not
+			// consume (e.g. a stray statement keyword); skip it so the
+			// loop always makes progress.
+			p.advance()
+		}
 	}
 	p.expect(token.RBRACE)
 	return c

@@ -18,6 +18,7 @@ import (
 
 	"thinslice/internal/analysis/cdg"
 	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/budget"
 	"thinslice/internal/ir"
 )
 
@@ -105,6 +106,15 @@ type Graph struct {
 	Prog *ir.Program
 	Pts  *pointsto.Result
 
+	// Truncated reports that construction stopped at the edge budget:
+	// the node set is complete but some dependence edges are missing,
+	// so slices over this graph may be under-approximate. LimitErr
+	// carries the triggering *budget.ErrExhausted.
+	Truncated bool
+	LimitErr  error
+
+	meter    *budget.Meter
+	stop     error
 	deps     [][]Dep
 	mctxs    []*pointsto.MCtx
 	base     map[*pointsto.MCtx]int32 // first node of each context
@@ -166,11 +176,26 @@ type heapAccess struct {
 }
 
 // Build constructs the dependence graph over the contexts reachable in
-// pts.
+// pts, unbounded.
 func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
+	g, err := BuildBudget(prog, pts, nil)
+	if err != nil {
+		// Unreachable: a nil budget cannot be canceled or exhausted.
+		panic(err)
+	}
+	return g
+}
+
+// BuildBudget constructs the dependence graph under a budget
+// (PhaseSDG, one step per instruction scanned or edge added). A
+// canceled context or passed deadline aborts with *budget.ErrCanceled;
+// an exhausted step cap returns the partial graph flagged Truncated
+// with a nil error — all nodes present, some edges missing.
+func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Graph, error) {
 	g := &Graph{
 		Prog:        prog,
 		Pts:         pts,
+		meter:       b.Phase(budget.PhaseSDG),
 		base:        make(map[*pointsto.MCtx]int32),
 		firstID:     make(map[*ir.Method]int),
 		callerNodes: make(map[*pointsto.MCtx][]Node),
@@ -216,7 +241,13 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 			sort.Ints(ids)
 			return ids
 		}
+		if g.stop != nil {
+			break
+		}
 		mc.Method.Instrs(func(ins ir.Instr) {
+			if !g.tick() {
+				return
+			}
 			node := g.NodeOf(mc, ins)
 			// Local/base def-use edges from operand definitions. Call
 			// operands are excluded: argument flow reaches the callee's
@@ -262,9 +293,16 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 	}
 
 	// Heap edges: store→load when the base points-to sets (in the
-	// respective contexts) intersect.
+	// respective contexts) intersect. These pairings are the graph's
+	// quadratic hot spot, so each candidate load ticks the budget.
 	for fname, loads := range fieldLoads {
+		if g.stop != nil {
+			break
+		}
 		for _, ld := range loads {
+			if !g.tick() {
+				break
+			}
 			for _, st := range fieldStores[fname] {
 				if intersects(ld.objs, st.objs) {
 					g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
@@ -273,6 +311,9 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 		}
 	}
 	for _, ld := range elemLoads {
+		if !g.tick() {
+			break
+		}
 		for _, st := range elemStores {
 			if intersects(ld.objs, st.objs) {
 				g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
@@ -284,6 +325,9 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 	// context names the allocating container context only indirectly,
 	// so connect to every context instance of the allocation site).
 	for _, lr := range lenReads {
+		if g.stop != nil {
+			break
+		}
 		seen := make(map[Node]bool)
 		for _, id := range lr.objs {
 			o := pts.Objects()[id]
@@ -301,6 +345,9 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 	// Static fields are single global locations: every store reaches
 	// every load of the same field.
 	for fname, loads := range staticLoads {
+		if g.stop != nil {
+			break
+		}
 		for _, ld := range loads {
 			for _, st := range staticStores[fname] {
 				g.addDep(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
@@ -312,6 +359,9 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 	// across contexts; edges are added per context instance).
 	cdgCache := make(map[*ir.Method]*cdg.Graph)
 	for _, mc := range g.mctxs {
+		if g.stop != nil {
+			break
+		}
 		cg := cdgCache[mc.Method]
 		if cg == nil {
 			cg = cdg.Build(mc.Method)
@@ -332,10 +382,33 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 			}
 		})
 	}
-	return g
+	if g.stop != nil {
+		if budget.IsCanceled(g.stop) {
+			return nil, g.stop
+		}
+		g.Truncated = true
+		g.LimitErr = g.stop
+	}
+	return g, nil
+}
+
+// tick spends one construction step; once the budget fails the graph
+// stops growing (sticky), and Build interprets the violation.
+func (g *Graph) tick() bool {
+	if g.stop != nil {
+		return false
+	}
+	if err := g.meter.Tick(); err != nil {
+		g.stop = err
+		return false
+	}
+	return true
 }
 
 func (g *Graph) addDep(to Node, d Dep) {
+	if !g.tick() {
+		return
+	}
 	g.deps[to] = append(g.deps[to], d)
 	g.numEdges++
 }
