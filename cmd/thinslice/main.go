@@ -9,22 +9,33 @@
 // precision, and on-demand explanations of heap aliasing and control
 // dependences for the slice (§4).
 //
+// The check subcommand runs the thin-slice-powered checker suite:
+//
+//	thinslice check [-checks nilderef,taint] [-json] prog.mj...
+//
+// Every finding carries a thin-slice witness — the shortest producer
+// chain explaining the suspicious value, the same chains -why prints.
+//
 // Resource limits: -timeout and -max-steps bound the whole run, and
 // -fuel bounds -dynamic execution. A run that was cut short but still
 // produced a (partial) result exits with code 3; hard failures exit 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"thinslice/internal/analysis/modref"
 	"thinslice/internal/analyzer"
 	"thinslice/internal/budget"
+	"thinslice/internal/checkers"
 	"thinslice/internal/core"
 	"thinslice/internal/core/expand"
 	"thinslice/internal/csslice"
@@ -33,51 +44,227 @@ import (
 	"thinslice/internal/lang/token"
 )
 
-// exitPartial is the exit code for a truncated-but-usable result.
-const exitPartial = 3
+// Exit codes: 0 ok, 1 hard failure, 2 usage, 3 truncated-but-usable
+// result (and, for check, 3 also means findings were reported).
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
 
-func main() {
-	seedFlag := flag.String("seed", "", "seed statement as file.mj:line (required)")
-	mode := flag.String("mode", "thin", "slicing mode: thin or traditional")
-	control := flag.Bool("control", false, "follow control dependences (traditional only)")
-	cs := flag.Bool("cs", false, "use the context-sensitive tabulation slicer (§5.3)")
-	noObjSens := flag.Bool("noobjsens", false, "disable object-sensitive container handling")
-	explainAliasing := flag.Bool("explain-aliasing", false, "print aliasing explanations for heap edges in the slice (§4.1)")
-	explainControl := flag.Bool("explain-control", false, "print control explanations for the seed (§4.2)")
-	why := flag.String("why", "", "explain why file.mj:line is in the slice (shortest producer chain)")
-	dynamic := flag.Bool("dynamic", false, "execute the program and print the dynamic thin slice of the seed")
-	inputs := flag.String("input", "", "comma-separated input() values for -dynamic")
-	inputInts := flag.String("inputint", "", "comma-separated inputInt() values for -dynamic")
-	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole run (e.g. 2s; 0 = unlimited)")
-	maxSteps := flag.Int64("max-steps", 0, "per-phase analysis step cap (0 = unlimited)")
-	fuel := flag.Int("fuel", 0, "instruction fuel for -dynamic execution (0 = default 2,000,000)")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	if *seedFlag == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: thinslice -seed file.mj:line [flags] file.mj...")
-		flag.PrintDefaults()
-		os.Exit(2)
+// run is the testable entry point: it dispatches on the optional
+// subcommand and never calls os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], stdout, stderr)
+	}
+	return runSlice(args, stdout, stderr)
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "thinslice:", err)
+	return exitFailure
+}
+
+// readSources loads the named program files.
+func readSources(paths []string) (map[string]string, error) {
+	sources := make(map[string]string, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		sources[path] = string(data)
+	}
+	return sources, nil
+}
+
+// newBudget builds the run-wide budget from the shared limit flags.
+func newBudget(timeout time.Duration, maxSteps int64) *budget.Budget {
+	var bopts []budget.Option
+	if timeout > 0 {
+		bopts = append(bopts, budget.WithTimeout(timeout))
+	}
+	if maxSteps > 0 {
+		bopts = append(bopts, budget.WithSteps(maxSteps))
+	}
+	return budget.New(nil, bopts...)
+}
+
+// runCheck implements the `thinslice check` subcommand.
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thinslice check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "all", "comma-separated checkers to run (all = every checker)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sources := fs.String("taint-sources", "", "comma-separated taint sources for the taint checker (default input,inputInt)")
+	sinks := fs.String("taint-sinks", "", "comma-separated sink method names for the taint checker")
+	includeLib := fs.Bool("include-library", false, "also report findings inside the container prelude")
+	noVerify := fs.Bool("no-verify", false, "skip the IR verifier pass before checking")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole run (0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "per-phase analysis step cap (0 = unlimited)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: thinslice check [flags] file.mj...")
+		fmt.Fprintln(stderr, "checkers:")
+		for _, c := range checkers.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name(), c.Desc())
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+	checks, err := checkers.Select(*checksFlag)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	srcs, err := readSources(fs.Args())
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	opts := []analyzer.Option{analyzer.WithBudget(newBudget(*timeout, *maxSteps))}
+	if !*noVerify {
+		opts = append(opts, analyzer.WithVerifyIR())
+	}
+	a, err := analyzer.Analyze(srcs, opts...)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	cfg := checkers.Config{IncludeLibrary: *includeLib}
+	if *sources != "" {
+		cfg.TaintSources = splitList(*sources)
+	}
+	if *sinks != "" {
+		cfg.TaintSinks = splitList(*sinks)
+	}
+	rep := checkers.Run(a, checks, cfg)
+	if rep.Truncated {
+		fmt.Fprintf(stderr, "thinslice: warning: budget exhausted; findings are partial (%v)\n", rep.Err)
+	}
+	if *jsonOut {
+		if err := writeJSONReport(stdout, rep); err != nil {
+			return fail(stderr, err)
+		}
+	} else {
+		writeTextReport(stdout, rep, len(checks))
+	}
+	if rep.Truncated || len(rep.Findings) > 0 {
+		return exitPartial
+	}
+	return exitOK
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func writeTextReport(w io.Writer, rep *checkers.Report, nChecks int) {
+	for _, f := range rep.Findings {
+		fmt.Fprintln(w, f)
+	}
+	suffix := ""
+	if rep.Truncated {
+		suffix = " (truncated)"
+	}
+	fmt.Fprintf(w, "%d finding(s) from %d checker(s)%s\n", len(rep.Findings), nChecks, suffix)
+}
+
+// jsonFinding mirrors checkers.Finding with a flat, stable wire shape.
+type jsonFinding struct {
+	Checker string     `json:"checker"`
+	File    string     `json:"file"`
+	Line    int        `json:"line"`
+	Message string     `json:"message"`
+	Witness []jsonStep `json:"witness,omitempty"`
+}
+
+type jsonStep struct {
+	Kind string `json:"kind"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Stmt string `json:"stmt"`
+}
+
+func writeJSONReport(w io.Writer, rep *checkers.Report) error {
+	out := struct {
+		Findings  []jsonFinding `json:"findings"`
+		Truncated bool          `json:"truncated"`
+	}{Findings: []jsonFinding{}, Truncated: rep.Truncated}
+	for _, f := range rep.Findings {
+		jf := jsonFinding{Checker: f.Checker, File: f.Pos.File, Line: f.Pos.Line, Message: f.Message}
+		if f.Witness != nil {
+			for i, step := range f.Witness.Chain {
+				kind := "value"
+				if i > 0 {
+					kind = step.Kind.String()
+				}
+				p := step.Ins.Pos()
+				jf.Witness = append(jf.Witness, jsonStep{Kind: kind, File: p.File, Line: p.Line, Stmt: step.Ins.String()})
+			}
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// runSlice implements the default slicing mode.
+func runSlice(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thinslice", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seedFlag := fs.String("seed", "", "seed statement as file.mj:line (required)")
+	mode := fs.String("mode", "thin", "slicing mode: thin or traditional")
+	control := fs.Bool("control", false, "follow control dependences (traditional only)")
+	cs := fs.Bool("cs", false, "use the context-sensitive tabulation slicer (§5.3)")
+	noObjSens := fs.Bool("noobjsens", false, "disable object-sensitive container handling")
+	explainAliasing := fs.Bool("explain-aliasing", false, "print aliasing explanations for heap edges in the slice (§4.1)")
+	explainControl := fs.Bool("explain-control", false, "print control explanations for the seed (§4.2)")
+	why := fs.String("why", "", "explain why file.mj:line is in the slice (shortest producer chain)")
+	dynamic := fs.Bool("dynamic", false, "execute the program and print the dynamic thin slice of the seed")
+	inputs := fs.String("input", "", "comma-separated input() values for -dynamic")
+	inputInts := fs.String("inputint", "", "comma-separated inputInt() values for -dynamic")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole run (e.g. 2s; 0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "per-phase analysis step cap (0 = unlimited)")
+	fuel := fs.Int("fuel", 0, "instruction fuel for -dynamic execution (0 = default 2,000,000)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *seedFlag == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: thinslice -seed file.mj:line [flags] file.mj...")
+		fmt.Fprintln(stderr, "       thinslice check [flags] file.mj...")
+		fs.PrintDefaults()
+		return exitUsage
 	}
 	seedFile, seedLine, err := parseSeed(*seedFlag)
-	exitOn(err)
+	if err != nil {
+		return fail(stderr, err)
+	}
 
-	sources := make(map[string]string)
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		exitOn(err)
-		sources[path] = string(data)
+	sources, err := readSources(fs.Args())
+	if err != nil {
+		return fail(stderr, err)
 	}
 
 	// One budget bounds the whole run: analysis phases and -dynamic
 	// execution share the wall-clock deadline.
-	var bopts []budget.Option
-	if *timeout > 0 {
-		bopts = append(bopts, budget.WithTimeout(*timeout))
-	}
-	if *maxSteps > 0 {
-		bopts = append(bopts, budget.WithSteps(*maxSteps))
-	}
-	bud := budget.New(nil, bopts...)
+	bud := newBudget(*timeout, *maxSteps)
 
 	var opts []analyzer.Option
 	if *noObjSens {
@@ -85,27 +272,33 @@ func main() {
 	}
 	opts = append(opts, analyzer.WithBudget(bud))
 	a, err := analyzer.Analyze(sources, opts...)
-	exitOn(err)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	partial := a.Partial()
 	if partial {
-		fmt.Fprintln(os.Stderr, "thinslice: warning: budget exhausted during analysis; results may be incomplete")
+		fmt.Fprintln(stderr, "thinslice: warning: budget exhausted during analysis; results may be incomplete")
 	}
 
 	seeds := a.SeedsAt(seedFile, seedLine)
 	if len(seeds) == 0 {
-		exitOn(fmt.Errorf("no reachable statements at %s:%d", seedFile, seedLine))
+		return fail(stderr, fmt.Errorf("no reachable statements at %s:%d", seedFile, seedLine))
 	}
 
 	thinMode := *mode == "thin"
 	if !thinMode && *mode != "traditional" {
-		exitOn(fmt.Errorf("unknown mode %q", *mode))
+		return fail(stderr, fmt.Errorf("unknown mode %q", *mode))
 	}
 
 	if *dynamic {
-		if runDynamic(a, sources, seeds, *inputs, *inputInts, bud, *fuel) || partial {
-			os.Exit(exitPartial)
+		truncated, err := runDynamic(stdout, a, sources, seeds, *inputs, *inputInts, bud, *fuel)
+		if err != nil {
+			return fail(stderr, err)
 		}
-		return
+		if truncated || partial {
+			return exitPartial
+		}
+		return exitOK
 	}
 
 	var lines []token.Pos
@@ -117,8 +310,8 @@ func main() {
 		for p := range csslice.SliceLines(slice) {
 			lines = append(lines, p)
 		}
-		sort.Slice(lines, func(i, j int) bool { return posLess(lines[i], lines[j]) })
-		fmt.Printf("%s slice (context-sensitive) of %s:%d: %d statements\n",
+		sortPos(lines)
+		fmt.Fprintf(stdout, "%s slice (context-sensitive) of %s:%d: %d statements\n",
 			*mode, seedFile, seedLine, len(slice))
 	} else {
 		var s *core.Slicer
@@ -129,50 +322,56 @@ func main() {
 		}
 		slice := s.Slice(seeds...)
 		lines = slice.Lines()
+		sortPos(lines)
 		if slice.Truncated {
 			partial = true
-			fmt.Fprintf(os.Stderr, "thinslice: warning: slice truncated (%v)\n", slice.Err)
+			fmt.Fprintf(stderr, "thinslice: warning: slice truncated (%v)\n", slice.Err)
 		}
-		fmt.Printf("%s slice of %s:%d: %d statements on %d lines\n",
+		fmt.Fprintf(stdout, "%s slice of %s:%d: %d statements on %d lines\n",
 			*mode, seedFile, seedLine, slice.Size(), len(lines))
 		if *explainAliasing && thinMode {
-			printAliasing(a, slice)
+			printAliasing(stdout, a, slice)
 		}
 	}
-	printLines(sources, lines)
+	printLines(stdout, sources, lines)
 
 	if *why != "" && !*cs {
 		whyFile, whyLine, err := parseSeed(*why)
-		exitOn(err)
+		if err != nil {
+			return fail(stderr, err)
+		}
 		var s *core.Slicer
 		if thinMode {
 			s = a.ThinSlicer()
 		} else {
 			s = a.TraditionalSlicer(*control)
 		}
-		explainWhy(a, s, sources, seeds, whyFile, whyLine)
+		if err := explainWhy(stdout, a, s, seeds, whyFile, whyLine); err != nil {
+			return fail(stderr, err)
+		}
 	}
 
 	if *explainControl {
-		fmt.Println("\ncontrol explanations of the seed (paper §4.2):")
+		fmt.Fprintln(stdout, "\ncontrol explanations of the seed (paper §4.2):")
 		for _, seed := range seeds {
 			for _, src := range expand.ControlExplanation(a.Graph, seed) {
-				fmt.Printf("  %s: %s\n", src.Pos(), src)
+				fmt.Fprintf(stdout, "  %s: %s\n", src.Pos(), src)
 			}
 		}
 	}
 
 	if partial {
-		os.Exit(exitPartial)
+		return exitPartial
 	}
+	return exitOK
 }
 
 // explainWhy prints the shortest producer chain from the seed to the
 // named statement.
-func explainWhy(a *analyzer.Analysis, s *core.Slicer, sources map[string]string, seeds []ir.Instr, file string, line int) {
+func explainWhy(w io.Writer, a *analyzer.Analysis, s *core.Slicer, seeds []ir.Instr, file string, line int) error {
 	targets := a.SeedsAt(file, line)
 	if len(targets) == 0 {
-		exitOn(fmt.Errorf("no statements at %s:%d", file, line))
+		return fmt.Errorf("no statements at %s:%d", file, line)
 	}
 	var path []core.PathStep
 	for _, target := range targets {
@@ -181,28 +380,29 @@ func explainWhy(a *analyzer.Analysis, s *core.Slicer, sources map[string]string,
 		}
 	}
 	if path == nil {
-		fmt.Printf("\n%s:%d is NOT in the %s slice (an explainer statement; try -mode traditional,\n", file, line, s.Opts.Mode)
-		fmt.Println("or ask for -explain-aliasing / -explain-control)")
-		return
+		fmt.Fprintf(w, "\n%s:%d is NOT in the %s slice (an explainer statement; try -mode traditional,\n", file, line, s.Opts.Mode)
+		fmt.Fprintln(w, "or ask for -explain-aliasing / -explain-control)")
+		return nil
 	}
-	fmt.Printf("\nwhy %s:%d is in the slice (%d-step producer chain):\n", file, line, len(path)-1)
+	fmt.Fprintf(w, "\nwhy %s:%d is in the slice (%d-step producer chain):\n", file, line, len(path)-1)
 	for i, step := range path {
 		arrow := "seed"
 		if i > 0 {
 			arrow = "<-" + step.Kind.String() + "-"
 		}
-		fmt.Printf("  %-12s %s: %s\n", arrow, step.Ins.Pos(), step.Ins)
+		fmt.Fprintf(w, "  %-12s %s: %s\n", arrow, step.Ins.Pos(), step.Ins)
 		if step.ViaCall != nil {
-			fmt.Printf("  %-12s   (passed at call %s)\n", "", step.ViaCall.Pos())
+			fmt.Fprintf(w, "  %-12s   (passed at call %s)\n", "", step.ViaCall.Pos())
 		}
 	}
+	return nil
 }
 
 // runDynamic executes the program with scripted inputs and prints the
 // dynamic thin slice (§1's dynamic-dependence extension). It reports
 // whether execution was cut short by a resource bound (fuel, budget),
 // in which case the printed slice covers only the executed prefix.
-func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Instr, inputCSV, intCSV string, bud *budget.Budget, fuel int) bool {
+func runDynamic(w io.Writer, a *analyzer.Analysis, sources map[string]string, seeds []ir.Instr, inputCSV, intCSV string, bud *budget.Budget, fuel int) (bool, error) {
 	m := interp.New(a.Prog)
 	m.Trace = interp.NewTrace()
 	m.Budget = bud
@@ -217,18 +417,20 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 			continue
 		}
 		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-		exitOn(err)
+		if err != nil {
+			return false, err
+		}
 		m.InputInts = append(m.InputInts, n)
 	}
 	runErr := m.Run("")
 	for _, line := range m.Output {
-		fmt.Printf("output: %s\n", line)
+		fmt.Fprintf(w, "output: %s\n", line)
 	}
 	truncated := interp.Truncated(runErr)
 	if runErr != nil {
-		fmt.Printf("execution ended with: %v\n", runErr)
+		fmt.Fprintf(w, "execution ended with: %v\n", runErr)
 		if truncated {
-			fmt.Println("(execution truncated; the dynamic slice covers the executed prefix)")
+			fmt.Fprintln(w, "(execution truncated; the dynamic slice covers the executed prefix)")
 		}
 	}
 	members := make(map[ir.Instr]bool)
@@ -238,8 +440,8 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 		}
 	}
 	if len(members) == 0 {
-		fmt.Println("seed statement was not executed on this input")
-		return truncated
+		fmt.Fprintln(w, "seed statement was not executed on this input")
+		return truncated, nil
 	}
 	var lines []token.Pos
 	seen := make(map[token.Pos]bool)
@@ -251,35 +453,35 @@ func runDynamic(a *analyzer.Analysis, sources map[string]string, seeds []ir.Inst
 			lines = append(lines, p)
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return posLess(lines[i], lines[j]) })
-	fmt.Printf("dynamic thin slice: %d statements on %d lines\n", len(members), len(lines))
-	printLines(sources, lines)
-	return truncated
+	sortPos(lines)
+	fmt.Fprintf(w, "dynamic thin slice: %d statements on %d lines\n", len(members), len(lines))
+	printLines(w, sources, lines)
+	return truncated, nil
 }
 
-func printAliasing(a *analyzer.Analysis, slice *core.Slice) {
+func printAliasing(w io.Writer, a *analyzer.Analysis, slice *core.Slice) {
 	pairs := expand.HeapPairs(a.Graph, slice)
 	if len(pairs) == 0 {
 		return
 	}
-	fmt.Printf("\naliasing explanations (paper §4.1), %d heap edge(s):\n", len(pairs))
+	fmt.Fprintf(w, "\naliasing explanations (paper §4.1), %d heap edge(s):\n", len(pairs))
 	for i, pair := range pairs {
 		if i >= 8 {
-			fmt.Printf("  ... and %d more\n", len(pairs)-i)
+			fmt.Fprintf(w, "  ... and %d more\n", len(pairs)-i)
 			break
 		}
 		exp := expand.ExplainAliasing(a.Graph, pair)
 		load := a.Graph.InstrOf(pair.Load)
 		store := a.Graph.InstrOf(pair.Store)
-		fmt.Printf("  load %s <- store %s: %d common object(s)\n",
+		fmt.Fprintf(w, "  load %s <- store %s: %d common object(s)\n",
 			load.Pos(), store.Pos(), len(exp.Common))
 		for _, ins := range exp.Statements() {
-			fmt.Printf("    %s: %s\n", ins.Pos(), ins)
+			fmt.Fprintf(w, "    %s: %s\n", ins.Pos(), ins)
 		}
 	}
 }
 
-func printLines(sources map[string]string, lines []token.Pos) {
+func printLines(w io.Writer, sources map[string]string, lines []token.Pos) {
 	fileLines := make(map[string][]string)
 	for name, src := range sources {
 		fileLines[name] = strings.Split(src, "\n")
@@ -291,7 +493,7 @@ func printLines(sources map[string]string, lines []token.Pos) {
 		} else if p.File != "" {
 			text = "(library)"
 		}
-		fmt.Printf("  %s:%d\t%s\n", p.File, p.Line, text)
+		fmt.Fprintf(w, "  %s:%d\t%s\n", p.File, p.Line, text)
 	}
 }
 
@@ -307,16 +509,17 @@ func parseSeed(s string) (string, int, error) {
 	return s[:i], line, nil
 }
 
-func posLess(a, b token.Pos) bool {
-	if a.File != b.File {
-		return a.File < b.File
-	}
-	return a.Line < b.Line
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "thinslice:", err)
-		os.Exit(1)
-	}
+// sortPos orders positions deterministically: by file, then line, then
+// column — the total order every printed listing uses.
+func sortPos(lines []token.Pos) {
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
 }

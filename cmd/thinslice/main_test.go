@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden runs the CLI and compares its stdout against a checked-in
+// golden file; -update rewrites the files. Stable output across runs
+// is itself part of the contract (deterministic ordering).
+func golden(t *testing.T, name string, wantCode int, args ...string) {
+	t.Helper()
+	t.Chdir("../..") // repo root, so file paths in output stay short
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != wantCode {
+		t.Fatalf("exit code %d, want %d\nstderr: %s\nstdout: %s", code, wantCode, &stderr, &stdout)
+	}
+	path := filepath.Join("cmd", "thinslice", "testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s", path, &stdout, want)
+	}
+}
+
+const taintExample = "examples/checkers/taint.mj"
+
+func TestGoldenThinSlice(t *testing.T) {
+	golden(t, "thin", exitOK, "-seed", taintExample+":8", taintExample)
+}
+
+func TestGoldenTraditionalSlice(t *testing.T) {
+	golden(t, "traditional", exitOK, "-mode", "traditional", "-control", "-seed", taintExample+":8", taintExample)
+}
+
+func TestGoldenWhy(t *testing.T) {
+	golden(t, "why", exitOK, "-seed", taintExample+":8", "-why", taintExample+":13", taintExample)
+}
+
+func TestGoldenCheck(t *testing.T) {
+	golden(t, "check", exitPartial, "check",
+		"examples/checkers/cast.mj", "examples/checkers/clean.mj",
+		"examples/checkers/nil.mj", "examples/checkers/taint.mj",
+		"examples/checkers/uninit.mj")
+}
+
+func TestGoldenCheckJSON(t *testing.T) {
+	golden(t, "check_json", exitPartial, "check", "-json",
+		"examples/checkers/cast.mj", "examples/checkers/clean.mj",
+		"examples/checkers/nil.mj", "examples/checkers/taint.mj",
+		"examples/checkers/uninit.mj")
+}
+
+func TestGoldenCheckClean(t *testing.T) {
+	golden(t, "check_clean", exitOK, "check", "examples/checkers/clean.mj")
+}
+
+// TestDeterministicOutput runs the check subcommand repeatedly and
+// demands byte-identical output.
+func TestDeterministicOutput(t *testing.T) {
+	t.Chdir("../..")
+	args := []string{"check", "examples/checkers/cast.mj", "examples/checkers/nil.mj",
+		"examples/checkers/taint.mj", "examples/checkers/uninit.mj"}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		var stdout, stderr bytes.Buffer
+		run(args, &stdout, &stderr)
+		if first == nil {
+			first = stdout.Bytes()
+		} else if !bytes.Equal(first, stdout.Bytes()) {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, first, stdout.Bytes())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no-args", nil, exitUsage},
+		{"check-no-files", []string{"check"}, exitUsage},
+		{"bad-seed", []string{"-seed", "nope", taintExample}, exitFailure},
+		{"bad-checker", []string{"check", "-checks", "bogus", taintExample}, exitFailure},
+		{"missing-file", []string{"check", "no-such-file.mj"}, exitFailure},
+	}
+	t.Chdir("../..")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.code, &stderr)
+			}
+		})
+	}
+}

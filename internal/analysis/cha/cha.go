@@ -94,6 +94,19 @@ func (g *CallGraph) Callees(call *ir.Call) []*ir.Method {
 	return out
 }
 
+// Cone returns the type cone of c: c and all its (transitive)
+// subclasses, sorted by name. A downcast to c can only succeed for
+// objects whose class is in this cone — the checker suite compares
+// points-to sets against it to find unsafe casts.
+func (g *CallGraph) Cone(c *types.ClassInfo) []*types.ClassInfo {
+	return g.subclasses[c]
+}
+
+// InCone reports whether class c is in the type cone of target.
+func (g *CallGraph) InCone(c, target *types.ClassInfo) bool {
+	return c != nil && c.IsSubclassOf(target)
+}
+
 // Reachable reports whether m is CHA-reachable from the entries.
 func (g *CallGraph) Reachable(m *ir.Method) bool { return g.reachable[m] }
 

@@ -57,6 +57,19 @@ func (r *Result) ModSet(m *ir.Method) map[Loc]bool { return r.mod[m] }
 // RefSet returns the raw REF set (do not mutate).
 func (r *Result) RefSet(m *ir.Method) map[Loc]bool { return r.ref[m] }
 
+// ModUnion returns the union of all methods' MOD sets: every abstract
+// location written anywhere in the analyzed program. Client analyses
+// use it to find locations that are read but never initialized.
+func (r *Result) ModUnion() map[Loc]bool {
+	out := make(map[Loc]bool)
+	for _, set := range r.mod {
+		for l := range set {
+			out[l] = true
+		}
+	}
+	return out
+}
+
 func sortLocs(set map[Loc]bool) []Loc {
 	out := make([]Loc, 0, len(set))
 	for l := range set {

@@ -233,6 +233,11 @@ func (r *Result) CastCheckable(c *ir.Cast) (verified bool, nonEmpty bool) {
 	return true, true
 }
 
+// CompatibleWith reports whether the object's dynamic type conforms to
+// t: a cast of a reference pointing (only) to compatible objects cannot
+// fail. Exported for client analyses (the checker suite).
+func (o *Object) CompatibleWith(t types.Type) bool { return objCompatible(o, t) }
+
 func objCompatible(o *Object, t types.Type) bool {
 	switch t := t.(type) {
 	case *types.Class:

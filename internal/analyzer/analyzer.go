@@ -46,6 +46,7 @@ type config struct {
 	containers []string
 	entries    []string // qualified method names
 	noPrelude  bool
+	verifyIR   bool
 	budget     *budget.Budget
 	timeout    time.Duration
 	maxSteps   int64
@@ -72,6 +73,12 @@ func WithEntries(names ...string) Option {
 
 // WithoutPrelude analyzes the sources without the container prelude.
 func WithoutPrelude() Option { return func(c *config) { c.noPrelude = true } }
+
+// WithVerifyIR runs ir.Verify over the lowered program and fails the
+// pipeline with the violations found. Tests enable it unconditionally;
+// production callers can opt in to catch lowering bugs at the cost of
+// one extra pass over the IR.
+func WithVerifyIR() Option { return func(c *config) { c.verifyIR = true } }
 
 // WithBudget bounds the whole pipeline by an explicit budget. It takes
 // precedence over WithTimeout/WithMaxSteps and the context passed to
@@ -141,6 +148,16 @@ func AnalyzeCtx(ctx context.Context, sources map[string]string, opts ...Option) 
 		return nil, prog.Diags
 	}
 
+	if cfg.verifyIR {
+		phase = budget.PhaseVerify
+		if err := b.Err(budget.PhaseVerify); err != nil {
+			return nil, err
+		}
+		if verrs := ir.Verify(prog); len(verrs) > 0 {
+			return nil, fmt.Errorf("analyzer: IR verification failed: %w (%d violation(s))", verrs[0], len(verrs))
+		}
+	}
+
 	phase = budget.PhasePointsTo
 	entries, err := resolveEntries(prog, cfg.entries)
 	if err != nil {
@@ -208,6 +225,10 @@ func MustAnalyze(sources map[string]string, opts ...Option) *Analysis {
 	}
 	return a
 }
+
+// Budget returns the budget bounding this analysis' slicers and any
+// downstream passes (nil means unlimited).
+func (a *Analysis) Budget() *budget.Budget { return a.budget }
 
 // ThinSlicer returns a thin slicer over the analysis' graph, bounded
 // by the analysis' budget.

@@ -11,7 +11,7 @@ import (
 func TestAnalyzeEndToEnd(t *testing.T) {
 	a, err := analyzer.Analyze(map[string]string{
 		papercases.FirstNamesFile: papercases.FirstNames,
-	})
+	}, analyzer.WithVerifyIR())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,10 +26,12 @@ type Phase string
 const (
 	PhaseLoad     Phase = "load"     // parse + type check
 	PhaseLower    Phase = "lower"    // AST → SSA IR
+	PhaseVerify   Phase = "verify"   // IR invariant verification
 	PhasePointsTo Phase = "pointsto" // Andersen solver
 	PhaseSDG      Phase = "sdg"      // dependence graph construction
 	PhaseSlice    Phase = "slice"    // backward slice closure
 	PhaseExpand   Phase = "expand"   // hierarchical expansion
+	PhaseCheck    Phase = "check"    // checker suite
 	PhaseInterp   Phase = "interp"   // dynamic execution
 )
 

@@ -1,0 +1,82 @@
+package checkers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// UnsafeCast finds downcasts that can fail at runtime: a checkcast
+// whose source may point to an object whose class is outside the CHA
+// type cone of the cast target (the paper's "tough cast" notion, §6.3,
+// turned into a checker). The points-to analysis supplies the may
+// point-to set; class hierarchy analysis supplies the cone.
+type UnsafeCast struct{}
+
+// Name implements Checker.
+func (UnsafeCast) Name() string { return "unsafecast" }
+
+// Desc implements Checker.
+func (UnsafeCast) Desc() string { return "downcast that can fail for some object flowing here" }
+
+// Run implements Checker.
+func (cc UnsafeCast) Run(ctx *Context) []Finding {
+	var out []Finding
+	for _, m := range ctx.methods() {
+		m.Instrs(func(ins ir.Instr) {
+			if !ctx.tick() {
+				return
+			}
+			cast, ok := ins.(*ir.Cast)
+			if !ok || !types.IsRef(cast.Target) || !ctx.keepPos(cast.Pos()) {
+				return
+			}
+			objs := ctx.Pts.PointsTo(cast.Src)
+			var bad []ir.Instr // allocation sites of incompatible objects
+			var badNames []string
+			seenName := make(map[string]bool)
+			for _, o := range objs {
+				compatible := o.CompatibleWith(cast.Target)
+				if tc, isClass := cast.Target.(*types.Class); isClass && o.Class != nil {
+					// Cross-check against the CHA cone; the two must
+					// agree, and the cone gives the report its
+					// vocabulary ("C is not a subclass of T").
+					compatible = ctx.CHA.InCone(o.Class, tc.Info)
+				}
+				if compatible {
+					continue
+				}
+				bad = append(bad, o.Site)
+				name := "?"
+				if o.Class != nil {
+					name = o.Class.Name
+				} else if o.IsArray() {
+					name = o.Elem.String() + "[]"
+				}
+				if !seenName[name] {
+					seenName[name] = true
+					badNames = append(badNames, name)
+				}
+			}
+			if len(bad) == 0 {
+				return
+			}
+			sort.Strings(badNames)
+			out = append(out, Finding{
+				Checker: cc.Name(),
+				Pos:     cast.Pos(),
+				Ins:     cast,
+				Message: fmt.Sprintf("cast to %s can fail: may point to %s (outside the target's type cone)",
+					cast.Target, strings.Join(badNames, ", ")),
+				Witness: ctx.witness(cast, bad...),
+			})
+		})
+		if ctx.stop != nil {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package checkers is a static-analysis pass framework over the IR and
+// the pointer-analysis results: client analyses of the thin slicing
+// engine, in the spirit of the paper's debugging evaluation (§6). Each
+// checker inspects the analyzed program for one class of defect — null
+// dereference, uninitialized-field read, unsafe downcast, tainted
+// sink call — and attaches a **thin-slice witness** to every finding:
+// the shortest producer chain (the same chains the -why flag prints)
+// explaining where the suspicious value comes from, so reports read
+// like the paper's hierarchical explanations.
+//
+// Checkers draw steps from the shared budget (PhaseCheck); an
+// exhausted budget degrades the run to the findings collected so far,
+// flagged Truncated, rather than running unbounded.
+package checkers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinslice/internal/analysis/cha"
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
+	"thinslice/internal/core"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/prelude"
+	"thinslice/internal/lang/token"
+	"thinslice/internal/sdg"
+)
+
+// Config tunes the configurable checkers.
+type Config struct {
+	// TaintSources names the input intrinsics treated as taint sources
+	// ("input", "inputInt"). Empty means both.
+	TaintSources []string
+	// TaintSinks names the methods whose arguments must not be tainted.
+	// Empty means DefaultSinks.
+	TaintSinks []string
+	// IncludeLibrary reports findings located in the container prelude
+	// as well; off by default, so library-internal idioms do not drown
+	// out findings in the user's own sources.
+	IncludeLibrary bool
+}
+
+// DefaultSinks is the default sink method-name list for taint tracking.
+var DefaultSinks = []string{"exec", "eval", "send", "sink"}
+
+// Finding is one checker report, anchored at a faulty instruction.
+type Finding struct {
+	Checker string    // checker name
+	Pos     token.Pos // source position of the faulty statement
+	Ins     ir.Instr  // the faulty instruction
+	Message string    // human-readable description
+	// Witness is the thin-slice producer chain explaining the value
+	// involved in the finding; nil when no chain exists (e.g. the
+	// producer is the faulty statement itself and slicing was cut off
+	// by the budget).
+	Witness *Witness
+}
+
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: [%s] %s", f.Pos, f.Checker, f.Message)
+	if f.Witness != nil {
+		for i, step := range f.Witness.Chain {
+			arrow := "value"
+			if i > 0 {
+				arrow = "<-" + step.Kind.String() + "-"
+			}
+			fmt.Fprintf(&b, "\n    %-10s %s: %s", arrow, step.Ins.Pos(), step.Ins)
+			if step.ViaCall != nil {
+				fmt.Fprintf(&b, "\n    %-10s   (passed at call %s)", "", step.ViaCall.Pos())
+			}
+		}
+	}
+	return b.String()
+}
+
+// Witness is a thin-slice explanation of a finding: the shortest
+// producer chain from Seed (the statement computing the suspicious
+// value) to its origin, traversing only edges the thin slicer follows.
+// Every chain member is, by construction, in the thin slice of Seed.
+type Witness struct {
+	Seed  ir.Instr        // the instruction the slicer was seeded at
+	Chain []core.PathStep // seed-first producer chain
+}
+
+// Report is the outcome of one checker run.
+type Report struct {
+	Findings []Finding
+	// Truncated reports that the run stopped early on an exhausted
+	// budget: every finding is genuine, but later program points were
+	// not examined. Err carries the typed budget error.
+	Truncated bool
+	Err       error
+}
+
+// Context is the shared pass state handed to each checker.
+type Context struct {
+	Prog   *ir.Program
+	Pts    *pointsto.Result
+	Graph  *sdg.Graph
+	CHA    *cha.CallGraph
+	ModRef *modref.Result
+	// Slicer is a thin slicer over Graph, used for witnesses.
+	Slicer *core.Slicer
+	Config Config
+
+	meter *budget.Meter
+	stop  error
+}
+
+// tick spends one budget step; once it fails the run stops examining
+// further program points (sticky, like the solver meters).
+func (c *Context) tick() bool {
+	if c.stop != nil {
+		return false
+	}
+	if err := c.meter.Tick(); err != nil {
+		c.stop = err
+		return false
+	}
+	return true
+}
+
+// keepPos reports whether findings at p should be emitted.
+func (c *Context) keepPos(p token.Pos) bool {
+	return c.Config.IncludeLibrary || p.File != prelude.FileName
+}
+
+// witness computes the shortest producer chain from seed to any of the
+// origin statements, or nil if none is reachable.
+func (c *Context) witness(seed ir.Instr, origins ...ir.Instr) *Witness {
+	var best []core.PathStep
+	for _, o := range origins {
+		if p := c.Slicer.PathTo(o, seed); p != nil && (best == nil || len(p) < len(best)) {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return &Witness{Seed: seed, Chain: best}
+}
+
+// methods returns the pointer-analysis-reachable methods in
+// deterministic order — the pruning every checker starts from.
+func (c *Context) methods() []*ir.Method {
+	return c.Pts.ReachableMethods()
+}
+
+// Checker is one analysis pass.
+type Checker interface {
+	// Name is the stable identifier used by -checks.
+	Name() string
+	// Desc is a one-line description for usage text.
+	Desc() string
+	// Run examines the program and returns its findings. It must call
+	// ctx.tick in its per-instruction loops and stop when it fails.
+	Run(ctx *Context) []Finding
+}
+
+// All returns every registered checker, in canonical order.
+func All() []Checker {
+	return []Checker{NilDeref{}, UninitField{}, UnsafeCast{}, Taint{}}
+}
+
+// Select resolves comma-separated checker names ("" or "all" selects
+// every checker). Unknown names are an error listing the valid ones.
+func Select(names string) ([]Checker, error) {
+	all := All()
+	if names == "" || names == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Checker, len(all))
+	var valid []string
+	for _, c := range all {
+		byName[c.Name()] = c
+		valid = append(valid, c.Name())
+	}
+	var out []Checker
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return all, nil
+	}
+	return out, nil
+}
+
+// Run executes the given checkers over an analysis, drawing from the
+// analysis' budget (PhaseCheck). Findings are sorted deterministically
+// by (file, line, instruction ID, checker name).
+func Run(a *analyzer.Analysis, checks []Checker, cfg Config) *Report {
+	ctx := &Context{
+		Prog:   a.Prog,
+		Pts:    a.Pts,
+		Graph:  a.Graph,
+		CHA:    cha.Build(a.Prog, a.Pts.Entries()),
+		ModRef: modref.Compute(a.Prog, a.Pts),
+		Slicer: a.ThinSlicer(),
+		Config: cfg,
+		meter:  a.Budget().Phase(budget.PhaseCheck),
+	}
+	rep := &Report{}
+	for _, c := range checks {
+		rep.Findings = append(rep.Findings, c.Run(ctx)...)
+		if ctx.stop != nil {
+			break
+		}
+	}
+	if ctx.stop != nil {
+		rep.Truncated, rep.Err = true, ctx.stop
+	}
+	// A truncated slicer budget also makes witnesses incomplete.
+	if a.Partial() {
+		rep.Truncated = true
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Ins.ID() != b.Ins.ID() {
+			return a.Ins.ID() < b.Ins.ID()
+		}
+		return a.Checker < b.Checker
+	})
+	return rep
+}

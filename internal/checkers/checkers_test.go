@@ -1,0 +1,364 @@
+package checkers
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
+)
+
+// exampleDir is the seeded-bug fixture directory, relative to this
+// package; the same programs are referenced from the README.
+const exampleDir = "../../examples/checkers"
+
+// loadExamples reads every fixture program (one seeded bug per file,
+// plus the clean program) as one multi-entry source set.
+func loadExamples(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(exampleDir, "*.mj"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example fixtures in %s: %v", exampleDir, err)
+	}
+	sources := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		sources[filepath.Base(p)] = string(data)
+	}
+	return sources
+}
+
+func analyze(t *testing.T, sources map[string]string, opts ...analyzer.Option) *analyzer.Analysis {
+	t.Helper()
+	opts = append(opts, analyzer.WithVerifyIR())
+	a, err := analyzer.Analyze(sources, opts...)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func runAll(t *testing.T, sources map[string]string) *Report {
+	t.Helper()
+	rep := Run(analyze(t, sources), All(), Config{})
+	if rep.Truncated {
+		t.Fatalf("unexpected truncation: %v", rep.Err)
+	}
+	return rep
+}
+
+// findingsIn returns the findings of one checker located in one file.
+func findingsIn(rep *Report, checker, file string) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Checker == checker && f.Pos.File == file {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestSeededExamples is the acceptance check: each seeded-bug fixture
+// is flagged by its checker with a thin-slice witness, and the clean
+// fixture produces zero findings.
+func TestSeededExamples(t *testing.T) {
+	rep := runAll(t, loadExamples(t))
+	want := map[string]string{ // file → checker expected to fire there
+		"nil.mj":    "nilderef",
+		"uninit.mj": "uninitfield",
+		"cast.mj":   "unsafecast",
+		"taint.mj":  "taint",
+	}
+	for file, checker := range want {
+		fs := findingsIn(rep, checker, file)
+		if len(fs) != 1 {
+			t.Errorf("%s: want 1 %s finding, got %d (%v)", file, checker, len(fs), fs)
+			continue
+		}
+		if fs[0].Witness == nil || len(fs[0].Witness.Chain) == 0 {
+			t.Errorf("%s: finding has no thin-slice witness: %v", file, fs[0])
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.Pos.File == "clean.mj" {
+			t.Errorf("clean.mj: unexpected finding %v", f)
+		}
+		if _, seeded := want[f.Pos.File]; !seeded {
+			t.Errorf("finding outside fixture files: %v", f)
+		}
+	}
+}
+
+// TestWitnessIsThinSlice asserts the witness contract: every emitted
+// chain starts at its seed and every member is in the thin slice of
+// that seed (the witness IS a path through a valid thin slice).
+func TestWitnessIsThinSlice(t *testing.T) {
+	a := analyze(t, loadExamples(t))
+	rep := Run(a, All(), Config{})
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings to validate")
+	}
+	for _, f := range rep.Findings {
+		w := f.Witness
+		if w == nil {
+			t.Errorf("%v: no witness", f.Pos)
+			continue
+		}
+		if w.Chain[0].Ins != w.Seed {
+			t.Errorf("%v: chain starts at %s, not the seed %s", f.Pos, w.Chain[0].Ins, w.Seed)
+		}
+		sl := a.ThinSlicer().Slice(w.Seed)
+		for _, step := range w.Chain {
+			if !sl.Contains(step.Ins) {
+				t.Errorf("%v: witness step %s not in the thin slice of %s", f.Pos, step.Ins, w.Seed)
+			}
+		}
+	}
+}
+
+// TestDeterministicOrder runs the suite twice and demands identical
+// finding order (sorted by file, line, instruction ID).
+func TestDeterministicOrder(t *testing.T) {
+	render := func() []string {
+		rep := runAll(t, loadExamples(t))
+		var out []string
+		for _, f := range rep.Findings {
+			out = append(out, f.String())
+		}
+		return out
+	}
+	first, second := render(), render()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("nondeterministic findings:\n%v\nvs\n%v", first, second)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] > first[i] && strings.Split(first[i-1], ":")[0] != strings.Split(first[i], ":")[0] {
+			t.Errorf("findings not sorted: %q before %q", first[i-1], first[i])
+		}
+	}
+}
+
+// TestBudgetExhaustion: a tiny PhaseCheck step cap must degrade the run
+// to a partial report flagged Truncated, not an error or a hang.
+func TestBudgetExhaustion(t *testing.T) {
+	b := budget.New(nil, budget.WithPhaseSteps(budget.PhaseCheck, 3))
+	a := analyze(t, loadExamples(t), analyzer.WithBudget(b))
+	rep := Run(a, All(), Config{})
+	if !rep.Truncated {
+		t.Fatal("want Truncated report under a 3-step check budget")
+	}
+	if rep.Err == nil || !budget.IsExhausted(rep.Err) {
+		t.Fatalf("want ErrExhausted, got %v", rep.Err)
+	}
+	if ph, _ := budget.PhaseOf(rep.Err); ph != budget.PhaseCheck {
+		t.Fatalf("want phase %q, got %q", budget.PhaseCheck, ph)
+	}
+}
+
+// --- per-checker true-positive / true-negative unit tests ---
+
+func prog(body string) map[string]string { return map[string]string{"t.mj": body} }
+
+func TestNilDerefPositive(t *testing.T) {
+	rep := runAll(t, prog(`
+class B { int v; B(int v) { this.v = v; } int get() { return this.v; } }
+class Main {
+    static void main() {
+        B b = new B(1);
+        if (inputInt() > 0) { b = null; }
+        print(b.get());
+    }
+}`))
+	fs := findingsIn(rep, "nilderef", "t.mj")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 nilderef finding, got %v", rep.Findings)
+	}
+	if fs[0].Pos.Line != 7 {
+		t.Errorf("finding at line %d, want 7", fs[0].Pos.Line)
+	}
+}
+
+func TestNilDerefNegativeGuarded(t *testing.T) {
+	rep := runAll(t, prog(`
+class B { int v; B(int v) { this.v = v; } int get() { return this.v; } }
+class Main {
+    static void main() {
+        B b = new B(1);
+        if (inputInt() > 0) { b = null; }
+        if (b != null) { print(b.get()); }
+        if (b == null) { print(0); } else { print(b.get()); }
+    }
+}`))
+	if fs := findingsIn(rep, "nilderef", "t.mj"); len(fs) != 0 {
+		t.Errorf("guarded dereferences flagged: %v", fs)
+	}
+}
+
+func TestNilDerefNegativeInstanceOf(t *testing.T) {
+	rep := runAll(t, prog(`
+class B { int v; B(int v) { this.v = v; } int get() { return this.v; } }
+class Main {
+    static void main() {
+        B b = new B(1);
+        if (inputInt() > 0) { b = null; }
+        if (b instanceof B) { print(b.get()); }
+    }
+}`))
+	if fs := findingsIn(rep, "nilderef", "t.mj"); len(fs) != 0 {
+		t.Errorf("instanceof-guarded dereference flagged: %v", fs)
+	}
+}
+
+func TestUninitFieldPositive(t *testing.T) {
+	rep := runAll(t, prog(`
+class C { int a; int b; C(int a) { this.a = a; } int f() { return this.b; } }
+class Main { static void main() { C c = new C(1); print(c.f()); } }`))
+	fs := findingsIn(rep, "uninitfield", "t.mj")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "C.b") {
+		t.Fatalf("want 1 uninitfield finding on C.b, got %v", rep.Findings)
+	}
+}
+
+func TestUninitFieldNegative(t *testing.T) {
+	rep := runAll(t, prog(`
+class C { int a; int b; C(int a) { this.a = a; this.b = a + 1; } int f() { return this.b; } }
+class Main { static void main() { C c = new C(1); print(c.f()); } }`))
+	if fs := findingsIn(rep, "uninitfield", "t.mj"); len(fs) != 0 {
+		t.Errorf("initialized field flagged: %v", fs)
+	}
+}
+
+// TestUninitFieldLateStore: a store anywhere in the program counts as
+// initialization, even outside the constructor.
+func TestUninitFieldLateStore(t *testing.T) {
+	rep := runAll(t, prog(`
+class C { int a; C() { } int f() { return this.a; } }
+class Main { static void main() { C c = new C(); c.a = 5; print(c.f()); } }`))
+	if fs := findingsIn(rep, "uninitfield", "t.mj"); len(fs) != 0 {
+		t.Errorf("late-stored field flagged: %v", fs)
+	}
+}
+
+func TestUnsafeCastPositive(t *testing.T) {
+	rep := runAll(t, prog(`
+class S { S() { } }
+class A extends S { A() { } int f() { return 1; } }
+class B extends S { B() { } }
+class Main {
+    static void main() {
+        S s = new A();
+        if (inputInt() > 0) { s = new B(); }
+        A a = (A) s;
+        print(a.f());
+    }
+}`))
+	fs := findingsIn(rep, "unsafecast", "t.mj")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "B") {
+		t.Fatalf("want 1 unsafecast finding naming B, got %v", rep.Findings)
+	}
+}
+
+func TestUnsafeCastNegative(t *testing.T) {
+	rep := runAll(t, prog(`
+class S { S() { } }
+class A extends S { A() { } int f() { return 1; } }
+class Main {
+    static void main() {
+        S s = new A();
+        A a = (A) s;
+        print(a.f());
+    }
+}`))
+	if fs := findingsIn(rep, "unsafecast", "t.mj"); len(fs) != 0 {
+		t.Errorf("safe downcast flagged: %v", fs)
+	}
+}
+
+func TestTaintPositive(t *testing.T) {
+	rep := runAll(t, prog(`
+class D { D() { } void exec(string q) { print(q); } }
+class Main {
+    static void main() {
+        string q = "cmd " + input();
+        D d = new D();
+        d.exec(q);
+    }
+}`))
+	fs := findingsIn(rep, "taint", "t.mj")
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "input()") {
+		t.Fatalf("want 1 taint finding naming input(), got %v", rep.Findings)
+	}
+}
+
+func TestTaintNegative(t *testing.T) {
+	rep := runAll(t, prog(`
+class D { D() { } void exec(string q) { print(q); } }
+class Main {
+    static void main() {
+        int n = inputInt();
+        print(n);
+        D d = new D();
+        d.exec("constant");
+    }
+}`))
+	if fs := findingsIn(rep, "taint", "t.mj"); len(fs) != 0 {
+		t.Errorf("constant sink argument flagged: %v", fs)
+	}
+}
+
+// TestTaintThroughHeap: taint must propagate over the heap edges the
+// thin slicer follows (store→load), not just local def-use.
+func TestTaintThroughHeap(t *testing.T) {
+	rep := runAll(t, prog(`
+class H { string s; H() { this.s = ""; } }
+class D { D() { } void exec(string q) { print(q); } }
+class Main {
+    static void main() {
+        H h = new H();
+        h.s = input();
+        D d = new D();
+        d.exec(h.s);
+    }
+}`))
+	fs := findingsIn(rep, "taint", "t.mj")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 taint finding through the heap, got %v", rep.Findings)
+	}
+}
+
+func TestTaintConfigurableSinks(t *testing.T) {
+	src := prog(`
+class D { D() { } void store(string q) { print(q); } }
+class Main {
+    static void main() {
+        D d = new D();
+        d.store(input());
+    }
+}`)
+	if rep := runAll(t, src); len(findingsIn(rep, "taint", "t.mj")) != 0 {
+		t.Fatal("non-default sink flagged without configuration")
+	}
+	rep := Run(analyze(t, src), All(), Config{TaintSinks: []string{"store"}})
+	if fs := findingsIn(rep, "taint", "t.mj"); len(fs) != 1 {
+		t.Fatalf("configured sink not flagged: %v", rep.Findings)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if cs, err := Select(""); err != nil || len(cs) != 4 {
+		t.Fatalf("Select(\"\"): %v, %d checkers", err, len(cs))
+	}
+	cs, err := Select("taint,nilderef")
+	if err != nil || len(cs) != 2 || cs[0].Name() != "taint" || cs[1].Name() != "nilderef" {
+		t.Fatalf("Select(taint,nilderef): %v %v", cs, err)
+	}
+	if _, err := Select("bogus"); err == nil || !strings.Contains(err.Error(), "unknown checker") {
+		t.Fatalf("Select(bogus): want unknown-checker error, got %v", err)
+	}
+}

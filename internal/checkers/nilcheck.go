@@ -1,0 +1,266 @@
+package checkers
+
+import (
+	"fmt"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/token"
+)
+
+// NilDeref finds dereferences of references that may be null: field
+// accesses, array accesses, and virtual calls whose base value derives
+// from a `null` literal along some SSA path not dominated by a null
+// check. The analysis is flow-sensitive per block: `if (x != null)`
+// guards (and `x instanceof C` tests, which imply non-nullness) refine
+// the facts on their branch edges, and a successful dereference proves
+// its base non-null for the rest of the block. Points-to reachability
+// prunes the methods examined.
+type NilDeref struct{}
+
+// Name implements Checker.
+func (NilDeref) Name() string { return "nilderef" }
+
+// Desc implements Checker.
+func (NilDeref) Desc() string { return "dereference of a possibly-null reference" }
+
+// Run implements Checker.
+func (cc NilDeref) Run(ctx *Context) []Finding {
+	var out []Finding
+	for _, m := range ctx.methods() {
+		out = append(out, cc.runMethod(ctx, m)...)
+		if ctx.stop != nil {
+			break
+		}
+	}
+	return out
+}
+
+func (cc NilDeref) runMethod(ctx *Context, m *ir.Method) []Finding {
+	// Pass 1: SSA may-null derivation. origins[r] is the set of
+	// ConstNull statements whose value may reach r through producer
+	// flow (Copy, Cast, Phi); regs absent from the map cannot be null
+	// by local derivation.
+	origins := make(map[*ir.Reg][]ir.Instr)
+	changed := true
+	for changed {
+		changed = false
+		m.Instrs(func(ins ir.Instr) {
+			if !ctx.tick() {
+				return
+			}
+			var dst *ir.Reg
+			var srcs []*ir.Reg
+			switch ins := ins.(type) {
+			case *ir.ConstNull:
+				if len(origins[ins.Dst]) == 0 {
+					origins[ins.Dst] = []ir.Instr{ins}
+					changed = true
+				}
+				return
+			case *ir.Copy:
+				dst, srcs = ins.Dst, []*ir.Reg{ins.Src}
+			case *ir.Cast:
+				dst, srcs = ins.Dst, []*ir.Reg{ins.Src}
+			case *ir.Phi:
+				dst, srcs = ins.Dst, ins.Edges
+			default:
+				return
+			}
+			for _, s := range srcs {
+				for _, o := range origins[s] {
+					if !containsInstr(origins[dst], o) {
+						origins[dst] = append(origins[dst], o)
+						changed = true
+					}
+				}
+			}
+		})
+		if ctx.stop != nil {
+			return nil
+		}
+	}
+	if len(origins) == 0 {
+		return nil // no null literal flows anywhere in this method
+	}
+
+	// isNullReg reports whether r is the null literal itself (used to
+	// recognize x == null / x != null comparisons).
+	isNullReg := func(r *ir.Reg) bool {
+		_, ok := r.Def.(*ir.ConstNull)
+		return ok
+	}
+
+	// Pass 2: forward flow analysis of proven-non-null registers.
+	// in/out are per-block sets; the meet over incoming edges is set
+	// intersection, with branch refinements applied per edge.
+	type factSet map[*ir.Reg]bool
+	outSet := make([]factSet, len(m.Blocks))
+	// transfer computes the out-set of b from its in-set; when emit is
+	// non-nil it also reports unguarded dereferences.
+	transfer := func(b *ir.Block, in factSet, emit func(ins ir.Instr, base *ir.Reg)) factSet {
+		cur := make(factSet, len(in))
+		for r := range in {
+			cur[r] = true
+		}
+		for _, ins := range b.Instrs {
+			if !ctx.tick() {
+				return cur
+			}
+			for _, base := range derefBases(ins) {
+				if len(origins[base]) > 0 && !cur[base] && emit != nil {
+					emit(ins, base)
+				}
+				// Surviving the dereference proves the base non-null.
+				cur[base] = true
+			}
+		}
+		return cur
+	}
+	// edgeFacts returns the extra facts valid on the CFG edge b→succ,
+	// from the branch condition.
+	edgeFacts := func(b *ir.Block, succ *ir.Block) []*ir.Reg {
+		last := b.Instrs[len(b.Instrs)-1]
+		br, ok := last.(*ir.If)
+		if !ok {
+			return nil
+		}
+		var facts []*ir.Reg
+		switch cond := br.Cond.Def.(type) {
+		case *ir.BinOp:
+			var tested *ir.Reg
+			switch {
+			case isNullReg(cond.Y):
+				tested = cond.X
+			case isNullReg(cond.X):
+				tested = cond.Y
+			default:
+				return nil
+			}
+			// x != null: non-null on the then edge;
+			// x == null: non-null on the else edge.
+			if (cond.Op == token.NEQ && succ == br.Then) ||
+				(cond.Op == token.EQL && succ == br.Else) {
+				facts = append(facts, tested)
+			}
+		case *ir.InstanceOf:
+			// x instanceof C is false for null, so x is non-null on
+			// the then edge.
+			if succ == br.Then {
+				facts = append(facts, cond.Src)
+			}
+		}
+		return facts
+	}
+
+	// Iterate to a fixpoint. visited marks blocks whose out-set is
+	// meaningful; unvisited predecessors are TOP (ignored in the meet).
+	visited := make([]bool, len(m.Blocks))
+	inOf := func(b *ir.Block) factSet {
+		var in factSet
+		for _, p := range b.Preds {
+			if !visited[p.Index] {
+				continue
+			}
+			edge := make(factSet, len(outSet[p.Index]))
+			for r := range outSet[p.Index] {
+				edge[r] = true
+			}
+			for _, r := range edgeFacts(p, b) {
+				edge[r] = true
+			}
+			if in == nil {
+				in = edge
+				continue
+			}
+			for r := range in {
+				if !edge[r] {
+					delete(in, r)
+				}
+			}
+		}
+		if in == nil {
+			in = make(factSet)
+		}
+		return in
+	}
+	for pass := true; pass; {
+		pass = false
+		for _, b := range m.Blocks {
+			if ctx.stop != nil {
+				return nil
+			}
+			out := transfer(b, inOf(b), nil)
+			if !visited[b.Index] || !sameFacts(out, outSet[b.Index]) {
+				visited[b.Index] = true
+				outSet[b.Index] = out
+				pass = true
+			}
+		}
+	}
+
+	// Final reporting pass with stable facts.
+	var out []Finding
+	reported := make(map[*ir.Reg]bool)
+	for _, b := range m.Blocks {
+		transfer(b, inOf(b), func(ins ir.Instr, base *ir.Reg) {
+			if reported[base] || !ctx.keepPos(ins.Pos()) {
+				return
+			}
+			reported[base] = true
+			name := base.Hint
+			if name == "" {
+				name = base.String()
+			}
+			out = append(out, Finding{
+				Checker: cc.Name(),
+				Pos:     ins.Pos(),
+				Ins:     ins,
+				Message: fmt.Sprintf("possible null dereference of %q (null can flow here)", name),
+				Witness: ctx.witness(base.Def, origins[base]...),
+			})
+		})
+	}
+	return out
+}
+
+// derefBases returns the reference operands ins dereferences.
+func derefBases(ins ir.Instr) []*ir.Reg {
+	switch ins := ins.(type) {
+	case *ir.GetField:
+		return []*ir.Reg{ins.Obj}
+	case *ir.SetField:
+		return []*ir.Reg{ins.Obj}
+	case *ir.ArrayLoad:
+		return []*ir.Reg{ins.Arr}
+	case *ir.ArrayStore:
+		return []*ir.Reg{ins.Arr}
+	case *ir.ArrayLen:
+		return []*ir.Reg{ins.Arr}
+	case *ir.Call:
+		if ins.Mode == ir.CallVirtual && ins.Recv != nil {
+			return []*ir.Reg{ins.Recv}
+		}
+	}
+	return nil
+}
+
+func containsInstr(list []ir.Instr, ins ir.Instr) bool {
+	for _, x := range list {
+		if x == ins {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFacts(a, b map[*ir.Reg]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}

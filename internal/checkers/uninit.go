@@ -1,0 +1,62 @@
+package checkers
+
+import (
+	"fmt"
+
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/ir"
+)
+
+// UninitField finds field reads that can only observe the default
+// value: a GetField where some object flowing to the receiver is never
+// stored to at that field anywhere in the program. The MOD sets of the
+// interprocedural mod/ref analysis provide "ever stored" per abstract
+// (object, field) location, so a read through any alias of the object
+// counts as initialized.
+type UninitField struct{}
+
+// Name implements Checker.
+func (UninitField) Name() string { return "uninitfield" }
+
+// Desc implements Checker.
+func (UninitField) Desc() string { return "field read before any store on an object flowing here" }
+
+// Run implements Checker.
+func (cc UninitField) Run(ctx *Context) []Finding {
+	stored := ctx.ModRef.ModUnion()
+	var out []Finding
+	for _, m := range ctx.methods() {
+		m.Instrs(func(ins ir.Instr) {
+			if !ctx.tick() {
+				return
+			}
+			get, ok := ins.(*ir.GetField)
+			if !ok || !ctx.keepPos(get.Pos()) {
+				return
+			}
+			for _, o := range ctx.Pts.PointsTo(get.Obj) {
+				if stored[modref.Loc{Obj: o, Field: get.Field}] {
+					continue
+				}
+				// Prelude-internal objects follow library idioms the
+				// user cannot fix; skip unless asked for.
+				if !ctx.keepPos(o.Site.Pos()) {
+					continue
+				}
+				out = append(out, Finding{
+					Checker: cc.Name(),
+					Pos:     get.Pos(),
+					Ins:     get,
+					Message: fmt.Sprintf("field %s read but never stored on object allocated at %s",
+						get.Field.QualifiedName(), o.Site.Pos()),
+					Witness: ctx.witness(get.Obj.Def, o.Site),
+				})
+				break // one finding per read site
+			}
+		})
+		if ctx.stop != nil {
+			break
+		}
+	}
+	return out
+}

@@ -37,7 +37,7 @@ func (s *Slicer) PathTo(target ir.Instr, seeds ...ir.Instr) []PathStep {
 		for _, n := range g.NodesOf(seed) {
 			if !inQueue[n] {
 				inQueue[n] = true
-				parents[n] = parentEdge{prev: sdg.NoNode}
+				parents[n] = parentEdge{prev: sdg.NoNode, via: sdg.NoNode}
 				queue = append(queue, n)
 			}
 		}

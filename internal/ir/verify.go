@@ -1,0 +1,308 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Verify checks the structural and SSA invariants the analysis
+// pipeline trusts after lowering:
+//
+//   - program/ID consistency: instruction IDs are dense from 0,
+//     InstrByID is their inverse, and IDs are contiguous within each
+//     method in traversal order (the SDG node layout depends on this);
+//   - block structure: Blocks[i].Index == i, instruction Block()
+//     back-pointers are correct, blocks are non-empty, and the
+//     terminator is exactly the last instruction of its block;
+//   - CFG consistency: If/Goto targets match the successor lists and
+//     pred/succ links are symmetric;
+//   - operand shape: Uses and UseRoles are parallel and contain no nil
+//     entries;
+//   - SSA form: every register has exactly one definition, Reg.Def
+//     points at it, phis lead their block with arity matching Preds,
+//     and every definition dominates its uses (phi uses dominate the
+//     corresponding predecessor).
+//
+// It returns every violation found, or nil for a well-formed program.
+// The analyzer runs it behind WithVerifyIR; tests run it
+// unconditionally over hand-written and generated programs.
+func Verify(p *Program) []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if p.NumInstrs != len(p.instrByID) {
+		report("program: NumInstrs %d != %d indexed instructions", p.NumInstrs, len(p.instrByID))
+	}
+	for id, ins := range p.instrByID {
+		if ins == nil {
+			report("program: instruction ID %d is nil", id)
+			continue
+		}
+		if ins.ID() != id {
+			report("program: instruction at index %d reports ID %d", id, ins.ID())
+		}
+	}
+
+	nextID := 0
+	for _, m := range p.Methods {
+		m.Instrs(func(ins Instr) {
+			if ins.ID() != nextID {
+				report("%s: instruction IDs not contiguous: %s has ID %d, want %d",
+					m.Name(), ins, ins.ID(), nextID)
+			}
+			nextID++
+		})
+		errs = append(errs, verifyMethod(m)...)
+	}
+	if nextID != p.NumInstrs {
+		report("program: methods contain %d instructions, NumInstrs is %d", nextID, p.NumInstrs)
+	}
+	return errs
+}
+
+// VerifyMethod checks one method's invariants in isolation (everything
+// Verify checks except program-wide ID density).
+func VerifyMethod(m *Method) []error { return verifyMethod(m) }
+
+func verifyMethod(m *Method) []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%s: %s", m.Name(), fmt.Sprintf(format, args...)))
+	}
+	if len(m.Blocks) == 0 {
+		report("method has no blocks")
+		return errs
+	}
+
+	// Block structure, terminators, CFG link symmetry, operand shape.
+	for i, b := range m.Blocks {
+		if b.Index != i {
+			report("block at position %d has Index %d", i, b.Index)
+		}
+		if b.Method != m {
+			report("block %s has a foreign Method back-pointer", b)
+		}
+		if len(b.Instrs) == 0 {
+			report("block %s is empty", b)
+			continue
+		}
+		for j, ins := range b.Instrs {
+			if ins.Block() != b {
+				report("%s instruction %d (%s) has a stale Block back-pointer", b, j, ins)
+			}
+			isLast := j == len(b.Instrs)-1
+			if IsTerminator(ins) != isLast {
+				report("%s instruction %d (%s) terminator placement wrong", b, j, ins)
+			}
+			if _, isPhi := ins.(*Phi); isPhi && j > 0 {
+				if _, prevPhi := b.Instrs[j-1].(*Phi); !prevPhi {
+					report("%s phi %s after non-phi", b, ins)
+				}
+			}
+			uses, roles := ins.Uses(), ins.UseRoles()
+			if len(uses) != len(roles) {
+				report("%s: %s has %d uses but %d roles", b, ins, len(uses), len(roles))
+			}
+			for k, u := range uses {
+				if u == nil {
+					report("%s: %s has nil operand %d", b, ins, k)
+				}
+			}
+		}
+		// Terminator targets must equal the successor list.
+		var want []*Block
+		switch t := b.Instrs[len(b.Instrs)-1].(type) {
+		case *If:
+			want = []*Block{t.Then, t.Else}
+		case *Goto:
+			want = []*Block{t.Target}
+		case *Return, *Throw:
+			want = nil
+		default:
+			continue // already reported as a terminator placement error
+		}
+		if !sameBlocks(want, b.Succs) {
+			report("%s successor list %v does not match its terminator %s", b, b.Succs, b.Instrs[len(b.Instrs)-1])
+		}
+		for _, s := range b.Succs {
+			if !containsBlock(s.Preds, b) {
+				report("edge %s->%s missing pred backlink", b, s)
+			}
+		}
+		for _, pr := range b.Preds {
+			if !containsBlock(pr.Succs, b) {
+				report("pred %s of %s missing succ link", pr, b)
+			}
+		}
+	}
+
+	// Single definitions and Def back-pointers.
+	defs := make(map[*Reg]Instr)
+	m.Instrs(func(ins Instr) {
+		d := ins.Def()
+		if d == nil {
+			return
+		}
+		if prev, dup := defs[d]; dup {
+			report("register %s defined twice (%s and %s)", d, prev, ins)
+			return
+		}
+		defs[d] = ins
+		if d.Def != ins {
+			report("register %s has a stale Def pointer", d)
+		}
+	})
+
+	// Defs dominate uses.
+	idom := dominators(m)
+	dominates := func(a, b *Block) bool {
+		for {
+			if a == b {
+				return true
+			}
+			id := idom[b.Index]
+			if id == nil || id == b {
+				return false
+			}
+			b = id
+		}
+	}
+	for _, b := range m.Blocks {
+		for pos, ins := range b.Instrs {
+			if phi, ok := ins.(*Phi); ok {
+				if len(phi.Edges) != len(b.Preds) {
+					report("%s phi %s arity %d != %d preds", b, phi, len(phi.Edges), len(b.Preds))
+					continue
+				}
+				for k, op := range phi.Edges {
+					def := defs[op]
+					if def == nil {
+						report("phi operand %s has no definition", op)
+						continue
+					}
+					if !dominates(def.Block(), b.Preds[k]) {
+						report("phi operand %s def does not dominate pred %s", op, b.Preds[k])
+					}
+				}
+				continue
+			}
+			for _, op := range ins.Uses() {
+				if op == nil {
+					continue // reported above
+				}
+				def := defs[op]
+				if def == nil {
+					report("use of undefined register %s in %s", op, ins)
+					continue
+				}
+				if def.Block() == b {
+					defPos := -1
+					for j, x := range b.Instrs {
+						if x == def {
+							defPos = j
+							break
+						}
+					}
+					if defPos < 0 || defPos >= pos {
+						report("%s used before its definition in %s", op, b)
+					}
+				} else if !dominates(def.Block(), b) {
+					report("def of %s (%s) does not dominate its use in %s (%s)", op, def.Block(), ins, b)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// dominators computes the immediate-dominator array of m's blocks with
+// the Cooper-Harvey-Kennedy iteration. Duplicated from ir/ssa, which
+// cannot be imported here without a cycle.
+func dominators(m *Method) []*Block {
+	// Reverse postorder from the entry.
+	seen := make([]bool, len(m.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(m.Entry())
+	rpoNum := make([]int, len(m.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	order := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for i, b := range order {
+		rpoNum[b.Index] = i
+	}
+	idom := make([]*Block, len(m.Blocks))
+	entry := m.Entry()
+	idom[entry.Index] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpoNum[a.Index] > rpoNum[b.Index] {
+				a = idom[a.Index]
+			}
+			for rpoNum[b.Index] > rpoNum[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if rpoNum[p.Index] < 0 || idom[p.Index] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func sameBlocks(a, b []*Block) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

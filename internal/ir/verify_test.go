@@ -1,0 +1,148 @@
+package ir_test
+
+import (
+	"fmt"
+	"testing"
+
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/loader"
+	"thinslice/internal/papercases"
+	"thinslice/internal/randprog"
+)
+
+// lowerOK loads and lowers sources, failing the test on any error.
+func lowerOK(t *testing.T, sources map[string]string) *ir.Program {
+	t.Helper()
+	info, err := loader.Load(sources)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := ir.Lower(info)
+	if len(prog.Diags) > 0 {
+		t.Fatalf("lower diagnostics: %v", prog.Diags)
+	}
+	return prog
+}
+
+func verifyClean(t *testing.T, name string, prog *ir.Program) {
+	t.Helper()
+	errs := ir.Verify(prog)
+	for i, e := range errs {
+		if i >= 10 {
+			t.Errorf("%s: ... and %d more violations", name, len(errs)-i)
+			break
+		}
+		t.Errorf("%s: %v", name, e)
+	}
+}
+
+// TestVerifyPaperCases checks the IR invariants on every hand-written
+// paper program.
+func TestVerifyPaperCases(t *testing.T) {
+	cases := map[string]map[string]string{
+		"firstnames": {papercases.FirstNamesFile: papercases.FirstNames},
+		"toy":        {papercases.ToyFile: papercases.Toy},
+		"filebug":    {papercases.FileBugFile: papercases.FileBug},
+		"toughcast":  {papercases.ToughCastFile: papercases.ToughCast},
+	}
+	for name, sources := range cases {
+		verifyClean(t, name, lowerOK(t, sources))
+	}
+}
+
+// TestVerifyRandprogCorpus is the lowering property test: 500 random
+// well-typed programs must all lower to IR that passes Verify. This
+// catches SSA-construction bugs the hand-written cases miss.
+func TestVerifyRandprogCorpus(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 50
+	}
+	for seed := 0; seed < n; seed++ {
+		sources := randprog.Generate(int64(seed), randprog.DefaultConfig)
+		prog := lowerOK(t, sources)
+		if errs := ir.Verify(prog); len(errs) > 0 {
+			t.Fatalf("seed %d: %d violation(s), first: %v\nprogram:\n%s",
+				seed, len(errs), errs[0], sources["rand.mj"])
+		}
+	}
+}
+
+// TestVerifyDetectsCorruption mutates a well-formed program in ways
+// the verifier must catch: it is only trustworthy if it rejects bad IR.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	fresh := func() *ir.Program {
+		return lowerOK(t, map[string]string{papercases.ToyFile: papercases.Toy})
+	}
+	check := func(name string, corrupt func(*ir.Program) bool) {
+		prog := fresh()
+		if !corrupt(prog) {
+			t.Fatalf("%s: corruption not applied", name)
+		}
+		if errs := ir.Verify(prog); len(errs) == 0 {
+			t.Errorf("%s: corrupted program passed Verify", name)
+		}
+	}
+
+	check("dropped-pred-link", dropPredLink)
+	check("reordered-instrs", func(p *ir.Program) bool {
+		// Swapping two non-terminator instructions breaks ID contiguity
+		// (and possibly def-before-use ordering).
+		for _, m := range p.Methods {
+			for _, b := range m.Blocks {
+				if len(b.Instrs) >= 3 {
+					b.Instrs[0], b.Instrs[1] = b.Instrs[1], b.Instrs[0]
+					return true
+				}
+			}
+		}
+		return false
+	})
+	check("terminator-mid-block", func(p *ir.Program) bool {
+		for _, m := range p.Methods {
+			for _, b := range m.Blocks {
+				if len(b.Instrs) >= 2 {
+					// Move the terminator before the last instruction.
+					last := len(b.Instrs) - 1
+					b.Instrs[last-1], b.Instrs[last] = b.Instrs[last], b.Instrs[last-1]
+					return true
+				}
+			}
+		}
+		return false
+	})
+	check("truncated-block", func(p *ir.Program) bool {
+		for _, m := range p.Methods {
+			for _, b := range m.Blocks {
+				if len(b.Instrs) >= 1 {
+					b.Instrs = b.Instrs[:0]
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+func dropPredLink(p *ir.Program) bool {
+	for _, m := range p.Methods {
+		for _, b := range m.Blocks {
+			if len(b.Preds) > 0 {
+				b.Preds = b.Preds[:len(b.Preds)-1]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExampleVerify demonstrates that a freshly lowered program verifies.
+func ExampleVerify() {
+	info, err := loader.Load(map[string]string{papercases.ToyFile: papercases.Toy})
+	if err != nil {
+		panic(err)
+	}
+	prog := ir.Lower(info)
+	fmt.Println(len(ir.Verify(prog)))
+	// Output: 0
+}
