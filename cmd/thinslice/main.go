@@ -9,6 +9,12 @@
 // precision, and on-demand explanations of heap aliasing and control
 // dependences for the slice (§4).
 //
+// Batch mode slices many seeds over one shared analysis session:
+//
+//	thinslice -seeds-file seeds.txt prog.mj [more.mj ...]
+//
+// with one file.mj:line seed per line (#-comments and blanks skipped).
+//
 // The check subcommand runs the thin-slice-powered checker suite:
 //
 //	thinslice check [-checks nilderef,taint] [-json] prog.mj...
@@ -32,7 +38,6 @@ import (
 	"strings"
 	"time"
 
-	"thinslice/internal/analysis/modref"
 	"thinslice/internal/analyzer"
 	"thinslice/internal/budget"
 	"thinslice/internal/checkers"
@@ -42,6 +47,7 @@ import (
 	"thinslice/internal/interp"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
+	"thinslice/internal/session"
 )
 
 // Exit codes: 0 ok, 1 hard failure, 2 usage, 3 truncated-but-usable
@@ -228,7 +234,8 @@ func writeJSONReport(w io.Writer, rep *checkers.Report) error {
 func runSlice(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("thinslice", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	seedFlag := fs.String("seed", "", "seed statement as file.mj:line (required)")
+	seedFlag := fs.String("seed", "", "seed statement as file.mj:line (required unless -seeds-file is given)")
+	seedsFile := fs.String("seeds-file", "", "file listing one file.mj:line seed per line; slices all of them over one shared analysis")
 	mode := fs.String("mode", "thin", "slicing mode: thin or traditional")
 	control := fs.Bool("control", false, "follow control dependences (traditional only)")
 	cs := fs.Bool("cs", false, "use the context-sensitive tabulation slicer (§5.3)")
@@ -246,15 +253,12 @@ func runSlice(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	if *seedFlag == "" || fs.NArg() == 0 {
+	if (*seedFlag == "" && *seedsFile == "") || fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: thinslice -seed file.mj:line [flags] file.mj...")
+		fmt.Fprintln(stderr, "       thinslice -seeds-file seeds.txt [flags] file.mj...")
 		fmt.Fprintln(stderr, "       thinslice check [flags] file.mj...")
 		fs.PrintDefaults()
 		return exitUsage
-	}
-	seedFile, seedLine, err := parseSeed(*seedFlag)
-	if err != nil {
-		return fail(stderr, err)
 	}
 
 	sources, err := readSources(fs.Args())
@@ -280,14 +284,25 @@ func runSlice(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "thinslice: warning: budget exhausted during analysis; results may be incomplete")
 	}
 
-	seeds := a.SeedsAt(seedFile, seedLine)
-	if len(seeds) == 0 {
-		return fail(stderr, fmt.Errorf("no reachable statements at %s:%d", seedFile, seedLine))
-	}
-
 	thinMode := *mode == "thin"
 	if !thinMode && *mode != "traditional" {
 		return fail(stderr, fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *seedsFile != "" {
+		if *cs || *dynamic {
+			return fail(stderr, fmt.Errorf("-seeds-file cannot be combined with -cs or -dynamic"))
+		}
+		return runBatch(stdout, stderr, a, sources, *seedsFile, thinMode, *control, partial)
+	}
+
+	seedFile, seedLine, err := parseSeed(*seedFlag)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	seeds := a.SeedsAt(seedFile, seedLine)
+	if len(seeds) == 0 {
+		return fail(stderr, fmt.Errorf("no reachable statements at %s:%d", seedFile, seedLine))
 	}
 
 	if *dynamic {
@@ -303,8 +318,10 @@ func runSlice(args []string, stdout, stderr io.Writer) int {
 
 	var lines []token.Pos
 	if *cs {
-		mr := modref.Compute(a.Prog, a.Pts)
-		g := csslice.Build(a.Prog, a.Pts, mr)
+		g, err := a.Session().CSGraph()
+		if err != nil {
+			return fail(stderr, err)
+		}
 		s := csslice.NewSlicer(g, thinMode, *control)
 		slice := s.Slice(seeds...)
 		for p := range csslice.SliceLines(slice) {
@@ -364,6 +381,73 @@ func runSlice(args []string, stdout, stderr io.Writer) int {
 		return exitPartial
 	}
 	return exitOK
+}
+
+// runBatch slices every seed listed in seedsPath over the analysis'
+// shared session: artifacts are built once and each seed costs only
+// its own backward closure.
+func runBatch(stdout, stderr io.Writer, a *analyzer.Analysis, sources map[string]string, seedsPath string, thinMode, control, partial bool) int {
+	seeds, err := readSeedsFile(seedsPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if len(seeds) == 0 {
+		return fail(stderr, fmt.Errorf("no seeds in %s", seedsPath))
+	}
+	opts := core.Options{Mode: core.Thin}
+	modeName := "thin"
+	if !thinMode {
+		opts = core.Options{Mode: core.Traditional, FollowControl: control}
+		modeName = "traditional"
+	}
+	results, err := a.Session().SliceAll(opts, seeds)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if len(r.Instrs) == 0 {
+			fmt.Fprintf(stdout, "%s slice of %s: no reachable statements\n", modeName, r.Seed)
+			continue
+		}
+		lines := r.Slice.Lines()
+		sortPos(lines)
+		if r.Slice.Truncated {
+			partial = true
+			fmt.Fprintf(stderr, "thinslice: warning: slice of %s truncated (%v)\n", r.Seed, r.Slice.Err)
+		}
+		fmt.Fprintf(stdout, "%s slice of %s: %d statements on %d lines\n",
+			modeName, r.Seed, r.Slice.Size(), len(lines))
+		printLines(stdout, sources, lines)
+	}
+	if partial {
+		return exitPartial
+	}
+	return exitOK
+}
+
+// readSeedsFile parses a seeds file: one file.mj:line per line, blank
+// lines and #-comments skipped.
+func readSeedsFile(path string) ([]session.Seed, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []session.Seed
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, ln, err := parseSeed(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		seeds = append(seeds, session.Seed{File: file, Line: ln})
+	}
+	return seeds, nil
 }
 
 // explainWhy prints the shortest producer chain from the seed to the

@@ -46,6 +46,15 @@ func TestGoldenTraditionalSlice(t *testing.T) {
 	golden(t, "traditional", exitOK, "-mode", "traditional", "-control", "-seed", taintExample+":8", taintExample)
 }
 
+func TestGoldenBatch(t *testing.T) {
+	golden(t, "batch", exitOK, "-seeds-file", "cmd/thinslice/testdata/taint.seeds", taintExample)
+}
+
+func TestGoldenBatchTraditional(t *testing.T) {
+	golden(t, "batch_traditional", exitOK, "-mode", "traditional", "-control",
+		"-seeds-file", "cmd/thinslice/testdata/taint.seeds", taintExample)
+}
+
 func TestGoldenWhy(t *testing.T) {
 	golden(t, "why", exitOK, "-seed", taintExample+":8", "-why", taintExample+":13", taintExample)
 }
@@ -95,6 +104,8 @@ func TestUsageErrors(t *testing.T) {
 		{"no-args", nil, exitUsage},
 		{"check-no-files", []string{"check"}, exitUsage},
 		{"bad-seed", []string{"-seed", "nope", taintExample}, exitFailure},
+		{"seeds-file-with-cs", []string{"-seeds-file", "cmd/thinslice/testdata/taint.seeds", "-cs", taintExample}, exitFailure},
+		{"missing-seeds-file", []string{"-seeds-file", "no-such.seeds", taintExample}, exitFailure},
 		{"bad-checker", []string{"check", "-checks", "bogus", taintExample}, exitFailure},
 		{"missing-file", []string{"check", "no-such-file.mj"}, exitFailure},
 	}

@@ -2,24 +2,27 @@
 // (parse → type check → lower to SSA IR → pointer analysis → dependence
 // graph) and hands out thin and traditional slicers. Tools, examples,
 // and experiments all start here.
+//
+// Since the session refactor this package is a thin convenience
+// wrapper over package session: Analyze opens a session, drives the
+// artifact chain to the dependence graph, and bundles the results.
+// Callers that make repeated or multi-seed queries over the same
+// program should hold the session (Analysis.Session) or open one
+// directly.
 package analyzer
 
 import (
 	"context"
-	"fmt"
-	"runtime/debug"
-	"sort"
-	"strings"
 	"time"
 
 	"thinslice/internal/analysis/pointsto"
 	"thinslice/internal/budget"
 	"thinslice/internal/core"
 	"thinslice/internal/ir"
-	"thinslice/internal/lang/loader"
 	"thinslice/internal/lang/prelude"
 	"thinslice/internal/lang/types"
 	"thinslice/internal/sdg"
+	"thinslice/internal/session"
 )
 
 // Analysis bundles the artifacts of one analyzed program.
@@ -31,6 +34,10 @@ type Analysis struct {
 
 	// budget, when non-nil, bounds slicers handed out by this analysis.
 	budget *budget.Budget
+	// sess is the analysis session the artifacts came from; derived
+	// artifacts (CHA, mod-ref, the context-sensitive graph) are
+	// memoized there.
+	sess *session.Session
 }
 
 // Partial reports whether any phase stopped early on an exhausted
@@ -50,6 +57,8 @@ type config struct {
 	budget     *budget.Budget
 	timeout    time.Duration
 	maxSteps   int64
+	workers    int
+	store      *session.Store
 }
 
 // Option configures Analyze.
@@ -91,6 +100,16 @@ func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = 
 // WithMaxSteps caps every phase at n steps (see budget.WithSteps).
 func WithMaxSteps(n int64) Option { return func(c *config) { c.maxSteps = n } }
 
+// WithWorkers sets the worker count for the parallel construction
+// phases (SSA lowering, dependence-graph build): 1 forces sequential
+// builds, 0 (the default) selects GOMAXPROCS. Output is byte-identical
+// either way.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// InStore places the analysis' artifacts in an existing session store,
+// sharing cached phases with every other analysis using that store.
+func InStore(st *session.Store) Option { return func(c *config) { c.store = st } }
+
 // Analyze runs the pipeline over the given sources (name → content).
 func Analyze(sources map[string]string, opts ...Option) (*Analysis, error) {
 	return AnalyzeCtx(context.Background(), sources, opts...)
@@ -102,7 +121,7 @@ func Analyze(sources map[string]string, opts ...Option) (*Analysis, error) {
 // budget) — or, for step exhaustion past the points-to phase, a partial
 // Analysis for which Partial reports true. It never panics: internal
 // faults surface as *budget.ErrInternal tagged with the running phase.
-func AnalyzeCtx(ctx context.Context, sources map[string]string, opts ...Option) (a *Analysis, err error) {
+func AnalyzeCtx(ctx context.Context, sources map[string]string, opts ...Option) (*Analysis, error) {
 	cfg := config{objSens: true, containers: prelude.ContainerClasses}
 	for _, o := range opts {
 		o(&cfg)
@@ -119,103 +138,55 @@ func AnalyzeCtx(ctx context.Context, sources map[string]string, opts ...Option) 
 		b = budget.New(ctx, bopts...)
 	}
 
-	phase := budget.PhaseLoad
-	defer func() {
-		if r := recover(); r != nil {
-			a, err = nil, &budget.ErrInternal{Phase: phase, Value: r, Stack: debug.Stack()}
-		}
-	}()
-
-	if err := b.Err(budget.PhaseLoad); err != nil {
-		return nil, err
+	sopts := []session.Option{
+		session.WithObjSens(cfg.objSens),
+		session.WithContainers(cfg.containers),
+		session.WithEntries(cfg.entries...),
+		session.WithBudget(b),
+		session.WithWorkers(cfg.workers),
 	}
-	var info *types.Info
 	if cfg.noPrelude {
-		info, err = loader.LoadBare(sources)
-	} else {
-		info, err = loader.Load(sources)
+		sopts = append(sopts, session.WithoutPrelude())
 	}
-	if err != nil {
-		return nil, err
-	}
-
-	phase = budget.PhaseLower
-	if err := b.Err(budget.PhaseLower); err != nil {
-		return nil, err
-	}
-	prog := ir.Lower(info)
-	if len(prog.Diags) > 0 {
-		return nil, prog.Diags
-	}
-
 	if cfg.verifyIR {
-		phase = budget.PhaseVerify
-		if err := b.Err(budget.PhaseVerify); err != nil {
-			return nil, err
-		}
-		if verrs := ir.Verify(prog); len(verrs) > 0 {
-			return nil, fmt.Errorf("analyzer: IR verification failed: %w (%d violation(s))", verrs[0], len(verrs))
-		}
+		sopts = append(sopts, session.WithVerifyIR())
 	}
-
-	phase = budget.PhasePointsTo
-	entries, err := resolveEntries(prog, cfg.entries)
-	if err != nil {
-		return nil, err
+	if cfg.store != nil {
+		sopts = append(sopts, session.InStore(cfg.store))
 	}
-	pts, err := pointsto.Analyze(prog, pointsto.Config{
-		Entries:           entries,
-		ObjSensContainers: cfg.objSens,
-		ContainerClasses:  cfg.containers,
-		Budget:            b,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	phase = budget.PhaseSDG
-	graph, err := sdg.BuildBudget(prog, pts, b)
-	if err != nil {
-		return nil, err
-	}
-	return &Analysis{Info: info, Prog: prog, Pts: pts, Graph: graph, budget: b}, nil
+	sess := session.Open(sources, sopts...)
+	return FromSession(sess)
 }
 
-// resolveEntries maps explicit entry names to methods. A name that
-// matches nothing is an error naming the available candidates, rather
-// than a silent empty analysis.
-func resolveEntries(prog *ir.Program, names []string) ([]*ir.Method, error) {
-	var entries []*ir.Method
-	var missing []string
-	for _, name := range names {
-		found := false
-		for _, m := range prog.Methods {
-			if m.Name() == name {
-				entries = append(entries, m)
-				found = true
-			}
-		}
-		if !found {
-			missing = append(missing, name)
-		}
+// FromSession drives an existing session to a full Analysis: the
+// artifact chain up to the dependence graph is built (or fetched from
+// the session's store) and bundled. Panics inside any phase surface as
+// phase-tagged *budget.ErrInternal; an exhausted step budget past the
+// points-to phase yields a partial Analysis for which Partial reports
+// true, exactly as in the pre-session pipeline.
+func FromSession(sess *session.Session) (*Analysis, error) {
+	graph, err := sess.Graph()
+	if err != nil {
+		return nil, err
 	}
-	if len(missing) > 0 {
-		var mains []string
-		for _, m := range prog.Methods {
-			if m.Sig.Static && m.Sig.Name == "main" {
-				mains = append(mains, m.Name())
-			}
-		}
-		sort.Strings(mains)
-		candidates := "none found"
-		if len(mains) > 0 {
-			candidates = strings.Join(mains, ", ")
-		}
-		return nil, fmt.Errorf("analyzer: entry method(s) not found: %s (available main candidates: %s)",
-			strings.Join(missing, ", "), candidates)
+	// The chain below the graph is memoized: these re-fetch, not rebuild.
+	info, err := sess.Info()
+	if err != nil {
+		return nil, err
 	}
-	return entries, nil
+	prog, err := sess.Prog()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := sess.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Info: info, Prog: prog, Pts: pts, Graph: graph, budget: sess.Budget(), sess: sess}, nil
 }
+
+// Session returns the analysis session the artifacts came from.
+func (a *Analysis) Session() *session.Session { return a.sess }
 
 // MustAnalyze is Analyze panicking on error, for known-good sources.
 func MustAnalyze(sources map[string]string, opts ...Option) *Analysis {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"thinslice/internal/inspect"
+	"thinslice/internal/session"
 )
 
 // Benchmark is one generated evaluation subject.
@@ -35,6 +36,19 @@ type Benchmark struct {
 
 // Src returns the single main source text of the benchmark.
 func (b *Benchmark) Src() string { return b.Sources[b.File] }
+
+// QuerySeeds returns every task seed position (debug, cast, and
+// hopeless tasks alike) as a batch slicing query, in task order — the
+// multi-seed workload a session answers over one shared build.
+func (b *Benchmark) QuerySeeds() []session.Seed {
+	var seeds []session.Seed
+	for _, tasks := range [][]inspect.Task{b.Debug, b.Casts, b.Hopeless} {
+		for _, t := range tasks {
+			seeds = append(seeds, session.Seed{File: t.SeedFile, Line: t.SeedLine})
+		}
+	}
+	return seeds
+}
 
 // DebugNames lists the benchmarks used in the debugging experiment
 // (Table 2), in the paper's order.

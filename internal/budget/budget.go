@@ -177,6 +177,14 @@ func (b *Budget) Phase(p Phase) *Meter {
 	return &Meter{b: b, phase: p, limit: b.limitFor(p)}
 }
 
+// Limited reports whether phase p runs under a step cap (as opposed to
+// only cancellation/deadline checks). Parallel construction phases use
+// this to fall back to their sequential form: deterministic truncation
+// under a step cap requires the sequential tick interleaving. Nil-safe.
+func (b *Budget) Limited(p Phase) bool {
+	return b != nil && b.limitFor(p) > 0
+}
+
 // Err checks cancellation and deadline only (no step spend) — for
 // phase boundaries and code outside hot loops. Nil-safe.
 func (b *Budget) Err(p Phase) error {

@@ -205,16 +205,31 @@ func Select(names string) ([]Checker, error) {
 // Run executes the given checkers over an analysis, drawing from the
 // analysis' budget (PhaseCheck). Findings are sorted deterministically
 // by (file, line, instruction ID, checker name).
+//
+// The CHA call graph and mod-ref summaries are fetched from the
+// analysis' session, so successive runs (and other session consumers)
+// share one copy instead of each re-deriving them.
 func Run(a *analyzer.Analysis, checks []Checker, cfg Config) *Report {
 	ctx := &Context{
 		Prog:   a.Prog,
 		Pts:    a.Pts,
 		Graph:  a.Graph,
-		CHA:    cha.Build(a.Prog, a.Pts.Entries()),
-		ModRef: modref.Compute(a.Prog, a.Pts),
 		Slicer: a.ThinSlicer(),
 		Config: cfg,
 		meter:  a.Budget().Phase(budget.PhaseCheck),
+	}
+	if sess := a.Session(); sess != nil {
+		// Both passes are deterministic, so an error here can only be
+		// cancellation; the direct fallback below keeps the pre-session
+		// behavior of running them unbudgeted.
+		ctx.CHA, _ = sess.CHA()
+		ctx.ModRef, _ = sess.ModRef()
+	}
+	if ctx.CHA == nil {
+		ctx.CHA = cha.Build(a.Prog, a.Pts.Entries())
+	}
+	if ctx.ModRef == nil {
+		ctx.ModRef = modref.Compute(a.Prog, a.Pts)
 	}
 	rep := &Report{}
 	for _, c := range checks {

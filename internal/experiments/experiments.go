@@ -15,6 +15,7 @@ import (
 	"thinslice/internal/core"
 	"thinslice/internal/inspect"
 	"thinslice/internal/ir"
+	"thinslice/internal/session"
 )
 
 // analyzed caches the four analysis configurations of one benchmark.
@@ -25,11 +26,15 @@ type analyzed struct {
 }
 
 func analyzeBoth(b *bench.Benchmark) (*analyzed, error) {
-	sens, err := analyzer.Analyze(b.Sources)
+	// Both configurations share one artifact store: parsing, type
+	// checking, and lowering are configuration-independent, so the
+	// second analysis reuses them and only re-runs points-to onward.
+	store := session.NewStore()
+	sens, err := analyzer.Analyze(b.Sources, analyzer.InStore(store))
 	if err != nil {
 		return nil, fmt.Errorf("%s (objsens): %w", b.Name, err)
 	}
-	no, err := analyzer.Analyze(b.Sources, analyzer.WithObjSens(false))
+	no, err := analyzer.Analyze(b.Sources, analyzer.WithObjSens(false), analyzer.InStore(store))
 	if err != nil {
 		return nil, fmt.Errorf("%s (noobjsens): %w", b.Name, err)
 	}

@@ -17,6 +17,7 @@ import (
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
 	"thinslice/internal/sdg"
+	anasession "thinslice/internal/session"
 )
 
 // Line is a source statement identity (file and line).
@@ -208,4 +209,23 @@ func Measure(s *core.Slicer, g *sdg.Graph, task Task) Result {
 		budget.BaseHops = 1
 	}
 	return BFSBudget(s, seeds, desired, budget)
+}
+
+// MeasureSession runs the BFS metric for a task over an analysis
+// session: the dependence graph is fetched from the session's store
+// (built at most once, no matter how many tasks are measured) and the
+// slicer is derived per the requested options.
+func MeasureSession(sess *anasession.Session, opts core.Options, task Task) (Result, error) {
+	g, err := sess.Graph()
+	if err != nil {
+		return Result{}, err
+	}
+	var s *core.Slicer
+	if opts.Mode == core.Thin {
+		s = core.NewThin(g)
+	} else {
+		s = core.NewTraditional(g, opts.FollowControl)
+	}
+	s.WithBudget(sess.Budget())
+	return Measure(s, g, task), nil
 }

@@ -2,6 +2,9 @@ package ir
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"thinslice/internal/lang/ast"
 	"thinslice/internal/lang/token"
@@ -12,27 +15,42 @@ import (
 // escaped the type checker are lowered to safe placeholder values and
 // recorded in the program's Diags instead of panicking; callers should
 // reject programs with non-empty Diags.
-func Lower(info *types.Info) *Program {
+func Lower(info *types.Info) *Program { return LowerWorkers(info, 1) }
+
+// LowerWorkers is Lower with per-method lowering spread over up to
+// workers goroutines (workers < 1 selects GOMAXPROCS). Method bodies
+// are independent SSA units — register numbering is method-local and
+// diagnostics are collected per method — so the output is byte-
+// identical to the sequential build: methods keep declaration order,
+// diagnostics keep method order, and the dense program-unique
+// instruction IDs are assigned in one deterministic pass at the end.
+func LowerWorkers(info *types.Info, workers int) *Program {
 	prog := &Program{Info: info, MethodOf: make(map[*types.MethodInfo]*Method)}
+	// Collect the lowering jobs in deterministic declaration order.
+	var jobs []*types.MethodInfo
 	for _, decl := range info.Prog.Classes {
 		ci := info.Classes[decl.Name]
 		if ci == nil || ci.Decl != decl {
 			continue
 		}
 		for _, mdecl := range decl.Methods {
-			mi := info.MethodOfDecl[mdecl]
-			if mi == nil {
-				continue
+			if mi := info.MethodOfDecl[mdecl]; mi != nil {
+				jobs = append(jobs, mi)
 			}
-			m := lowerMethod(prog, info, mi)
-			prog.Methods = append(prog.Methods, m)
-			prog.MethodOf[mi] = m
 		}
 		if ci.Ctor != nil && ci.Ctor.Decl == nil {
-			m := lowerMethod(prog, info, ci.Ctor) // synthesized default constructor
-			prog.Methods = append(prog.Methods, m)
-			prog.MethodOf[ci.Ctor] = m
+			jobs = append(jobs, ci.Ctor) // synthesized default constructor
 		}
+	}
+
+	methods := make([]*Method, len(jobs))
+	diags := make([]Diagnostics, len(jobs))
+	lowerAll(info, jobs, methods, diags, workers)
+
+	for i, mi := range jobs {
+		prog.Methods = append(prog.Methods, methods[i])
+		prog.MethodOf[mi] = methods[i]
+		prog.Diags = append(prog.Diags, diags[i]...)
 	}
 	// Assign dense program-unique instruction IDs.
 	for _, m := range prog.Methods {
@@ -43,6 +61,58 @@ func Lower(info *types.Info) *Program {
 		})
 	}
 	return prog
+}
+
+// lowerAll lowers jobs[i] into methods[i]/diags[i], fanning out over a
+// bounded worker pool. A panic on a worker is re-raised on the calling
+// goroutine so the facade's recover boundary still converts it to a
+// typed internal error.
+func lowerAll(info *types.Info, jobs []*types.MethodInfo, methods []*Method, diags []Diagnostics, workers int) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	work := func(i int) { methods[i], diags[i] = lowerMethod(info, jobs[i]) }
+	if workers <= 1 {
+		for i := range jobs {
+			work(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
 }
 
 // varKey identifies an SSA-converted variable: a declaration node, a
@@ -60,17 +130,27 @@ type loopCtx struct {
 	cont *Block // continue target
 }
 
+// incompletePhi is a phi awaiting operands in a not-yet-sealed block.
+type incompletePhi struct {
+	v   varKey
+	phi *Phi
+}
+
 type builder struct {
-	prog *Program
-	info *types.Info
-	m    *Method
-	sig  *types.MethodInfo
+	info  *types.Info
+	m     *Method
+	sig   *types.MethodInfo
+	diags Diagnostics
 
 	cur    *Block // nil when the current point is unreachable
 	sealed map[*Block]bool
 	// currentDef[v][block] is the reaching SSA value of v at block end.
 	currentDef map[varKey]map[*Block]*Reg
-	incomplete map[*Block]map[varKey]*Phi
+	// incomplete holds the pending phis of unsealed blocks in creation
+	// order: sealing must process them deterministically, because
+	// completing a phi can create further phis (and registers), and
+	// that order is part of the program's canonical byte image.
+	incomplete map[*Block][]incompletePhi
 	// replacement maps removed trivial phi results to their value.
 	replacement map[*Reg]*Reg
 	phiUsers    map[*Reg][]*Phi
@@ -78,16 +158,15 @@ type builder struct {
 	loops       []loopCtx
 }
 
-func lowerMethod(prog *Program, info *types.Info, sig *types.MethodInfo) *Method {
+func lowerMethod(info *types.Info, sig *types.MethodInfo) (*Method, Diagnostics) {
 	m := &Method{Sig: sig}
 	b := &builder{
-		prog:        prog,
 		info:        info,
 		m:           m,
 		sig:         sig,
 		sealed:      make(map[*Block]bool),
 		currentDef:  make(map[varKey]map[*Block]*Reg),
-		incomplete:  make(map[*Block]map[varKey]*Phi),
+		incomplete:  make(map[*Block][]incompletePhi),
 		replacement: make(map[*Reg]*Reg),
 		phiUsers:    make(map[*Reg][]*Phi),
 		deadPhis:    make(map[*Phi]bool),
@@ -163,7 +242,7 @@ func lowerMethod(prog *Program, info *types.Info, sig *types.MethodInfo) *Method
 		b.emit(r)
 	}
 	b.finalize()
-	return m
+	return m, b.diags
 }
 
 func collectParams(entry *Block) []*Param {
@@ -177,9 +256,11 @@ func collectParams(entry *Block) []*Param {
 }
 
 // diag records a malformed construct and lets lowering continue with a
-// placeholder; the program is rejected afterwards via prog.Diags.
+// placeholder; the program is rejected afterwards via prog.Diags. Diags
+// are collected per method so concurrent method lowering stays
+// share-nothing, and merged in method order by LowerWorkers.
 func (b *builder) diag(pos token.Pos, format string, args ...any) {
-	b.prog.Diags = append(b.prog.Diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	b.diags = append(b.diags, Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
 // badValue emits a well-formed placeholder definition for a value that
@@ -303,12 +384,7 @@ func (b *builder) readRecursive(v varKey, blk *Block, pos token.Pos) *Reg {
 	switch {
 	case !b.sealed[blk]:
 		phi := b.newPhiIn(blk, pos)
-		inc := b.incomplete[blk]
-		if inc == nil {
-			inc = make(map[varKey]*Phi)
-			b.incomplete[blk] = inc
-		}
-		inc[v] = phi
+		b.incomplete[blk] = append(b.incomplete[blk], incompletePhi{v, phi})
 		val = phi.Dst
 	case len(blk.Preds) == 1:
 		val = b.readIn(v, blk.Preds[0], pos)
@@ -385,9 +461,9 @@ func (b *builder) seal(blk *Block) {
 	if b.sealed[blk] {
 		return
 	}
-	for v, phi := range b.incomplete[blk] {
-		if len(phi.Edges) == 0 {
-			b.addPhiOperands(v, phi, phi.Pos())
+	for _, ip := range b.incomplete[blk] {
+		if len(ip.phi.Edges) == 0 {
+			b.addPhiOperands(ip.v, ip.phi, ip.phi.Pos())
 		}
 	}
 	delete(b.incomplete, blk)
@@ -397,7 +473,10 @@ func (b *builder) seal(blk *Block) {
 // finalize resolves replaced registers in every operand, removes dead
 // phis, drops unreachable blocks, and re-indexes.
 func (b *builder) finalize() {
-	for blk := range b.incomplete {
+	// Seal remaining blocks in construction order, not map order:
+	// sealing creates phis and registers, whose numbering must be
+	// deterministic.
+	for _, blk := range b.m.Blocks {
 		b.seal(blk)
 	}
 	reach := make(map[*Block]bool)

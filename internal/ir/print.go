@@ -1,0 +1,42 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a deterministic, byte-stable listing of the whole
+// program: methods in construction order, blocks in index order,
+// instructions with their program-unique IDs. Two programs lowered
+// from the same checked source — sequentially or by any number of
+// workers — must print identically; the equivalence tests pin exactly
+// that.
+func Fprint(w io.Writer, p *Program) {
+	for _, m := range p.Methods {
+		fmt.Fprintf(w, "method %s (%d params)\n", m.Name(), len(m.Params))
+		for _, b := range m.Blocks {
+			fmt.Fprintf(w, "  %s:", b)
+			if len(b.Preds) > 0 {
+				fmt.Fprint(w, " preds")
+				for _, pr := range b.Preds {
+					fmt.Fprintf(w, " %s", pr)
+				}
+			}
+			fmt.Fprintln(w)
+			for _, ins := range b.Instrs {
+				fmt.Fprintf(w, "    #%d %s @ %s\n", ins.ID(), ins, ins.Pos())
+			}
+		}
+	}
+	if len(p.Diags) > 0 {
+		fmt.Fprintf(w, "diags: %v\n", p.Diags)
+	}
+}
+
+// Sprint returns Fprint's output as a string.
+func Sprint(p *Program) string {
+	var b strings.Builder
+	Fprint(&b, p)
+	return b.String()
+}

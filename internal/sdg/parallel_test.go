@@ -1,0 +1,87 @@
+package sdg_test
+
+import (
+	"context"
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
+	"thinslice/internal/papercases"
+	"thinslice/internal/randprog"
+	"thinslice/internal/sdg"
+)
+
+// buildBoth lowers and points-to-analyzes srcs once, then builds the
+// dependence graph sequentially and with a worker pool.
+func fingerprints(t *testing.T, srcs map[string]string, workers int) (string, string) {
+	t.Helper()
+	a, err := analyzer.Analyze(srcs, analyzer.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sdg.BuildBudget(a.Prog, a.Pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sdg.BuildWorkers(a.Prog, a.Pts, nil, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq.Fingerprint(), par.Fingerprint()
+}
+
+// TestParallelBuildMatchesSequentialPapercases pins the parallel SDG
+// contract on the paper's running examples: every worker count yields
+// a graph with identical per-node dependence lists, caller-node lists,
+// and edge counts.
+func TestParallelBuildMatchesSequentialPapercases(t *testing.T) {
+	cases := map[string]map[string]string{
+		"firstnames": {papercases.FirstNamesFile: papercases.FirstNames},
+		"toy":        {papercases.ToyFile: papercases.Toy},
+		"filebug":    {papercases.FileBugFile: papercases.FileBug},
+		"toughcast":  {papercases.ToughCastFile: papercases.ToughCast},
+	}
+	for name, srcs := range cases {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{2, 4, 8} {
+				seq, par := fingerprints(t, srcs, workers)
+				if seq != par {
+					t.Fatalf("workers=%d: parallel SDG fingerprint %s != sequential %s", workers, par, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBuildMatchesSequentialRandprog sweeps the randomized
+// corpus: 200 generated programs, each with sequential and parallel
+// graphs compared by fingerprint.
+func TestParallelBuildMatchesSequentialRandprog(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 20
+	}
+	for seed := 0; seed < n; seed++ {
+		srcs := randprog.Generate(int64(seed), randprog.DefaultConfig)
+		seq, par := fingerprints(t, srcs, 4)
+		if seq != par {
+			t.Fatalf("seed %d: parallel SDG diverged from sequential", seed)
+		}
+	}
+}
+
+// TestParallelBuildHonorsCancellation covers the parallel path's
+// per-worker cancellation meters: a pre-canceled budget aborts the
+// build with a typed error instead of returning a graph.
+func TestParallelBuildHonorsCancellation(t *testing.T) {
+	a, err := analyzer.Analyze(map[string]string{papercases.FirstNamesFile: papercases.FirstNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := budget.New(ctx)
+	cancel()
+	if _, err := sdg.BuildWorkers(a.Prog, a.Pts, b, 4); err == nil {
+		t.Fatal("parallel build with canceled budget returned no error")
+	}
+}

@@ -14,7 +14,13 @@
 package sdg
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"thinslice/internal/analysis/cdg"
 	"thinslice/internal/analysis/pointsto"
@@ -113,6 +119,7 @@ type Graph struct {
 	Truncated bool
 	LimitErr  error
 
+	bud      *budget.Budget
 	meter    *budget.Meter
 	stop     error
 	deps     [][]Dep
@@ -170,9 +177,101 @@ func (g *Graph) Reachable(m *ir.Method) bool {
 // CallerNodes returns the call-site nodes that may invoke context mc.
 func (g *Graph) CallerNodes(mc *pointsto.MCtx) []Node { return g.callerNodes[mc] }
 
+// Fingerprint returns a sha256 digest of the graph's full structure —
+// every node's ordered dependence list, the per-context caller-node
+// lists, and the edge count. Two builds of the same program (sequential
+// or parallel, any worker count) must produce identical fingerprints;
+// the equivalence tests pin exactly that.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	wr := func(v int64) {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		h.Write(buf)
+	}
+	wr(int64(len(g.nodeCtx)))
+	wr(int64(g.numEdges))
+	for n := range g.nodeCtx {
+		deps := g.deps[n]
+		wr(int64(len(deps)))
+		for _, d := range deps {
+			wr(int64(d.Src))
+			wr(int64(d.Kind))
+			wr(int64(d.Via))
+		}
+	}
+	for _, mc := range g.mctxs {
+		callers := g.callerNodes[mc]
+		wr(int64(len(callers)))
+		for _, c := range callers {
+			wr(int64(c))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 type heapAccess struct {
 	node Node
 	objs []int // sorted object IDs of the base pointer in this context
+}
+
+// heapIndex collects the heap accesses discovered during the scan
+// phase, keyed so the pairing phase can match stores to may-aliased
+// loads. Accesses are appended in deterministic (context, instruction)
+// order; the pairing phase relies on that order for reproducible edge
+// lists.
+type heapIndex struct {
+	fieldStores  map[string][]heapAccess
+	fieldLoads   map[string][]heapAccess
+	elemStores   []heapAccess
+	elemLoads    []heapAccess
+	lenReads     []heapAccess
+	staticStores map[string][]Node
+	staticLoads  map[string][]Node
+}
+
+func newHeapIndex() *heapIndex {
+	return &heapIndex{
+		fieldStores:  make(map[string][]heapAccess),
+		fieldLoads:   make(map[string][]heapAccess),
+		staticStores: make(map[string][]Node),
+		staticLoads:  make(map[string][]Node),
+	}
+}
+
+// merge appends o's accesses after h's. Called in context order by the
+// parallel build, this reproduces the sequential append order exactly.
+func (h *heapIndex) merge(o *heapIndex) {
+	for k, v := range o.fieldStores {
+		h.fieldStores[k] = append(h.fieldStores[k], v...)
+	}
+	for k, v := range o.fieldLoads {
+		h.fieldLoads[k] = append(h.fieldLoads[k], v...)
+	}
+	h.elemStores = append(h.elemStores, o.elemStores...)
+	h.elemLoads = append(h.elemLoads, o.elemLoads...)
+	h.lenReads = append(h.lenReads, o.lenReads...)
+	for k, v := range o.staticStores {
+		h.staticStores[k] = append(h.staticStores[k], v...)
+	}
+	for k, v := range o.staticLoads {
+		h.staticLoads[k] = append(h.staticLoads[k], v...)
+	}
+}
+
+// scanEmit sinks one context's scan-phase discoveries. The sequential
+// build writes straight into the graph (ticking the shared budget per
+// edge); the parallel build records into per-context buffers that are
+// merged in context order afterwards.
+type scanEmit struct {
+	// tick is called once per instruction; returning false stops the
+	// scan of the remaining instructions.
+	tick func() bool
+	// dep adds one dependence edge.
+	dep func(to Node, d Dep)
+	// caller records a call-site node that may invoke callee.
+	caller func(callee *pointsto.MCtx, n Node)
+	heap   *heapIndex
 }
 
 // Build constructs the dependence graph over the contexts reachable in
@@ -192,9 +291,31 @@ func Build(prog *ir.Program, pts *pointsto.Result) *Graph {
 // an exhausted step cap returns the partial graph flagged Truncated
 // with a nil error — all nodes present, some edges missing.
 func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Graph, error) {
+	return BuildWorkers(prog, pts, b, 1)
+}
+
+// BuildWorkers is BuildBudget with construction spread over up to
+// workers goroutines (workers < 1 selects GOMAXPROCS). The three
+// construction phases parallelize independently — per-context scans
+// are buffered and merged in context order, heap pairing fans out over
+// node-disjoint access groups, and control dependences fan out per
+// context — so a completed parallel build is byte-identical to the
+// sequential one. A step-capped budget forces workers = 1: truncation
+// must stop at the same deterministic point the sequential build
+// stops at, which requires the sequential tick interleaving. Workers
+// draw per-goroutine meters from the budget, so cancellation and
+// deadlines are still honored promptly on the parallel path.
+func BuildWorkers(prog *ir.Program, pts *pointsto.Result, b *budget.Budget, workers int) (*Graph, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && b.Limited(budget.PhaseSDG) {
+		workers = 1
+	}
 	g := &Graph{
 		Prog:        prog,
 		Pts:         pts,
+		bud:         b,
 		meter:       b.Phase(budget.PhaseSDG),
 		base:        make(map[*pointsto.MCtx]int32),
 		firstID:     make(map[*ir.Method]int),
@@ -222,80 +343,135 @@ func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Gra
 	}
 	g.deps = make([][]Dep, total)
 
-	// Heap access indexes, built per context so cloned container
-	// methods keep their backing stores apart.
-	fieldStores := make(map[string][]heapAccess)
-	fieldLoads := make(map[string][]heapAccess)
-	var elemStores, elemLoads, lenReads []heapAccess
-	staticStores := make(map[string][]Node)
-	staticLoads := make(map[string][]Node)
+	if workers <= 1 {
+		return g.buildSequential()
+	}
+	return g.buildParallel(workers)
+}
 
-	for _, mc := range g.mctxs {
-		ctx := mc
-		objIDs := func(r *ir.Reg) []int {
-			objs := pts.PointsToIn(r, ctx)
-			ids := make([]int, len(objs))
-			for i, o := range objs {
-				ids[i] = o.ID
-			}
-			sort.Ints(ids)
-			return ids
+// scanCtx performs the per-context scan phase: intraprocedural def-use
+// edges, heap-access collection, and call linking.
+func (g *Graph) scanCtx(mc *pointsto.MCtx, em scanEmit) {
+	objIDs := func(r *ir.Reg) []int {
+		objs := g.Pts.PointsToIn(r, mc)
+		ids := make([]int, len(objs))
+		for i, o := range objs {
+			ids[i] = o.ID
 		}
+		sort.Ints(ids)
+		return ids
+	}
+	mc.Method.Instrs(func(ins ir.Instr) {
+		if !em.tick() {
+			return
+		}
+		node := g.NodeOf(mc, ins)
+		// Local/base def-use edges from operand definitions. Call
+		// operands are excluded: argument flow reaches the callee's
+		// formal parameters via EdgeParam, and the call node itself
+		// only receives EdgeReturn flow — following the SDG shape,
+		// where a call result does not directly depend on the
+		// arguments in the caller.
+		if _, isCall := ins.(*ir.Call); !isCall {
+			uses := ins.Uses()
+			roles := ins.UseRoles()
+			for i, u := range uses {
+				if u.Def == nil {
+					continue
+				}
+				kind := EdgeLocal
+				if roles[i] == ir.RoleBase {
+					kind = EdgeBase
+				}
+				em.dep(node, Dep{Src: g.NodeOf(mc, u.Def), Kind: kind, Via: NoNode})
+			}
+		}
+		switch ins := ins.(type) {
+		case *ir.SetField:
+			em.heap.fieldStores[ins.Field.QualifiedName()] = append(
+				em.heap.fieldStores[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
+		case *ir.GetField:
+			em.heap.fieldLoads[ins.Field.QualifiedName()] = append(
+				em.heap.fieldLoads[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
+		case *ir.ArrayStore:
+			em.heap.elemStores = append(em.heap.elemStores, heapAccess{node, objIDs(ins.Arr)})
+		case *ir.ArrayLoad:
+			em.heap.elemLoads = append(em.heap.elemLoads, heapAccess{node, objIDs(ins.Arr)})
+		case *ir.ArrayLen:
+			em.heap.lenReads = append(em.heap.lenReads, heapAccess{node, objIDs(ins.Arr)})
+		case *ir.SetStatic:
+			em.heap.staticStores[ins.Field.QualifiedName()] = append(em.heap.staticStores[ins.Field.QualifiedName()], node)
+		case *ir.GetStatic:
+			em.heap.staticLoads[ins.Field.QualifiedName()] = append(em.heap.staticLoads[ins.Field.QualifiedName()], node)
+		case *ir.Call:
+			g.linkCall(mc, node, ins, em)
+		}
+	})
+}
+
+// lenDeps returns the heap edges of one array-length read: the
+// allocation sites of its may-pointees, across every context instance
+// of the allocation (the object's heap context names the allocating
+// container context only indirectly).
+func (g *Graph) lenDeps(lr heapAccess, add func(to Node, d Dep)) {
+	seen := make(map[Node]bool)
+	for _, id := range lr.objs {
+		o := g.Pts.Objects()[id]
+		if !o.IsArray() {
+			continue
+		}
+		for _, src := range g.NodesOf(o.Site) {
+			if !seen[src] {
+				seen[src] = true
+			add(lr.node, Dep{Src: src, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+}
+
+// controlCtx adds one context's control dependence edges using the
+// method's (shared, immutable) intraprocedural CDG.
+func (g *Graph) controlCtx(mc *pointsto.MCtx, cg *cdg.Graph, add func(to Node, d Dep)) {
+	callers := g.callerNodes[mc]
+	mc.Method.Instrs(func(ins ir.Instr) {
+		node := g.NodeOf(mc, ins)
+		for _, br := range cg.InstrDeps(ins) {
+			if br != ins {
+				add(node, Dep{Src: g.NodeOf(mc, br), Kind: EdgeControl, Via: NoNode})
+			}
+		}
+		if cg.DependsOnEntry(ins) {
+			for _, caller := range callers {
+				add(node, Dep{Src: caller, Kind: EdgeCallControl, Via: NoNode})
+			}
+		}
+	})
+}
+
+// buildSequential is the reference construction: one goroutine, every
+// step ticking the shared meter, deterministic truncation on an
+// exhausted step cap.
+func (g *Graph) buildSequential() (*Graph, error) {
+	h := newHeapIndex()
+	em := scanEmit{
+		tick: g.tick,
+		dep:  g.addDep,
+		caller: func(callee *pointsto.MCtx, n Node) {
+			g.callerNodes[callee] = append(g.callerNodes[callee], n)
+		},
+		heap: h,
+	}
+	for _, mc := range g.mctxs {
 		if g.stop != nil {
 			break
 		}
-		mc.Method.Instrs(func(ins ir.Instr) {
-			if !g.tick() {
-				return
-			}
-			node := g.NodeOf(mc, ins)
-			// Local/base def-use edges from operand definitions. Call
-			// operands are excluded: argument flow reaches the callee's
-			// formal parameters via EdgeParam, and the call node itself
-			// only receives EdgeReturn flow — following the SDG shape,
-			// where a call result does not directly depend on the
-			// arguments in the caller.
-			if _, isCall := ins.(*ir.Call); !isCall {
-				uses := ins.Uses()
-				roles := ins.UseRoles()
-				for i, u := range uses {
-					if u.Def == nil {
-						continue
-					}
-					kind := EdgeLocal
-					if roles[i] == ir.RoleBase {
-						kind = EdgeBase
-					}
-					g.addDep(node, Dep{Src: g.NodeOf(mc, u.Def), Kind: kind, Via: NoNode})
-				}
-			}
-			switch ins := ins.(type) {
-			case *ir.SetField:
-				fieldStores[ins.Field.QualifiedName()] = append(
-					fieldStores[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
-			case *ir.GetField:
-				fieldLoads[ins.Field.QualifiedName()] = append(
-					fieldLoads[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
-			case *ir.ArrayStore:
-				elemStores = append(elemStores, heapAccess{node, objIDs(ins.Arr)})
-			case *ir.ArrayLoad:
-				elemLoads = append(elemLoads, heapAccess{node, objIDs(ins.Arr)})
-			case *ir.ArrayLen:
-				lenReads = append(lenReads, heapAccess{node, objIDs(ins.Arr)})
-			case *ir.SetStatic:
-				staticStores[ins.Field.QualifiedName()] = append(staticStores[ins.Field.QualifiedName()], node)
-			case *ir.GetStatic:
-				staticLoads[ins.Field.QualifiedName()] = append(staticLoads[ins.Field.QualifiedName()], node)
-			case *ir.Call:
-				g.linkCall(mc, node, ins)
-			}
-		})
+		g.scanCtx(mc, em)
 	}
 
 	// Heap edges: store→load when the base points-to sets (in the
 	// respective contexts) intersect. These pairings are the graph's
 	// quadratic hot spot, so each candidate load ticks the budget.
-	for fname, loads := range fieldLoads {
+	for fname, loads := range h.fieldLoads {
 		if g.stop != nil {
 			break
 		}
@@ -303,53 +479,37 @@ func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Gra
 			if !g.tick() {
 				break
 			}
-			for _, st := range fieldStores[fname] {
+			for _, st := range h.fieldStores[fname] {
 				if intersects(ld.objs, st.objs) {
 					g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
 				}
 			}
 		}
 	}
-	for _, ld := range elemLoads {
+	for _, ld := range h.elemLoads {
 		if !g.tick() {
 			break
 		}
-		for _, st := range elemStores {
+		for _, st := range h.elemStores {
 			if intersects(ld.objs, st.objs) {
 				g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
 			}
 		}
 	}
-	// Array lengths flow from the allocation's length operand; the
-	// allocation may live in another context (the object's heap
-	// context names the allocating container context only indirectly,
-	// so connect to every context instance of the allocation site).
-	for _, lr := range lenReads {
+	for _, lr := range h.lenReads {
 		if g.stop != nil {
 			break
 		}
-		seen := make(map[Node]bool)
-		for _, id := range lr.objs {
-			o := pts.Objects()[id]
-			if !o.IsArray() {
-				continue
-			}
-			for _, src := range g.NodesOf(o.Site) {
-				if !seen[src] {
-					seen[src] = true
-					g.addDep(lr.node, Dep{Src: src, Kind: EdgeHeap, Via: NoNode})
-				}
-			}
-		}
+		g.lenDeps(lr, g.addDep)
 	}
 	// Static fields are single global locations: every store reaches
 	// every load of the same field.
-	for fname, loads := range staticLoads {
+	for fname, loads := range h.staticLoads {
 		if g.stop != nil {
 			break
 		}
 		for _, ld := range loads {
-			for _, st := range staticStores[fname] {
+			for _, st := range h.staticStores[fname] {
 				g.addDep(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
 			}
 		}
@@ -367,20 +527,7 @@ func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Gra
 			cg = cdg.Build(mc.Method)
 			cdgCache[mc.Method] = cg
 		}
-		callers := g.callerNodes[mc]
-		mc.Method.Instrs(func(ins ir.Instr) {
-			node := g.NodeOf(mc, ins)
-			for _, br := range cg.InstrDeps(ins) {
-				if br != ins {
-					g.addDep(node, Dep{Src: g.NodeOf(mc, br), Kind: EdgeControl, Via: NoNode})
-				}
-			}
-			if cg.DependsOnEntry(ins) {
-				for _, caller := range callers {
-					g.addDep(node, Dep{Src: caller, Kind: EdgeCallControl, Via: NoNode})
-				}
-			}
-		})
+		g.controlCtx(mc, cg, g.addDep)
 	}
 	if g.stop != nil {
 		if budget.IsCanceled(g.stop) {
@@ -390,6 +537,240 @@ func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Gra
 		g.LimitErr = g.stop
 	}
 	return g, nil
+}
+
+// depAdd is one buffered edge addition of the parallel scan phase.
+type depAdd struct {
+	to Node
+	d  Dep
+}
+
+// callerAdd is one buffered caller-node record of the parallel scan.
+type callerAdd struct {
+	callee *pointsto.MCtx
+	node   Node
+}
+
+// ctxScan is the buffered outcome of scanning one context.
+type ctxScan struct {
+	deps    []depAdd
+	callers []callerAdd
+	heap    *heapIndex
+}
+
+// buildParallel runs the three construction phases over a bounded
+// worker pool. Only cancellation/deadline errors can occur here (step
+// caps force the sequential path), so an error aborts the whole build.
+func (g *Graph) buildParallel(workers int) (*Graph, error) {
+	// Phase 1: scan contexts into per-context buffers.
+	scans := make([]*ctxScan, len(g.mctxs))
+	err := g.forEach(workers, len(g.mctxs), func(m *budget.Meter, i int) error {
+		mc := g.mctxs[i]
+		cs := &ctxScan{heap: newHeapIndex()}
+		var stopErr error
+		g.scanCtx(mc, scanEmit{
+			tick: func() bool {
+				if stopErr != nil {
+					return false
+				}
+				if err := m.Tick(); err != nil {
+					stopErr = err
+					return false
+				}
+				return true
+			},
+			dep:    func(to Node, d Dep) { cs.deps = append(cs.deps, depAdd{to, d}) },
+			caller: func(callee *pointsto.MCtx, n Node) { cs.callers = append(cs.callers, callerAdd{callee, n}) },
+			heap:   cs.heap,
+		})
+		scans[i] = cs
+		return stopErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge in context order: replays the sequential addDep order.
+	h := newHeapIndex()
+	for _, cs := range scans {
+		for _, da := range cs.deps {
+			g.deps[da.to] = append(g.deps[da.to], da.d)
+		}
+		for _, ca := range cs.callers {
+			g.callerNodes[ca.callee] = append(g.callerNodes[ca.callee], ca.node)
+		}
+		h.merge(cs.heap)
+	}
+
+	// Phase 2: heap pairing over node-disjoint access groups. Each
+	// group owns its load nodes exclusively (an instruction accesses
+	// exactly one field), so tasks append to disjoint g.deps rows.
+	var tasks []func(m *budget.Meter) error
+	for _, fname := range sortedKeys(h.fieldLoads) {
+		loads, stores := h.fieldLoads[fname], h.fieldStores[fname]
+		tasks = append(tasks, func(m *budget.Meter) error {
+			for _, ld := range loads {
+				if err := m.Tick(); err != nil {
+					return err
+				}
+				for _, st := range stores {
+					if intersects(ld.objs, st.objs) {
+						g.deps[ld.node] = append(g.deps[ld.node], Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+					}
+				}
+			}
+			return nil
+		})
+	}
+	tasks = append(tasks, func(m *budget.Meter) error {
+		for _, ld := range h.elemLoads {
+			if err := m.Tick(); err != nil {
+				return err
+			}
+			for _, st := range h.elemStores {
+				if intersects(ld.objs, st.objs) {
+					g.deps[ld.node] = append(g.deps[ld.node], Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+				}
+			}
+		}
+		return nil
+	})
+	tasks = append(tasks, func(m *budget.Meter) error {
+		for _, lr := range h.lenReads {
+			if err := m.Tick(); err != nil {
+				return err
+			}
+			g.lenDeps(lr, func(to Node, d Dep) { g.deps[to] = append(g.deps[to], d) })
+		}
+		return nil
+	})
+	for _, fname := range sortedKeys(h.staticLoads) {
+		loads, stores := h.staticLoads[fname], h.staticStores[fname]
+		tasks = append(tasks, func(m *budget.Meter) error {
+			if err := m.Err(); err != nil {
+				return err
+			}
+			for _, ld := range loads {
+				for _, st := range stores {
+					g.deps[ld] = append(g.deps[ld], Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
+				}
+			}
+			return nil
+		})
+	}
+	if err := g.forEach(workers, len(tasks), func(m *budget.Meter, i int) error {
+		return tasks[i](m)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: control dependences. Intraprocedural CDGs first (one
+	// per method, in first-context order), then per-context edges;
+	// each context appends only to its own nodes' rows.
+	var methods []*ir.Method
+	cdgOf := make(map[*ir.Method]*cdg.Graph)
+	for _, mc := range g.mctxs {
+		if _, ok := cdgOf[mc.Method]; !ok {
+			cdgOf[mc.Method] = nil
+			methods = append(methods, mc.Method)
+		}
+	}
+	cgs := make([]*cdg.Graph, len(methods))
+	if err := g.forEach(workers, len(methods), func(m *budget.Meter, i int) error {
+		if err := m.Err(); err != nil {
+			return err
+		}
+		cgs[i] = cdg.Build(methods[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, m := range methods {
+		cdgOf[m] = cgs[i]
+	}
+	if err := g.forEach(workers, len(g.mctxs), func(m *budget.Meter, i int) error {
+		if err := m.Err(); err != nil {
+			return err
+		}
+		mc := g.mctxs[i]
+		g.controlCtx(mc, cdgOf[mc.Method], func(to Node, d Dep) { g.deps[to] = append(g.deps[to], d) })
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	g.numEdges = 0
+	for _, deps := range g.deps {
+		g.numEdges += len(deps)
+	}
+	return g, nil
+}
+
+// forEach runs f(meter, i) for i in [0,n) over a bounded worker pool.
+// Each worker draws its own budget meter (shared meters are not
+// goroutine-safe); the first error aborts the pool and is returned.
+// A worker panic is re-raised on the calling goroutine so the facade's
+// recover boundary still converts it to a typed internal error.
+func (g *Graph) forEach(workers, n int, f func(m *budget.Meter, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		panicV any
+		halt   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					mu.Unlock()
+					halt.Store(true)
+				}
+			}()
+			m := g.bud.Phase(budget.PhaseSDG)
+			for !halt.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(m, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					halt.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return first
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // tick spends one construction step; once the budget fails the graph
@@ -415,15 +796,15 @@ func (g *Graph) addDep(to Node, d Dep) {
 
 // linkCall adds parameter and return edges for every callee context of
 // a call site in a caller context.
-func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call) {
+func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call, em scanEmit) {
 	for _, callee := range g.Pts.CalleesAt(call, caller) {
-		g.callerNodes[callee] = append(g.callerNodes[callee], callNode)
+		em.caller(callee, callNode)
 		params := callee.Method.Params
 		offset := 0
 		if !callee.Method.Sig.Static {
 			offset = 1
 			if call.Recv != nil && call.Recv.Def != nil {
-				g.addDep(g.NodeOf(callee, params[0]),
+				em.dep(g.NodeOf(callee, params[0]),
 					Dep{Src: g.NodeOf(caller, call.Recv.Def), Kind: EdgeParam, Via: callNode})
 			}
 		}
@@ -432,14 +813,14 @@ func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call) {
 				break
 			}
 			if arg.Def != nil {
-				g.addDep(g.NodeOf(callee, params[i+offset]),
+				em.dep(g.NodeOf(callee, params[i+offset]),
 					Dep{Src: g.NodeOf(caller, arg.Def), Kind: EdgeParam, Via: callNode})
 			}
 		}
 		if call.Dst != nil {
 			callee.Method.Instrs(func(ins ir.Instr) {
 				if ret, ok := ins.(*ir.Return); ok && ret.Val != nil {
-					g.addDep(callNode, Dep{Src: g.NodeOf(callee, ret), Kind: EdgeReturn, Via: NoNode})
+					em.dep(callNode, Dep{Src: g.NodeOf(callee, ret), Kind: EdgeReturn, Via: NoNode})
 				}
 			})
 		}

@@ -1,0 +1,566 @@
+// Package session turns the one-shot analysis pipeline into a
+// reusable, demand-driven analysis session (the paper's §4 stance that
+// slices are cheap enough to compute per query, applied to the whole
+// pipeline). A Session owns a content-hashed artifact store covering
+// every phase — per-file ASTs, the typed program, SSA IR, points-to,
+// the dependence graph, and the derived CHA/mod-ref/context-sensitive
+// artifacts — each memoized by the hash of its inputs, so repeated and
+// multi-seed queries over the same program skip straight to slicing,
+// and editing one source file invalidates exactly the artifacts
+// downstream of it.
+//
+// Sessions also own the parallel construction paths: per-method SSA
+// lowering (ir.LowerWorkers) and dependence-graph construction
+// (sdg.BuildWorkers) run over bounded worker pools and produce output
+// byte-identical to the sequential builds, so worker count never keys
+// the cache.
+//
+// analyzer.Analyze is a thin convenience wrapper over this package.
+package session
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"thinslice/internal/analysis/cha"
+	"thinslice/internal/analysis/modref"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/budget"
+	"thinslice/internal/csslice"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/ast"
+	"thinslice/internal/lang/parser"
+	"thinslice/internal/lang/prelude"
+	"thinslice/internal/lang/types"
+	"thinslice/internal/sdg"
+)
+
+// Stats counts the phase executions a session actually performed —
+// cache hits do not increment. The warm-query tests assert on these.
+type Stats struct {
+	Parses        int // user source files parsed
+	PreludeParses int // times the container prelude was parsed (process-wide cache)
+	Checks        int // type checks
+	Lowers        int // SSA lowerings
+	PointsTos     int // pointer analyses
+	SDGs          int // dependence graph builds
+	CHAs          int // class-hierarchy call graph builds
+	ModRefs       int // mod-ref computations
+	CSGraphs      int // context-sensitive SDG builds
+}
+
+type config struct {
+	objSens    bool
+	containers []string
+	entries    []string
+	noPrelude  bool
+	verifyIR   bool
+	budget     *budget.Budget
+	workers    int
+	store      *Store
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithObjSens toggles object-sensitive container handling in the
+// pointer analysis (default on, the paper's precise configuration).
+func WithObjSens(on bool) Option { return func(c *config) { c.objSens = on } }
+
+// WithContainers overrides the set of container classes cloned
+// object-sensitively.
+func WithContainers(names []string) Option { return func(c *config) { c.containers = names } }
+
+// WithEntries sets explicit entry methods by qualified name
+// (e.g. "Main.main"); default is every static method named main.
+func WithEntries(names ...string) Option { return func(c *config) { c.entries = names } }
+
+// WithoutPrelude analyzes the sources without the container prelude.
+func WithoutPrelude() Option { return func(c *config) { c.noPrelude = true } }
+
+// WithVerifyIR runs ir.Verify over the lowered program and fails the
+// pipeline with the violations found.
+func WithVerifyIR() Option { return func(c *config) { c.verifyIR = true } }
+
+// WithBudget bounds every phase the session runs by the given budget.
+// Artifacts a budget truncates or degrades are never cached.
+func WithBudget(b *budget.Budget) Option { return func(c *config) { c.budget = b } }
+
+// WithWorkers sets the worker count for the parallel construction
+// phases: 1 forces sequential builds, 0 (the default) selects
+// GOMAXPROCS. Output is byte-identical either way.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// InStore places the session's artifacts in an existing store, sharing
+// them with every other session using that store.
+func InStore(st *Store) Option { return func(c *config) { c.store = st } }
+
+// Session is a stateful analysis over one evolving source set. All
+// accessors are safe for concurrent use; artifacts are immutable.
+type Session struct {
+	mu       sync.Mutex
+	cfg      config
+	sources  map[string]string
+	fileKeys map[string]Key
+	stats    Stats
+}
+
+// Open starts a session over the given sources (name → content). The
+// map is copied; use Update to evolve the source set afterwards.
+func Open(sources map[string]string, opts ...Option) *Session {
+	cfg := config{objSens: true, containers: prelude.ContainerClasses}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.store == nil {
+		cfg.store = NewStore()
+	}
+	s := &Session{
+		cfg:      cfg,
+		sources:  make(map[string]string, len(sources)),
+		fileKeys: make(map[string]Key, len(sources)),
+	}
+	for name, src := range sources {
+		s.sources[name] = src
+		s.fileKeys[name] = hashParts("file", name, src)
+	}
+	return s
+}
+
+// Update adds or replaces one source file. Artifacts derived from the
+// old content stay in the store (another session may still want them);
+// this session's next query re-derives exactly the artifacts downstream
+// of the change.
+func (s *Session) Update(name, content string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources[name] = content
+	s.fileKeys[name] = hashParts("file", name, content)
+}
+
+// Remove drops one source file from the session's source set.
+func (s *Session) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sources, name)
+	delete(s.fileKeys, name)
+}
+
+// Stats returns the phase-execution counters so far.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Store returns the artifact store backing this session.
+func (s *Session) Store() *Store { return s.cfg.store }
+
+// Budget returns the budget bounding this session's phases and the
+// slicers it hands out (nil means unlimited).
+func (s *Session) Budget() *budget.Budget { return s.cfg.budget }
+
+// count applies a counter update under the session lock.
+func (s *Session) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// snapshot returns the current file set in deterministic name order
+// together with the source-set key that roots all artifact keys.
+func (s *Session) snapshot() (names []string, srcs map[string]string, srcKey Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srcs = make(map[string]string, len(s.sources)+1)
+	for name, src := range s.sources {
+		srcs[name] = src
+		names = append(names, name)
+	}
+	if !s.cfg.noPrelude {
+		if _, ok := srcs[prelude.FileName]; !ok {
+			srcs[prelude.FileName] = prelude.Source
+			names = append(names, prelude.FileName)
+		}
+	}
+	sort.Strings(names)
+	parts := []string{"srcset"}
+	for _, name := range names {
+		parts = append(parts, name, string(hashParts("file", name, srcs[name])))
+	}
+	return names, srcs, hashParts(parts...)
+}
+
+// phase runs f with the session's panic boundary: a panic inside any
+// phase surfaces as a *budget.ErrInternal tagged p, never a crash. The
+// budget's cancellation/deadline is checked first, mirroring the
+// sequential pipeline's phase boundaries.
+func (s *Session) phase(p budget.Phase, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &budget.ErrInternal{Phase: p, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := s.cfg.budget.Err(p); err != nil {
+		return err
+	}
+	return f()
+}
+
+// preludeCache caches the parsed container prelude process-wide: its
+// source is a compile-time constant, so every session (and every
+// analyzer.Analyze call) shares one AST.
+var preludeCache struct {
+	mu      sync.Mutex
+	classes []*ast.ClassDecl
+	parses  int
+}
+
+// PreludeParseCount reports how many times the container prelude has
+// been parsed in this process (expected: at most once).
+func PreludeParseCount() int {
+	preludeCache.mu.Lock()
+	defer preludeCache.mu.Unlock()
+	return preludeCache.parses
+}
+
+func parsedPrelude() ([]*ast.ClassDecl, bool, error) {
+	preludeCache.mu.Lock()
+	defer preludeCache.mu.Unlock()
+	if preludeCache.classes == nil {
+		classes, err := parser.ParseFile(prelude.FileName, prelude.Source)
+		if err != nil {
+			return nil, false, err
+		}
+		preludeCache.classes = classes
+		preludeCache.parses++
+		return classes, true, nil
+	}
+	return preludeCache.classes, false, nil
+}
+
+// parseResult is the cached artifact of parsing one file. Parse errors
+// are deterministic properties of the content, so they are cached too
+// (as values, not store errors).
+type parseResult struct {
+	classes []*ast.ClassDecl
+	err     error
+}
+
+// Info returns the parsed and type-checked program, building (or
+// fetching) per-file ASTs and the typed Info on demand.
+func (s *Session) Info() (*types.Info, error) {
+	var info *types.Info
+	err := s.phase(budget.PhaseLoad, func() error {
+		names, srcs, srcKey := s.snapshot()
+		key := hashParts("check", string(srcKey))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			prog := &ast.Program{}
+			var all parser.ErrorList
+			for _, name := range names {
+				classes, perr := s.parseFile(name, srcs[name])
+				prog.Classes = append(prog.Classes, classes...)
+				if perr != nil {
+					all = append(all, perr.(parser.ErrorList)...)
+				}
+			}
+			if len(all) > 0 {
+				return nil, false, all
+			}
+			s.count(func(st *Stats) { st.Checks++ })
+			info, cerr := types.Check(prog)
+			if cerr != nil {
+				return nil, false, cerr
+			}
+			return info, true, nil
+		})
+		if err != nil {
+			return err
+		}
+		info = v.(*types.Info)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// parseFile returns the AST of one file, via the process-wide prelude
+// cache or the per-file content-keyed store.
+func (s *Session) parseFile(name, src string) ([]*ast.ClassDecl, error) {
+	if name == prelude.FileName && src == prelude.Source {
+		classes, parsed, err := parsedPrelude()
+		if parsed {
+			s.count(func(st *Stats) { st.PreludeParses++ })
+		}
+		return classes, err
+	}
+	v, _ := s.cfg.store.get(hashParts("parse", name, src), func() (any, bool, error) {
+		s.count(func(st *Stats) { st.Parses++ })
+		classes, err := parser.ParseFile(name, src)
+		return parseResult{classes, err}, err == nil, nil
+	})
+	res := v.(parseResult)
+	return res.classes, res.err
+}
+
+// Prog returns the SSA IR lowered from the typed program, verified
+// when the session was opened WithVerifyIR.
+func (s *Session) Prog() (*ir.Program, error) {
+	info, err := s.Info()
+	if err != nil {
+		return nil, err
+	}
+	var prog *ir.Program
+	err = s.phase(budget.PhaseLower, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("ir", string(srcKey), strconv.FormatBool(s.cfg.verifyIR))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			s.count(func(st *Stats) { st.Lowers++ })
+			p := ir.LowerWorkers(info, s.cfg.workers)
+			if len(p.Diags) > 0 {
+				return nil, false, p.Diags
+			}
+			return p, true, nil
+		})
+		if err != nil {
+			return err
+		}
+		prog = v.(*ir.Program)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.verifyIR {
+		if err := s.phase(budget.PhaseVerify, func() error {
+			if verrs := ir.Verify(prog); len(verrs) > 0 {
+				return fmt.Errorf("analyzer: IR verification failed: %w (%d violation(s))", verrs[0], len(verrs))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// ptsConfigKey captures the pointer-analysis configuration that shapes
+// the points-to artifact and everything derived from it.
+func (s *Session) ptsConfigKey(srcKey Key) Key {
+	return hashParts("pts", string(srcKey),
+		strconv.FormatBool(s.cfg.objSens),
+		strings.Join(s.cfg.containers, "\x00"),
+		strings.Join(s.cfg.entries, "\x00"))
+}
+
+// PointsTo returns the pointer-analysis result. Truncated or
+// downgraded results (budget exhaustion) are returned but not cached.
+func (s *Session) PointsTo() (*pointsto.Result, error) {
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	var pts *pointsto.Result
+	err = s.phase(budget.PhasePointsTo, func() error {
+		entries, err := resolveEntries(prog, s.cfg.entries)
+		if err != nil {
+			return err
+		}
+		_, _, srcKey := s.snapshot()
+		v, err := s.cfg.store.get(s.ptsConfigKey(srcKey), func() (any, bool, error) {
+			s.count(func(st *Stats) { st.PointsTos++ })
+			res, err := pointsto.Analyze(prog, pointsto.Config{
+				Entries:           entries,
+				ObjSensContainers: s.cfg.objSens,
+				ContainerClasses:  s.cfg.containers,
+				Budget:            s.cfg.budget,
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			return res, !res.Truncated && !res.Downgraded, nil
+		})
+		if err != nil {
+			return err
+		}
+		pts = v.(*pointsto.Result)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// Graph returns the dependence graph, built in parallel when the
+// session's worker count allows. Truncated graphs are not cached.
+func (s *Session) Graph() (*sdg.Graph, error) {
+	pts, err := s.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	var g *sdg.Graph
+	err = s.phase(budget.PhaseSDG, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("sdg", string(s.ptsConfigKey(srcKey)))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			s.count(func(st *Stats) { st.SDGs++ })
+			graph, err := sdg.BuildWorkers(prog, pts, s.cfg.budget, s.cfg.workers)
+			if err != nil {
+				return nil, false, err
+			}
+			return graph, !graph.Truncated, nil
+		})
+		if err != nil {
+			return err
+		}
+		g = v.(*sdg.Graph)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CHA returns the class-hierarchy call graph rooted at the analysis
+// entries (used by the checker suite).
+func (s *Session) CHA() (*cha.CallGraph, error) {
+	pts, err := s.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	var cg *cha.CallGraph
+	err = s.phase(budget.PhaseCheck, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("cha", string(s.ptsConfigKey(srcKey)))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			s.count(func(st *Stats) { st.CHAs++ })
+			return cha.Build(prog, pts.Entries()), true, nil
+		})
+		if err != nil {
+			return err
+		}
+		cg = v.(*cha.CallGraph)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cg, nil
+}
+
+// ModRef returns the mod-ref summaries over the points-to result.
+func (s *Session) ModRef() (*modref.Result, error) {
+	pts, err := s.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	var mr *modref.Result
+	err = s.phase(budget.PhaseCheck, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("modref", string(s.ptsConfigKey(srcKey)))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			s.count(func(st *Stats) { st.ModRefs++ })
+			return modref.Compute(prog, pts), true, nil
+		})
+		if err != nil {
+			return err
+		}
+		mr = v.(*modref.Result)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mr, nil
+}
+
+// CSGraph returns the context-sensitive dependence graph with heap
+// parameters (paper §5.3), for the csslice comparison slicer.
+func (s *Session) CSGraph() (*csslice.Graph, error) {
+	pts, err := s.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	mr, err := s.ModRef()
+	if err != nil {
+		return nil, err
+	}
+	var g *csslice.Graph
+	err = s.phase(budget.PhaseSDG, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("cs", string(s.ptsConfigKey(srcKey)))
+		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+			s.count(func(st *Stats) { st.CSGraphs++ })
+			return csslice.Build(prog, pts, mr), true, nil
+		})
+		if err != nil {
+			return err
+		}
+		g = v.(*csslice.Graph)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// resolveEntries maps explicit entry names to methods. A name that
+// matches nothing is an error naming the available candidates, rather
+// than a silent empty analysis.
+func resolveEntries(prog *ir.Program, names []string) ([]*ir.Method, error) {
+	var entries []*ir.Method
+	var missing []string
+	for _, name := range names {
+		found := false
+		for _, m := range prog.Methods {
+			if m.Name() == name {
+				entries = append(entries, m)
+				found = true
+			}
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		var mains []string
+		for _, m := range prog.Methods {
+			if m.Sig.Static && m.Sig.Name == "main" {
+				mains = append(mains, m.Name())
+			}
+		}
+		sort.Strings(mains)
+		candidates := "none found"
+		if len(mains) > 0 {
+			candidates = strings.Join(mains, ", ")
+		}
+		return nil, fmt.Errorf("analyzer: entry method(s) not found: %s (available main candidates: %s)",
+			strings.Join(missing, ", "), candidates)
+	}
+	return entries, nil
+}

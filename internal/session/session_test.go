@@ -1,0 +1,213 @@
+package session_test
+
+import (
+	"context"
+	"testing"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/core"
+	"thinslice/internal/papercases"
+	"thinslice/internal/session"
+)
+
+func firstNamesSources() map[string]string {
+	return map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
+}
+
+// extraClass is a standalone class used to exercise file updates
+// without perturbing the rest of the program.
+const extraClass = `class Extra {
+    static void helper() {
+        print("extra");
+    }
+}
+`
+
+const extraClassEdited = `class Extra {
+    static void helper() {
+        print("extra, edited");
+    }
+}
+`
+
+func mustSlice(t *testing.T, s *session.Session, file string, line int) *core.Slice {
+	t.Helper()
+	slicer, err := s.ThinSlicer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := s.SeedsAt(file, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatalf("no seeds at %s:%d", file, line)
+	}
+	return slicer.Slice(seeds...)
+}
+
+// TestWarmRequerySkipsPipeline is the acceptance gate for the session
+// cache: after a first query builds the pipeline, slicing a second seed
+// in the same session performs no parse, type check, lowering,
+// points-to analysis, or SDG build — only the backward closure runs.
+func TestWarmRequerySkipsPipeline(t *testing.T) {
+	s := session.Open(firstNamesSources())
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+	bugLine := papercases.Line(papercases.FirstNames, "// BUG")
+
+	first := mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+	if first.Size() == 0 {
+		t.Fatal("first slice is empty")
+	}
+	cold := s.Stats()
+	if cold.Parses == 0 || cold.Checks != 1 || cold.Lowers != 1 || cold.PointsTos != 1 || cold.SDGs != 1 {
+		t.Fatalf("cold query ran unexpected phases: %+v", cold)
+	}
+
+	second := mustSlice(t, s, papercases.FirstNamesFile, bugLine)
+	if second.Size() == 0 {
+		t.Fatal("second slice is empty")
+	}
+	warm := s.Stats()
+	if warm != cold {
+		t.Fatalf("warm re-query re-ran pipeline phases:\ncold %+v\nwarm %+v", cold, warm)
+	}
+}
+
+// TestUpdateInvalidatesDownstream edits one of two source files and
+// asserts the next query re-derives exactly the artifacts downstream
+// of the change: the edited file is re-parsed (the unchanged one is
+// not) and check/lower/points-to/SDG each run once more. A same-content
+// update invalidates nothing.
+func TestUpdateInvalidatesDownstream(t *testing.T) {
+	srcs := firstNamesSources()
+	srcs["extra.mj"] = extraClass
+	s := session.Open(srcs)
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+
+	mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+	before := s.Stats()
+
+	s.Update("extra.mj", extraClassEdited)
+	mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+	after := s.Stats()
+
+	want := before
+	want.Parses++
+	want.Checks++
+	want.Lowers++
+	want.PointsTos++
+	want.SDGs++
+	if after != want {
+		t.Fatalf("update invalidated the wrong artifacts:\nbefore %+v\nafter  %+v\nwant   %+v", before, after, want)
+	}
+
+	// Re-writing identical content must not invalidate anything.
+	s.Update("extra.mj", extraClassEdited)
+	mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+	if got := s.Stats(); got != after {
+		t.Fatalf("same-content update invalidated artifacts:\nafter %+v\ngot   %+v", after, got)
+	}
+}
+
+// TestSessionsShareNoMutableState opens two sessions over the same
+// sources, edits one, and asserts the other still answers from its own
+// snapshot with untouched counters. The parsed container prelude is a
+// process-wide immutable and must not be re-parsed per session.
+func TestSessionsShareNoMutableState(t *testing.T) {
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+
+	s1 := session.Open(firstNamesSources())
+	sl1 := mustSlice(t, s1, papercases.FirstNamesFile, seedLine)
+	preludeParses := session.PreludeParseCount()
+
+	s2 := session.Open(firstNamesSources())
+	mustSlice(t, s2, papercases.FirstNamesFile, seedLine)
+	if got := session.PreludeParseCount(); got != preludeParses {
+		t.Fatalf("second session re-parsed the prelude: %d -> %d", preludeParses, got)
+	}
+
+	// Mutating session 2's source set must not disturb session 1.
+	stats1 := s1.Stats()
+	s2.Update(papercases.FirstNamesFile, papercases.Toy)
+	again := mustSlice(t, s1, papercases.FirstNamesFile, seedLine)
+	if s1.Stats() != stats1 {
+		t.Fatalf("editing one session re-ran phases in another: %+v -> %+v", stats1, s1.Stats())
+	}
+	if again.Size() != sl1.Size() {
+		t.Fatalf("slice changed after editing an unrelated session: %d -> %d statements", sl1.Size(), again.Size())
+	}
+}
+
+// TestSharedStoreSkipsRebuild opens a second session over the same
+// sources in the same store: every artifact is fetched, none rebuilt.
+func TestSharedStoreSkipsRebuild(t *testing.T) {
+	st := session.NewStore()
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+
+	s1 := session.Open(firstNamesSources(), session.InStore(st))
+	mustSlice(t, s1, papercases.FirstNamesFile, seedLine)
+
+	s2 := session.Open(firstNamesSources(), session.InStore(st))
+	mustSlice(t, s2, papercases.FirstNamesFile, seedLine)
+	if got := s2.Stats(); got != (session.Stats{}) {
+		t.Fatalf("second session over a shared store rebuilt artifacts: %+v", got)
+	}
+}
+
+// TestSliceAllMatchesIndividualQueries pins the batch API to the
+// per-seed API: same graph, same membership, seed order preserved.
+func TestSliceAllMatchesIndividualQueries(t *testing.T) {
+	s := session.Open(firstNamesSources())
+	seeds := []session.Seed{
+		{File: papercases.FirstNamesFile, Line: papercases.Line(papercases.FirstNames, "// SEED")},
+		{File: papercases.FirstNamesFile, Line: papercases.Line(papercases.FirstNames, "// BUG")},
+		{File: papercases.FirstNamesFile, Line: 99999}, // no statements here
+	}
+	results, err := s.SliceAll(core.Options{Mode: core.Thin}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(seeds) {
+		t.Fatalf("got %d results for %d seeds", len(results), len(seeds))
+	}
+	for i, res := range results[:2] {
+		if res.Seed != seeds[i] {
+			t.Fatalf("result %d out of order: got %v want %v", i, res.Seed, seeds[i])
+		}
+		want := mustSlice(t, s, res.Seed.File, res.Seed.Line)
+		if res.Slice == nil || res.Slice.Size() != want.Size() {
+			t.Fatalf("seed %v: batch slice differs from individual slice", res.Seed)
+		}
+		for _, ins := range want.Instrs() {
+			if !res.Slice.Contains(ins) {
+				t.Fatalf("seed %v: batch slice missing %v", res.Seed, ins)
+			}
+		}
+	}
+	if empty := results[2]; len(empty.Instrs) != 0 || empty.Slice != nil {
+		t.Fatalf("seed with no statements produced a slice: %+v", empty)
+	}
+}
+
+// TestTruncatedResultsNotCached caps the points-to phase so the solver
+// truncates, and asserts the degraded artifact is recomputed on every
+// query instead of poisoning the store.
+func TestTruncatedResultsNotCached(t *testing.T) {
+	b := budget.New(context.Background(), budget.WithPhaseSteps(budget.PhasePointsTo, 5))
+	s := session.Open(firstNamesSources(), session.WithBudget(b))
+
+	pts, err := s.PointsTo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts.Truncated && !pts.Downgraded {
+		t.Fatal("tiny points-to budget did not truncate the result")
+	}
+	if _, err := s.PointsTo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PointsTos; got != 2 {
+		t.Fatalf("truncated points-to result was cached: PointsTos = %d, want 2", got)
+	}
+}

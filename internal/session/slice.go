@@ -1,0 +1,85 @@
+package session
+
+import (
+	"fmt"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/core"
+	"thinslice/internal/ir"
+)
+
+// Seed names one slicing query: the statements at a source position.
+type Seed struct {
+	File string
+	Line int
+}
+
+func (s Seed) String() string { return fmt.Sprintf("%s:%d", s.File, s.Line) }
+
+// SeedResult is the outcome of one seed in a batch query.
+type SeedResult struct {
+	Seed   Seed
+	Instrs []ir.Instr // the reachable statements at the seed position
+	Slice  *core.Slice
+}
+
+// ThinSlicer returns a thin slicer over the session's dependence
+// graph, bounded by the session's budget.
+func (s *Session) ThinSlicer() (*core.Slicer, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewThin(g).WithBudget(s.cfg.budget), nil
+}
+
+// TraditionalSlicer returns a traditional slicer; withControl includes
+// transitive control dependences.
+func (s *Session) TraditionalSlicer(withControl bool) (*core.Slicer, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTraditional(g, withControl).WithBudget(s.cfg.budget), nil
+}
+
+// SeedsAt returns the reachable statements at file:line.
+func (s *Session) SeedsAt(file string, line int) ([]ir.Instr, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return core.SeedsAt(g, file, line), nil
+}
+
+// SliceAll answers a batch of seed queries over one shared dependence
+// graph and one slicer — the artifacts are built (or fetched) once and
+// each seed costs only its own backward closure. A seed that matches
+// no reachable statement yields a SeedResult with empty Instrs and a
+// nil Slice; results are returned in seed order.
+func (s *Session) SliceAll(opts core.Options, seeds []Seed) ([]SeedResult, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	var slicer *core.Slicer
+	if opts.Mode == core.Thin {
+		slicer = core.NewThin(g)
+	} else {
+		slicer = core.NewTraditional(g, opts.FollowControl)
+	}
+	slicer.WithBudget(s.cfg.budget)
+	results := make([]SeedResult, 0, len(seeds))
+	for _, seed := range seeds {
+		if err := s.cfg.budget.Err(budget.PhaseSlice); err != nil {
+			return nil, err
+		}
+		instrs := core.SeedsAt(g, seed.File, seed.Line)
+		res := SeedResult{Seed: seed, Instrs: instrs}
+		if len(instrs) > 0 {
+			res.Slice = slicer.Slice(instrs...)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,104 @@
+package session
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a content hash identifying one artifact: the hash of the
+// artifact's inputs (source bytes, upstream artifact keys, and the
+// configuration that shaped it). Equal keys mean equal artifacts.
+type Key string
+
+// hashParts derives a Key from length-prefixed parts, so no two
+// distinct part lists collide by concatenation.
+func hashParts(parts ...string) Key {
+	h := sha256.New()
+	var buf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		h.Write([]byte(p))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Store is a content-addressed artifact cache shared by any number of
+// sessions. Artifacts are immutable once built (ASTs, typed programs,
+// IR, points-to results, dependence graphs), so sharing them across
+// sessions is safe; a build is single-flighted per key so concurrent
+// sessions asking for the same artifact build it once.
+//
+// Failed builds and incomplete artifacts (budget-truncated results)
+// are never retained: a later caller with a healthier budget gets a
+// fresh build rather than a poisoned cache entry.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Key]*storeEntry
+}
+
+type storeEntry struct {
+	done chan struct{}
+	val  any
+	ok   bool // false: errored, uncacheable, or panicked — rebuild
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{entries: make(map[Key]*storeEntry)}
+}
+
+// Len returns the number of cached artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// get returns the artifact for k, building it with build on a miss.
+// build reports via its second result whether the artifact may be
+// cached (complete artifacts only); errors are never cached. If build
+// panics, the entry is released (waiters rebuild) and the panic
+// propagates to the caller's recover boundary.
+func (s *Store) get(k Key, build func() (any, bool, error)) (any, error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok {
+			s.mu.Unlock()
+			<-e.done
+			if e.ok {
+				return e.val, nil
+			}
+			// The winning builder failed or produced an uncacheable
+			// artifact; loop to claim the (now vacated) slot ourselves.
+			continue
+		}
+		e := &storeEntry{done: make(chan struct{})}
+		s.entries[k] = e
+		s.mu.Unlock()
+
+		completed := false
+		defer func() {
+			if !completed { // build panicked: vacate and release waiters
+				s.mu.Lock()
+				delete(s.entries, k)
+				s.mu.Unlock()
+				close(e.done)
+			}
+		}()
+		val, cacheable, err := build()
+		completed = true
+		if err != nil || !cacheable {
+			s.mu.Lock()
+			delete(s.entries, k)
+			s.mu.Unlock()
+			close(e.done)
+			return val, err
+		}
+		e.val, e.ok = val, true
+		close(e.done)
+		return val, nil
+	}
+}
