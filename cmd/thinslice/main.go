@@ -22,20 +22,30 @@
 // Every finding carries a thin-slice witness — the shortest producer
 // chain explaining the suspicious value, the same chains -why prints.
 //
+// The serve subcommand exposes slicing, batch slicing, and checking
+// over HTTP with admission control, bounded caches, per-program
+// circuit breakers, and graceful drain:
+//
+//	thinslice serve -addr :8080
+//
 // Resource limits: -timeout and -max-steps bound the whole run, and
 // -fuel bounds -dynamic execution. A run that was cut short but still
 // produced a (partial) result exits with code 3; hard failures exit 1.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"thinslice/internal/analyzer"
@@ -47,6 +57,7 @@ import (
 	"thinslice/internal/interp"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
+	"thinslice/internal/server"
 	"thinslice/internal/session"
 )
 
@@ -64,8 +75,13 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 // run is the testable entry point: it dispatches on the optional
 // subcommand and never calls os.Exit.
 func run(args []string, stdout, stderr io.Writer) int {
-	if len(args) > 0 && args[0] == "check" {
-		return runCheck(args[1:], stdout, stderr)
+	if len(args) > 0 {
+		switch args[0] {
+		case "check":
+			return runCheck(args[1:], stdout, stderr)
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		}
 	}
 	return runSlice(args, stdout, stderr)
 }
@@ -228,6 +244,65 @@ func writeJSONReport(w io.Writer, rep *checkers.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// runServe implements the `thinslice serve` subcommand: a hardened
+// HTTP service exposing /slice, /batch, /check, /healthz, /readyz,
+// and /statsz. SIGTERM or SIGINT starts a graceful drain.
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thinslice serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max requests waiting beyond the running ones (0 = 4x workers)")
+	queueWait := fs.Duration("queue-wait", 0, "max time a request may wait for a worker (0 = 2s)")
+	timeout := fs.Duration("timeout", 0, "default per-request analysis deadline (0 = 10s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp for client-requested deadlines (0 = 60s)")
+	maxSteps := fs.Int64("max-steps", 0, "per-phase analysis step cap per request (0 = unlimited)")
+	storeEntries := fs.Int("store-entries", 0, "artifact cache entry cap (0 = 256, -1 = unlimited)")
+	storeBytes := fs.Int64("store-bytes", 0, "artifact cache cost cap in bytes (0 = 256 MiB, -1 = unlimited)")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive failures before a program's circuit opens (0 = 3)")
+	breakerBackoff := fs.Duration("breaker-backoff", 0, "initial circuit-open window, doubling per re-open (0 = 500ms)")
+	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	maxRequestBytes := fs.Int64("max-request-bytes", 0, "request body size cap (0 = 4 MiB)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: thinslice serve [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "thinslice serve: unexpected arguments; programs are posted to /slice")
+		return exitUsage
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		QueueWait:       *queueWait,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxSteps:        *maxSteps,
+		MaxRequestBytes: *maxRequestBytes,
+		StoreEntries:    *storeEntries,
+		StoreBytes:      *storeBytes,
+		BreakerFailures: *breakerFailures,
+		BreakerBackoff:  *breakerBackoff,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Fprintf(stdout, "thinslice: serving on %s\n", ln.Addr())
+	if err := srv.Run(ctx, ln, *drain); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, "thinslice: drained, bye")
+	return exitOK
 }
 
 // runSlice implements the default slicing mode.
@@ -400,7 +475,18 @@ func runBatch(stdout, stderr io.Writer, a *analyzer.Analysis, sources map[string
 		opts = core.Options{Mode: core.Traditional, FollowControl: control}
 		modeName = "traditional"
 	}
-	results, err := a.Session().SliceAll(opts, seeds)
+	// Transient internal faults (a panicked phase) are retried with
+	// jittered backoff; deterministic failures (parse/type errors,
+	// exhaustion, cancellation) surface immediately.
+	var results []session.SeedResult
+	err = budget.Retry(a.Budget().Context(), budget.RetryConfig{}, func(attempt int) error {
+		if attempt > 1 {
+			fmt.Fprintf(stderr, "thinslice: retrying batch after transient failure (attempt %d)\n", attempt)
+		}
+		var rerr error
+		results, rerr = a.Session().SliceAll(opts, seeds)
+		return rerr
+	})
 	if err != nil {
 		return fail(stderr, err)
 	}

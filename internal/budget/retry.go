@@ -1,0 +1,97 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig shapes Retry's backoff. The zero value is usable: 3
+// attempts, 10ms base delay doubling to a 1s cap, full jitter, and
+// only *ErrInternal treated as transient.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3, minimum 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// it doubles per retry up to MaxDelay (default 1s). The actual
+	// delay is jittered uniformly over [delay/2, delay) so synchronized
+	// clients (a batch fan-out) don't retry in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Retryable decides which errors are transient. Nil retries only
+	// *ErrInternal: exhaustion and cancellation are deterministic for
+	// a given budget, and analysis errors (parse/type) are properties
+	// of the input — retrying either just burns the budget.
+	Retryable func(error) bool
+	// Sleep overrides the backoff sleep, for tests (default: a
+	// context-aware wait).
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Retry runs op until it succeeds, returns a non-retryable error, the
+// attempts are spent, or ctx is done. op receives the 1-based attempt
+// number. On context cancellation mid-backoff the returned error joins
+// the context error with the last attempt's error, so both
+// errors.Is(err, context.Canceled) and the typed budget predicates
+// keep working.
+func Retry(ctx context.Context, cfg RetryConfig, op func(attempt int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := cfg.MaxAttempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	base := cfg.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxDelay := cfg.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	retryable := cfg.Retryable
+	if retryable == nil {
+		retryable = func(err error) bool {
+			var internal *ErrInternal
+			return errors.As(err, &internal)
+		}
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+
+	var lastErr error
+	delay := base
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, lastErr)
+		}
+		lastErr = op(attempt)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryable(lastErr) {
+			return lastErr
+		}
+		jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		if err := sleep(ctx, jittered); err != nil {
+			return errors.Join(err, lastErr)
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}

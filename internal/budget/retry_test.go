@@ -1,0 +1,135 @@
+package budget_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+)
+
+var errInjected = &budget.ErrInternal{Phase: budget.PhaseSlice, Value: "boom"}
+
+// fakeSleep records requested delays and never actually sleeps.
+type fakeSleep struct{ delays []time.Duration }
+
+func (f *fakeSleep) sleep(_ context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return nil
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := budget.Retry(context.Background(), budget.RetryConfig{MaxAttempts: 5, Sleep: fs.sleep}, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt %d reported as %d", calls, attempt)
+		}
+		if calls < 3 {
+			return errInjected
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want success", err)
+	}
+	if calls != 3 || len(fs.delays) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d; want 3 calls, 2 sleeps", calls, len(fs.delays))
+	}
+}
+
+func TestRetryMaxAttemptsReturnsLastError(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := budget.Retry(context.Background(), budget.RetryConfig{MaxAttempts: 3, Sleep: fs.sleep}, func(int) error {
+		calls++
+		return errInjected
+	})
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	var internal *budget.ErrInternal
+	if !errors.As(err, &internal) {
+		t.Fatalf("Retry = %v, want the last *budget.ErrInternal", err)
+	}
+}
+
+// TestRetryNonRetryableStopsImmediately: errors outside the Retryable
+// predicate (default: anything but *ErrInternal) end the loop at once.
+func TestRetryNonRetryableStopsImmediately(t *testing.T) {
+	calls := 0
+	exhausted := &budget.ErrExhausted{Phase: budget.PhaseSlice, Limit: 1, Spent: 2}
+	err := budget.Retry(context.Background(), budget.RetryConfig{MaxAttempts: 5}, func(int) error {
+		calls++
+		return exhausted
+	})
+	if calls != 1 {
+		t.Fatalf("non-retryable error retried %d times", calls)
+	}
+	if !budget.IsExhausted(err) {
+		t.Fatalf("Retry = %v, want the ErrExhausted back", err)
+	}
+}
+
+// TestRetryContextCancelDuringBackoff: cancellation mid-backoff aborts
+// promptly with an error carrying both the context error and the last
+// attempt's typed error.
+func TestRetryContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	err := budget.Retry(ctx, budget.RetryConfig{MaxAttempts: 10, BaseDelay: time.Hour}, func(int) error {
+		calls++
+		cancel() // fires before the first backoff sleep
+		return errInjected
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry slept through cancellation (%v)", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times after cancellation, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled in the chain", err)
+	}
+	var internal *budget.ErrInternal
+	if !errors.As(err, &internal) {
+		t.Fatalf("Retry = %v, want the last attempt's error joined in", err)
+	}
+}
+
+// TestRetryPreCancelledContext: a context already done runs op zero
+// times.
+func TestRetryPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := budget.Retry(ctx, budget.RetryConfig{}, func(int) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("calls = %d, err = %v; want 0 calls and context.Canceled", calls, err)
+	}
+}
+
+// TestRetryBackoffDoublesWithJitter: requested sleeps stay within
+// [delay/2, delay] as the delay doubles to its cap.
+func TestRetryBackoffDoublesWithJitter(t *testing.T) {
+	fs := &fakeSleep{}
+	cfg := budget.RetryConfig{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Sleep:       fs.sleep,
+	}
+	_ = budget.Retry(context.Background(), cfg, func(int) error { return errInjected })
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond, 250 * time.Millisecond}
+	if len(fs.delays) != len(want) {
+		t.Fatalf("slept %d times, want %d", len(fs.delays), len(want))
+	}
+	for i, d := range fs.delays {
+		if d < want[i]/2 || d > want[i] {
+			t.Fatalf("sleep %d = %v, want within [%v, %v]", i, d, want[i]/2, want[i])
+		}
+	}
+}

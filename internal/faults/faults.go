@@ -1,0 +1,176 @@
+// Package faults is a test-only fault-injection harness for the
+// analysis pipeline. A Registry holds deterministic rules — match a
+// session phase and/or a program content-hash prefix, then panic,
+// error, exhaust the budget, sleep, or run an arbitrary callback — and
+// installs itself into the session phase boundary
+// (session.SetPhaseHook). The robustness suites use it to prove the
+// serving layer survives panics, timeouts, budget exhaustion, and slow
+// builds in every phase without leaking goroutines or caching
+// poisoned artifacts.
+//
+// Rules are matched and fired deterministically (counter-based, no
+// randomness), so a failing soak run replays exactly.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/session"
+)
+
+// Mode selects what a matching rule does to the phase.
+type Mode int
+
+const (
+	// Panic panics inside the phase boundary; the session recovers it
+	// into a *budget.ErrInternal.
+	Panic Mode = iota
+	// Error aborts the phase with Rule.Err (default: a synthesized
+	// *budget.ErrInternal).
+	Error
+	// Exhaust aborts the phase with a *budget.ErrExhausted, as if the
+	// phase spent its step cap.
+	Exhaust
+	// Sleep delays the phase by Rule.Delay, then lets it proceed —
+	// for driving requests into their deadlines.
+	Sleep
+	// Call runs Rule.Func; a non-nil result aborts the phase. Use it
+	// for bespoke actions (cancelling a context mid-pipeline).
+	Call
+)
+
+// Rule injects one fault wherever it matches. The zero value matches
+// every phase of every program and fires forever.
+type Rule struct {
+	// Phase restricts the rule to one pipeline phase ("" = any).
+	Phase budget.Phase
+	// KeyPrefix restricts the rule to programs whose source-set key
+	// (session.SourceKey, hex) starts with this prefix ("" = any).
+	KeyPrefix string
+
+	Mode  Mode
+	Err   error         // Error mode override
+	Delay time.Duration // Sleep mode
+	Func  func() error  // Call mode
+
+	// After skips the first After matches; Times then fires at most
+	// Times times (0 = no limit). Matches are counted per rule across
+	// all goroutines, so "fail twice, then recover" is expressible.
+	After int
+	Times int
+}
+
+// Handle tracks one registered rule's fire count.
+type Handle struct {
+	rule    Rule
+	mu      sync.Mutex
+	matched int
+	fired   int
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (h *Handle) Fired() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+// take atomically decides whether this match fires, honouring
+// After/Times windows.
+func (h *Handle) take() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.matched++
+	if h.matched <= h.rule.After {
+		return false
+	}
+	if h.rule.Times > 0 && h.fired >= h.rule.Times {
+		return false
+	}
+	h.fired++
+	return true
+}
+
+// Registry is a set of injection rules. Safe for concurrent use; the
+// zero value is not valid, use NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	rules []*Handle
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a rule and returns its handle for fire-count
+// assertions.
+func (r *Registry) Add(rule Rule) *Handle {
+	h := &Handle{rule: rule}
+	r.mu.Lock()
+	r.rules = append(r.rules, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Clear drops every rule (an installed registry stays installed but
+// injects nothing).
+func (r *Registry) Clear() {
+	r.mu.Lock()
+	r.rules = nil
+	r.mu.Unlock()
+}
+
+// Install wires the registry into the session phase boundary and
+// returns an uninstall func. Installations do not stack: the last
+// Install wins until its uninstall restores the previous hook.
+func (r *Registry) Install() (uninstall func()) {
+	return session.SetPhaseHook(r.hook)
+}
+
+// hook is the session.PhaseHook: first matching rule that fires wins.
+func (r *Registry) hook(p budget.Phase, srcKey session.Key) error {
+	r.mu.Lock()
+	rules := make([]*Handle, len(r.rules))
+	copy(rules, r.rules)
+	r.mu.Unlock()
+	for _, h := range rules {
+		if h.rule.Phase != "" && h.rule.Phase != p {
+			continue
+		}
+		if h.rule.KeyPrefix != "" && !strings.HasPrefix(string(srcKey), h.rule.KeyPrefix) {
+			continue
+		}
+		if !h.take() {
+			continue
+		}
+		return fire(h.rule, p)
+	}
+	return nil
+}
+
+func fire(rule Rule, p budget.Phase) error {
+	switch rule.Mode {
+	case Panic:
+		panic(fmt.Sprintf("faults: injected panic in %s", p))
+	case Error:
+		if rule.Err != nil {
+			return rule.Err
+		}
+		return &budget.ErrInternal{Phase: p, Value: "faults: injected error"}
+	case Exhaust:
+		return &budget.ErrExhausted{Phase: p, Limit: 1, Spent: 1}
+	case Sleep:
+		time.Sleep(rule.Delay)
+		return nil
+	case Call:
+		if rule.Func != nil {
+			return rule.Func()
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("faults: unknown mode %d", rule.Mode))
+	}
+}

@@ -1,0 +1,114 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/faults"
+	"thinslice/internal/papercases"
+	"thinslice/internal/session"
+)
+
+func sources() map[string]string {
+	return map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
+}
+
+// TestInjectedPanicBecomesTypedError: a Panic rule on the points-to
+// phase surfaces as a phase-tagged *budget.ErrInternal, never a crash.
+func TestInjectedPanicBecomesTypedError(t *testing.T) {
+	reg := faults.NewRegistry()
+	h := reg.Add(faults.Rule{Phase: budget.PhasePointsTo, Mode: faults.Panic})
+	defer reg.Install()()
+
+	_, err := session.Open(sources()).Graph()
+	var internal *budget.ErrInternal
+	if !errors.As(err, &internal) || internal.Phase != budget.PhasePointsTo {
+		t.Fatalf("got %v, want *budget.ErrInternal in pointsto", err)
+	}
+	if h.Fired() != 1 {
+		t.Fatalf("rule fired %d times, want 1", h.Fired())
+	}
+}
+
+// TestAfterTimesWindow: After skips matches, Times bounds fires, and
+// the pipeline recovers once the window closes. Load fires many times
+// per pipeline (per-artifact), so target a phase that runs once.
+func TestAfterTimesWindow(t *testing.T) {
+	reg := faults.NewRegistry()
+	h := reg.Add(faults.Rule{Phase: budget.PhaseSDG, Mode: faults.Exhaust, After: 1, Times: 2})
+	defer reg.Install()()
+
+	s := session.Open(sources())
+	if _, err := s.Graph(); err != nil {
+		t.Fatalf("first query (inside After window) failed: %v", err)
+	}
+	// The SDG artifact is cached now; drop it by opening fresh
+	// sessions so the SDG phase actually runs again.
+	for i := 0; i < 2; i++ {
+		_, err := session.Open(sources()).Graph()
+		if !budget.IsExhausted(err) {
+			t.Fatalf("query %d: got %v, want ErrExhausted", i, err)
+		}
+	}
+	if _, err := session.Open(sources()).Graph(); err != nil {
+		t.Fatalf("query after Times window still failing: %v", err)
+	}
+	if h.Fired() != 2 {
+		t.Fatalf("rule fired %d times, want 2", h.Fired())
+	}
+}
+
+// TestKeyPrefixScopesRule: a rule keyed to one program's content hash
+// leaves other programs untouched.
+func TestKeyPrefixScopesRule(t *testing.T) {
+	poisoned := session.Open(sources())
+	healthy := session.Open(map[string]string{papercases.FirstNamesFile: papercases.Toy})
+
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{KeyPrefix: string(poisoned.SourceKey())[:16], Mode: faults.Error})
+	defer reg.Install()()
+
+	if _, err := poisoned.Graph(); err == nil {
+		t.Fatal("poisoned program analyzed cleanly")
+	}
+	if _, err := healthy.Graph(); err != nil {
+		t.Fatalf("healthy program caught a scoped fault: %v", err)
+	}
+}
+
+// TestSleepAndCall: Sleep delays but proceeds; Call runs the callback.
+func TestSleepAndCall(t *testing.T) {
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhaseLower, Mode: faults.Sleep, Delay: 20 * time.Millisecond})
+	calls := 0
+	reg.Add(faults.Rule{Phase: budget.PhaseSDG, Mode: faults.Call, Func: func() error { calls++; return nil }})
+	defer reg.Install()()
+
+	start := time.Now()
+	if _, err := session.Open(sources()).Graph(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("Sleep rule did not delay the pipeline")
+	}
+	if calls != 1 {
+		t.Fatalf("Call rule ran %d times, want 1", calls)
+	}
+}
+
+// TestUninstallRestores: after uninstall the pipeline runs clean.
+func TestUninstallRestores(t *testing.T) {
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Mode: faults.Panic})
+	uninstall := reg.Install()
+	if _, err := session.Open(sources()).Graph(); err == nil {
+		uninstall()
+		t.Fatal("installed registry injected nothing")
+	}
+	uninstall()
+	if _, err := session.Open(sources()).Graph(); err != nil {
+		t.Fatalf("pipeline still faulting after uninstall: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// admission is the bounded worker pool with a bounded wait queue. A
+// request first claims a queue slot (covering both waiting and running
+// requests); a full queue is an immediate rejection, so memory and
+// goroutine count stay proportional to the configured bounds no matter
+// the offered load. It then waits — at most queueWait, and never past
+// its own deadline — for one of the worker slots that actually run
+// analyses.
+type admission struct {
+	workers   chan struct{} // cap = concurrent analyses
+	queue     chan struct{} // cap = workers + queued waiters
+	queueWait time.Duration
+}
+
+func newAdmission(workers, queueDepth int, queueWait time.Duration) *admission {
+	return &admission{
+		workers:   make(chan struct{}, workers),
+		queue:     make(chan struct{}, workers+queueDepth),
+		queueWait: queueWait,
+	}
+}
+
+// errSaturated reports an admission rejection and how long the client
+// should back off.
+type errSaturated struct {
+	retryAfter time.Duration
+}
+
+func (e errSaturated) Error() string { return "server saturated; retry later" }
+
+// acquire claims a worker slot, returning its release func. A full
+// queue or an expired wait returns errSaturated; a context already
+// done returns its error.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		// Queue full: shed immediately. Suggest the full queue-wait as
+		// backoff — by then the present queue has drained or the
+		// process is genuinely overloaded and the client should go
+		// away for a while either way.
+		return nil, errSaturated{retryAfter: a.queueWait}
+	}
+	unqueue := func() { <-a.queue }
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.workers <- struct{}{}:
+		return func() { <-a.workers; unqueue() }, nil
+	case <-timer.C:
+		unqueue()
+		return nil, errSaturated{retryAfter: a.queueWait}
+	case <-ctx.Done():
+		unqueue()
+		return nil, ctx.Err()
+	}
+}
+
+// load reports the current running and waiting request counts.
+func (a *admission) load() (running, queued int) {
+	running = len(a.workers)
+	queued = len(a.queue) - running
+	if queued < 0 {
+		queued = 0
+	}
+	return running, queued
+}

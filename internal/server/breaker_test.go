@@ -1,0 +1,146 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thinslice/internal/session"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(failures int) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(breakerConfig{
+		failures: failures,
+		base:     time.Second,
+		max:      8 * time.Second,
+		maxKeys:  4,
+		now:      clk.now,
+	})
+	return b, clk
+}
+
+const keyA, keyB = session.Key("aaaa"), session.Key("bbbb")
+
+// TestBreakerOpensAfterConsecutiveFailures walks the state machine:
+// closed → open after N failures → rejecting with the cached error →
+// half-open probe after the window → closed again on probe success.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, clk := newTestBreaker(3)
+	for i := 0; i < 3; i++ {
+		if d := b.admit(keyA); !d.allow || d.probe {
+			t.Fatalf("failure %d: closed circuit rejected or probed", i)
+		}
+		b.failure(keyA, "internal", "injected panic")
+	}
+	d := b.admit(keyA)
+	if d.allow {
+		t.Fatal("circuit still admitting after the failure threshold")
+	}
+	if d.lastKind != "internal" || d.lastErr != "injected panic" {
+		t.Fatalf("rejection lost the cached error: %+v", d)
+	}
+	if d.retryAfter <= 0 || d.retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", d.retryAfter)
+	}
+
+	// After the window: exactly one half-open probe; concurrent
+	// requests are still shed.
+	clk.advance(1100 * time.Millisecond)
+	first, second := b.admit(keyA), b.admit(keyA)
+	if !first.allow || !first.probe {
+		t.Fatalf("post-window request was not a probe: %+v", first)
+	}
+	if second.allow {
+		t.Fatal("two probes admitted concurrently")
+	}
+
+	b.success(keyA)
+	if d := b.admit(keyA); !d.allow || d.probe {
+		t.Fatalf("circuit not closed after probe success: %+v", d)
+	}
+	if keys, _ := b.tracked(); keys != 0 {
+		t.Fatalf("healthy program still tracked (%d keys)", keys)
+	}
+}
+
+// TestBreakerProbeFailureDoublesBackoff: each consecutive re-open
+// doubles the window up to the cap.
+func TestBreakerProbeFailureDoublesBackoff(t *testing.T) {
+	b, clk := newTestBreaker(1)
+	b.failure(keyA, "deadline", "timeout") // opens with 1s window
+
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second}
+	for round, wantWindow := range want {
+		clk.advance(9 * time.Second) // past any window
+		d := b.admit(keyA)
+		if !d.probe {
+			t.Fatalf("round %d: expected a probe, got %+v", round, d)
+		}
+		b.failure(keyA, "deadline", "timeout") // probe fails → re-open doubled
+		if d := b.admit(keyA); d.allow {
+			t.Fatalf("round %d: circuit admitted right after probe failure", round)
+		} else if d.retryAfter != wantWindow {
+			t.Fatalf("round %d: window = %v, want %v", round, d.retryAfter, wantWindow)
+		}
+	}
+}
+
+// TestBreakerAbortLeavesCircuitOpen: a probe that never ran (shed by
+// admission) must not settle the circuit either way.
+func TestBreakerAbortLeavesCircuitOpen(t *testing.T) {
+	b, clk := newTestBreaker(1)
+	b.failure(keyA, "internal", "x")
+	clk.advance(2 * time.Second)
+	if d := b.admit(keyA); !d.probe {
+		t.Fatalf("expected probe, got %+v", d)
+	}
+	b.abort(keyA)
+	// The probe slot is free again: the next request may probe.
+	if d := b.admit(keyA); !d.probe {
+		t.Fatalf("probe slot not released after abort: %+v", d)
+	}
+}
+
+// TestBreakerKeysAreIndependent: one program's failures never affect
+// another's circuit.
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b, _ := newTestBreaker(1)
+	b.failure(keyA, "internal", "x")
+	if d := b.admit(keyA); d.allow {
+		t.Fatal("failed program admitted")
+	}
+	if d := b.admit(keyB); !d.allow {
+		t.Fatal("healthy program rejected")
+	}
+}
+
+// TestBreakerMapBounded: the tracked-program map never exceeds its
+// cap; the least recently touched state is dropped.
+func TestBreakerMapBounded(t *testing.T) {
+	b, clk := newTestBreaker(1)
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Millisecond)
+		b.failure(session.Key(string(rune('a'+i))), "internal", "x")
+	}
+	if keys, _ := b.tracked(); keys > 4 {
+		t.Fatalf("breaker tracks %d keys, cap is 4", keys)
+	}
+}

@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/faults"
+	"thinslice/internal/papercases"
+	"thinslice/internal/session"
+)
+
+func testConfig() Config {
+	return Config{
+		Workers:           2,
+		QueueDepth:        2,
+		QueueWait:         200 * time.Millisecond,
+		DefaultTimeout:    5 * time.Second,
+		StoreEntries:      32,
+		StoreBytes:        32 << 20,
+		BreakerFailures:   2,
+		BreakerBackoff:    100 * time.Millisecond,
+		BreakerMaxBackoff: time.Second,
+	}
+}
+
+func firstNames() map[string]string {
+	return map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
+}
+
+func seedAt(marker string) string {
+	return fmt.Sprintf("%s:%d", papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, marker))
+}
+
+// post sends req to path and decodes the typed response.
+func post(t *testing.T, base, path string, req any) (int, Response, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatalf("%s: response is not well-formed JSON: %v", path, err)
+	}
+	return res.StatusCode, resp, res.Header
+}
+
+func TestSliceEndpoint(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, "/slice", Request{Sources: firstNames(), Seed: seedAt("// SEED")})
+	if code != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("slice: code %d, resp %+v", code, resp)
+	}
+	if len(resp.Slices) != 1 || resp.Slices[0].Statements == 0 || len(resp.Slices[0].Lines) == 0 {
+		t.Fatalf("slice result empty: %+v", resp.Slices)
+	}
+
+	// Second request over the same program answers from the shared
+	// store: no new misses beyond the first build.
+	misses := srv.store.Stats().Misses
+	code, _, _ = post(t, ts.URL, "/slice", Request{Sources: firstNames(), Seed: seedAt("// BUG")})
+	if code != http.StatusOK {
+		t.Fatalf("warm slice: code %d", code)
+	}
+	if got := srv.store.Stats().Misses; got != misses {
+		t.Fatalf("warm request rebuilt artifacts: misses %d -> %d", misses, got)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, "/batch", Request{
+		Sources: firstNames(),
+		Seeds:   []string{seedAt("// SEED"), seedAt("// BUG"), papercases.FirstNamesFile + ":99999"},
+	})
+	if code != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("batch: code %d, resp %+v", code, resp)
+	}
+	if len(resp.Slices) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(resp.Slices))
+	}
+	if resp.Slices[0].Statements == 0 || resp.Slices[1].Statements == 0 {
+		t.Fatalf("batch slices empty: %+v", resp.Slices)
+	}
+	if resp.Slices[2].Statements != 0 {
+		t.Fatalf("seed with no statements produced a slice: %+v", resp.Slices[2])
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, "/check", Request{Sources: firstNames()})
+	if code != http.StatusOK || (resp.Status != "ok" && resp.Status != "partial") {
+		t.Fatalf("check: code %d, resp %+v", code, resp)
+	}
+	if resp.Findings == nil {
+		t.Fatal("check response omitted the findings array")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"missing sources", Request{Seed: "x.mj:1"}},
+		{"missing seed", Request{Sources: firstNames()}},
+		{"bad seed", Request{Sources: firstNames(), Seed: "nocolon"}},
+		{"bad mode", Request{Sources: firstNames(), Seed: seedAt("// SEED"), Mode: "hyperslice"}},
+	}
+	for _, tc := range cases {
+		code, resp, _ := post(t, ts.URL, "/slice", tc.req)
+		if code != http.StatusBadRequest || resp.Kind != "bad_request" {
+			t.Errorf("%s: code %d kind %q, want 400 bad_request", tc.name, code, resp.Kind)
+		}
+	}
+
+	// Malformed JSON body.
+	res, err := http.Post(ts.URL+"/slice", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: code %d, want 400", res.StatusCode)
+	}
+
+	// Wrong method.
+	res, err = http.Get(ts.URL + "/slice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /slice: code %d, want 405", res.StatusCode)
+	}
+}
+
+func TestProgramErrorIsTyped(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, "/slice", Request{
+		Sources: map[string]string{"broken.mj": "class { this is not a program"},
+		Seed:    "broken.mj:1",
+	})
+	if code != http.StatusUnprocessableEntity || resp.Kind != "program_error" {
+		t.Fatalf("broken program: code %d kind %q, want 422 program_error", code, resp.Kind)
+	}
+	if resp.Error == "" {
+		t.Fatal("program error lost its message")
+	}
+}
+
+// TestDeadlinePropagation: a request-level timeout reaches the running
+// phase and surfaces as a typed, phase-tagged deadline response — the
+// worker is freed, not stuck.
+func TestDeadlinePropagation(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	key := session.Open(firstNames()).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhaseSDG, KeyPrefix: string(key)[:16], Mode: faults.Sleep, Delay: 300 * time.Millisecond})
+	defer reg.Install()()
+
+	start := time.Now()
+	code, resp, _ := post(t, ts.URL, "/slice", Request{Sources: firstNames(), Seed: seedAt("// SEED"), TimeoutMS: 50})
+	if code != http.StatusGatewayTimeout || resp.Kind != "deadline" {
+		t.Fatalf("deadline: code %d resp %+v, want 504 deadline", code, resp)
+	}
+	if resp.Phase == "" {
+		t.Fatal("deadline response lost its phase tag")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline response took %v", elapsed)
+	}
+}
+
+// TestSaturationSheds: with one worker wedged, excess load gets fast,
+// typed 429s with Retry-After instead of piling up.
+func TestSaturationSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers, cfg.QueueDepth, cfg.QueueWait = 1, 1, 100*time.Millisecond
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Wedge the single worker on a slow program.
+	slowSrc := map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
+	key := session.Open(slowSrc).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhaseSDG, KeyPrefix: string(key)[:16], Mode: faults.Sleep, Delay: 600 * time.Millisecond})
+	defer reg.Install()()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _, _ := post(t, ts.URL, "/slice", Request{Sources: slowSrc, Seed: seedAt("// SEED")})
+		if code != http.StatusOK {
+			t.Errorf("slow request finished %d, want 200", code)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let it claim the worker
+
+	saturated := 0
+	var mu sync.Mutex
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, resp, hdr := post(t, ts.URL, "/slice", Request{Sources: slowSrc, Seed: seedAt("// SEED")})
+			if code == http.StatusTooManyRequests {
+				mu.Lock()
+				saturated++
+				mu.Unlock()
+				if resp.Kind != "saturated" || hdr.Get("Retry-After") == "" {
+					t.Errorf("429 without typed body/Retry-After: %+v", resp)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if saturated == 0 {
+		t.Fatal("no request was shed at saturation")
+	}
+	if got := srv.Stats().Requests.Saturated; got == 0 {
+		t.Fatal("saturation not counted in stats")
+	}
+}
+
+// TestBreakerShortCircuitsPoisonedProgram: repeated injected panics on
+// one program open its circuit — later requests short-circuit with the
+// cached typed error without running analysis — and the circuit
+// recovers via a half-open probe once the program stops failing.
+func TestBreakerShortCircuitsPoisonedProgram(t *testing.T) {
+	srv := New(testConfig()) // BreakerFailures: 2, backoff 100ms
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	poison := firstNames()
+	key := session.Open(poison).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhasePointsTo, KeyPrefix: string(key)[:16], Mode: faults.Panic, Times: 2})
+	defer reg.Install()()
+
+	req := Request{Sources: poison, Seed: seedAt("// SEED")}
+	for i := 0; i < 2; i++ {
+		code, resp, _ := post(t, ts.URL, "/slice", req)
+		if code != http.StatusInternalServerError || resp.Kind != "internal" {
+			t.Fatalf("poisoned request %d: code %d resp %+v, want 500 internal", i, code, resp)
+		}
+	}
+
+	code, resp, hdr := post(t, ts.URL, "/slice", req)
+	if code != http.StatusServiceUnavailable || resp.Kind != "breaker_open" {
+		t.Fatalf("after failures: code %d kind %q, want 503 breaker_open", code, resp.Kind)
+	}
+	if hdr.Get("Retry-After") == "" || resp.RetryAfterMS <= 0 {
+		t.Fatal("breaker rejection missing Retry-After")
+	}
+
+	// A different program is unaffected.
+	other := map[string]string{papercases.ToyFile: papercases.Toy}
+	otherSeed := fmt.Sprintf("%s:%d", papercases.ToyFile, papercases.Line(papercases.Toy, "// L7"))
+	if code, resp, _ := post(t, ts.URL, "/slice", Request{Sources: other, Seed: otherSeed}); code != http.StatusOK {
+		t.Fatalf("healthy program rejected while another's circuit is open: %d %+v", code, resp)
+	}
+
+	// The fault rule is spent (Times: 2): after the backoff window the
+	// half-open probe succeeds and the circuit closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _, _ = post(t, ts.URL, "/slice", req)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered; last code %d", code)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, open := srv.breaker.tracked(); open != 0 {
+		t.Fatalf("%d circuits still open after recovery", open)
+	}
+}
+
+// TestDrainingResponses: a draining server answers typed 503s on the
+// analysis endpoints and 503 on /readyz while /healthz stays 200.
+func TestDrainingResponses(t *testing.T) {
+	srv := New(testConfig())
+	srv.draining.Store(true)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, "/slice", Request{Sources: firstNames(), Seed: seedAt("// SEED")})
+	if code != http.StatusServiceUnavailable || resp.Kind != "draining" {
+		t.Fatalf("draining slice: code %d kind %q", code, resp.Kind)
+	}
+	res, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", res.StatusCode)
+	}
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", res.StatusCode)
+	}
+}
+
+// TestGracefulDrain: cancelling Run's context lets the in-flight
+// request finish before the listener goes away for good.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(testConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx, ln, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	key := session.Open(firstNames()).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhaseSDG, KeyPrefix: string(key)[:16], Mode: faults.Sleep, Delay: 400 * time.Millisecond})
+	defer reg.Install()()
+
+	slowDone := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, base, "/slice", Request{Sources: firstNames(), Seed: seedAt("// SEED")})
+		slowDone <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // in-flight now
+	cancel()
+
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain finished %d, want 200", code)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+	if !srv.Stats().Draining {
+		t.Fatal("stats do not report draining")
+	}
+}
+
+// TestStatszWellFormed: the observability endpoint returns the typed
+// stats snapshot.
+func TestStatszWellFormed(t *testing.T) {
+	srv := New(testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _, _ := post(t, ts.URL, "/slice", Request{Sources: firstNames(), Seed: seedAt("// SEED")}); code != http.StatusOK {
+		t.Fatalf("warmup request: %d", code)
+	}
+	res, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatalf("statsz not decodable: %v", err)
+	}
+	if st.Requests.Total == 0 || st.Store.Entries == 0 {
+		t.Fatalf("statsz empty after a served request: %+v", st)
+	}
+}

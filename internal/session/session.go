@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"thinslice/internal/analysis/cha"
 	"thinslice/internal/analysis/modref"
@@ -195,6 +196,36 @@ func (s *Session) snapshot() (names []string, srcs map[string]string, srcKey Key
 	return names, srcs, hashParts(parts...)
 }
 
+// PhaseHook is a test-only interception point consulted at every phase
+// boundary with the phase about to run and the session's source-set
+// key. A non-nil error aborts the phase with that error; a panic is
+// recovered by the phase boundary like any other internal fault. The
+// fault-injection harness (package faults) installs its registry here.
+type PhaseHook func(p budget.Phase, srcKey Key) error
+
+var phaseHook atomic.Pointer[PhaseHook]
+
+// SetPhaseHook installs h (nil clears) and returns a func restoring
+// the previous hook. Test-only: production sessions must run with no
+// hook installed.
+func SetPhaseHook(h PhaseHook) (restore func()) {
+	var p *PhaseHook
+	if h != nil {
+		p = &h
+	}
+	old := phaseHook.Swap(p)
+	return func() { phaseHook.Store(old) }
+}
+
+// SourceKey returns the content hash of the session's current source
+// set (prelude included unless the session was opened WithoutPrelude).
+// Equal keys mean the same program; the server's circuit breaker and
+// the fault-injection registry key on it.
+func (s *Session) SourceKey() Key {
+	_, _, srcKey := s.snapshot()
+	return srcKey
+}
+
 // phase runs f with the session's panic boundary: a panic inside any
 // phase surfaces as a *budget.ErrInternal tagged p, never a crash. The
 // budget's cancellation/deadline is checked first, mirroring the
@@ -207,6 +238,11 @@ func (s *Session) phase(p budget.Phase, f func() error) (err error) {
 	}()
 	if err := s.cfg.budget.Err(p); err != nil {
 		return err
+	}
+	if h := phaseHook.Load(); h != nil {
+		if err := (*h)(p, s.SourceKey()); err != nil {
+			return err
+		}
 	}
 	return f()
 }
@@ -258,7 +294,7 @@ func (s *Session) Info() (*types.Info, error) {
 	err := s.phase(budget.PhaseLoad, func() error {
 		names, srcs, srcKey := s.snapshot()
 		key := hashParts("check", string(srcKey))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseLoad, func() (any, bool, error) {
 			prog := &ast.Program{}
 			var all parser.ErrorList
 			for _, name := range names {
@@ -300,7 +336,7 @@ func (s *Session) parseFile(name, src string) ([]*ast.ClassDecl, error) {
 		}
 		return classes, err
 	}
-	v, _ := s.cfg.store.get(hashParts("parse", name, src), func() (any, bool, error) {
+	v, _ := s.cfg.store.get(hashParts("parse", name, src), budget.PhaseLoad, func() (any, bool, error) {
 		s.count(func(st *Stats) { st.Parses++ })
 		classes, err := parser.ParseFile(name, src)
 		return parseResult{classes, err}, err == nil, nil
@@ -320,7 +356,7 @@ func (s *Session) Prog() (*ir.Program, error) {
 	err = s.phase(budget.PhaseLower, func() error {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("ir", string(srcKey), strconv.FormatBool(s.cfg.verifyIR))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseLower, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.Lowers++ })
 			p := ir.LowerWorkers(info, s.cfg.workers)
 			if len(p.Diags) > 0 {
@@ -373,7 +409,7 @@ func (s *Session) PointsTo() (*pointsto.Result, error) {
 			return err
 		}
 		_, _, srcKey := s.snapshot()
-		v, err := s.cfg.store.get(s.ptsConfigKey(srcKey), func() (any, bool, error) {
+		v, err := s.cfg.store.get(s.ptsConfigKey(srcKey), budget.PhasePointsTo, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.PointsTos++ })
 			res, err := pointsto.Analyze(prog, pointsto.Config{
 				Entries:           entries,
@@ -413,7 +449,7 @@ func (s *Session) Graph() (*sdg.Graph, error) {
 	err = s.phase(budget.PhaseSDG, func() error {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("sdg", string(s.ptsConfigKey(srcKey)))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseSDG, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.SDGs++ })
 			graph, err := sdg.BuildWorkers(prog, pts, s.cfg.budget, s.cfg.workers)
 			if err != nil {
@@ -448,7 +484,7 @@ func (s *Session) CHA() (*cha.CallGraph, error) {
 	err = s.phase(budget.PhaseCheck, func() error {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("cha", string(s.ptsConfigKey(srcKey)))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseCheck, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.CHAs++ })
 			return cha.Build(prog, pts.Entries()), true, nil
 		})
@@ -478,7 +514,7 @@ func (s *Session) ModRef() (*modref.Result, error) {
 	err = s.phase(budget.PhaseCheck, func() error {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("modref", string(s.ptsConfigKey(srcKey)))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseCheck, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.ModRefs++ })
 			return modref.Compute(prog, pts), true, nil
 		})
@@ -513,7 +549,7 @@ func (s *Session) CSGraph() (*csslice.Graph, error) {
 	err = s.phase(budget.PhaseSDG, func() error {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("cs", string(s.ptsConfigKey(srcKey)))
-		v, err := s.cfg.store.get(key, func() (any, bool, error) {
+		v, err := s.cfg.store.get(key, budget.PhaseSDG, func() (any, bool, error) {
 			s.count(func(st *Stats) { st.CSGraphs++ })
 			return csslice.Build(prog, pts, mr), true, nil
 		})

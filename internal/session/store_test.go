@@ -1,0 +1,182 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+)
+
+// TestStorePanickingBuilderReleasesWaiters is the single-flight
+// regression test: a builder that panics must not wedge goroutines
+// waiting on the same key. Waiters receive a typed *budget.ErrInternal
+// (they do not re-run the broken build), the in-flight slot is
+// cleared, and a later healthy build succeeds.
+func TestStorePanickingBuilderReleasesWaiters(t *testing.T) {
+	st := NewStore()
+	k := hashParts("poison")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	winnerErr := make(chan error, 1)
+	go func() {
+		_, err := st.get(k, budget.PhasePointsTo, func() (any, bool, error) {
+			close(started)
+			<-release
+			panic("injected builder panic")
+		})
+		winnerErr <- err
+	}()
+	<-started
+
+	// Pile waiters onto the in-flight key, then let the builder panic.
+	const waiters = 8
+	errs := make(chan error, waiters)
+	var queued sync.WaitGroup
+	queued.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			queued.Done()
+			_, err := st.get(k, budget.PhasePointsTo, func() (any, bool, error) {
+				t.Error("waiter re-ran the panicking build")
+				return nil, false, nil
+			})
+			errs <- err
+		}()
+	}
+	queued.Wait()
+	time.Sleep(10 * time.Millisecond) // let waiters block on the entry
+	close(release)
+
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < waiters+1; i++ {
+		var err error
+		select {
+		case err = <-winnerErr:
+		case err = <-errs:
+		case <-deadline:
+			t.Fatalf("goroutine %d wedged waiting on a panicked build", i)
+		}
+		var internal *budget.ErrInternal
+		if !errors.As(err, &internal) {
+			t.Fatalf("got %v, want *budget.ErrInternal", err)
+		}
+		if internal.Phase != budget.PhasePointsTo {
+			t.Fatalf("panic error tagged phase %q, want %q", internal.Phase, budget.PhasePointsTo)
+		}
+	}
+
+	// The slot was vacated: a later build runs and caches normally.
+	v, err := st.get(k, budget.PhasePointsTo, func() (any, bool, error) {
+		return "healthy", true, nil
+	})
+	if err != nil || v != "healthy" {
+		t.Fatalf("rebuild after panic: got %v, %v", v, err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d entries after rebuild, want 1", st.Len())
+	}
+}
+
+// TestStoreLRUEviction pins the eviction policy: the entry cap holds
+// after every insert, the least-recently-used artifact goes first, and
+// a cache hit refreshes recency.
+func TestStoreLRUEviction(t *testing.T) {
+	st := NewBoundedStore(StoreLimits{MaxEntries: 3})
+	put := func(name string) {
+		t.Helper()
+		_, err := st.get(hashParts(name), budget.PhaseLoad, func() (any, bool, error) {
+			return name, true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := func(name string) bool {
+		hit := true
+		_, _ = st.get(hashParts(name), budget.PhaseLoad, func() (any, bool, error) {
+			hit = false
+			return name, true, nil
+		})
+		return hit
+	}
+
+	put("a")
+	put("b")
+	put("c")
+	put("a") // hit: refresh a's recency so b is now least recent
+	put("d") // over cap: evicts b
+	if st.Len() != 3 {
+		t.Fatalf("store has %d entries, want 3", st.Len())
+	}
+	if cached("b") {
+		t.Fatal("least-recently-used entry b survived eviction")
+	}
+	// The probe above rebuilt and re-cached b, evicting the LRU (c).
+	for _, name := range []string{"a", "d", "b"} {
+		if !cached(name) {
+			t.Fatalf("recently used entry %s was evicted", name)
+		}
+	}
+
+	stats := st.Stats()
+	if stats.Evictions < 2 {
+		t.Fatalf("Evictions = %d, want >= 2", stats.Evictions)
+	}
+	if stats.Entries != 3 {
+		t.Fatalf("stats.Entries = %d, want 3", stats.Entries)
+	}
+}
+
+// TestStoreCostCap exercises the byte-cost cap: total estimated cost
+// never exceeds the limit, and eviction metrics account what was
+// dropped.
+func TestStoreCostCap(t *testing.T) {
+	// Unknown artifact types cost the 1KiB default, so a 4KiB cap
+	// holds at most 4 entries.
+	st := NewBoundedStore(StoreLimits{MaxCost: 4 << 10})
+	for i := 0; i < 10; i++ {
+		_, err := st.get(hashParts(fmt.Sprint(i)), budget.PhaseLoad, func() (any, bool, error) {
+			return i, true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Stats().Cost; got > 4<<10 {
+			t.Fatalf("store cost %d exceeds the %d cap", got, 4<<10)
+		}
+	}
+	stats := st.Stats()
+	if stats.Entries != 4 {
+		t.Fatalf("stats.Entries = %d, want 4", stats.Entries)
+	}
+	if stats.Evictions != 6 || stats.CostEvicted != 6<<10 {
+		t.Fatalf("eviction metrics = %d evictions / %d bytes, want 6 / %d", stats.Evictions, stats.CostEvicted, 6<<10)
+	}
+}
+
+// TestStoreErrorNotCached pins the pre-existing failure semantics:
+// plain build errors vacate the slot so concurrent waiters (and later
+// callers) rebuild.
+func TestStoreErrorNotCached(t *testing.T) {
+	st := NewStore()
+	k := hashParts("flaky")
+	calls := 0
+	build := func() (any, bool, error) {
+		calls++
+		if calls == 1 {
+			return nil, false, errors.New("transient")
+		}
+		return "ok", true, nil
+	}
+	if _, err := st.get(k, budget.PhaseLoad, build); err == nil {
+		t.Fatal("first build did not error")
+	}
+	v, err := st.get(k, budget.PhaseLoad, build)
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after error: got %v, %v", v, err)
+	}
+}
