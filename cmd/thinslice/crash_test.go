@@ -1,0 +1,168 @@
+package main
+
+// Crash-recovery test for the persistent artifact cache: a serving
+// process is SIGKILLed mid-populate — no drain, no flush, exactly what
+// a power cut or OOM kill leaves behind — and a fresh process over the
+// same cache directory must answer byte-identically, serve at least
+// one artifact from disk, and pass `thinslice cache fsck`.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"thinslice/internal/papercases"
+)
+
+// TestHelperServeProcess is not a test: re-executed with the marker
+// env var set, it becomes the `thinslice serve` child process.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("THINSLICE_HELPER_SERVE") != "1" {
+		t.Skip("helper process for TestServeCrashRecovery")
+	}
+	os.Exit(run([]string{
+		"serve",
+		"-addr", "127.0.0.1:0",
+		"-cache-dir", os.Getenv("THINSLICE_HELPER_CACHE"),
+	}, os.Stdout, os.Stderr))
+}
+
+// startServe re-executes the test binary as a serving process over
+// cacheDir and returns the child plus its base URL.
+func startServe(t *testing.T, cacheDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess$")
+	cmd.Env = append(os.Environ(),
+		"THINSLICE_HELPER_SERVE=1",
+		"THINSLICE_HELPER_CACHE="+cacheDir,
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "thinslice: serving on "); ok {
+				addrCh <- addr
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("serve helper never reported its address")
+		return nil, ""
+	}
+}
+
+func postSliceRaw(t *testing.T, base string, sources map[string]string, seed string) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"sources": sources, "seed": seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(base+"/slice", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, data
+}
+
+func TestServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery test skipped in -short mode")
+	}
+	cacheDir := t.TempDir()
+	sources := map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
+	seed := fmt.Sprintf("%s:%d", papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "// SEED"))
+
+	// Phase 1: populate the cache, then SIGKILL while a second program
+	// is mid-populate — the cache dir is left in whatever state the
+	// kill happened to catch.
+	cmd1, base1 := startServe(t, cacheDir)
+	code, want := postSliceRaw(t, base1, sources, seed)
+	if code != http.StatusOK {
+		t.Fatalf("populate request: code %d body %s", code, want)
+	}
+	other := map[string]string{papercases.FirstNamesFile: papercases.FirstNames + "\n// crash variant\n"}
+	go func() {
+		// Best effort: the process dies underneath this request.
+		body, _ := json.Marshal(map[string]any{"sources": other, "seed": seed})
+		res, err := http.Post(base1+"/slice", "application/json", bytes.NewReader(body))
+		if err == nil {
+			res.Body.Close()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the populate get underway
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait() // SIGKILL: nonzero exit is expected
+
+	// Phase 2: a fresh process over the same cache dir must answer
+	// byte-identically and hit the disk tier.
+	cmd2, base2 := startServe(t, cacheDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	code, got := postSliceRaw(t, base2, sources, seed)
+	if code != http.StatusOK {
+		t.Fatalf("post-crash request: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-crash response differs:\n got: %s\nwant: %s", got, want)
+	}
+	res, err := http.Get(base2 + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Disk *struct {
+			Hits        int64 `json:"hits"`
+			Quarantines int64 `json:"quarantines"`
+		} `json:"disk"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&stats)
+	res.Body.Close()
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if stats.Disk == nil || stats.Disk.Hits == 0 {
+		t.Fatalf("post-crash server served without disk hits: %+v", stats.Disk)
+	}
+
+	// Phase 3: the surviving cache verifies clean — torn temp files
+	// from the kill are invisible, published entries are intact.
+	var out bytes.Buffer
+	if code := run([]string{"cache", "fsck", "-dir", cacheDir}, &out, &out); code != exitOK {
+		t.Fatalf("cache fsck exit %d:\n%s", code, &out)
+	}
+	if !strings.Contains(out.String(), "0 corrupt") {
+		t.Fatalf("fsck reported corruption:\n%s", &out)
+	}
+}

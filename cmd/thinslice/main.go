@@ -54,6 +54,7 @@ import (
 	"thinslice/internal/core"
 	"thinslice/internal/core/expand"
 	"thinslice/internal/csslice"
+	"thinslice/internal/diskstore"
 	"thinslice/internal/interp"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/token"
@@ -81,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runCheck(args[1:], stdout, stderr)
 		case "serve":
 			return runServe(args[1:], stdout, stderr)
+		case "cache":
+			return runCache(args[1:], stdout, stderr)
 		}
 	}
 	return runSlice(args, stdout, stderr)
@@ -265,6 +268,9 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	breakerBackoff := fs.Duration("breaker-backoff", 0, "initial circuit-open window, doubling per re-open (0 = 500ms)")
 	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
 	maxRequestBytes := fs.Int64("max-request-bytes", 0, "request body size cap (0 = 4 MiB)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory; artifacts survive restarts (empty = memory only)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache size cap in bytes (0 = 256 MiB)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: thinslice serve [flags]")
 		fs.PrintDefaults()
@@ -277,7 +283,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		QueueWait:       *queueWait,
@@ -289,7 +295,13 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		StoreBytes:      *storeBytes,
 		BreakerFailures: *breakerFailures,
 		BreakerBackoff:  *breakerBackoff,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMaxBytes,
+		EnablePprof:     *pprofFlag,
 	})
+	if err != nil {
+		return fail(stderr, err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -303,6 +315,66 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "thinslice: drained, bye")
 	return exitOK
+}
+
+// runCache implements the `thinslice cache` subcommand: offline
+// maintenance of the persistent artifact cache written by `serve
+// -cache-dir`.
+//
+//	thinslice cache fsck [-repair] -dir DIR   verify every entry
+//	thinslice cache gc -dir DIR               drop quarantine/tmp, re-apply budget
+//
+// fsck exits 0 when every entry verifies and 1 when any is corrupt.
+func runCache(args []string, stdout, stderr io.Writer) int {
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: thinslice cache fsck [-repair] -dir cache-dir")
+		fmt.Fprintln(stderr, "       thinslice cache gc [-max-bytes n] -dir cache-dir")
+	}
+	if len(args) == 0 {
+		usage()
+		return exitUsage
+	}
+	verb := args[0]
+	fs := flag.NewFlagSet("thinslice cache "+verb, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "cache directory (as given to serve -cache-dir)")
+	maxBytes := fs.Int64("max-bytes", 0, "cache size cap in bytes (0 = 256 MiB)")
+	repair := fs.Bool("repair", false, "quarantine corrupt entries instead of only reporting them (fsck)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return exitUsage
+	}
+	if *dir == "" || fs.NArg() != 0 {
+		usage()
+		return exitUsage
+	}
+	cache, err := diskstore.Open(*dir, *maxBytes)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	switch verb {
+	case "fsck":
+		entries := cache.Fsck(*repair)
+		corrupt := 0
+		for _, e := range entries {
+			if e.Err != nil {
+				corrupt++
+				fmt.Fprintf(stdout, "corrupt %s: %v\n", e.Key, e.Err)
+			}
+		}
+		fmt.Fprintf(stdout, "fsck: %d entries, %d corrupt\n", len(entries), corrupt)
+		if corrupt > 0 {
+			return exitFailure
+		}
+		return exitOK
+	case "gc":
+		removed := cache.GC()
+		st := cache.Stats()
+		fmt.Fprintf(stdout, "gc: removed %d files; %d entries, %d bytes kept\n", removed, st.Entries, st.Bytes)
+		return exitOK
+	default:
+		usage()
+		return exitUsage
+	}
 }
 
 // runSlice implements the default slicing mode.

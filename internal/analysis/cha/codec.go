@@ -1,0 +1,69 @@
+package cha
+
+// Persistent encoding of a CallGraph (package artifact's "cha"
+// payload). The subclass index is a pure function of the class
+// hierarchy, so only reachability is stored; DecodeCallGraph rebuilds
+// the index exactly as Build does.
+
+import (
+	"fmt"
+	"sort"
+
+	"thinslice/internal/artifact"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+)
+
+// EncodeCallGraph returns the persistent payload for g.
+func EncodeCallGraph(g *CallGraph) ([]byte, error) {
+	var reach []string
+	for m := range g.reachable {
+		reach = append(reach, m.Sig.QualifiedName())
+	}
+	sort.Strings(reach)
+	var w artifact.Writer
+	w.Uvarint(uint64(len(reach)))
+	for _, n := range reach {
+		w.String(n)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCallGraph rebuilds a CallGraph from data against prog. Any
+// structural fault in data is an error.
+func DecodeCallGraph(data []byte, prog *ir.Program) (*CallGraph, error) {
+	g := &CallGraph{
+		prog:       prog,
+		subclasses: make(map[*types.ClassInfo][]*types.ClassInfo),
+		reachable:  make(map[*ir.Method]bool),
+	}
+	for _, ci := range prog.Info.Classes {
+		for c := ci; c != nil; c = c.Super {
+			g.subclasses[c] = append(g.subclasses[c], ci)
+		}
+	}
+	for _, subs := range g.subclasses {
+		sort.Slice(subs, func(i, j int) bool { return subs[i].Name < subs[j].Name })
+	}
+	byName := make(map[string]*ir.Method, len(prog.Methods))
+	for _, m := range prog.Methods {
+		byName[m.Sig.QualifiedName()] = m
+	}
+	r := artifact.NewReader(data)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		qname := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		m, ok := byName[qname]
+		if !ok {
+			return nil, fmt.Errorf("cha: decode: unknown method %q", qname)
+		}
+		g.reachable[m] = true
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,403 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thinslice/internal/artifact"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("artifact bytes")
+	if err := c.Put("ir", testKey(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("ir", testKey(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := c.Get("ir", testKey(2)); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWarmReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put("pts", testKey(i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh process over the same directory sees every entry.
+	c2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := c2.Get("pts", testKey(i))
+		if !ok || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("entry %d: %q, %v", i, got, ok)
+		}
+	}
+	if s := c2.Stats(); s.Entries != 5 || s.Hits != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Records have container overhead; size the budget so roughly three
+	// 1 KiB payloads fit.
+	c, err := Open(dir, 3500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 3; i++ {
+		if err := c.Put("ir", testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0 so entry 1 is now the LRU.
+	if _, ok := c.Get("ir", testKey(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if err := c.Put("ir", testKey(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("ir", testKey(1)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 3} {
+		if _, ok := c.Get("ir", testKey(i)); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	if s := c.Stats(); s.Evictions == 0 || s.EvictedBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 1024)
+	for i := 0; i < 3; i++ {
+		if err := c.Put("ir", testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen with a budget that only fits two entries: the manifest's
+	// access order makes entry 0 (oldest) the one to go.
+	c2, err := Open(dir, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("ir", testKey(0)); ok {
+		t.Fatal("oldest entry survived reopen under a smaller budget")
+	}
+	for _, i := range []int{1, 2} {
+		if _, ok := c2.Get("ir", testKey(i)); !ok {
+			t.Fatalf("entry %d lost on reopen", i)
+		}
+	}
+}
+
+func TestCorruptionQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("sdg", testKey(7), []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of the published file, as bit rot would.
+	path := filepath.Join(dir, objectsDir, testKey(7)+entryExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("sdg", testKey(7)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	s := c.Stats()
+	if s.Quarantines != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The corrupt file was preserved under quarantine/.
+	qs, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(qs), err)
+	}
+	// Subsequent gets are plain misses, not repeated quarantines.
+	if _, ok := c.Get("sdg", testKey(7)); ok {
+		t.Fatal("entry resurrected")
+	}
+	if s := c.Stats(); s.Quarantines != 1 {
+		t.Fatalf("repeat get re-quarantined: %+v", s)
+	}
+}
+
+func TestVersionSkewQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a valid record of a future codec version: bump the
+	// codec byte and re-checksum, as a newer build would have written.
+	rec := artifact.Encode("ir", testKey(9), []byte("future payload"))
+	rec = rec[:len(rec)-4]
+	rec[len("TSART\x00")+1]++ // codec version byte
+	sum := crc32Castagnoli(rec)
+	rec = append(rec, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+	path := filepath.Join(dir, objectsDir, testKey(9)+entryExt)
+	if err := os.WriteFile(path, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The scan-based index only sees the file on reopen.
+	c2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("ir", testKey(9)); ok {
+		t.Fatal("version-skewed entry served")
+	}
+	if s := c2.Stats(); s.Quarantines != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	_ = c
+}
+
+func TestCrashedTempFilesCleanedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer killed mid-write: partial bytes in tmp/.
+	torn := filepath.Join(dir, tmpDir, "deadbeef.12345")
+	if err := os.WriteFile(torn, []byte("partial rec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("torn temp file survived reopen")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("torn write became an entry: %+v", s)
+	}
+}
+
+func TestCorruptManifestIgnored(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("ir", testKey(1), []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("ir", testKey(1)); !ok {
+		t.Fatal("entry lost to a corrupt manifest")
+	}
+}
+
+func TestIOHookFaults(t *testing.T) {
+	t.Run("eio-on-write", func(t *testing.T) {
+		c, err := Open(t.TempDir(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := SetIOHook(func(op Op, path string, data []byte) ([]byte, error) {
+			if op == OpWrite {
+				return nil, errors.New("injected EIO")
+			}
+			return data, nil
+		})
+		defer restore()
+		if err := c.Put("ir", testKey(1), []byte("p")); err == nil {
+			t.Fatal("Put succeeded under injected EIO")
+		}
+		restore()
+		if _, ok := c.Get("ir", testKey(1)); ok {
+			t.Fatal("failed Put left a readable entry")
+		}
+		if s := c.Stats(); s.PutErrors != 1 || s.Entries != 0 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+	t.Run("bit-flip-on-write", func(t *testing.T) {
+		c, err := Open(t.TempDir(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := SetIOHook(func(op Op, path string, data []byte) ([]byte, error) {
+			if op == OpWrite {
+				flipped := append([]byte(nil), data...)
+				flipped[len(flipped)/3] ^= 0x40
+				return flipped, nil
+			}
+			return data, nil
+		})
+		// The flipped record publishes "successfully"...
+		if err := c.Put("ir", testKey(2), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		restore()
+		// ...but the read path detects and quarantines it.
+		if _, ok := c.Get("ir", testKey(2)); ok {
+			t.Fatal("bit-flipped record served")
+		}
+		if s := c.Stats(); s.Quarantines != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+	t.Run("short-read", func(t *testing.T) {
+		c, err := Open(t.TempDir(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put("ir", testKey(3), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		restore := SetIOHook(func(op Op, path string, data []byte) ([]byte, error) {
+			if op == OpRead {
+				return data[:len(data)/2], nil
+			}
+			return data, nil
+		})
+		defer restore()
+		if _, ok := c.Get("ir", testKey(3)); ok {
+			t.Fatal("short read served")
+		}
+		if s := c.Stats(); s.Quarantines != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+}
+
+func TestFsck(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put("ir", testKey(i), []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one entry on disk.
+	path := filepath.Join(dir, objectsDir, testKey(1)+entryExt)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := c.Fsck(false)
+	bad := 0
+	for _, fe := range report {
+		if fe.Err != nil {
+			bad++
+			if fe.Key != testKey(1) {
+				t.Fatalf("wrong entry flagged: %s", fe.Key)
+			}
+		} else if fe.Kind != "ir" {
+			t.Fatalf("entry %s kind = %q", fe.Key, fe.Kind)
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("fsck found %d corrupt entries, want 1", bad)
+	}
+	// Without repair the entry is still indexed; with repair it is
+	// quarantined.
+	if s := c.Stats(); s.Entries != 3 {
+		t.Fatalf("fsck without repair changed the index: %+v", s)
+	}
+	c.Fsck(true)
+	if s := c.Stats(); s.Entries != 2 || s.Quarantines != 1 {
+		t.Fatalf("fsck repair: %+v", s)
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("ir", testKey(1), []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	// Force a quarantined file and a stray temp file.
+	path := filepath.Join(dir, objectsDir, testKey(1)+entryExt)
+	os.WriteFile(path, []byte("bad"), 0o644)
+	c.Get("ir", testKey(1))
+	os.WriteFile(filepath.Join(dir, tmpDir, "stray.tmp"), []byte("x"), 0o644)
+	if n := c.GC(); n != 2 {
+		t.Fatalf("GC removed %d files, want 2", n)
+	}
+	qs, _ := os.ReadDir(filepath.Join(dir, quarantineDir))
+	ts, _ := os.ReadDir(filepath.Join(dir, tmpDir))
+	if len(qs) != 0 || len(ts) != 0 {
+		t.Fatalf("GC left %d quarantined, %d temp files", len(qs), len(ts))
+	}
+}
+
+func TestStrayFilesIgnoredOnScan(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, objectsDir, "README.txt"), []byte("hello"), 0o644)
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stray file indexed: %+v", s)
+	}
+}
+
+// crc32Castagnoli mirrors the artifact container's checksum for the
+// version-skew test.
+func crc32Castagnoli(b []byte) uint32 {
+	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
+}

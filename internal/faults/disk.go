@@ -1,0 +1,157 @@
+package faults
+
+// Disk-fault injection for the persistent artifact cache
+// (internal/diskstore). A DiskRegistry holds deterministic rules —
+// match a disk operation and/or a path substring, then fail with EIO,
+// tear the write, shorten the read, or flip a bit — and installs
+// itself into the diskstore I/O hook (diskstore.SetIOHook). The
+// robustness suites use it to prove the read path quarantines every
+// corruption instead of serving it, and that the write path never
+// publishes a torn record.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"thinslice/internal/diskstore"
+)
+
+// DiskMode selects what a matching disk rule does to the operation.
+type DiskMode int
+
+const (
+	// EIO fails the operation with a synthetic I/O error, as a dying
+	// disk would.
+	EIO DiskMode = iota
+	// TornWrite hands the store only a prefix of the bytes and fails
+	// the write — a crash mid-write. Nothing may be published.
+	TornWrite
+	// ShortRead silently returns only a prefix of the stored bytes —
+	// a truncated file. The container checksum must catch it.
+	ShortRead
+	// BitFlip silently flips one bit in the data. On a read the
+	// checksum must catch it; on a write the corrupt record is
+	// published and must be caught by the next read.
+	BitFlip
+)
+
+// DiskRule injects one disk fault wherever it matches. The zero value
+// matches every operation on every path and fires forever.
+type DiskRule struct {
+	// Op restricts the rule to one operation ("" = any).
+	Op diskstore.Op
+	// PathContains restricts the rule to paths containing this
+	// substring — a store key, a directory name ("" = any).
+	PathContains string
+
+	Mode DiskMode
+
+	// After skips the first After matches; Times then fires at most
+	// Times times (0 = no limit), as for Rule.
+	After int
+	Times int
+}
+
+// DiskHandle tracks one registered disk rule's fire count.
+type DiskHandle struct {
+	rule    DiskRule
+	mu      sync.Mutex
+	matched int
+	fired   int
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (h *DiskHandle) Fired() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+func (h *DiskHandle) take() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.matched++
+	if h.matched <= h.rule.After {
+		return false
+	}
+	if h.rule.Times > 0 && h.fired >= h.rule.Times {
+		return false
+	}
+	h.fired++
+	return true
+}
+
+// DiskRegistry is a set of disk-fault rules. Safe for concurrent use;
+// the zero value is not valid, use NewDiskRegistry.
+type DiskRegistry struct {
+	mu    sync.Mutex
+	rules []*DiskHandle
+}
+
+// NewDiskRegistry returns an empty registry.
+func NewDiskRegistry() *DiskRegistry { return &DiskRegistry{} }
+
+// Add registers a rule and returns its handle for fire-count
+// assertions.
+func (r *DiskRegistry) Add(rule DiskRule) *DiskHandle {
+	h := &DiskHandle{rule: rule}
+	r.mu.Lock()
+	r.rules = append(r.rules, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Clear drops every rule.
+func (r *DiskRegistry) Clear() {
+	r.mu.Lock()
+	r.rules = nil
+	r.mu.Unlock()
+}
+
+// Install wires the registry into the diskstore I/O hook and returns
+// an uninstall func restoring the previous hook.
+func (r *DiskRegistry) Install() (uninstall func()) {
+	return diskstore.SetIOHook(r.hook)
+}
+
+// hook is the diskstore.IOHook: first matching rule that fires wins.
+func (r *DiskRegistry) hook(op diskstore.Op, path string, data []byte) ([]byte, error) {
+	r.mu.Lock()
+	rules := make([]*DiskHandle, len(r.rules))
+	copy(rules, r.rules)
+	r.mu.Unlock()
+	for _, h := range rules {
+		if h.rule.Op != "" && h.rule.Op != op {
+			continue
+		}
+		if h.rule.PathContains != "" && !strings.Contains(path, h.rule.PathContains) {
+			continue
+		}
+		if !h.take() {
+			continue
+		}
+		return fireDisk(h.rule, op, path, data)
+	}
+	return data, nil
+}
+
+func fireDisk(rule DiskRule, op diskstore.Op, path string, data []byte) ([]byte, error) {
+	switch rule.Mode {
+	case EIO:
+		return data, fmt.Errorf("faults: injected EIO on %s %s", op, filepath.Base(path))
+	case TornWrite:
+		return data[:len(data)/2], fmt.Errorf("faults: injected torn write on %s", filepath.Base(path))
+	case ShortRead:
+		return data[:len(data)/2], nil
+	case BitFlip:
+		mutated := append([]byte(nil), data...)
+		if len(mutated) > 0 {
+			mutated[len(mutated)/2] ^= 0x40
+		}
+		return mutated, nil
+	default:
+		panic(fmt.Sprintf("faults: unknown disk mode %d", rule.Mode))
+	}
+}

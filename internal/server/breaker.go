@@ -172,6 +172,27 @@ func (b *breaker) tracked() (keys, open int) {
 	return len(b.m), open
 }
 
+// stateCounts breaks the tracked programs down by circuit state at this
+// instant: closed (still counting consecutive failures), open (hard
+// rejecting until the backoff deadline), and half-open (past the
+// deadline, so the next request becomes — or already is — a probe).
+func (b *breaker) stateCounts() (closed, open, halfOpen int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.now()
+	for _, st := range b.m {
+		switch {
+		case !st.open:
+			closed++
+		case st.openUntil.After(now) && !st.probing:
+			open++
+		default:
+			halfOpen++
+		}
+	}
+	return closed, open, halfOpen
+}
+
 // evictOverCapLocked drops the least recently touched state to make
 // room for one more. Called with b.mu held.
 func (b *breaker) evictOverCapLocked() {

@@ -27,11 +27,24 @@ type serveBenchRow struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 }
 
+// coldStartRow records the first-request latency of a freshly started
+// server — the restart cost the persistent disk cache exists to cut.
+type coldStartRow struct {
+	// Scenario is "empty_cache" (full rebuild) or "disk_warm" (every
+	// artifact decoded from the persistent cache).
+	Scenario string `json:"scenario"`
+	// Trials first requests, each on a brand-new server.
+	Trials int `json:"trials"`
+	// MeanFirstRequestUS is the mean first-request wall time.
+	MeanFirstRequestUS float64 `json:"mean_first_request_us"`
+}
+
 type serveBenchReport struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Workers    int             `json:"workers"`
 	Note       string          `json:"note"`
 	Rows       []serveBenchRow `json:"rows"`
+	ColdStart  []coldStartRow  `json:"cold_start"`
 }
 
 // TestRecordServeBenchmarks measures warm-cache request latency and
@@ -43,7 +56,7 @@ func TestRecordServeBenchmarks(t *testing.T) {
 		t.Skip("benchmark recording skipped in -short mode")
 	}
 	workers := max(runtime.GOMAXPROCS(0), 2)
-	srv := New(Config{Workers: workers, QueueDepth: 64, QueueWait: 10 * time.Second})
+	srv := mustNew(t, Config{Workers: workers, QueueDepth: 64, QueueWait: 10 * time.Second})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -121,6 +134,37 @@ func TestRecordServeBenchmarks(t *testing.T) {
 	if st := srv.store.Stats(); st.Hits == 0 {
 		t.Error("benchmark never hit the warm store; the numbers measure cold builds")
 	}
+
+	// Cold-start-after-restart: the first request on a fresh server
+	// (empty in-memory store), against an empty cache dir vs one left
+	// warm by a previous server over the same sources.
+	warmDir := t.TempDir()
+	firstRequest := func(cfg Config) time.Duration {
+		srv := mustNew(t, cfg)
+		fresh := httptest.NewServer(srv.Handler())
+		defer fresh.Close()
+		start := time.Now()
+		res, err := http.Post(fresh.URL+"/slice", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("cold-start request failed: HTTP %d", res.StatusCode)
+		}
+		return time.Since(start)
+	}
+	firstRequest(Config{Workers: workers, CacheDir: warmDir}) // populate the disk tier
+	const trials = 5
+	var emptySum, warmSum time.Duration
+	for i := 0; i < trials; i++ {
+		emptySum += firstRequest(Config{Workers: workers, CacheDir: t.TempDir()})
+		warmSum += firstRequest(Config{Workers: workers, CacheDir: warmDir})
+	}
+	report.ColdStart = []coldStartRow{
+		{Scenario: "empty_cache", Trials: trials, MeanFirstRequestUS: float64(emptySum) / trials / float64(time.Microsecond)},
+		{Scenario: "disk_warm", Trials: trials, MeanFirstRequestUS: float64(warmSum) / trials / float64(time.Microsecond)},
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -131,5 +175,8 @@ func TestRecordServeBenchmarks(t *testing.T) {
 	for _, r := range report.Rows {
 		fmt.Printf("serve bench: %2d clients  mean %7.0fus  p99 %7.0fus  %7.1f req/s\n",
 			r.Clients, r.MeanLatencyUS, r.P99LatencyUS, r.ThroughputRPS)
+	}
+	for _, r := range report.ColdStart {
+		fmt.Printf("serve bench: cold start %-11s  first request %7.0fus\n", r.Scenario, r.MeanFirstRequestUS)
 	}
 }

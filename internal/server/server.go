@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 	"thinslice/internal/budget"
 	"thinslice/internal/checkers"
 	"thinslice/internal/core"
+	"thinslice/internal/diskstore"
 	"thinslice/internal/session"
 )
 
@@ -78,6 +80,18 @@ type Config struct {
 	BreakerFailures   int
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
+	// CacheDir enables the persistent artifact cache: analysis
+	// artifacts are encoded to a crash-safe content-addressed disk
+	// store under this directory and survive process restarts. Empty
+	// (the default) keeps the cache purely in memory.
+	CacheDir string
+	// CacheMaxBytes bounds the disk cache (0 = 256 MiB); the least
+	// recently used artifacts are evicted beyond it.
+	CacheMaxBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
+	// default: the profiler is a debugging backdoor, not a public
+	// endpoint.
+	EnablePprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -175,9 +189,11 @@ type Finding struct {
 	Message string `json:"message"`
 }
 
-// Stats is the /statsz payload.
+// Stats is the /statsz payload. Disk is nil (absent from the JSON)
+// when the server runs without a persistent cache.
 type Stats struct {
 	Store    session.StoreStats `json:"store"`
+	Disk     *diskstore.Stats   `json:"disk,omitempty"`
 	Breaker  BreakerStats       `json:"breaker"`
 	Running  int                `json:"running"`
 	Queued   int                `json:"queued"`
@@ -185,10 +201,17 @@ type Stats struct {
 	Draining bool               `json:"draining"`
 }
 
-// BreakerStats summarizes circuit-breaker state.
+// BreakerStats summarizes circuit-breaker state: how many programs
+// carry state at all, and the per-state breakdown (closed + open +
+// half_open = tracked_programs). OpenCircuits keeps its original
+// meaning — circuits not yet settled back to closed — so it equals
+// open + half_open.
 type BreakerStats struct {
 	TrackedPrograms int `json:"tracked_programs"`
 	OpenCircuits    int `json:"open_circuits"`
+	Closed          int `json:"closed"`
+	Open            int `json:"open"`
+	HalfOpen        int `json:"half_open"`
 }
 
 // RequestStats counts finished requests by outcome.
@@ -226,6 +249,7 @@ func (m *metrics) snapshot() RequestStats {
 type Server struct {
 	cfg      Config
 	store    *session.Store
+	disk     *diskstore.Cache
 	breaker  *breaker
 	admit    *admission
 	mux      *http.ServeMux
@@ -233,11 +257,22 @@ type Server struct {
 	metrics  metrics
 }
 
-// New builds a Server, filling config defaults.
-func New(cfg Config) *Server {
+// New builds a Server, filling config defaults. It fails only when a
+// configured CacheDir cannot be opened — a server without a persistent
+// cache never errors.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	var disk *diskstore.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = diskstore.Open(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("opening cache dir %s: %w", cfg.CacheDir, err)
+		}
+	}
 	s := &Server{
-		cfg: cfg,
+		cfg:  cfg,
+		disk: disk,
 		store: session.NewBoundedStore(session.StoreLimits{
 			MaxEntries: max(cfg.StoreEntries, 0),
 			MaxCost:    max(cfg.StoreBytes, 0),
@@ -272,7 +307,14 @@ func New(cfg Config) *Server {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.Stats())
 	})
-	return s
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -280,16 +322,27 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats snapshots the server's observable state.
 func (s *Server) Stats() Stats {
-	keys, open := s.breaker.tracked()
+	closed, open, halfOpen := s.breaker.stateCounts()
 	running, queued := s.admit.load()
-	return Stats{
-		Store:    s.store.Stats(),
-		Breaker:  BreakerStats{TrackedPrograms: keys, OpenCircuits: open},
+	st := Stats{
+		Store: s.store.Stats(),
+		Breaker: BreakerStats{
+			TrackedPrograms: closed + open + halfOpen,
+			OpenCircuits:    open + halfOpen,
+			Closed:          closed,
+			Open:            open,
+			HalfOpen:        halfOpen,
+		},
 		Running:  running,
 		Queued:   queued,
 		Requests: s.metrics.snapshot(),
 		Draining: s.draining.Load(),
 	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
 }
 
 // Run serves ln until ctx is cancelled, then drains gracefully: new
@@ -449,6 +502,9 @@ func (s *Server) openSession(req *Request, bud *budget.Budget) *session.Session 
 		session.InStore(s.store),
 		session.WithBudget(bud),
 		session.WithObjSens(!req.NoObjSens),
+	}
+	if s.disk != nil {
+		opts = append(opts, session.WithDiskCache(s.disk))
 	}
 	return session.Open(req.Sources, opts...)
 }

@@ -32,6 +32,17 @@ func testConfig() Config {
 	}
 }
 
+// mustNew builds a Server or fails the test; New errors only on an
+// unopenable cache dir, which no default test config has.
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func firstNames() map[string]string {
 	return map[string]string{papercases.FirstNamesFile: papercases.FirstNames}
 }
@@ -60,7 +71,7 @@ func post(t *testing.T, base, path string, req any) (int, Response, http.Header)
 }
 
 func TestSliceEndpoint(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -85,7 +96,7 @@ func TestSliceEndpoint(t *testing.T) {
 }
 
 func TestBatchEndpoint(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -108,7 +119,7 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestCheckEndpoint(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -122,7 +133,7 @@ func TestCheckEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -164,7 +175,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestProgramErrorIsTyped(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -184,7 +195,7 @@ func TestProgramErrorIsTyped(t *testing.T) {
 // phase and surfaces as a typed, phase-tagged deadline response — the
 // worker is freed, not stuck.
 func TestDeadlinePropagation(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -211,7 +222,7 @@ func TestDeadlinePropagation(t *testing.T) {
 func TestSaturationSheds(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers, cfg.QueueDepth, cfg.QueueWait = 1, 1, 100*time.Millisecond
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -264,7 +275,7 @@ func TestSaturationSheds(t *testing.T) {
 // cached typed error without running analysis — and the circuit
 // recovers via a half-open probe once the program stops failing.
 func TestBreakerShortCircuitsPoisonedProgram(t *testing.T) {
-	srv := New(testConfig()) // BreakerFailures: 2, backoff 100ms
+	srv := mustNew(t, testConfig()) // BreakerFailures: 2, backoff 100ms
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -318,7 +329,7 @@ func TestBreakerShortCircuitsPoisonedProgram(t *testing.T) {
 // TestDrainingResponses: a draining server answers typed 503s on the
 // analysis endpoints and 503 on /readyz while /healthz stays 200.
 func TestDrainingResponses(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	srv.draining.Store(true)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -348,7 +359,7 @@ func TestDrainingResponses(t *testing.T) {
 // TestGracefulDrain: cancelling Run's context lets the in-flight
 // request finish before the listener goes away for good.
 func TestGracefulDrain(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -390,7 +401,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestStatszWellFormed: the observability endpoint returns the typed
 // stats snapshot.
 func TestStatszWellFormed(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -71,7 +71,7 @@ func TestSoakFaultInjection(t *testing.T) {
 	}
 	baseline := runtime.NumGoroutine()
 
-	srv := New(Config{
+	srv := mustNew(t, Config{
 		Workers:           4,
 		QueueDepth:        8,
 		QueueWait:         150 * time.Millisecond,
@@ -276,7 +276,7 @@ func truncateStack(s string) string {
 // store churn, a program queried every round stays cached (LRU keeps
 // it at the front) while one-shot programs are evicted around it.
 func TestSoakWarmStoreKeepsHotProgramWarm(t *testing.T) {
-	srv := New(Config{
+	srv := mustNew(t, Config{
 		Workers:      2,
 		StoreEntries: 12, // hot program needs ~6 artifacts; leave room for churn
 		StoreBytes:   soakStoreBytes,

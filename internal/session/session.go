@@ -32,6 +32,7 @@ import (
 	"thinslice/internal/analysis/pointsto"
 	"thinslice/internal/budget"
 	"thinslice/internal/csslice"
+	"thinslice/internal/diskstore"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/ast"
 	"thinslice/internal/lang/parser"
@@ -63,6 +64,7 @@ type config struct {
 	budget     *budget.Budget
 	workers    int
 	store      *Store
+	disk       *diskstore.Cache
 }
 
 // Option configures Open.
@@ -99,6 +101,13 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // InStore places the session's artifacts in an existing store, sharing
 // them with every other session using that store.
 func InStore(st *Store) Option { return func(c *config) { c.store = st } }
+
+// WithDiskCache layers a persistent disk tier under the in-memory
+// store: on a store miss the session first tries to decode the artifact
+// from disk, and successful builds are encoded and published there. A
+// disk entry that fails verification or decoding is quarantined and the
+// artifact rebuilt — disk corruption never surfaces as a session error.
+func WithDiskCache(c *diskstore.Cache) Option { return func(cfg *config) { cfg.disk = c } }
 
 // Session is a stateful analysis over one evolving source set. All
 // accessors are safe for concurrent use; artifacts are immutable.
@@ -279,6 +288,43 @@ func parsedPrelude() ([]*ast.ClassDecl, bool, error) {
 	return preludeCache.classes, false, nil
 }
 
+// diskGet returns the verified record payload stored under (kind, key)
+// in the session's disk tier, or nil. Container-level corruption is
+// already quarantined inside the cache.
+func (s *Session) diskGet(kind string, key Key) []byte {
+	if s.cfg.disk == nil {
+		return nil
+	}
+	payload, ok := s.cfg.disk.Get(kind, string(key))
+	if !ok {
+		return nil
+	}
+	return payload
+}
+
+// diskQuarantine reports a record whose container verified but whose
+// payload failed structural decoding — content corruption the artifact
+// layer cannot see. The entry is removed so the rebuild can re-publish.
+func (s *Session) diskQuarantine(kind string, key Key, err error) {
+	if s.cfg.disk != nil {
+		s.cfg.disk.Quarantine(kind, string(key), err.Error())
+	}
+}
+
+// diskPut encodes and publishes an artifact. Encode or publish failures
+// are swallowed: persistence is an optimization, never a correctness
+// dependency.
+func (s *Session) diskPut(kind string, key Key, encode func() ([]byte, error)) {
+	if s.cfg.disk == nil {
+		return
+	}
+	payload, err := encode()
+	if err != nil {
+		return
+	}
+	_ = s.cfg.disk.Put(kind, string(key), payload)
+}
+
 // parseResult is the cached artifact of parsing one file. Parse errors
 // are deterministic properties of the content, so they are cached too
 // (as values, not store errors).
@@ -357,11 +403,19 @@ func (s *Session) Prog() (*ir.Program, error) {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("ir", string(srcKey), strconv.FormatBool(s.cfg.verifyIR))
 		v, err := s.cfg.store.get(key, budget.PhaseLower, func() (any, bool, error) {
+			if payload := s.diskGet("ir", key); payload != nil {
+				if p, derr := ir.DecodeProgram(payload, info); derr == nil {
+					return p, true, nil
+				} else {
+					s.diskQuarantine("ir", key, derr)
+				}
+			}
 			s.count(func(st *Stats) { st.Lowers++ })
 			p := ir.LowerWorkers(info, s.cfg.workers)
 			if len(p.Diags) > 0 {
 				return nil, false, p.Diags
 			}
+			s.diskPut("ir", key, func() ([]byte, error) { return ir.EncodeProgram(p) })
 			return p, true, nil
 		})
 		if err != nil {
@@ -409,7 +463,15 @@ func (s *Session) PointsTo() (*pointsto.Result, error) {
 			return err
 		}
 		_, _, srcKey := s.snapshot()
-		v, err := s.cfg.store.get(s.ptsConfigKey(srcKey), budget.PhasePointsTo, func() (any, bool, error) {
+		key := s.ptsConfigKey(srcKey)
+		v, err := s.cfg.store.get(key, budget.PhasePointsTo, func() (any, bool, error) {
+			if payload := s.diskGet("pts", key); payload != nil {
+				if res, derr := pointsto.DecodeResult(payload, prog); derr == nil {
+					return res, true, nil
+				} else {
+					s.diskQuarantine("pts", key, derr)
+				}
+			}
 			s.count(func(st *Stats) { st.PointsTos++ })
 			res, err := pointsto.Analyze(prog, pointsto.Config{
 				Entries:           entries,
@@ -420,7 +482,11 @@ func (s *Session) PointsTo() (*pointsto.Result, error) {
 			if err != nil {
 				return nil, false, err
 			}
-			return res, !res.Truncated && !res.Downgraded, nil
+			cacheable := !res.Truncated && !res.Downgraded
+			if cacheable {
+				s.diskPut("pts", key, func() ([]byte, error) { return pointsto.EncodeResult(res) })
+			}
+			return res, cacheable, nil
 		})
 		if err != nil {
 			return err
@@ -450,10 +516,20 @@ func (s *Session) Graph() (*sdg.Graph, error) {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("sdg", string(s.ptsConfigKey(srcKey)))
 		v, err := s.cfg.store.get(key, budget.PhaseSDG, func() (any, bool, error) {
+			if payload := s.diskGet("sdg", key); payload != nil {
+				if graph, derr := sdg.DecodeGraph(payload, prog, pts); derr == nil {
+					return graph, true, nil
+				} else {
+					s.diskQuarantine("sdg", key, derr)
+				}
+			}
 			s.count(func(st *Stats) { st.SDGs++ })
 			graph, err := sdg.BuildWorkers(prog, pts, s.cfg.budget, s.cfg.workers)
 			if err != nil {
 				return nil, false, err
+			}
+			if !graph.Truncated {
+				s.diskPut("sdg", key, func() ([]byte, error) { return sdg.EncodeGraph(graph) })
 			}
 			return graph, !graph.Truncated, nil
 		})
@@ -485,8 +561,17 @@ func (s *Session) CHA() (*cha.CallGraph, error) {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("cha", string(s.ptsConfigKey(srcKey)))
 		v, err := s.cfg.store.get(key, budget.PhaseCheck, func() (any, bool, error) {
+			if payload := s.diskGet("cha", key); payload != nil {
+				if decoded, derr := cha.DecodeCallGraph(payload, prog); derr == nil {
+					return decoded, true, nil
+				} else {
+					s.diskQuarantine("cha", key, derr)
+				}
+			}
 			s.count(func(st *Stats) { st.CHAs++ })
-			return cha.Build(prog, pts.Entries()), true, nil
+			built := cha.Build(prog, pts.Entries())
+			s.diskPut("cha", key, func() ([]byte, error) { return cha.EncodeCallGraph(built) })
+			return built, true, nil
 		})
 		if err != nil {
 			return err
@@ -515,8 +600,17 @@ func (s *Session) ModRef() (*modref.Result, error) {
 		_, _, srcKey := s.snapshot()
 		key := hashParts("modref", string(s.ptsConfigKey(srcKey)))
 		v, err := s.cfg.store.get(key, budget.PhaseCheck, func() (any, bool, error) {
+			if payload := s.diskGet("modref", key); payload != nil {
+				if decoded, derr := modref.DecodeResult(payload, prog, pts); derr == nil {
+					return decoded, true, nil
+				} else {
+					s.diskQuarantine("modref", key, derr)
+				}
+			}
 			s.count(func(st *Stats) { st.ModRefs++ })
-			return modref.Compute(prog, pts), true, nil
+			computed := modref.Compute(prog, pts)
+			s.diskPut("modref", key, func() ([]byte, error) { return modref.EncodeResult(computed) })
+			return computed, true, nil
 		})
 		if err != nil {
 			return err
