@@ -56,7 +56,8 @@ func TestBitsetOrDiffAgainstModel(t *testing.T) {
 			b.add(i)
 			mb[i] = true
 		}
-		diff := a.orDiff(b)
+		var sv solver
+		diff := sv.orDiff(&a, b)
 		// a must now be the union.
 		for i := 0; i < 512; i++ {
 			want := ma[i] || mb[i]
@@ -122,10 +123,27 @@ func TestBitsetEmpty(t *testing.T) {
 	}
 }
 
-func TestTrailingZeros(t *testing.T) {
-	for i := 0; i < 64; i++ {
-		if got := trailingZeros(uint64(1) << i); got != i {
-			t.Errorf("trailingZeros(1<<%d) = %d", i, got)
+func TestBitsetOrAgainstModel(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		var a, b bitset
+		ma, mb := model{}, model{}
+		for _, i := range clampIdx(rawA) {
+			a.add(i)
+			ma[i] = true
 		}
+		for _, i := range clampIdx(rawB) {
+			b.add(i)
+			mb[i] = true
+		}
+		a.or(b)
+		for i := 0; i < 512; i++ {
+			if a.has(i) != (ma[i] || mb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

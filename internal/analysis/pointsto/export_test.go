@@ -1,0 +1,10 @@
+package pointsto
+
+// SetSweepEveryForTest forces an SCC sweep after every n new copy
+// edges (bypassing the proportional production threshold), so small
+// test programs exercise the collapse path. Returns a restore func.
+func SetSweepEveryForTest(n int) (restore func()) {
+	old := sweepEveryOverride
+	sweepEveryOverride = n
+	return func() { sweepEveryOverride = old }
+}

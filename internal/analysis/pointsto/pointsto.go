@@ -14,6 +14,7 @@ package pointsto
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"thinslice/internal/budget"
@@ -84,6 +85,12 @@ type Config struct {
 	// under object-sensitive cloning, Analyze restarts the solver
 	// context-insensitively with a fresh allowance before giving up.
 	Budget *budget.Budget
+	// NoCycleElim disables online cycle elimination, leaving the plain
+	// difference-propagation solver. This is the reference mode the
+	// equivalence property tests compare against; production callers
+	// leave it false and get pointer-equivalent variable nodes collapsed
+	// into union-find representatives (Nuutila/HCD-style).
+	NoCycleElim bool
 }
 
 // Result is the analysis output.
@@ -98,6 +105,9 @@ type Result struct {
 	// incomplete. LimitErr carries the triggering *budget.ErrExhausted.
 	Truncated bool
 	LimitErr  error
+	// Collapsed counts the variable/field nodes the online cycle
+	// elimination merged into representatives (0 in NoCycleElim mode).
+	Collapsed int
 
 	prog       *ir.Program
 	objects    []*Object
@@ -134,6 +144,25 @@ func (r *Result) PointsToIn(reg *ir.Reg, mc *MCtx) []*Object {
 	var out []*Object
 	n.pts.forEach(func(id int) { out = append(out, r.objects[id]) })
 	return out
+}
+
+// PointsToIDsIn appends the object IDs of reg's points-to set in
+// context mc to dst (in ascending ID order — bitset order is ID order)
+// and returns the extended slice. It is the allocation-light variant
+// of PointsToIn for callers that only need IDs, like the SDG build's
+// heap-access pairing.
+func (r *Result) PointsToIDsIn(dst []int, reg *ir.Reg, mc *MCtx) []int {
+	n := r.varNodes[varKey{reg, mc.Ctx}]
+	if n == nil {
+		return dst
+	}
+	if need := len(dst) + n.pts.count(); cap(dst) < need {
+		grown := make([]int, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	n.pts.forEach(func(id int) { dst = append(dst, id) })
+	return dst
 }
 
 // CalleesAt returns the callee contexts of a call site as invoked from
@@ -270,14 +299,18 @@ func (b bitset) has(i int) bool {
 	return w < len(b) && b[w]&(1<<(i%64)) != 0
 }
 
-// orDiff ors src into b and returns the newly-set bits.
-func (b *bitset) orDiff(src bitset) bitset {
-	var diff bitset
+// orDiff ors src into b and returns the newly-set bits. The result
+// aliases s.diffScratch and is valid only until the next call.
+func (s *solver) orDiff(b *bitset, src bitset) bitset {
 	for len(*b) < len(src) {
 		*b = append(*b, 0)
 	}
-	for w, s := range src {
-		d := s &^ (*b)[w]
+	if cap(s.diffScratch) < len(src) {
+		s.diffScratch = make(bitset, 0, len(src)+4)
+	}
+	diff := s.diffScratch[:0]
+	for w, v := range src {
+		d := v &^ (*b)[w]
 		if d != 0 {
 			(*b)[w] |= d
 			for len(diff) <= w {
@@ -286,17 +319,35 @@ func (b *bitset) orDiff(src bitset) bitset {
 			diff[w] = d
 		}
 	}
+	s.diffScratch = diff[:0]
 	return diff
 }
 
+// or merges src into b without tracking the difference.
+func (b *bitset) or(src bitset) {
+	for len(*b) < len(src) {
+		*b = append(*b, 0)
+	}
+	for w, x := range src {
+		(*b)[w] |= x
+	}
+}
+
 func (b bitset) forEach(f func(int)) {
-	for w, bits := range b {
-		for bits != 0 {
-			i := trailingZeros(bits)
-			f(w*64 + i)
-			bits &= bits - 1
+	for w, word := range b {
+		for word != 0 {
+			f(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 func (b bitset) empty() bool {
@@ -306,15 +357,6 @@ func (b bitset) empty() bool {
 		}
 	}
 	return true
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 type loadCon struct {
@@ -332,17 +374,21 @@ type callCon struct {
 	caller *MCtx
 }
 
+// node is one constraint-graph variable. Nodes are slab-allocated by
+// the solver and unified by union-find when cycle elimination collapses
+// a strongly connected component of copy edges: after a collapse only
+// the representative's fields are live, and every access goes through
+// solver.find.
 type node struct {
-	id       int
+	id       int32
+	inWork   bool
 	pts      bitset
 	frontier bitset // bits not yet propagated
 	succs    []*node
-	succSet  map[*node]bool
 	loads    []loadCon
 	stores   []storeCon
 	calls    []callCon
 	filters  []*filter
-	inWork   bool
 }
 
 type objFieldKey struct {
@@ -383,9 +429,46 @@ type solver struct {
 	returnsOf  map[*ir.Method][]*ir.Return
 	work       []*node
 
+	// Slab allocation: nodes and objects are carved out of fixed-size
+	// chunks so building the constraint graph costs one allocation per
+	// slab instead of one per node, and neighbors stay cache-adjacent.
+	nodeSlab []node
+	objSlab  []Object
+
+	// Union-find over node IDs for cycle elimination. parent[i] == i
+	// marks a representative. edgeSet dedups copy edges by packed
+	// (from, to) representative IDs, replacing a per-node successor map.
+	cycleElim  bool
+	parent     []int32
+	edgeSet    map[uint64]struct{}
+	edgesSince int // copy edges added since the last SCC sweep
+
+	// diffScratch backs orDiff's result. Both call sites copy the diff
+	// into the target's frontier before the next orDiff call, so one
+	// buffer serves the whole solve instead of one allocation per
+	// propagation step.
+	diffScratch bitset
+
 	meter *budget.Meter
 	// stop is the sticky budget violation that ended the run early.
 	stop error
+}
+
+// findID returns the representative ID of i, with path halving.
+func (s *solver) findID(i int32) int32 {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+// find returns the live representative of n.
+func (s *solver) find(n *node) *node {
+	if s.parent[n.id] == n.id {
+		return n
+	}
+	return s.nodes[s.findID(n.id)]
 }
 
 // tick spends one budget step; once it fails the solver stops
@@ -440,19 +523,26 @@ func Analyze(prog *ir.Program, cfg Config) (*Result, error) {
 // run performs one solver pass; budget violations are left in the
 // result's LimitErr for Analyze to interpret.
 func run(prog *ir.Program, cfg Config) *Result {
+	// The big solver tables all scale with program size: presizing them
+	// from the instruction count avoids their incremental rehashes
+	// (varNodes and edgeSet grow to a few entries per instruction on
+	// the larger corpora).
+	sz := prog.NumInstrs
 	s := &solver{
 		prog:       prog,
 		cfg:        cfg,
 		maxDepth:   cfg.MaxCtxDepth,
 		containers: make(map[string]bool),
-		varNodes:   make(map[varKey]*node),
+		varNodes:   make(map[varKey]*node, 2*sz),
 		fieldNodes: make(map[objFieldKey]*node),
 		staticNode: make(map[*types.FieldInfo]*node),
 		objects:    make(map[objKey]*Object),
 		mctxs:      make(map[mctxKey]*MCtx),
 		processed:  make(map[*MCtx]bool),
-		linked:     make(map[[3]int]bool),
-		returnsOf:  make(map[*ir.Method][]*ir.Return),
+		linked:     make(map[[3]int]bool, sz),
+		returnsOf:  make(map[*ir.Method][]*ir.Return, len(prog.Methods)),
+		cycleElim:  !cfg.NoCycleElim,
+		edgeSet:    make(map[uint64]struct{}, 2*sz),
 		meter:      cfg.Budget.Phase(budget.PhasePointsTo),
 	}
 	if s.maxDepth == 0 {
@@ -496,21 +586,46 @@ func run(prog *ir.Program, cfg Config) *Result {
 	}
 	s.solve()
 	s.res.LimitErr = s.stop
+	if s.cycleElim {
+		// Normalize the query-facing node maps to representatives so the
+		// Result never reads a collapsed member's (stale, nil'd) fields.
+		for k, n := range s.varNodes {
+			s.varNodes[k] = s.find(n)
+		}
+		for _, list := range s.res.regNodes {
+			for i, n := range list {
+				list[i] = s.find(n)
+			}
+		}
+	}
 	return s.res
 }
 
 func isRefType(t types.Type) bool { return types.IsRef(t) }
 
+// nodeSlabSize and objSlabSize are the slab-allocation chunk sizes.
+// Slabs are never reallocated once handed out, so node and Object
+// pointers stay stable for the lifetime of the result.
+const (
+	nodeSlabSize = 256
+	objSlabSize  = 128
+)
+
 func (s *solver) newNode() *node {
-	n := &node{id: len(s.nodes), succSet: make(map[*node]bool)}
+	if len(s.nodeSlab) == cap(s.nodeSlab) {
+		s.nodeSlab = make([]node, 0, nodeSlabSize)
+	}
+	s.nodeSlab = append(s.nodeSlab, node{id: int32(len(s.nodes))})
+	n := &s.nodeSlab[len(s.nodeSlab)-1]
 	s.nodes = append(s.nodes, n)
+	s.parent = append(s.parent, n.id)
 	return n
 }
 
 func (s *solver) varNode(reg *ir.Reg, ctx *Object) *node {
 	k := varKey{reg, ctx}
 	if n, ok := s.varNodes[k]; ok {
-		return n
+		return s.find(n)
 	}
 	n := s.newNode()
 	s.varNodes[k] = n
@@ -521,7 +636,7 @@ func (s *solver) varNode(reg *ir.Reg, ctx *Object) *node {
 func (s *solver) fieldNode(o *Object, f *types.FieldInfo) *node {
 	k := objFieldKey{o, f}
 	if n, ok := s.fieldNodes[k]; ok {
-		return n
+		return s.find(n)
 	}
 	n := s.newNode()
 	s.fieldNodes[k] = n
@@ -530,7 +645,7 @@ func (s *solver) fieldNode(o *Object, f *types.FieldInfo) *node {
 
 func (s *solver) staticFieldNode(f *types.FieldInfo) *node {
 	if n, ok := s.staticNode[f]; ok {
-		return n
+		return s.find(n)
 	}
 	n := s.newNode()
 	s.staticNode[f] = n
@@ -551,7 +666,11 @@ func (s *solver) object(site ir.Instr, ctx *Object, class *types.ClassInfo, elem
 	if o, ok := s.objects[k]; ok {
 		return o
 	}
-	o := &Object{ID: len(s.res.objects), Site: site, Ctx: ctx, Class: class, Elem: elem, depth: depth}
+	if len(s.objSlab) == cap(s.objSlab) {
+		s.objSlab = make([]Object, 0, objSlabSize)
+	}
+	s.objSlab = append(s.objSlab, Object{ID: len(s.res.objects), Site: site, Ctx: ctx, Class: class, Elem: elem, depth: depth})
+	o := &s.objSlab[len(s.objSlab)-1]
 	s.objects[k] = o
 	s.res.objects = append(s.res.objects, o)
 	return o
@@ -577,20 +696,31 @@ func (s *solver) push(n *node) {
 }
 
 func (s *solver) addObj(n *node, o *Object) {
+	n = s.find(n)
 	if n.pts.add(o.ID) {
 		n.frontier.add(o.ID)
 		s.push(n)
 	}
 }
 
+func edgeKey(from, to int32) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
 func (s *solver) addEdge(from, to *node) {
-	if from == to || from.succSet[to] {
+	from, to = s.find(from), s.find(to)
+	if from == to {
 		return
 	}
-	from.succSet[to] = true
+	key := edgeKey(from.id, to.id)
+	if _, ok := s.edgeSet[key]; ok {
+		return
+	}
+	s.edgeSet[key] = struct{}{}
 	from.succs = append(from.succs, to)
+	s.edgesSince++
 	if !from.pts.empty() {
-		diff := to.pts.orDiff(from.pts)
+		diff := s.orDiff(&to.pts, from.pts)
 		if !diff.empty() {
 			mergeFrontier(to, diff)
 			s.push(to)
@@ -758,6 +888,7 @@ func (s *solver) processCall(mc *MCtx, call *ir.Call) {
 // node's points-to set (needed when constraints are registered after
 // propagation began).
 func (s *solver) replayObjects(n *node) {
+	n = s.find(n)
 	if !n.pts.empty() {
 		// Move everything back into the frontier so the new constraint
 		// sees all known objects.
@@ -827,14 +958,39 @@ func (s *solver) flowReceiver(callee *MCtx, recvObj *Object) {
 	s.addObj(s.varNode(thisFormal.Dst, callee.Ctx), recvObj)
 }
 
+// sweepEveryOverride, when positive, forces a sweep after that many
+// new copy edges regardless of graph size (test hook: small programs
+// never reach the proportional threshold, and the equivalence sweeps
+// must still exercise the collapse path).
+var sweepEveryOverride int
+
+// sweepThreshold is the number of new copy edges that triggers an SCC
+// sweep: proportional to the graph so sweep cost (O(V+E)) amortizes.
+func (s *solver) sweepThreshold() int {
+	if sweepEveryOverride > 0 {
+		return sweepEveryOverride
+	}
+	if t := len(s.nodes); t > 256 {
+		return t
+	}
+	return 256
+}
+
 func (s *solver) solve() {
 	for len(s.work) > 0 {
 		if !s.tick() {
 			return
 		}
+		if s.cycleElim && s.edgesSince >= s.sweepThreshold() {
+			s.edgesSince = 0
+			s.collapseCycles()
+		}
 		n := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		n.inWork = false
+		if s.find(n) != n {
+			continue // collapsed into a representative that owns its frontier
+		}
 		delta := n.frontier
 		n.frontier = nil
 		if delta.empty() {
@@ -877,12 +1033,146 @@ func (s *solver) solve() {
 		})
 		// Propagate along copy edges.
 		for _, succ := range n.succs {
-			diff := succ.pts.orDiff(delta)
+			succ = s.find(succ)
+			if succ == n {
+				continue
+			}
+			diff := s.orDiff(&succ.pts, delta)
 			if !diff.empty() {
 				mergeFrontier(succ, diff)
 				s.push(succ)
 			}
 		}
+	}
+}
+
+// collapseCycles runs one Nuutila/HCD-style sweep: an iterative Tarjan
+// SCC pass over the current copy-edge graph (successors resolved
+// through union-find), then collapses every multi-node component into
+// its minimum-ID member. Components are collected first and collapsed
+// after the pass, so detection runs over a stable graph. Deterministic:
+// roots are visited in node-ID order and successor lists keep insertion
+// order.
+func (s *solver) collapseCycles() {
+	if !s.tick() {
+		return
+	}
+	n := len(s.nodes)
+	index := make([]int32, n) // 0 = unvisited, else discovery index+1
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	var (
+		sccStack []int32
+		comps    [][]int32
+		idx      int32
+	)
+	type frame struct {
+		v  int32
+		si int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		v := int32(root)
+		if s.parent[v] != v || index[v] != 0 {
+			continue
+		}
+		idx++
+		index[v], low[v] = idx, idx
+		sccStack = append(sccStack, v)
+		onStack[v] = true
+		dfs = append(dfs[:0], frame{v, 0})
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			nd := s.nodes[f.v]
+			if f.si < len(nd.succs) {
+				w := s.findID(nd.succs[f.si].id)
+				f.si++
+				switch {
+				case w == f.v:
+					// self edge after earlier collapses
+				case index[w] == 0:
+					idx++
+					index[w], low[w] = idx, idx
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				case onStack[w] && index[w] < low[f.v]:
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var comp []int32
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					comps = append(comps, comp)
+				}
+			}
+			child := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := &dfs[len(dfs)-1]
+				if low[child] < low[p.v] {
+					low[p.v] = low[child]
+				}
+			}
+		}
+	}
+	for _, comp := range comps {
+		s.collapse(comp)
+	}
+}
+
+// collapse unifies one SCC into its minimum-ID member: points-to sets
+// and constraint lists merge onto the representative, successor lists
+// are rewritten through union-find with internal edges dropped, and the
+// representative replays its full set so constraints that members had
+// not yet processed fire exactly once (idempotent adds make the replay
+// safe).
+func (s *solver) collapse(comp []int32) {
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	rep := comp[0]
+	rn := s.nodes[rep]
+	for _, id := range comp[1:] {
+		m := s.nodes[id]
+		s.parent[id] = rep
+		rn.pts.or(m.pts)
+		rn.succs = append(rn.succs, m.succs...)
+		rn.loads = append(rn.loads, m.loads...)
+		rn.stores = append(rn.stores, m.stores...)
+		rn.calls = append(rn.calls, m.calls...)
+		rn.filters = append(rn.filters, m.filters...)
+		m.pts, m.frontier, m.succs = nil, nil, nil
+		m.loads, m.stores, m.calls, m.filters = nil, nil, nil, nil
+		s.res.Collapsed++
+	}
+	// Rewrite successors through find, dropping internal and duplicate
+	// edges, and register the surviving keys so later addEdge calls
+	// dedup against representative IDs.
+	out := rn.succs[:0]
+	seen := make(map[int32]bool, len(rn.succs))
+	for _, sc := range rn.succs {
+		t := s.findID(sc.id)
+		if t == rep || seen[t] {
+			continue
+		}
+		seen[t] = true
+		s.edgeSet[edgeKey(rep, t)] = struct{}{}
+		out = append(out, s.nodes[t])
+	}
+	rn.succs = out
+	if !rn.pts.empty() {
+		rn.frontier = rn.frontier[:0]
+		rn.frontier.or(rn.pts)
+		s.push(rn)
 	}
 }
 

@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/bench"
+	"thinslice/internal/core"
+	"thinslice/internal/sdg"
+)
+
+// benchGraph builds the dependence graph of a generated benchmark once
+// for traversal measurements.
+func benchGraph(tb testing.TB) (*sdg.Graph, []sdg.Node) {
+	tb.Helper()
+	bm := bench.Generate("nanoxml", 2)
+	a, err := analyzer.Analyze(bm.Sources)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seeds []sdg.Node
+	for _, s := range bm.QuerySeeds() {
+		for _, ins := range core.SeedsAt(a.Graph, s.File, s.Line) {
+			seeds = append(seeds, a.Graph.NodesOf(ins)...)
+		}
+	}
+	if len(seeds) == 0 {
+		tb.Fatal("no seed nodes")
+	}
+	return a.Graph, seeds
+}
+
+// TestSliceTraversalDoesNotAllocatePerNode is the perf-smoke guard the
+// CI job runs: the backward closure must admit members through dense
+// bitsets, not per-node map inserts. A regression to map-based
+// membership allocates at least once per admitted node; the bitset
+// implementation allocates a small constant number of backing arrays.
+func TestSliceTraversalDoesNotAllocatePerNode(t *testing.T) {
+	g, seeds := benchGraph(t)
+	slicer := core.NewThin(g)
+	warm := slicer.SliceNodes(seeds...)
+	if warm.NumNodes() < 64 {
+		t.Fatalf("slice too small to be a meaningful guard: %d nodes", warm.NumNodes())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		slicer.SliceNodes(seeds...)
+	})
+	// Bitsets + work stack + the Slice header: well under one
+	// allocation per admitted node, and under a small constant.
+	if allocs >= float64(warm.NumNodes()) {
+		t.Fatalf("slice traversal allocates per node: %.0f allocs for %d nodes", allocs, warm.NumNodes())
+	}
+	if allocs > 32 {
+		t.Fatalf("slice traversal allocates too much: %.0f allocs (want <= 32)", allocs)
+	}
+}
+
+// BenchmarkSliceTraversal measures one warm backward closure over a
+// built graph — the hot loop behind every /slice request. Allocations
+// are reported; the guard test above pins them to O(1) per call.
+func BenchmarkSliceTraversal(b *testing.B) {
+	g, seeds := benchGraph(b)
+	slicer := core.NewThin(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slicer.SliceNodes(seeds...)
+	}
+}
+
+// BenchmarkPathTo measures the witness-path BFS over the dense parents
+// array.
+func BenchmarkPathTo(b *testing.B) {
+	bm := bench.Generate("nanoxml", 2)
+	a, err := analyzer.Analyze(bm.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedSpec := bm.QuerySeeds()[0]
+	seeds := core.SeedsAt(a.Graph, seedSpec.File, seedSpec.Line)
+	sl := a.ThinSlicer().Slice(seeds...)
+	instrs := sl.Instrs()
+	target := instrs[len(instrs)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ThinSlicer().PathTo(target, seeds...)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "math/bits"
+
+// bitset is a dense fixed-capacity bit membership set with a member
+// count. Slice traversal uses it in place of map[sdg.Node]bool /
+// map[ir.Instr]bool: membership tests become one shift+mask, admission
+// allocates nothing after construction, and iteration yields members
+// in ascending index order for free (the order the sorted accessors
+// need).
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+// newBitset returns a set over indices [0, capacity).
+func newBitset(capacity int) bitset {
+	return bitset{words: make([]uint64, (capacity+63)/64)}
+}
+
+// add inserts i and reports whether it was new.
+func (b *bitset) add(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.n++
+	return true
+}
+
+// has reports membership of i.
+func (b *bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// count returns the number of members.
+func (b *bitset) count() int { return b.n }
+
+// forEach calls f for every member in ascending order.
+func (b *bitset) forEach(f func(int)) {
+	for w, word := range b.words {
+		for word != 0 {
+			f(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

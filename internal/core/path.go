@@ -30,27 +30,27 @@ func (s *Slicer) PathTo(target ir.Instr, seeds ...ir.Instr) []PathStep {
 		kind sdg.EdgeKind
 		via  sdg.Node
 	}
-	parents := make(map[sdg.Node]parentEdge)
+	// Dense BFS state: one parents entry per statement instance and a
+	// visited bitset, replacing the map-based frontier.
+	parents := make([]parentEdge, g.NumNodes())
+	inQueue := newBitset(g.NumNodes())
 	var queue []sdg.Node
-	inQueue := make(map[sdg.Node]bool)
 	for _, seed := range seeds {
 		for _, n := range g.NodesOf(seed) {
-			if !inQueue[n] {
-				inQueue[n] = true
+			if inQueue.add(int(n)) {
 				parents[n] = parentEdge{prev: sdg.NoNode, via: sdg.NoNode}
 				queue = append(queue, n)
 			}
 		}
 	}
-	targetNodes := make(map[sdg.Node]bool)
+	targetNodes := newBitset(g.NumNodes())
 	for _, n := range g.NodesOf(target) {
-		targetNodes[n] = true
+		targetNodes.add(int(n))
 	}
 	var hit sdg.Node = sdg.NoNode
-	for len(queue) > 0 && hit == sdg.NoNode {
-		n := queue[0]
-		queue = queue[1:]
-		if targetNodes[n] {
+	for head := 0; head < len(queue) && hit == sdg.NoNode; head++ {
+		n := queue[head]
+		if targetNodes.has(int(n)) {
 			hit = n
 			break
 		}
@@ -60,16 +60,14 @@ func (s *Slicer) PathTo(target ir.Instr, seeds ...ir.Instr) []PathStep {
 			}
 			// A Via call site is itself a reachable member: answer for
 			// it too, treating it as reached through the param edge.
-			if d.Via != sdg.NoNode && targetNodes[d.Via] {
-				if !inQueue[d.Via] {
-					inQueue[d.Via] = true
+			if d.Via != sdg.NoNode && targetNodes.has(int(d.Via)) {
+				if inQueue.add(int(d.Via)) {
 					parents[d.Via] = parentEdge{prev: n, kind: d.Kind, via: sdg.NoNode}
 				}
 				hit = d.Via
 				break
 			}
-			if !inQueue[d.Src] {
-				inQueue[d.Src] = true
+			if inQueue.add(int(d.Src)) {
 				parents[d.Src] = parentEdge{prev: n, kind: d.Kind, via: d.Via}
 				queue = append(queue, d.Src)
 			}

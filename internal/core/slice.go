@@ -97,40 +97,37 @@ type Slice struct {
 
 	g     *sdg.Graph
 	seeds []sdg.Node
-	nodes map[sdg.Node]bool
+	// nodes and instrs are dense bitsets (over statement-instance IDs
+	// and program-wide instruction IDs): membership is one shift+mask
+	// and traversal admits members without allocating.
+	nodes bitset
 	// instrs is the projection of nodes onto instructions.
-	instrs map[ir.Instr]bool
+	instrs bitset
 }
 
 // ContainsNode reports whether the statement instance n is in the slice.
-func (sl *Slice) ContainsNode(n sdg.Node) bool { return sl.nodes[n] }
+func (sl *Slice) ContainsNode(n sdg.Node) bool { return sl.nodes.has(int(n)) }
 
 // Contains reports whether any instance of ins is in the slice.
-func (sl *Slice) Contains(ins ir.Instr) bool { return sl.instrs[ins] }
+func (sl *Slice) Contains(ins ir.Instr) bool { return sl.instrs.has(ins.ID()) }
 
 // Size returns the number of distinct member statements (instructions).
-func (sl *Slice) Size() int { return len(sl.instrs) }
+func (sl *Slice) Size() int { return sl.instrs.count() }
 
 // NumNodes returns the number of member statement instances.
-func (sl *Slice) NumNodes() int { return len(sl.nodes) }
+func (sl *Slice) NumNodes() int { return sl.nodes.count() }
 
 // Nodes returns the member statement instances, sorted.
 func (sl *Slice) Nodes() []sdg.Node {
-	out := make([]sdg.Node, 0, len(sl.nodes))
-	for n := range sl.nodes {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]sdg.Node, 0, sl.nodes.count())
+	sl.nodes.forEach(func(n int) { out = append(out, sdg.Node(n)) })
 	return out
 }
 
 // Instrs returns the member statements ordered by instruction ID.
 func (sl *Slice) Instrs() []ir.Instr {
-	out := make([]ir.Instr, 0, len(sl.instrs))
-	for ins := range sl.instrs {
-		out = append(out, ins)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	out := make([]ir.Instr, 0, sl.instrs.count())
+	sl.instrs.forEach(func(id int) { out = append(out, sl.g.Prog.InstrByID(id)) })
 	return out
 }
 
@@ -142,14 +139,14 @@ func (sl *Slice) Seeds() []sdg.Node { return sl.seeds }
 func (sl *Slice) Lines() []token.Pos {
 	seen := make(map[token.Pos]bool)
 	var out []token.Pos
-	for ins := range sl.instrs {
-		p := ins.Pos()
+	sl.instrs.forEach(func(id int) {
+		p := sl.g.Prog.InstrByID(id).Pos()
 		p.Col = 0
 		if p.IsValid() && !seen[p] {
 			seen[p] = true
 			out = append(out, p)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -161,13 +158,14 @@ func (sl *Slice) Lines() []token.Pos {
 
 // ContainsLine reports whether any member statement is at file:line.
 func (sl *Slice) ContainsLine(file string, line int) bool {
-	for ins := range sl.instrs {
-		p := ins.Pos()
+	found := false
+	sl.instrs.forEach(func(id int) {
+		p := sl.g.Prog.InstrByID(id).Pos()
 		if p.File == file && p.Line == line {
-			return true
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // Slice computes the backward closure from all statement instances of
@@ -198,8 +196,8 @@ func (s *Slicer) sliceFiltered(keep func(ir.Instr) bool, seeds []sdg.Node) *Slic
 	sl := &Slice{
 		g:      s.G,
 		seeds:  seeds,
-		nodes:  make(map[sdg.Node]bool),
-		instrs: make(map[ir.Instr]bool),
+		nodes:  newBitset(s.G.NumNodes()),
+		instrs: newBitset(s.G.Prog.NumInstrs),
 	}
 	// Inherit the graph's truncation: a slice over an incomplete graph
 	// is itself potentially incomplete.
@@ -211,17 +209,17 @@ func (s *Slicer) sliceFiltered(keep func(ir.Instr) bool, seeds []sdg.Node) *Slic
 	// traversed is distinct from membership: call sites recorded as
 	// Via members must still be traversable if reached through an
 	// edge later.
-	traversed := make(map[sdg.Node]bool)
+	traversed := newBitset(s.G.NumNodes())
 	admit := func(n sdg.Node, isSeed bool) bool {
-		if traversed[n] {
+		if traversed.has(int(n)) {
 			return false
 		}
 		if !isSeed && keep != nil && !keep(s.G.InstrOf(n)) {
 			return false
 		}
-		traversed[n] = true
-		sl.nodes[n] = true
-		sl.instrs[s.G.InstrOf(n)] = true
+		traversed.add(int(n))
+		sl.nodes.add(int(n))
+		sl.instrs.add(s.G.InstrOf(n).ID())
 		work = append(work, n)
 		return true
 	}
@@ -231,24 +229,24 @@ func (s *Slicer) sliceFiltered(keep func(ir.Instr) bool, seeds []sdg.Node) *Slic
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
-		if err := meter.TickN(1 + int64(len(s.G.Deps(n)))); err != nil {
+		deps := s.G.Deps(n)
+		if err := meter.TickN(1 + int64(len(deps))); err != nil {
 			sl.Truncated, sl.Err = true, err
 			return sl
 		}
-		for _, d := range s.G.Deps(n) {
+		for _, d := range deps {
 			if !s.Follows(d.Kind) {
 				continue
 			}
 			admitted := admit(d.Src, false)
-			if d.Via != sdg.NoNode && (admitted || sl.nodes[d.Src]) {
+			if d.Via != sdg.NoNode && (admitted || sl.nodes.has(int(d.Src))) {
 				// The call site passing the value is itself a producer
 				// statement (paper Fig. 1, line 17), but its own
 				// dependences are return-value flow, which is not part
 				// of this value's producer chain: include, don't
 				// traverse.
-				if !sl.nodes[d.Via] {
-					sl.nodes[d.Via] = true
-					sl.instrs[s.G.InstrOf(d.Via)] = true
+				if sl.nodes.add(int(d.Via)) {
+					sl.instrs.add(s.G.InstrOf(d.Via).ID())
 				}
 			}
 		}

@@ -324,23 +324,23 @@ func (g *Graph) buildIntra(m *ir.Method) {
 	}
 
 	cg := cdg.Build(m)
+	var node Node
+	addUse := func(u *ir.Reg, role ir.Role) {
+		if u.Def == nil {
+			return
+		}
+		kind := KindProducer
+		if role == ir.RoleBase {
+			kind = KindBase
+		}
+		g.addEdge(node, Edge{Src: g.instrNode[u.Def], Kind: kind})
+	}
 	m.Instrs(func(ins ir.Instr) {
-		node := g.instrNode[ins]
+		node = g.instrNode[ins]
 		// Local def-use (call operands feed actual-in/param linkage
 		// instead, handled in linkCall).
 		if _, isCall := ins.(*ir.Call); !isCall {
-			uses := ins.Uses()
-			roles := ins.UseRoles()
-			for i, u := range uses {
-				if u.Def == nil {
-					continue
-				}
-				kind := KindProducer
-				if roles[i] == ir.RoleBase {
-					kind = KindBase
-				}
-				g.addEdge(node, Edge{Src: g.instrNode[u.Def], Kind: kind})
-			}
+			ins.EachUse(addUse)
 		}
 		// Heap loads read the location's in-method sources.
 		if isHeapLoad(ins) {

@@ -1,0 +1,11 @@
+package ir
+
+// ForceParallelLowerForTest lowers the sequential-fallback work
+// threshold to zero so equivalence tests exercise the parallel
+// lowering path on programs far below the production cutoff. Returns a
+// restore func.
+func ForceParallelLowerForTest() (restore func()) {
+	old := lowerParallelMinStmts
+	lowerParallelMinStmts = 0
+	return func() { lowerParallelMinStmts = old }
+}

@@ -121,6 +121,11 @@ type Instr interface {
 	Uses() []*Reg
 	// UseRoles returns roles parallel to Uses().
 	UseRoles() []Role
+	// EachUse visits every operand with its role, in Uses() order,
+	// without allocating — the analyses' scan loops run it once per
+	// instruction per context clone, where Uses()'s fresh slices were
+	// a measurable share of whole-pipeline allocation.
+	EachUse(f func(r *Reg, role Role))
 	String() string
 
 	setID(int)
@@ -158,6 +163,7 @@ type Param struct {
 
 func (i *Param) Def() *Reg                { return i.Dst }
 func (i *Param) Uses() []*Reg             { return nil }
+func (i *Param) EachUse(func(*Reg, Role))     {}
 func (i *Param) UseRoles() []Role         { return nil }
 func (i *Param) replaceUse(old, new *Reg) {}
 func (i *Param) String() string {
@@ -173,6 +179,7 @@ type ConstInt struct {
 
 func (i *ConstInt) Def() *Reg                { return i.Dst }
 func (i *ConstInt) Uses() []*Reg             { return nil }
+func (i *ConstInt) EachUse(func(*Reg, Role))     {}
 func (i *ConstInt) UseRoles() []Role         { return nil }
 func (i *ConstInt) replaceUse(old, new *Reg) {}
 func (i *ConstInt) String() string           { return fmt.Sprintf("%s = const %d", i.Dst, i.Val) }
@@ -186,6 +193,7 @@ type ConstBool struct {
 
 func (i *ConstBool) Def() *Reg                { return i.Dst }
 func (i *ConstBool) Uses() []*Reg             { return nil }
+func (i *ConstBool) EachUse(func(*Reg, Role))     {}
 func (i *ConstBool) UseRoles() []Role         { return nil }
 func (i *ConstBool) replaceUse(old, new *Reg) {}
 func (i *ConstBool) String() string           { return fmt.Sprintf("%s = const %t", i.Dst, i.Val) }
@@ -200,6 +208,7 @@ type ConstStr struct {
 
 func (i *ConstStr) Def() *Reg                { return i.Dst }
 func (i *ConstStr) Uses() []*Reg             { return nil }
+func (i *ConstStr) EachUse(func(*Reg, Role))     {}
 func (i *ConstStr) UseRoles() []Role         { return nil }
 func (i *ConstStr) replaceUse(old, new *Reg) {}
 func (i *ConstStr) String() string           { return fmt.Sprintf("%s = const %q", i.Dst, i.Val) }
@@ -212,6 +221,7 @@ type ConstNull struct {
 
 func (i *ConstNull) Def() *Reg                { return i.Dst }
 func (i *ConstNull) Uses() []*Reg             { return nil }
+func (i *ConstNull) EachUse(func(*Reg, Role))     {}
 func (i *ConstNull) UseRoles() []Role         { return nil }
 func (i *ConstNull) replaceUse(old, new *Reg) {}
 func (i *ConstNull) String() string           { return fmt.Sprintf("%s = null", i.Dst) }
@@ -229,6 +239,7 @@ type Copy struct {
 func (i *Copy) Def() *Reg                { return i.Dst }
 func (i *Copy) Uses() []*Reg             { return []*Reg{i.Src} }
 func (i *Copy) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *Copy) EachUse(f func(*Reg, Role)) { f(i.Src, RoleProducer) }
 func (i *Copy) replaceUse(old, new *Reg) { repl(&i.Src, old, new) }
 func (i *Copy) String() string           { return fmt.Sprintf("%s = copy %s", i.Dst, i.Src) }
 
@@ -243,6 +254,7 @@ type BinOp struct {
 func (i *BinOp) Def() *Reg        { return i.Dst }
 func (i *BinOp) Uses() []*Reg     { return []*Reg{i.X, i.Y} }
 func (i *BinOp) UseRoles() []Role { return []Role{RoleProducer, RoleProducer} }
+func (i *BinOp) EachUse(f func(*Reg, Role)) { f(i.X, RoleProducer); f(i.Y, RoleProducer) }
 func (i *BinOp) replaceUse(old, new *Reg) {
 	repl(&i.X, old, new)
 	repl(&i.Y, old, new)
@@ -262,6 +274,7 @@ type UnOp struct {
 func (i *UnOp) Def() *Reg                { return i.Dst }
 func (i *UnOp) Uses() []*Reg             { return []*Reg{i.X} }
 func (i *UnOp) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *UnOp) EachUse(f func(*Reg, Role)) { f(i.X, RoleProducer) }
 func (i *UnOp) replaceUse(old, new *Reg) { repl(&i.X, old, new) }
 func (i *UnOp) String() string           { return fmt.Sprintf("%s = %s%s", i.Dst, i.Op, i.X) }
 
@@ -321,6 +334,11 @@ func (i *StrOp) UseRoles() []Role {
 	}
 	return roles
 }
+func (i *StrOp) EachUse(f func(*Reg, Role)) {
+	for _, a := range i.Args {
+		f(a, RoleProducer)
+	}
+}
 func (i *StrOp) replaceUse(old, new *Reg) {
 	for j := range i.Args {
 		repl(&i.Args[j], old, new)
@@ -344,6 +362,7 @@ type Input struct {
 
 func (i *Input) Def() *Reg                { return i.Dst }
 func (i *Input) Uses() []*Reg             { return nil }
+func (i *Input) EachUse(func(*Reg, Role))     {}
 func (i *Input) UseRoles() []Role         { return nil }
 func (i *Input) replaceUse(old, new *Reg) {}
 func (i *Input) String() string {
@@ -363,6 +382,7 @@ type New struct {
 
 func (i *New) Def() *Reg                { return i.Dst }
 func (i *New) Uses() []*Reg             { return nil }
+func (i *New) EachUse(func(*Reg, Role))     {}
 func (i *New) UseRoles() []Role         { return nil }
 func (i *New) replaceUse(old, new *Reg) {}
 func (i *New) String() string           { return fmt.Sprintf("%s = new %s", i.Dst, i.Class.Name) }
@@ -379,6 +399,7 @@ type NewArray struct {
 func (i *NewArray) Def() *Reg                { return i.Dst }
 func (i *NewArray) Uses() []*Reg             { return []*Reg{i.Len} }
 func (i *NewArray) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *NewArray) EachUse(f func(*Reg, Role)) { f(i.Len, RoleProducer) }
 func (i *NewArray) replaceUse(old, new *Reg) { repl(&i.Len, old, new) }
 func (i *NewArray) String() string {
 	return fmt.Sprintf("%s = new %s[%s]", i.Dst, i.Elem, i.Len)
@@ -396,6 +417,7 @@ type GetField struct {
 func (i *GetField) Def() *Reg                { return i.Dst }
 func (i *GetField) Uses() []*Reg             { return []*Reg{i.Obj} }
 func (i *GetField) UseRoles() []Role         { return []Role{RoleBase} }
+func (i *GetField) EachUse(f func(*Reg, Role)) { f(i.Obj, RoleBase) }
 func (i *GetField) replaceUse(old, new *Reg) { repl(&i.Obj, old, new) }
 func (i *GetField) String() string {
 	return fmt.Sprintf("%s = %s.%s", i.Dst, i.Obj, i.Field.QualifiedName())
@@ -412,6 +434,7 @@ type SetField struct {
 func (i *SetField) Def() *Reg        { return nil }
 func (i *SetField) Uses() []*Reg     { return []*Reg{i.Obj, i.Val} }
 func (i *SetField) UseRoles() []Role { return []Role{RoleBase, RoleProducer} }
+func (i *SetField) EachUse(f func(*Reg, Role)) { f(i.Obj, RoleBase); f(i.Val, RoleProducer) }
 func (i *SetField) replaceUse(old, new *Reg) {
 	repl(&i.Obj, old, new)
 	repl(&i.Val, old, new)
@@ -429,6 +452,7 @@ type GetStatic struct {
 
 func (i *GetStatic) Def() *Reg                { return i.Dst }
 func (i *GetStatic) Uses() []*Reg             { return nil }
+func (i *GetStatic) EachUse(func(*Reg, Role))     {}
 func (i *GetStatic) UseRoles() []Role         { return nil }
 func (i *GetStatic) replaceUse(old, new *Reg) {}
 func (i *GetStatic) String() string {
@@ -445,6 +469,7 @@ type SetStatic struct {
 func (i *SetStatic) Def() *Reg                { return nil }
 func (i *SetStatic) Uses() []*Reg             { return []*Reg{i.Val} }
 func (i *SetStatic) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *SetStatic) EachUse(f func(*Reg, Role)) { f(i.Val, RoleProducer) }
 func (i *SetStatic) replaceUse(old, new *Reg) { repl(&i.Val, old, new) }
 func (i *SetStatic) String() string {
 	return fmt.Sprintf("static %s = %s", i.Field.QualifiedName(), i.Val)
@@ -463,6 +488,7 @@ type ArrayLoad struct {
 func (i *ArrayLoad) Def() *Reg        { return i.Dst }
 func (i *ArrayLoad) Uses() []*Reg     { return []*Reg{i.Arr, i.Idx} }
 func (i *ArrayLoad) UseRoles() []Role { return []Role{RoleBase, RoleBase} }
+func (i *ArrayLoad) EachUse(f func(*Reg, Role)) { f(i.Arr, RoleBase); f(i.Idx, RoleBase) }
 func (i *ArrayLoad) replaceUse(old, new *Reg) {
 	repl(&i.Arr, old, new)
 	repl(&i.Idx, old, new)
@@ -482,6 +508,7 @@ type ArrayStore struct {
 func (i *ArrayStore) Def() *Reg        { return nil }
 func (i *ArrayStore) Uses() []*Reg     { return []*Reg{i.Arr, i.Idx, i.Val} }
 func (i *ArrayStore) UseRoles() []Role { return []Role{RoleBase, RoleBase, RoleProducer} }
+func (i *ArrayStore) EachUse(f func(*Reg, Role)) { f(i.Arr, RoleBase); f(i.Idx, RoleBase); f(i.Val, RoleProducer) }
 func (i *ArrayStore) replaceUse(old, new *Reg) {
 	repl(&i.Arr, old, new)
 	repl(&i.Idx, old, new)
@@ -502,6 +529,7 @@ type ArrayLen struct {
 func (i *ArrayLen) Def() *Reg                { return i.Dst }
 func (i *ArrayLen) Uses() []*Reg             { return []*Reg{i.Arr} }
 func (i *ArrayLen) UseRoles() []Role         { return []Role{RoleBase} }
+func (i *ArrayLen) EachUse(f func(*Reg, Role)) { f(i.Arr, RoleBase) }
 func (i *ArrayLen) replaceUse(old, new *Reg) { repl(&i.Arr, old, new) }
 func (i *ArrayLen) String() string           { return fmt.Sprintf("%s = %s.length", i.Dst, i.Arr) }
 
@@ -516,6 +544,7 @@ type Cast struct {
 func (i *Cast) Def() *Reg                { return i.Dst }
 func (i *Cast) Uses() []*Reg             { return []*Reg{i.Src} }
 func (i *Cast) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *Cast) EachUse(f func(*Reg, Role)) { f(i.Src, RoleProducer) }
 func (i *Cast) replaceUse(old, new *Reg) { repl(&i.Src, old, new) }
 func (i *Cast) String() string {
 	return fmt.Sprintf("%s = (%s) %s", i.Dst, i.Target, i.Src)
@@ -532,6 +561,7 @@ type InstanceOf struct {
 func (i *InstanceOf) Def() *Reg                { return i.Dst }
 func (i *InstanceOf) Uses() []*Reg             { return []*Reg{i.Src} }
 func (i *InstanceOf) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *InstanceOf) EachUse(f func(*Reg, Role)) { f(i.Src, RoleProducer) }
 func (i *InstanceOf) replaceUse(old, new *Reg) { repl(&i.Src, old, new) }
 func (i *InstanceOf) String() string {
 	return fmt.Sprintf("%s = %s instanceof %s", i.Dst, i.Src, i.Class.Name)
@@ -590,6 +620,14 @@ func (i *Call) UseRoles() []Role {
 	}
 	return roles
 }
+func (i *Call) EachUse(f func(*Reg, Role)) {
+	if i.Recv != nil {
+		f(i.Recv, RoleProducer)
+	}
+	for _, a := range i.Args {
+		f(a, RoleProducer)
+	}
+}
 func (i *Call) replaceUse(old, new *Reg) {
 	if i.Recv != nil {
 		repl(&i.Recv, old, new)
@@ -623,6 +661,7 @@ type Print struct {
 func (i *Print) Def() *Reg                { return nil }
 func (i *Print) Uses() []*Reg             { return []*Reg{i.Val} }
 func (i *Print) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *Print) EachUse(f func(*Reg, Role)) { f(i.Val, RoleProducer) }
 func (i *Print) replaceUse(old, new *Reg) { repl(&i.Val, old, new) }
 func (i *Print) String() string           { return fmt.Sprintf("print %s", i.Val) }
 
@@ -637,6 +676,7 @@ type Assert struct {
 func (i *Assert) Def() *Reg                { return nil }
 func (i *Assert) Uses() []*Reg             { return []*Reg{i.Cond} }
 func (i *Assert) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *Assert) EachUse(f func(*Reg, Role)) { f(i.Cond, RoleProducer) }
 func (i *Assert) replaceUse(old, new *Reg) { repl(&i.Cond, old, new) }
 func (i *Assert) String() string           { return fmt.Sprintf("assert %s", i.Cond) }
 
@@ -660,6 +700,11 @@ func (i *Return) UseRoles() []Role {
 	}
 	return []Role{RoleProducer}
 }
+func (i *Return) EachUse(f func(*Reg, Role)) {
+	if i.Val != nil {
+		f(i.Val, RoleProducer)
+	}
+}
 func (i *Return) replaceUse(old, new *Reg) {
 	if i.Val != nil {
 		repl(&i.Val, old, new)
@@ -681,6 +726,7 @@ type Throw struct {
 func (i *Throw) Def() *Reg                { return nil }
 func (i *Throw) Uses() []*Reg             { return []*Reg{i.Val} }
 func (i *Throw) UseRoles() []Role         { return []Role{RoleProducer} }
+func (i *Throw) EachUse(f func(*Reg, Role)) { f(i.Val, RoleProducer) }
 func (i *Throw) replaceUse(old, new *Reg) { repl(&i.Val, old, new) }
 func (i *Throw) String() string           { return fmt.Sprintf("throw %s", i.Val) }
 
@@ -695,6 +741,7 @@ type If struct {
 func (i *If) Def() *Reg                { return nil }
 func (i *If) Uses() []*Reg             { return []*Reg{i.Cond} }
 func (i *If) UseRoles() []Role         { return []Role{RoleControl} }
+func (i *If) EachUse(f func(*Reg, Role)) { f(i.Cond, RoleControl) }
 func (i *If) replaceUse(old, new *Reg) { repl(&i.Cond, old, new) }
 func (i *If) String() string {
 	return fmt.Sprintf("if %s goto %s else %s", i.Cond, i.Then, i.Else)
@@ -708,6 +755,7 @@ type Goto struct {
 
 func (i *Goto) Def() *Reg                { return nil }
 func (i *Goto) Uses() []*Reg             { return nil }
+func (i *Goto) EachUse(func(*Reg, Role))     {}
 func (i *Goto) UseRoles() []Role         { return nil }
 func (i *Goto) replaceUse(old, new *Reg) {}
 func (i *Goto) String() string           { return fmt.Sprintf("goto %s", i.Target) }
@@ -727,6 +775,11 @@ func (i *Phi) UseRoles() []Role {
 		roles[j] = RoleProducer
 	}
 	return roles
+}
+func (i *Phi) EachUse(f func(*Reg, Role)) {
+	for _, e := range i.Edges {
+		f(e, RoleProducer)
+	}
 }
 func (i *Phi) replaceUse(old, new *Reg) {
 	for j := range i.Edges {

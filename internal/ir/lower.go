@@ -63,6 +63,26 @@ func LowerWorkers(info *types.Info, workers int) *Program {
 	return prog
 }
 
+// lowerParallelMinStmts gates the worker pool: below this many
+// top-level statements across all methods, goroutine spawn and result
+// merging cost more than the lowering itself, so small programs always
+// take the sequential path and never pay pool overhead. A variable so
+// the equivalence tests can force the parallel path on small programs.
+var lowerParallelMinStmts = 4096
+
+// estimateLowerWork is a cheap pre-lowering work proxy: the number of
+// top-level statements in every method body (nested blocks uncounted —
+// the estimate only has to separate "tiny program" from "real one").
+func estimateLowerWork(jobs []*types.MethodInfo) int {
+	stmts := 0
+	for _, mi := range jobs {
+		if mi.Decl != nil && mi.Decl.Body != nil {
+			stmts += len(mi.Decl.Body.Stmts)
+		}
+	}
+	return stmts
+}
+
 // lowerAll lowers jobs[i] into methods[i]/diags[i], fanning out over a
 // bounded worker pool. A panic on a worker is re-raised on the calling
 // goroutine so the facade's recover boundary still converts it to a
@@ -73,6 +93,9 @@ func lowerAll(info *types.Info, jobs []*types.MethodInfo, methods []*Method, dia
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	if workers > 1 && estimateLowerWork(jobs) < lowerParallelMinStmts {
+		workers = 1
 	}
 	work := func(i int) { methods[i], diags[i] = lowerMethod(info, jobs[i]) }
 	if workers <= 1 {
@@ -493,6 +516,12 @@ func (b *builder) finalize() {
 	walk(b.m.Blocks[0])
 
 	var kept []*Block
+	var cur Instr
+	fixUse := func(u *Reg, _ Role) {
+		if r := b.resolve(u); r != u {
+			cur.replaceUse(u, r)
+		}
+	}
 	for _, blk := range b.m.Blocks {
 		if !reach[blk] {
 			continue
@@ -502,11 +531,8 @@ func (b *builder) finalize() {
 			if phi, ok := ins.(*Phi); ok && b.deadPhis[phi] {
 				continue
 			}
-			for _, u := range ins.Uses() {
-				if r := b.resolve(u); r != u {
-					ins.replaceUse(u, r)
-				}
-			}
+			cur = ins
+			ins.EachUse(fixUse)
 			instrs = append(instrs, ins)
 		}
 		blk.Instrs = instrs

@@ -23,6 +23,7 @@ func paperSources() map[string]map[string]string {
 // lowering contract: any worker count produces a byte-identical
 // program listing (instruction IDs, register numbers, diagnostics).
 func TestParallelLoweringMatchesSequentialPapercases(t *testing.T) {
+	defer ir.ForceParallelLowerForTest()()
 	for name, srcs := range paperSources() {
 		t.Run(name, func(t *testing.T) {
 			info, err := loader.Load(srcs)
@@ -45,6 +46,7 @@ func TestParallelLoweringMatchesSequentialPapercases(t *testing.T) {
 // corpus: 200 generated programs, each lowered sequentially and with a
 // worker pool, compared byte-for-byte.
 func TestParallelLoweringMatchesSequentialRandprog(t *testing.T) {
+	defer ir.ForceParallelLowerForTest()()
 	n := 200
 	if testing.Short() {
 		n = 20

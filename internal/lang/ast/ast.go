@@ -13,6 +13,10 @@ type Node interface {
 // Program is a whole analyzed program: the union of all parsed files.
 type Program struct {
 	Classes []*ClassDecl
+	// SrcBytes is the total size of the parsed sources (zero for
+	// hand-built programs). Consumers use it to presize per-expression
+	// tables; it never affects semantics.
+	SrcBytes int
 }
 
 // Class returns the declaration of the named class, or nil.

@@ -47,9 +47,14 @@ func (l *Lexer) pos() token.Pos {
 }
 
 // peek returns the current rune without consuming it, or -1 at EOF.
+// Source text is overwhelmingly ASCII, so the single-byte case skips
+// UTF-8 decoding entirely (it shows up in whole-pipeline profiles).
 func (l *Lexer) peek() rune {
 	if l.off >= len(l.src) {
 		return -1
+	}
+	if c := l.src[l.off]; c < utf8.RuneSelf {
+		return rune(c)
 	}
 	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
 	return r
@@ -60,9 +65,15 @@ func (l *Lexer) peek2() rune {
 	if l.off >= len(l.src) {
 		return -1
 	}
-	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	w := 1
+	if l.src[l.off] >= utf8.RuneSelf {
+		_, w = utf8.DecodeRuneInString(l.src[l.off:])
+	}
 	if l.off+w >= len(l.src) {
 		return -1
+	}
+	if c := l.src[l.off+w]; c < utf8.RuneSelf {
+		return rune(c)
 	}
 	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
 	return r
@@ -72,8 +83,15 @@ func (l *Lexer) next() rune {
 	if l.off >= len(l.src) {
 		return -1
 	}
-	r, w := utf8.DecodeRuneInString(l.src[l.off:])
-	l.off += w
+	var r rune
+	if c := l.src[l.off]; c < utf8.RuneSelf {
+		r = rune(c)
+		l.off++
+	} else {
+		var w int
+		r, w = utf8.DecodeRuneInString(l.src[l.off:])
+		l.off += w
+	}
 	if r == '\n' {
 		l.line++
 		l.col = 1
@@ -84,7 +102,8 @@ func (l *Lexer) next() rune {
 }
 
 func isLetter(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') ||
+		(r >= utf8.RuneSelf && unicode.IsLetter(r))
 }
 
 func isDigit(r rune) bool { return r >= '0' && r <= '9' }
@@ -293,7 +312,11 @@ func (l *Lexer) unescape(pos token.Pos) rune {
 // ScanAll tokenizes the entire input, excluding the trailing EOF token.
 func ScanAll(file, src string) ([]token.Token, []*Error) {
 	l := New(file, src)
-	var toks []token.Token
+	// Dense machine-written source runs about 3.6 bytes per token, so
+	// /3 gives every realistic input a single allocation that holds the
+	// whole stream (growth copies of a token slice are expensive: every
+	// Token carries string headers the GC must scan).
+	toks := make([]token.Token, 0, len(src)/3+16)
 	for {
 		t := l.Next()
 		if t.Kind == token.EOF {

@@ -73,6 +73,7 @@ func ParseProgram(sources map[string]string) (*ast.Program, error) {
 	sortStrings(names)
 	for _, name := range names {
 		classes, err := ParseFile(name, sources[name])
+		prog.SrcBytes += len(sources[name])
 		prog.Classes = append(prog.Classes, classes...)
 		if err != nil {
 			all = append(all, err.(ErrorList)...)

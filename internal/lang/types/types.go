@@ -81,6 +81,17 @@ type ClassInfo struct {
 	Fields  []*FieldInfo  // declared in this class only
 	Methods []*MethodInfo // declared in this class only
 	Ctor    *MethodInfo   // may be a synthesized default constructor
+	// ref is the shared *Class handed out by ClassType. Set once by
+	// NewClassInfo before any concurrent phase runs; ClassType falls
+	// back to a fresh wrapper for bare ClassInfo literals (tests).
+	ref *Class
+}
+
+// NewClassInfo creates a ClassInfo with its shared ClassType wrapper.
+func NewClassInfo(name string) *ClassInfo {
+	ci := &ClassInfo{Name: name}
+	ci.ref = &Class{Info: ci}
+	return ci
 }
 
 // IsSubclassOf reports whether c is t or a (transitive) subclass of t.
@@ -125,10 +136,19 @@ type FieldInfo struct {
 	Static bool
 	Final  bool
 	Decl   *ast.FieldDecl
+	// qname caches QualifiedName — the SDG scan asks for it once per
+	// heap access per context, and concatenating each time shows up in
+	// allocation profiles. Set by the checker; empty for bare literals.
+	qname string
 }
 
 // QualifiedName is Owner.Name, unique across the program.
-func (f *FieldInfo) QualifiedName() string { return f.Owner.Name + "." + f.Name }
+func (f *FieldInfo) QualifiedName() string {
+	if f.qname != "" {
+		return f.qname
+	}
+	return f.Owner.Name + "." + f.Name
+}
 
 // MethodInfo is a resolved method or constructor.
 type MethodInfo struct {
@@ -219,8 +239,16 @@ type Info struct {
 // TypeOf returns the checked type of e (nil if unchecked due to errors).
 func (info *Info) TypeOf(e ast.Expr) Type { return info.ExprTypes[e] }
 
-// ClassType returns the reference type for a class info.
-func ClassType(c *ClassInfo) *Class { return &Class{Info: c} }
+// ClassType returns the reference type for a class info. Checker-built
+// classes share one wrapper (this is one of the hottest allocation
+// sites of checking and lowering otherwise); consumers must compare
+// Class values by Info, never by pointer.
+func ClassType(c *ClassInfo) *Class {
+	if c.ref != nil {
+		return c.ref
+	}
+	return &Class{Info: c}
+}
 
 // Error is a semantic error with a position.
 type Error struct {
@@ -257,14 +285,18 @@ type checker struct {
 // Check performs semantic analysis on prog. It returns partial Info even
 // when errors are present, so tools can operate best-effort.
 func Check(prog *ast.Program) (*Info, error) {
+	// Roughly one checked expression per eight source bytes; presizing
+	// the big per-expression tables avoids their incremental rehashes,
+	// which otherwise dominate the checker's allocation profile.
+	nExpr := prog.SrcBytes / 8
 	info := &Info{
 		Prog:         prog,
 		Classes:      make(map[string]*ClassInfo),
-		ExprTypes:    make(map[ast.Expr]Type),
-		Refs:         make(map[*ast.Ident]*Ref),
+		ExprTypes:    make(map[ast.Expr]Type, nExpr),
+		Refs:         make(map[*ast.Ident]*Ref, nExpr/2),
 		FieldRefs:    make(map[*ast.FieldAccess]*FieldInfo),
 		IsArrayLen:   make(map[*ast.FieldAccess]bool),
-		Calls:        make(map[*ast.Call]*CallInfo),
+		Calls:        make(map[*ast.Call]*CallInfo, nExpr/8),
 		MethodOfDecl: make(map[*ast.MethodDecl]*MethodInfo),
 	}
 	c := &checker{info: info}
@@ -283,8 +315,9 @@ func (c *checker) errorf(pos token.Pos, format string, args ...any) {
 }
 
 func (c *checker) collectClasses(prog *ast.Program) {
-	c.info.Object = &ClassInfo{Name: "Object"}
-	c.info.String = &ClassInfo{Name: "String", Super: c.info.Object}
+	c.info.Object = NewClassInfo("Object")
+	c.info.String = NewClassInfo("String")
+	c.info.String.Super = c.info.Object
 	c.info.Classes["Object"] = c.info.Object
 	c.info.Classes["String"] = c.info.String
 	for _, decl := range prog.Classes {
@@ -296,7 +329,9 @@ func (c *checker) collectClasses(prog *ast.Program) {
 			c.errorf(decl.Pos(), "duplicate class %s", decl.Name)
 			continue
 		}
-		c.info.Classes[decl.Name] = &ClassInfo{Name: decl.Name, Decl: decl}
+		ci := NewClassInfo(decl.Name)
+		ci.Decl = decl
+		c.info.Classes[decl.Name] = ci
 	}
 }
 
@@ -372,6 +407,7 @@ func (c *checker) collectMembers() {
 			ci.Fields = append(ci.Fields, &FieldInfo{
 				Owner: ci, Name: f.Name, Type: c.resolveType(f.Type),
 				Static: f.Static, Final: f.Final, Decl: f,
+				qname: ci.Name + "." + f.Name,
 			})
 		}
 		for _, m := range decl.Methods {

@@ -25,7 +25,8 @@ func EncodeGraph(g *Graph) ([]byte, error) {
 	}
 	var w artifact.Writer
 	w.Uvarint(uint64(len(g.nodeCtx)))
-	for _, deps := range g.deps {
+	for n := range g.nodeCtx {
+		deps := g.Deps(Node(n))
 		w.Uvarint(uint64(len(deps)))
 		for _, d := range deps {
 			w.Int64(int64(d.Src))
@@ -62,28 +63,30 @@ func DecodeGraph(data []byte, prog *ir.Program, pts *pointsto.Result) (g *Graph,
 		callerNodes: make(map[*pointsto.MCtx][]Node),
 	}
 	// Scaffolding, exactly as BuildWorkers lays it out.
+	methodSize := make(map[*ir.Method]int, len(prog.Methods))
 	for _, m := range prog.Methods {
-		first := -1
+		first, n := -1, 0
 		m.Instrs(func(ins ir.Instr) {
 			if first < 0 {
 				first = ins.ID()
 			}
+			n++
 		})
 		g.firstID[m] = first
+		methodSize[m] = n
 	}
 	g.mctxs = pts.MCtxs()
 	total := 0
 	for _, mc := range g.mctxs {
 		g.base[mc] = int32(total)
-		n := 0
-		mc.Method.Instrs(func(ir.Instr) { n++ })
-		total += n
-		for i := 0; i < n; i++ {
+		total += methodSize[mc.Method]
+	}
+	g.nodeCtx = make([]*pointsto.MCtx, 0, total)
+	for _, mc := range g.mctxs {
+		for i := 0; i < methodSize[mc.Method]; i++ {
 			g.nodeCtx = append(g.nodeCtx, mc)
 		}
 	}
-	g.deps = make([][]Dep, total)
-
 	r := artifact.NewReader(data)
 	if n := r.Uvarint(); r.Err() == nil && n != uint64(total) {
 		return nil, fmt.Errorf("sdg: decode: record has %d nodes, program yields %d", n, total)
@@ -95,7 +98,7 @@ func DecodeGraph(data []byte, prog *ir.Program, pts *pointsto.Result) (g *Graph,
 		}
 		return Node(v), nil
 	}
-	for i := range g.deps {
+	for i := 0; i < total; i++ {
 		nDeps := r.Len()
 		if r.Err() != nil {
 			return nil, r.Err()
@@ -113,8 +116,7 @@ func DecodeGraph(data []byte, prog *ir.Program, pts *pointsto.Result) (g *Graph,
 			if err != nil {
 				return nil, firstErr(r.Err(), err)
 			}
-			g.deps[i] = append(g.deps[i], Dep{Src: src, Kind: kind, Via: via})
-			g.numEdges++
+			g.emit(Node(i), Dep{Src: src, Kind: kind, Via: via})
 		}
 	}
 	for _, mc := range g.mctxs {
@@ -133,6 +135,7 @@ func DecodeGraph(data []byte, prog *ir.Program, pts *pointsto.Result) (g *Graph,
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
+	g.finalize()
 	return g, nil
 }
 

@@ -1,0 +1,19 @@
+package sdg
+
+// ForceParallelForTest lowers the sequential-fallback work threshold
+// to zero so equivalence tests exercise the parallel path on programs
+// far below the production cutoff. Returns a restore func.
+func ForceParallelForTest() (restore func()) {
+	old := parallelMinNodes
+	parallelMinNodes = 0
+	return func() { parallelMinNodes = old }
+}
+
+// PartitionCtxsForTest exposes the size-aware context partitioner.
+func PartitionCtxsForTest(ctxSize []int, workers int) [][2]int {
+	var out [][2]int
+	for _, r := range partitionCtxs(ctxSize, workers) {
+		out = append(out, [2]int{r.lo, r.hi})
+	}
+	return out
+}

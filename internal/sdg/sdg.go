@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"thinslice/internal/analysis/cdg"
 	"thinslice/internal/analysis/pointsto"
@@ -28,8 +29,9 @@ import (
 	"thinslice/internal/ir"
 )
 
-// EdgeKind classifies a dependence edge.
-type EdgeKind int
+// EdgeKind classifies a dependence edge. (int32 keeps Dep at 12 bytes
+// — the CSR edge array is the graph's dominant allocation.)
+type EdgeKind int32
 
 // Edge kinds. Thin slices traverse Local/Heap/Param/Return flow;
 // traditional slices additionally traverse Base flow and control.
@@ -107,6 +109,14 @@ type Dep struct {
 	Via  Node
 }
 
+// edgeRec is one buffered edge addition: node to depends via d. The
+// construction phases emit these into flat pointer-free buffers;
+// finalize distributes them into the CSR layout.
+type edgeRec struct {
+	to Node
+	d  Dep
+}
+
 // Graph is the dependence graph, stored as in-edges per node.
 type Graph struct {
 	Prog *ir.Program
@@ -119,10 +129,26 @@ type Graph struct {
 	Truncated bool
 	LimitErr  error
 
-	bud      *budget.Budget
-	meter    *budget.Meter
-	stop     error
-	deps     [][]Dep
+	bud   *budget.Budget
+	meter *budget.Meter
+	stop  error
+	// Edge records accumulate during construction in an ordered chain
+	// of fixed-size chunks (edgeFull + the active edgeCur) — no
+	// per-node slices and no doubling-growth copies, so emitting E
+	// edges allocates exactly ceil(E/chunk) pointer-free blocks;
+	// finalize stable-sorts the chain by target node into the CSR
+	// arrays below. A node's in-edge order is its emission order,
+	// which the counting sort preserves. The parallel build adopts its
+	// per-bucket/per-task buffers directly as chunks, zero-copy.
+	edgeFull [][]edgeRec
+	edgeCur  []edgeRec
+	// CSR (compressed sparse row) in-edge layout, built once after
+	// construction: node n's dependences are csrDeps[csrOff[n]:csrOff[n+1]].
+	// A flat layout keeps the backward closure's inner loop on one
+	// contiguous array instead of chasing per-node slice headers.
+	csrOff   []int32
+	csrDeps  []Dep
+	csrBuild time.Duration
 	mctxs    []*pointsto.MCtx
 	base     map[*pointsto.MCtx]int32 // first node of each context
 	nodeCtx  []*pointsto.MCtx         // dense: node → context (one entry per node)
@@ -130,7 +156,12 @@ type Graph struct {
 	numEdges int
 	// callerNodes are the call-site nodes that may invoke a context.
 	callerNodes map[*pointsto.MCtx][]Node
+	// returns caches each method's Return instructions: linkCall needs
+	// them once per (call site, callee context) pair, and re-walking
+	// the whole callee body every time is quadratic in practice.
+	returns map[*ir.Method][]*ir.Return
 }
+
 
 // NumNodes returns the number of statement instances (the paper's
 // "SDG Statements": scalar statements across call-graph clones,
@@ -140,8 +171,68 @@ func (g *Graph) NumNodes() int { return len(g.nodeCtx) }
 // NumEdges returns the number of dependence edges.
 func (g *Graph) NumEdges() int { return g.numEdges }
 
-// Deps returns the dependences of node n.
-func (g *Graph) Deps(n Node) []Dep { return g.deps[n] }
+// Deps returns the dependences of node n, in construction order (a
+// view into the CSR edge array; callers must not mutate it).
+func (g *Graph) Deps(n Node) []Dep { return g.csrDeps[g.csrOff[n]:g.csrOff[n+1]] }
+
+// CSRBuildDuration reports how long packing the per-node edge lists
+// into the CSR layout took (the bench harness's csr_build_us column).
+func (g *Graph) CSRBuildDuration() time.Duration { return g.csrBuild }
+
+// edgeChunkSize is the edgeRec capacity of one emission chunk (~768KB).
+const edgeChunkSize = 1 << 15
+
+// emit appends one edge record to the chunk chain.
+func (g *Graph) emit(to Node, d Dep) {
+	if len(g.edgeCur) == cap(g.edgeCur) {
+		if g.edgeCur != nil {
+			g.edgeFull = append(g.edgeFull, g.edgeCur)
+		}
+		g.edgeCur = make([]edgeRec, 0, edgeChunkSize)
+	}
+	g.edgeCur = append(g.edgeCur, edgeRec{to, d})
+}
+
+// finalize distributes the chunked edge records into the CSR layout
+// with a stable counting sort by target node and releases the chunks.
+// A node's in-edges come from exactly one emitter per construction
+// phase and phases run in a fixed order, so emission order per node
+// equals the sequential addDep order — and the stable sort preserves
+// it, which keeps Fingerprint and the codec byte stream identical to
+// the old slice-of-slices representation.
+func (g *Graph) finalize() {
+	start := time.Now()
+	if len(g.edgeCur) > 0 {
+		g.edgeFull = append(g.edgeFull, g.edgeCur)
+	}
+	g.edgeCur = nil
+	n := len(g.nodeCtx)
+	total := 0
+	off := make([]int32, n+1)
+	for _, c := range g.edgeFull {
+		total += len(c)
+		for i := range c {
+			off[c[i].to+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	deps := make([]Dep, total)
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, c := range g.edgeFull {
+		for i := range c {
+			e := &c[i]
+			deps[cur[e.to]] = e.d
+			cur[e.to]++
+		}
+	}
+	g.csrOff, g.csrDeps = off, deps
+	g.numEdges = total
+	g.edgeFull = nil
+	g.csrBuild = time.Since(start)
+}
 
 // CtxOf returns the call-graph context of n.
 func (g *Graph) CtxOf(n Node) *pointsto.MCtx { return g.nodeCtx[n] }
@@ -192,7 +283,7 @@ func (g *Graph) Fingerprint() string {
 	wr(int64(len(g.nodeCtx)))
 	wr(int64(g.numEdges))
 	for n := range g.nodeCtx {
-		deps := g.deps[n]
+		deps := g.Deps(Node(n))
 		wr(int64(len(deps)))
 		for _, d := range deps {
 			wr(int64(d.Src))
@@ -211,8 +302,40 @@ func (g *Graph) Fingerprint() string {
 }
 
 type heapAccess struct {
-	node Node
-	objs []int // sorted object IDs of the base pointer in this context
+	node   Node
+	objs   []int // sorted object IDs of the base pointer in this context
+	maskLo int32 // first 64-bit word of mask in object-ID space
+	mask   []uint64
+}
+
+// newHeapAccess builds an access with a word-addressed bitset over its
+// object IDs. The pairing phase tests may-alias with a handful of word
+// ANDs instead of a sorted-list merge — on realistic programs the IDs
+// of one base pointer cluster into a single word, so each of the
+// loads×stores probes costs one AND. objs must be sorted.
+func newHeapAccess(node Node, objs []int) heapAccess {
+	a := heapAccess{node: node, objs: objs}
+	if len(objs) > 0 {
+		a.maskLo = int32(objs[0] >> 6)
+		a.mask = make([]uint64, int32(objs[len(objs)-1]>>6)-a.maskLo+1)
+		for _, o := range objs {
+			a.mask[int32(o>>6)-a.maskLo] |= 1 << (uint(o) & 63)
+		}
+	}
+	return a
+}
+
+// aliases reports whether the two accesses' object sets intersect,
+// touching only the word range both masks cover.
+func (a *heapAccess) aliases(b *heapAccess) bool {
+	lo := max(a.maskLo, b.maskLo)
+	hi := min(a.maskLo+int32(len(a.mask)), b.maskLo+int32(len(b.mask)))
+	for w := lo; w < hi; w++ {
+		if a.mask[w-a.maskLo]&b.mask[w-b.maskLo] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // heapIndex collects the heap accesses discovered during the scan
@@ -262,16 +385,20 @@ func (h *heapIndex) merge(o *heapIndex) {
 // scanEmit sinks one context's scan-phase discoveries. The sequential
 // build writes straight into the graph (ticking the shared budget per
 // edge); the parallel build records into per-context buffers that are
-// merged in context order afterwards.
+// merged in context order afterwards. The two-pass build's fill pass
+// leaves caller and heap nil: dependence edges are re-emitted but the
+// heap index and caller lists from the first pass are kept.
 type scanEmit struct {
 	// tick is called once per instruction; returning false stops the
 	// scan of the remaining instructions.
 	tick func() bool
 	// dep adds one dependence edge.
 	dep func(to Node, d Dep)
-	// caller records a call-site node that may invoke callee.
+	// caller records a call-site node that may invoke callee (nil to
+	// skip recording).
 	caller func(callee *pointsto.MCtx, n Node)
-	heap   *heapIndex
+	// heap collects heap accesses for the pairing phase (nil to skip).
+	heap *heapIndex
 }
 
 // Build constructs the dependence graph over the contexts reachable in
@@ -305,6 +432,13 @@ func BuildBudget(prog *ir.Program, pts *pointsto.Result, b *budget.Budget) (*Gra
 // stops at, which requires the sequential tick interleaving. Workers
 // draw per-goroutine meters from the budget, so cancellation and
 // deadlines are still honored promptly on the parallel path.
+// parallelMinNodes gates the worker pool: below this many statement
+// instances the scan buffers, merge pass, and goroutine handoff cost
+// more than the construction itself, so small programs always build
+// sequentially and never pay pool overhead. A variable so the
+// equivalence tests can force the parallel path on small programs.
+var parallelMinNodes = 24576
+
 func BuildWorkers(prog *ir.Program, pts *pointsto.Result, b *budget.Budget, workers int) (*Graph, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -321,51 +455,110 @@ func BuildWorkers(prog *ir.Program, pts *pointsto.Result, b *budget.Budget, work
 		firstID:     make(map[*ir.Method]int),
 		callerNodes: make(map[*pointsto.MCtx][]Node),
 	}
+	// One walk per method collects everything the layout and linkCall
+	// need (first instruction ID, instruction count, Return list) —
+	// contexts then reuse the per-method numbers instead of re-walking
+	// bodies once per clone.
+	g.returns = make(map[*ir.Method][]*ir.Return, len(prog.Methods))
+	methodSize := make(map[*ir.Method]int, len(prog.Methods))
 	for _, m := range prog.Methods {
-		first := -1
+		first, n := -1, 0
+		var rets []*ir.Return
 		m.Instrs(func(ins ir.Instr) {
 			if first < 0 {
 				first = ins.ID()
 			}
+			n++
+			if ret, ok := ins.(*ir.Return); ok {
+				rets = append(rets, ret)
+			}
 		})
 		g.firstID[m] = first
+		g.returns[m] = rets
+		methodSize[m] = n
 	}
 	g.mctxs = pts.MCtxs()
 	total := 0
-	for _, mc := range g.mctxs {
+	ctxSize := make([]int, len(g.mctxs))
+	for i, mc := range g.mctxs {
 		g.base[mc] = int32(total)
-		n := 0
-		mc.Method.Instrs(func(ir.Instr) { n++ })
-		total += n
-		for i := 0; i < n; i++ {
+		ctxSize[i] = methodSize[mc.Method]
+		total += ctxSize[i]
+	}
+	g.nodeCtx = make([]*pointsto.MCtx, 0, total)
+	for i, mc := range g.mctxs {
+		for j := 0; j < ctxSize[i]; j++ {
 			g.nodeCtx = append(g.nodeCtx, mc)
 		}
 	}
-	g.deps = make([][]Dep, total)
-
+	if workers > 1 && total < parallelMinNodes {
+		workers = 1
+	}
 	if workers <= 1 {
 		return g.buildSequential()
 	}
-	return g.buildParallel(workers)
+	return g.buildParallel(workers, ctxSize)
+}
+
+// ctxRange is one contiguous run of contexts, g.mctxs[lo:hi), assigned
+// to a single scan buffer by the size-aware partitioner.
+type ctxRange struct{ lo, hi int }
+
+// partitionCtxs splits the context list into contiguous buckets of
+// roughly equal instruction count (about 4 buckets per worker so the
+// pool can rebalance around stragglers). Contiguity keeps the merge
+// pass a simple in-order walk that replays the sequential edge order.
+func partitionCtxs(ctxSize []int, workers int) []ctxRange {
+	total := 0
+	for _, n := range ctxSize {
+		total += n
+	}
+	target := total/(workers*4) + 1
+	var out []ctxRange
+	lo, acc := 0, 0
+	for i, n := range ctxSize {
+		acc += n
+		if acc >= target {
+			out = append(out, ctxRange{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(ctxSize) {
+		out = append(out, ctxRange{lo, len(ctxSize)})
+	}
+	return out
 }
 
 // scanCtx performs the per-context scan phase: intraprocedural def-use
 // edges, heap-access collection, and call linking.
 func (g *Graph) scanCtx(mc *pointsto.MCtx, em scanEmit) {
+	// Points-to IDs arrive sorted straight off the solver's bitsets;
+	// the pairing phase's intersection tests rely on that order.
 	objIDs := func(r *ir.Reg) []int {
-		objs := g.Pts.PointsToIn(r, mc)
-		ids := make([]int, len(objs))
-		for i, o := range objs {
-			ids[i] = o.ID
+		return g.Pts.PointsToIDsIn(nil, r, mc)
+	}
+	// All same-context node numbers share one base offset; hoisting it
+	// replaces two map lookups per instruction (and per use) with
+	// arithmetic on the instruction ID.
+	delta := int(g.base[mc]) - g.firstID[mc.Method]
+	// One closure, hoisted out of the walk, visits every operand
+	// allocation-free (node is rebound per instruction).
+	var node Node
+	emitUse := func(u *ir.Reg, role ir.Role) {
+		if u.Def == nil {
+			return
 		}
-		sort.Ints(ids)
-		return ids
+		kind := EdgeLocal
+		if role == ir.RoleBase {
+			kind = EdgeBase
+		}
+		em.dep(node, Dep{Src: Node(delta + u.Def.ID()), Kind: kind, Via: NoNode})
 	}
 	mc.Method.Instrs(func(ins ir.Instr) {
 		if !em.tick() {
 			return
 		}
-		node := g.NodeOf(mc, ins)
+		node = Node(delta + ins.ID())
 		// Local/base def-use edges from operand definitions. Call
 		// operands are excluded: argument flow reaches the callee's
 		// formal parameters via EdgeParam, and the call node itself
@@ -373,38 +566,29 @@ func (g *Graph) scanCtx(mc *pointsto.MCtx, em scanEmit) {
 		// where a call result does not directly depend on the
 		// arguments in the caller.
 		if _, isCall := ins.(*ir.Call); !isCall {
-			uses := ins.Uses()
-			roles := ins.UseRoles()
-			for i, u := range uses {
-				if u.Def == nil {
-					continue
-				}
-				kind := EdgeLocal
-				if roles[i] == ir.RoleBase {
-					kind = EdgeBase
-				}
-				em.dep(node, Dep{Src: g.NodeOf(mc, u.Def), Kind: kind, Via: NoNode})
-			}
+			ins.EachUse(emitUse)
 		}
-		switch ins := ins.(type) {
-		case *ir.SetField:
-			em.heap.fieldStores[ins.Field.QualifiedName()] = append(
-				em.heap.fieldStores[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
-		case *ir.GetField:
-			em.heap.fieldLoads[ins.Field.QualifiedName()] = append(
-				em.heap.fieldLoads[ins.Field.QualifiedName()], heapAccess{node, objIDs(ins.Obj)})
-		case *ir.ArrayStore:
-			em.heap.elemStores = append(em.heap.elemStores, heapAccess{node, objIDs(ins.Arr)})
-		case *ir.ArrayLoad:
-			em.heap.elemLoads = append(em.heap.elemLoads, heapAccess{node, objIDs(ins.Arr)})
-		case *ir.ArrayLen:
-			em.heap.lenReads = append(em.heap.lenReads, heapAccess{node, objIDs(ins.Arr)})
-		case *ir.SetStatic:
-			em.heap.staticStores[ins.Field.QualifiedName()] = append(em.heap.staticStores[ins.Field.QualifiedName()], node)
-		case *ir.GetStatic:
-			em.heap.staticLoads[ins.Field.QualifiedName()] = append(em.heap.staticLoads[ins.Field.QualifiedName()], node)
-		case *ir.Call:
-			g.linkCall(mc, node, ins, em)
+		if call, ok := ins.(*ir.Call); ok {
+			g.linkCall(mc, node, call, em)
+		} else if h := em.heap; h != nil {
+			switch ins := ins.(type) {
+			case *ir.SetField:
+				h.fieldStores[ins.Field.QualifiedName()] = append(
+					h.fieldStores[ins.Field.QualifiedName()], newHeapAccess(node, objIDs(ins.Obj)))
+			case *ir.GetField:
+				h.fieldLoads[ins.Field.QualifiedName()] = append(
+					h.fieldLoads[ins.Field.QualifiedName()], newHeapAccess(node, objIDs(ins.Obj)))
+			case *ir.ArrayStore:
+				h.elemStores = append(h.elemStores, newHeapAccess(node, objIDs(ins.Arr)))
+			case *ir.ArrayLoad:
+				h.elemLoads = append(h.elemLoads, newHeapAccess(node, objIDs(ins.Arr)))
+			case *ir.ArrayLen:
+				h.lenReads = append(h.lenReads, heapAccess{node: node, objs: objIDs(ins.Arr)})
+			case *ir.SetStatic:
+				h.staticStores[ins.Field.QualifiedName()] = append(h.staticStores[ins.Field.QualifiedName()], node)
+			case *ir.GetStatic:
+				h.staticLoads[ins.Field.QualifiedName()] = append(h.staticLoads[ins.Field.QualifiedName()], node)
+			}
 		}
 	})
 }
@@ -433,11 +617,12 @@ func (g *Graph) lenDeps(lr heapAccess, add func(to Node, d Dep)) {
 // method's (shared, immutable) intraprocedural CDG.
 func (g *Graph) controlCtx(mc *pointsto.MCtx, cg *cdg.Graph, add func(to Node, d Dep)) {
 	callers := g.callerNodes[mc]
+	delta := int(g.base[mc]) - g.firstID[mc.Method]
 	mc.Method.Instrs(func(ins ir.Instr) {
-		node := g.NodeOf(mc, ins)
+		node := Node(delta + ins.ID())
 		for _, br := range cg.InstrDeps(ins) {
 			if br != ins {
-				add(node, Dep{Src: g.NodeOf(mc, br), Kind: EdgeControl, Via: NoNode})
+				add(node, Dep{Src: Node(delta + br.ID()), Kind: EdgeControl, Via: NoNode})
 			}
 		}
 		if cg.DependsOnEntry(ins) {
@@ -448,10 +633,122 @@ func (g *Graph) controlCtx(mc *pointsto.MCtx, cg *cdg.Graph, add func(to Node, d
 	})
 }
 
+
+// maskKey identifies a single-word points-to mask; loads with equal
+// masks match exactly the same stores, so per-field pairing caches the
+// match list once per distinct mask instead of re-testing every
+// (load, store) pair — and the two-pass build would otherwise pay the
+// full quadratic sweep twice. Multi-word masks (rare: they need object
+// IDs spread over >64 contiguous IDs) fall back to direct pairing.
+type maskKey struct {
+	lo int32
+	w  uint64
+}
+
+// matchStores returns the nodes of stores aliasing ld, in stores slice
+// order (the order the pairing loops have always emitted), caching by
+// mask signature when ld's mask is a single word.
+func matchStores(ld *heapAccess, stores []heapAccess, cache map[maskKey][]Node) []Node {
+	if len(ld.mask) == 1 {
+		k := maskKey{ld.maskLo, ld.mask[0]}
+		if m, ok := cache[k]; ok {
+			return m
+		}
+		var m []Node
+		for i := range stores {
+			if ld.aliases(&stores[i]) {
+				m = append(m, stores[i].node)
+			}
+		}
+		cache[k] = m
+		return m
+	}
+	var m []Node
+	for i := range stores {
+		if ld.aliases(&stores[i]) {
+			m = append(m, stores[i].node)
+		}
+	}
+	return m
+}
+
+// emitHeapAndControl runs the pairing, array-length, static, and
+// control phases over an already-built heap index, sending every edge
+// to add. tick, when non-nil, is checked once per candidate heap load
+// (the pairing phase is the graph's quadratic hot spot); the fill pass
+// of the two-pass build passes nil and re-emits unconditionally.
+func (g *Graph) emitHeapAndControl(h *heapIndex, cdgCache map[*ir.Method]*cdg.Graph, tick func() bool, add func(to Node, d Dep)) {
+	// Heap edges: store→load when the base points-to sets (in the
+	// respective contexts) intersect. Map iteration order varies run to
+	// run, but each load node lives under exactly one field name, so
+	// every node's in-edge sequence is still deterministic.
+	for fname, loads := range h.fieldLoads {
+		if g.stop != nil {
+			return
+		}
+		stores := h.fieldStores[fname]
+		cache := make(map[maskKey][]Node)
+		for i := range loads {
+			if tick != nil && !tick() {
+				return
+			}
+			for _, st := range matchStores(&loads[i], stores, cache) {
+				add(loads[i].node, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+	for _, ld := range h.elemLoads {
+		if tick != nil && !tick() {
+			return
+		}
+		for _, st := range h.elemStores {
+			if ld.aliases(&st) {
+				add(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+	for _, lr := range h.lenReads {
+		if g.stop != nil {
+			return
+		}
+		g.lenDeps(lr, add)
+	}
+	// Static fields are single global locations: every store reaches
+	// every load of the same field.
+	for fname, loads := range h.staticLoads {
+		if g.stop != nil {
+			return
+		}
+		for _, ld := range loads {
+			for _, st := range h.staticStores[fname] {
+				add(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
+			}
+		}
+	}
+
+	// Control dependence edges (intraprocedural graphs are shared
+	// across contexts; edges are added per context instance).
+	for _, mc := range g.mctxs {
+		if g.stop != nil {
+			return
+		}
+		cg := cdgCache[mc.Method]
+		if cg == nil {
+			cg = cdg.Build(mc.Method)
+			cdgCache[mc.Method] = cg
+		}
+		g.controlCtx(mc, cg, add)
+	}
+}
+
 // buildSequential is the reference construction: one goroutine, every
 // step ticking the shared meter, deterministic truncation on an
-// exhausted step cap.
+// exhausted step cap. Unmetered builds take the two-pass direct-CSR
+// path instead.
 func (g *Graph) buildSequential() (*Graph, error) {
+	if !g.bud.Limited(budget.PhaseSDG) {
+		return g.buildTwoPass()
+	}
 	h := newHeapIndex()
 	em := scanEmit{
 		tick: g.tick,
@@ -467,68 +764,7 @@ func (g *Graph) buildSequential() (*Graph, error) {
 		}
 		g.scanCtx(mc, em)
 	}
-
-	// Heap edges: store→load when the base points-to sets (in the
-	// respective contexts) intersect. These pairings are the graph's
-	// quadratic hot spot, so each candidate load ticks the budget.
-	for fname, loads := range h.fieldLoads {
-		if g.stop != nil {
-			break
-		}
-		for _, ld := range loads {
-			if !g.tick() {
-				break
-			}
-			for _, st := range h.fieldStores[fname] {
-				if intersects(ld.objs, st.objs) {
-					g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
-				}
-			}
-		}
-	}
-	for _, ld := range h.elemLoads {
-		if !g.tick() {
-			break
-		}
-		for _, st := range h.elemStores {
-			if intersects(ld.objs, st.objs) {
-				g.addDep(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
-			}
-		}
-	}
-	for _, lr := range h.lenReads {
-		if g.stop != nil {
-			break
-		}
-		g.lenDeps(lr, g.addDep)
-	}
-	// Static fields are single global locations: every store reaches
-	// every load of the same field.
-	for fname, loads := range h.staticLoads {
-		if g.stop != nil {
-			break
-		}
-		for _, ld := range loads {
-			for _, st := range h.staticStores[fname] {
-				g.addDep(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
-			}
-		}
-	}
-
-	// Control dependence edges (intraprocedural graphs are shared
-	// across contexts; edges are added per context instance).
-	cdgCache := make(map[*ir.Method]*cdg.Graph)
-	for _, mc := range g.mctxs {
-		if g.stop != nil {
-			break
-		}
-		cg := cdgCache[mc.Method]
-		if cg == nil {
-			cg = cdg.Build(mc.Method)
-			cdgCache[mc.Method] = cg
-		}
-		g.controlCtx(mc, cg, g.addDep)
-	}
+	g.emitHeapAndControl(h, make(map[*ir.Method]*cdg.Graph), g.tick, g.addDep)
 	if g.stop != nil {
 		if budget.IsCanceled(g.stop) {
 			return nil, g.stop
@@ -536,13 +772,67 @@ func (g *Graph) buildSequential() (*Graph, error) {
 		g.Truncated = true
 		g.LimitErr = g.stop
 	}
+	g.finalize()
 	return g, nil
 }
 
-// depAdd is one buffered edge addition of the parallel scan phase.
-type depAdd struct {
-	to Node
-	d  Dep
+// buildTwoPass is the sequential construction for builds without a
+// step cap: a counting pass sizes every node's in-edge list, then a
+// second emission pass writes each edge straight into its final CSR
+// slot — no intermediate edge buffers at all, roughly a quarter of
+// the build's allocated bytes on the larger corpora. Step-capped
+// budgets stay on the single-pass path above because deterministic
+// truncation requires the exact sequential tick interleaving; here the
+// meter can only fail on cancellation or deadline, and either aborts
+// the build outright. The fill pass re-runs the phases in the same
+// order over the retained heap index and CDG cache (heap and caller
+// recording suppressed), so every node's in-edge sequence — and
+// therefore Fingerprint and the codec byte stream — is identical to
+// the single-pass result.
+func (g *Graph) buildTwoPass() (*Graph, error) {
+	n := len(g.nodeCtx)
+	off := make([]int32, n+1)
+	count := func(to Node, d Dep) { off[to+1]++ }
+	h := newHeapIndex()
+	cdgCache := make(map[*ir.Method]*cdg.Graph)
+	em := scanEmit{
+		tick: g.tick,
+		dep:  count,
+		caller: func(callee *pointsto.MCtx, nd Node) {
+			g.callerNodes[callee] = append(g.callerNodes[callee], nd)
+		},
+		heap: h,
+	}
+	for _, mc := range g.mctxs {
+		if g.stop != nil {
+			break
+		}
+		g.scanCtx(mc, em)
+	}
+	g.emitHeapAndControl(h, cdgCache, g.tick, count)
+	if g.stop != nil {
+		return nil, g.stop
+	}
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	total := int(off[n])
+	deps := make([]Dep, total)
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	g.csrBuild = time.Since(start)
+	place := func(to Node, d Dep) {
+		deps[cur[to]] = d
+		cur[to]++
+	}
+	em2 := scanEmit{tick: func() bool { return true }, dep: place}
+	for _, mc := range g.mctxs {
+		g.scanCtx(mc, em2)
+	}
+	g.emitHeapAndControl(h, cdgCache, nil, place)
+	g.csrOff, g.csrDeps, g.numEdges = off, deps, total
+	return g, nil
 }
 
 // callerAdd is one buffered caller-node record of the parallel scan.
@@ -553,22 +843,24 @@ type callerAdd struct {
 
 // ctxScan is the buffered outcome of scanning one context.
 type ctxScan struct {
-	deps    []depAdd
+	deps    []edgeRec
 	callers []callerAdd
 	heap    *heapIndex
 }
 
 // buildParallel runs the three construction phases over a bounded
-// worker pool. Only cancellation/deadline errors can occur here (step
-// caps force the sequential path), so an error aborts the whole build.
-func (g *Graph) buildParallel(workers int) (*Graph, error) {
-	// Phase 1: scan contexts into per-context buffers.
-	scans := make([]*ctxScan, len(g.mctxs))
-	err := g.forEach(workers, len(g.mctxs), func(m *budget.Meter, i int) error {
-		mc := g.mctxs[i]
+// worker pool, with contexts partitioned into contiguous size-balanced
+// buckets (one scan buffer per bucket instead of per context). Only
+// cancellation/deadline errors can occur here (step caps force the
+// sequential path), so an error aborts the whole build.
+func (g *Graph) buildParallel(workers int, ctxSize []int) (*Graph, error) {
+	// Phase 1: scan context buckets into per-bucket buffers.
+	buckets := partitionCtxs(ctxSize, workers)
+	scans := make([]*ctxScan, len(buckets))
+	err := g.forEach(workers, len(buckets), func(m *budget.Meter, i int) error {
 		cs := &ctxScan{heap: newHeapIndex()}
 		var stopErr error
-		g.scanCtx(mc, scanEmit{
+		em := scanEmit{
 			tick: func() bool {
 				if stopErr != nil {
 					return false
@@ -579,21 +871,28 @@ func (g *Graph) buildParallel(workers int) (*Graph, error) {
 				}
 				return true
 			},
-			dep:    func(to Node, d Dep) { cs.deps = append(cs.deps, depAdd{to, d}) },
+			dep:    func(to Node, d Dep) { cs.deps = append(cs.deps, edgeRec{to, d}) },
 			caller: func(callee *pointsto.MCtx, n Node) { cs.callers = append(cs.callers, callerAdd{callee, n}) },
 			heap:   cs.heap,
-		})
+		}
+		for _, mc := range g.mctxs[buckets[i].lo:buckets[i].hi] {
+			if stopErr != nil {
+				break
+			}
+			g.scanCtx(mc, em)
+		}
 		scans[i] = cs
 		return stopErr
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Merge in context order: replays the sequential addDep order.
+	// Merge in bucket (= context) order: replays the sequential addDep
+	// order.
 	h := newHeapIndex()
 	for _, cs := range scans {
-		for _, da := range cs.deps {
-			g.deps[da.to] = append(g.deps[da.to], da.d)
+		if len(cs.deps) > 0 {
+			g.edgeFull = append(g.edgeFull, cs.deps)
 		}
 		for _, ca := range cs.callers {
 			g.callerNodes[ca.callee] = append(g.callerNodes[ca.callee], ca.node)
@@ -603,64 +902,70 @@ func (g *Graph) buildParallel(workers int) (*Graph, error) {
 
 	// Phase 2: heap pairing over node-disjoint access groups. Each
 	// group owns its load nodes exclusively (an instruction accesses
-	// exactly one field), so tasks append to disjoint g.deps rows.
-	var tasks []func(m *budget.Meter) error
+	// exactly one field), so per-node edge order is within-task order
+	// regardless of how the task buffers are concatenated.
+	var tasks []func(m *budget.Meter, sink func(Node, Dep)) error
 	for _, fname := range sortedKeys(h.fieldLoads) {
 		loads, stores := h.fieldLoads[fname], h.fieldStores[fname]
-		tasks = append(tasks, func(m *budget.Meter) error {
-			for _, ld := range loads {
+		tasks = append(tasks, func(m *budget.Meter, sink func(Node, Dep)) error {
+			cache := make(map[maskKey][]Node)
+			for i := range loads {
 				if err := m.Tick(); err != nil {
 					return err
 				}
-				for _, st := range stores {
-					if intersects(ld.objs, st.objs) {
-						g.deps[ld.node] = append(g.deps[ld.node], Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
-					}
+				for _, st := range matchStores(&loads[i], stores, cache) {
+					sink(loads[i].node, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
 				}
 			}
 			return nil
 		})
 	}
-	tasks = append(tasks, func(m *budget.Meter) error {
+	tasks = append(tasks, func(m *budget.Meter, sink func(Node, Dep)) error {
 		for _, ld := range h.elemLoads {
 			if err := m.Tick(); err != nil {
 				return err
 			}
 			for _, st := range h.elemStores {
-				if intersects(ld.objs, st.objs) {
-					g.deps[ld.node] = append(g.deps[ld.node], Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
+				if ld.aliases(&st) {
+					sink(ld.node, Dep{Src: st.node, Kind: EdgeHeap, Via: NoNode})
 				}
 			}
 		}
 		return nil
 	})
-	tasks = append(tasks, func(m *budget.Meter) error {
+	tasks = append(tasks, func(m *budget.Meter, sink func(Node, Dep)) error {
 		for _, lr := range h.lenReads {
 			if err := m.Tick(); err != nil {
 				return err
 			}
-			g.lenDeps(lr, func(to Node, d Dep) { g.deps[to] = append(g.deps[to], d) })
+			g.lenDeps(lr, sink)
 		}
 		return nil
 	})
 	for _, fname := range sortedKeys(h.staticLoads) {
 		loads, stores := h.staticLoads[fname], h.staticStores[fname]
-		tasks = append(tasks, func(m *budget.Meter) error {
+		tasks = append(tasks, func(m *budget.Meter, sink func(Node, Dep)) error {
 			if err := m.Err(); err != nil {
 				return err
 			}
 			for _, ld := range loads {
 				for _, st := range stores {
-					g.deps[ld] = append(g.deps[ld], Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
+					sink(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
 				}
 			}
 			return nil
 		})
 	}
+	taskBufs := make([][]edgeRec, len(tasks))
 	if err := g.forEach(workers, len(tasks), func(m *budget.Meter, i int) error {
-		return tasks[i](m)
+		return tasks[i](m, func(to Node, d Dep) { taskBufs[i] = append(taskBufs[i], edgeRec{to, d}) })
 	}); err != nil {
 		return nil, err
+	}
+	for _, buf := range taskBufs {
+		if len(buf) > 0 {
+			g.edgeFull = append(g.edgeFull, buf)
+		}
 	}
 
 	// Phase 3: control dependences. Intraprocedural CDGs first (one
@@ -687,21 +992,25 @@ func (g *Graph) buildParallel(workers int) (*Graph, error) {
 	for i, m := range methods {
 		cdgOf[m] = cgs[i]
 	}
-	if err := g.forEach(workers, len(g.mctxs), func(m *budget.Meter, i int) error {
+	ctrlBufs := make([][]edgeRec, len(buckets))
+	if err := g.forEach(workers, len(buckets), func(m *budget.Meter, i int) error {
 		if err := m.Err(); err != nil {
 			return err
 		}
-		mc := g.mctxs[i]
-		g.controlCtx(mc, cdgOf[mc.Method], func(to Node, d Dep) { g.deps[to] = append(g.deps[to], d) })
+		for _, mc := range g.mctxs[buckets[i].lo:buckets[i].hi] {
+			g.controlCtx(mc, cdgOf[mc.Method], func(to Node, d Dep) { ctrlBufs[i] = append(ctrlBufs[i], edgeRec{to, d}) })
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-
-	g.numEdges = 0
-	for _, deps := range g.deps {
-		g.numEdges += len(deps)
+	for _, buf := range ctrlBufs {
+		if len(buf) > 0 {
+			g.edgeFull = append(g.edgeFull, buf)
+		}
 	}
+
+	g.finalize()
 	return g, nil
 }
 
@@ -790,22 +1099,25 @@ func (g *Graph) addDep(to Node, d Dep) {
 	if !g.tick() {
 		return
 	}
-	g.deps[to] = append(g.deps[to], d)
-	g.numEdges++
+	g.emit(to, d)
 }
 
 // linkCall adds parameter and return edges for every callee context of
 // a call site in a caller context.
 func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call, em scanEmit) {
+	callerDelta := int(g.base[caller]) - g.firstID[caller.Method]
 	for _, callee := range g.Pts.CalleesAt(call, caller) {
-		em.caller(callee, callNode)
+		if em.caller != nil {
+			em.caller(callee, callNode)
+		}
+		calleeDelta := int(g.base[callee]) - g.firstID[callee.Method]
 		params := callee.Method.Params
 		offset := 0
 		if !callee.Method.Sig.Static {
 			offset = 1
 			if call.Recv != nil && call.Recv.Def != nil {
-				em.dep(g.NodeOf(callee, params[0]),
-					Dep{Src: g.NodeOf(caller, call.Recv.Def), Kind: EdgeParam, Via: callNode})
+				em.dep(Node(calleeDelta+params[0].ID()),
+					Dep{Src: Node(callerDelta + call.Recv.Def.ID()), Kind: EdgeParam, Via: callNode})
 			}
 		}
 		for i, arg := range call.Args {
@@ -813,16 +1125,16 @@ func (g *Graph) linkCall(caller *pointsto.MCtx, callNode Node, call *ir.Call, em
 				break
 			}
 			if arg.Def != nil {
-				em.dep(g.NodeOf(callee, params[i+offset]),
-					Dep{Src: g.NodeOf(caller, arg.Def), Kind: EdgeParam, Via: callNode})
+				em.dep(Node(calleeDelta+params[i+offset].ID()),
+					Dep{Src: Node(callerDelta + arg.Def.ID()), Kind: EdgeParam, Via: callNode})
 			}
 		}
 		if call.Dst != nil {
-			callee.Method.Instrs(func(ins ir.Instr) {
-				if ret, ok := ins.(*ir.Return); ok && ret.Val != nil {
-					em.dep(callNode, Dep{Src: g.NodeOf(callee, ret), Kind: EdgeReturn, Via: NoNode})
+			for _, ret := range g.returns[callee.Method] {
+				if ret.Val != nil {
+					em.dep(callNode, Dep{Src: Node(calleeDelta + ret.ID()), Kind: EdgeReturn, Via: NoNode})
 				}
-			})
+			}
 		}
 	}
 }

@@ -117,6 +117,15 @@ type Session struct {
 	sources  map[string]string
 	fileKeys map[string]Key
 	stats    Stats
+	// snap caches snapshot()'s derived view of the source set (every
+	// phase lookup needs it, and re-hashing all sources per phase is
+	// measurable). Invalidated by Update/Remove.
+	snap struct {
+		valid bool
+		names []string
+		srcs  map[string]string
+		key   Key
+	}
 }
 
 // Open starts a session over the given sources (name → content). The
@@ -150,6 +159,7 @@ func (s *Session) Update(name, content string) {
 	defer s.mu.Unlock()
 	s.sources[name] = content
 	s.fileKeys[name] = hashParts("file", name, content)
+	s.snap.valid = false
 }
 
 // Remove drops one source file from the session's source set.
@@ -158,6 +168,7 @@ func (s *Session) Remove(name string) {
 	defer s.mu.Unlock()
 	delete(s.sources, name)
 	delete(s.fileKeys, name)
+	s.snap.valid = false
 }
 
 // Stats returns the phase-execution counters so far.
@@ -182,27 +193,37 @@ func (s *Session) count(f func(*Stats)) {
 }
 
 // snapshot returns the current file set in deterministic name order
-// together with the source-set key that roots all artifact keys.
+// together with the source-set key that roots all artifact keys. The
+// view is cached between source mutations; callers must treat the
+// returned slice and map as read-only.
 func (s *Session) snapshot() (names []string, srcs map[string]string, srcKey Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.snap.valid {
+		return s.snap.names, s.snap.srcs, s.snap.key
+	}
 	srcs = make(map[string]string, len(s.sources)+1)
+	keys := make(map[string]Key, len(s.sources)+1)
 	for name, src := range s.sources {
 		srcs[name] = src
+		keys[name] = s.fileKeys[name]
 		names = append(names, name)
 	}
 	if !s.cfg.noPrelude {
 		if _, ok := srcs[prelude.FileName]; !ok {
 			srcs[prelude.FileName] = prelude.Source
+			keys[prelude.FileName] = hashParts("file", prelude.FileName, prelude.Source)
 			names = append(names, prelude.FileName)
 		}
 	}
 	sort.Strings(names)
 	parts := []string{"srcset"}
 	for _, name := range names {
-		parts = append(parts, name, string(hashParts("file", name, srcs[name])))
+		parts = append(parts, name, string(keys[name]))
 	}
-	return names, srcs, hashParts(parts...)
+	s.snap.valid = true
+	s.snap.names, s.snap.srcs, s.snap.key = names, srcs, hashParts(parts...)
+	return s.snap.names, s.snap.srcs, s.snap.key
 }
 
 // PhaseHook is a test-only interception point consulted at every phase
@@ -345,6 +366,7 @@ func (s *Session) Info() (*types.Info, error) {
 			var all parser.ErrorList
 			for _, name := range names {
 				classes, perr := s.parseFile(name, srcs[name])
+				prog.SrcBytes += len(srcs[name])
 				prog.Classes = append(prog.Classes, classes...)
 				if perr != nil {
 					all = append(all, perr.(parser.ErrorList)...)
