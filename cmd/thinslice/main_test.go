@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -59,30 +60,34 @@ func TestGoldenWhy(t *testing.T) {
 	golden(t, "why", exitOK, "-seed", taintExample+":8", "-why", taintExample+":13", taintExample)
 }
 
+// checkFixtures is every seeded-bug fixture plus the clean programs,
+// in the order the goldens were generated with.
+var checkFixtures = []string{
+	"examples/checkers/cast.mj", "examples/checkers/clean.mj",
+	"examples/checkers/close.mj", "examples/checkers/close_clean.mj",
+	"examples/checkers/defuninit.mj", "examples/checkers/defuninit_clean.mj",
+	"examples/checkers/nil.mj", "examples/checkers/taint.mj",
+	"examples/checkers/uninit.mj",
+}
+
 func TestGoldenCheck(t *testing.T) {
-	golden(t, "check", exitPartial, "check",
-		"examples/checkers/cast.mj", "examples/checkers/clean.mj",
-		"examples/checkers/nil.mj", "examples/checkers/taint.mj",
-		"examples/checkers/uninit.mj")
+	golden(t, "check", exitPartial, append([]string{"check"}, checkFixtures...)...)
 }
 
 func TestGoldenCheckJSON(t *testing.T) {
-	golden(t, "check_json", exitPartial, "check", "-json",
-		"examples/checkers/cast.mj", "examples/checkers/clean.mj",
-		"examples/checkers/nil.mj", "examples/checkers/taint.mj",
-		"examples/checkers/uninit.mj")
+	golden(t, "check_json", exitPartial, append([]string{"check", "-json"}, checkFixtures...)...)
 }
 
 func TestGoldenCheckClean(t *testing.T) {
-	golden(t, "check_clean", exitOK, "check", "examples/checkers/clean.mj")
+	golden(t, "check_clean", exitOK, "check", "examples/checkers/clean.mj",
+		"examples/checkers/close_clean.mj", "examples/checkers/defuninit_clean.mj")
 }
 
 // TestDeterministicOutput runs the check subcommand repeatedly and
 // demands byte-identical output.
 func TestDeterministicOutput(t *testing.T) {
 	t.Chdir("../..")
-	args := []string{"check", "examples/checkers/cast.mj", "examples/checkers/nil.mj",
-		"examples/checkers/taint.mj", "examples/checkers/uninit.mj"}
+	args := append([]string{"check"}, checkFixtures...)
 	var first []byte
 	for i := 0; i < 3; i++ {
 		var stdout, stderr bytes.Buffer
@@ -91,6 +96,53 @@ func TestDeterministicOutput(t *testing.T) {
 			first = stdout.Bytes()
 		} else if !bytes.Equal(first, stdout.Bytes()) {
 			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, first, stdout.Bytes())
+		}
+	}
+}
+
+// TestCheckJSONSchemaStable pins the -json wire shape: the output must
+// decode into this hand-written mirror of the documented schema with
+// unknown fields disallowed, so adding, renaming, or retyping a field
+// fails here before it breaks downstream consumers.
+func TestCheckJSONSchemaStable(t *testing.T) {
+	t.Chdir("../..")
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"check", "-json"}, checkFixtures...), &stdout, &stderr); code != exitPartial {
+		t.Fatalf("exit code %d, want %d (stderr: %s)", code, exitPartial, &stderr)
+	}
+	var rep struct {
+		Findings []struct {
+			Checker string `json:"checker"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+			Witness []struct {
+				Kind string `json:"kind"`
+				File string `json:"file"`
+				Line int    `json:"line"`
+				Stmt string `json:"stmt"`
+			} `json:"witness"`
+		} `json:"findings"`
+		Truncated bool `json:"truncated"`
+	}
+	dec := json.NewDecoder(&stdout)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("output does not match the pinned schema: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings decoded; schema check is vacuous")
+	}
+	byChecker := make(map[string]int)
+	for _, f := range rep.Findings {
+		byChecker[f.Checker]++
+		if f.Checker == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding with missing required fields: %+v", f)
+		}
+	}
+	for _, c := range []string{"nilderef", "uninitfield", "unsafecast", "taint", "typestate", "defuninit"} {
+		if byChecker[c] == 0 {
+			t.Errorf("no %s finding in the fixture corpus; every checker must exercise the schema", c)
 		}
 	}
 }

@@ -17,7 +17,7 @@ import (
 // EncodeCallGraph returns the persistent payload for g.
 func EncodeCallGraph(g *CallGraph) ([]byte, error) {
 	var reach []string
-	for m := range g.reachable {
+	for m := range g.reachable { //determinism:ok — sorted below
 		reach = append(reach, m.Sig.QualifiedName())
 	}
 	sort.Strings(reach)

@@ -20,7 +20,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 	// Method set: mod and ref are always populated together.
 	var names []string
 	byName := make(map[string]*ir.Method, len(r.mod))
-	for m := range r.mod {
+	for m := range r.mod { //determinism:ok — sorted below
 		n := m.Sig.QualifiedName()
 		names = append(names, n)
 		byName[n] = m

@@ -72,7 +72,7 @@ func (r *Result) ModUnion() map[Loc]bool {
 
 func sortLocs(set map[Loc]bool) []Loc {
 	out := make([]Loc, 0, len(set))
-	for l := range set {
+	for l := range set { //determinism:ok — sorted below
 		out = append(out, l)
 	}
 	sort.Slice(out, func(i, j int) bool { return locLess(out[i], out[j]) })

@@ -97,7 +97,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		pts []int
 	}
 	var vars []varEntry
-	for k, n := range r.varNodes {
+	for k, n := range r.varNodes { //determinism:ok — sorted below
 		if n.pts.empty() {
 			continue
 		}
@@ -136,7 +136,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		callees      []*MCtx
 	}
 	var edges []edgeEntry
-	for k, v := range r.callEdges {
+	for k, v := range r.callEdges { //determinism:ok — sorted below
 		edges = append(edges, edgeEntry{k.callID, k.callerID, v})
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -163,9 +163,9 @@ func EncodeResult(r *Result) ([]byte, error) {
 		names []string
 	}
 	var cis []ciEntry
-	for call, set := range r.calleesCI {
+	for call, set := range r.calleesCI { //determinism:ok — sorted below
 		e := ciEntry{call: call.ID()}
-		for m := range set {
+		for m := range set { //determinism:ok — names sorted below
 			e.names = append(e.names, m.Sig.QualifiedName())
 		}
 		sort.Strings(e.names)
@@ -183,7 +183,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 
 	// Reachable methods, sorted by name.
 	var reach []string
-	for m := range r.reachableM {
+	for m := range r.reachableM { //determinism:ok — sorted below
 		reach = append(reach, m.Sig.QualifiedName())
 	}
 	sort.Strings(reach)

@@ -29,6 +29,7 @@ const (
 	PhaseVerify   Phase = "verify"   // IR invariant verification
 	PhasePointsTo Phase = "pointsto" // Andersen solver
 	PhaseSDG      Phase = "sdg"      // dependence graph construction
+	PhaseDataflow Phase = "dataflow" // IFDS interprocedural dataflow solve
 	PhaseSlice    Phase = "slice"    // backward slice closure
 	PhaseExpand   Phase = "expand"   // hierarchical expansion
 	PhaseCheck    Phase = "check"    // checker suite

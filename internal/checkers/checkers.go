@@ -24,10 +24,12 @@ import (
 	"thinslice/internal/analyzer"
 	"thinslice/internal/budget"
 	"thinslice/internal/core"
+	"thinslice/internal/dataflow"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/prelude"
 	"thinslice/internal/lang/token"
 	"thinslice/internal/sdg"
+	"thinslice/internal/session"
 )
 
 // Config tunes the configurable checkers.
@@ -108,8 +110,16 @@ type Context struct {
 	Slicer *core.Slicer
 	Config Config
 
+	// sess, when non-nil, memoizes IFDS dataflow solves (and their
+	// disk-tier artifacts); bud bounds direct solves without one.
+	sess  *session.Session
+	bud   *budget.Budget
 	meter *budget.Meter
 	stop  error
+	// partial records a truncated dataflow solve: the findings drawn
+	// from it stand, but coverage is incomplete, so the report is
+	// flagged Truncated without aborting the remaining checkers.
+	partial error
 }
 
 // tick spends one budget step; once it fails the run stops examining
@@ -151,6 +161,53 @@ func (c *Context) methods() []*ir.Method {
 	return c.Pts.ReachableMethods()
 }
 
+// dataflow returns the solved IFDS results for p — session-cached when
+// the analysis came from a session, solved directly otherwise. Errors
+// stop the run; a truncated solve records its typed error as the stop
+// cause but is still returned, since every fact a partial holds is
+// genuine (only absence queries must bail, and they check Truncated).
+func (c *Context) dataflow(p dataflow.Problem) *dataflow.Results {
+	if c.stop != nil {
+		return nil
+	}
+	var (
+		res *dataflow.Results
+		err error
+	)
+	if c.sess != nil {
+		res, err = c.sess.Dataflow(p)
+	} else {
+		res, err = dataflow.Solve(dataflow.Inputs{Prog: c.Prog, Pts: c.Pts, Graph: c.Graph, CHA: c.CHA}, p, c.bud)
+	}
+	if err != nil {
+		c.stop = err
+		return nil
+	}
+	if res.Truncated {
+		c.partial = res.Err
+	}
+	return res
+}
+
+// dfWitness converts the IFDS discovery trace of fact d at node n into
+// the same thin-slice step chain slicer witnesses carry: the faulty
+// statement leads, the generating statement ends it, and each hop is
+// labeled with the dependence-edge kind of the transfer that linked it.
+func (c *Context) dfWitness(res *dataflow.Results, n sdg.Node, d dataflow.Fact) *Witness {
+	steps := res.Trace(n, d)
+	if len(steps) == 0 {
+		return nil
+	}
+	chain := make([]core.PathStep, len(steps))
+	for i, st := range steps {
+		chain[i] = core.PathStep{Node: st.Node, Ins: st.Ins}
+		if i > 0 {
+			chain[i].Kind = steps[i-1].Kind.EdgeKind()
+		}
+	}
+	return &Witness{Seed: steps[0].Ins, Chain: chain}
+}
+
 // Checker is one analysis pass.
 type Checker interface {
 	// Name is the stable identifier used by -checks.
@@ -164,7 +221,7 @@ type Checker interface {
 
 // All returns every registered checker, in canonical order.
 func All() []Checker {
-	return []Checker{NilDeref{}, UninitField{}, UnsafeCast{}, Taint{}}
+	return []Checker{NilDeref{}, UninitField{}, UnsafeCast{}, Taint{}, Typestate{}, DefUninit{}}
 }
 
 // Select resolves comma-separated checker names ("" or "all" selects
@@ -216,6 +273,8 @@ func Run(a *analyzer.Analysis, checks []Checker, cfg Config) *Report {
 		Graph:  a.Graph,
 		Slicer: a.ThinSlicer(),
 		Config: cfg,
+		sess:   a.Session(),
+		bud:    a.Budget(),
 		meter:  a.Budget().Phase(budget.PhaseCheck),
 	}
 	if sess := a.Session(); sess != nil {
@@ -240,6 +299,8 @@ func Run(a *analyzer.Analysis, checks []Checker, cfg Config) *Report {
 	}
 	if ctx.stop != nil {
 		rep.Truncated, rep.Err = true, ctx.stop
+	} else if ctx.partial != nil {
+		rep.Truncated, rep.Err = true, ctx.partial
 	}
 	// A truncated slicer budget also makes witnesses incomplete.
 	if a.Partial() {

@@ -1,0 +1,212 @@
+package checkers
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"thinslice/internal/analyzer"
+	"thinslice/internal/budget"
+	"thinslice/internal/papercases"
+)
+
+// corpusSets returns the equivalence corpus: each paper case as its own
+// program (their class names collide), plus the seeded-bug fixtures as
+// one multi-entry set.
+func corpusSets(t *testing.T) []map[string]string {
+	t.Helper()
+	return []map[string]string{
+		{papercases.FirstNamesFile: papercases.FirstNames},
+		{papercases.ToyFile: papercases.Toy},
+		{papercases.FileBugFile: papercases.FileBug},
+		{papercases.ToughCastFile: papercases.ToughCast},
+		loadExamples(t),
+	}
+}
+
+// TestTaintIFDSSuperset is the dataflow-equivalence gate: on the whole
+// corpus, every sink the thin-slice-membership formulation flags is
+// also flagged by the IFDS formulation (IFDS ⊇ slice-based), and the
+// clean fixtures stay clean under IFDS.
+func TestTaintIFDSSuperset(t *testing.T) {
+	keys := func(rep *Report) map[string]bool {
+		out := make(map[string]bool)
+		for _, f := range rep.Findings {
+			out[fmt.Sprintf("%s:%d", f.Pos.File, f.Pos.Line)] = true
+		}
+		return out
+	}
+	sliceTotal := 0
+	for _, set := range corpusSets(t) {
+		a := analyze(t, set)
+		ifds := keys(Run(a, []Checker{Taint{}}, Config{}))
+		slice := keys(Run(a, []Checker{sliceTaint{}}, Config{}))
+		sliceTotal += len(slice)
+		for k := range slice {
+			if !ifds[k] {
+				t.Errorf("slice-based taint finding at %s missing from IFDS taint", k)
+			}
+		}
+		for k := range ifds {
+			if strings.Contains(k, "clean") {
+				t.Errorf("IFDS taint finding in a clean fixture: %s", k)
+			}
+		}
+	}
+	if sliceTotal == 0 {
+		t.Fatal("corpus produced no slice-based taint findings; superset check is vacuous")
+	}
+}
+
+// TestTypestateFileBug: the paper's Figure 4 — a File retrieved from a
+// Vector is closed through one alias and used through another. The
+// use-after-close is the isOpen() check inside readFromFile.
+func TestTypestateFileBug(t *testing.T) {
+	rep := runAll(t, map[string]string{papercases.FileBugFile: papercases.FileBug})
+	fs := findingsIn(rep, "typestate", papercases.FileBugFile)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 typestate finding, got %v", rep.Findings)
+	}
+	if want := papercases.Line(papercases.FileBug, "CHECK"); fs[0].Pos.Line != want {
+		t.Errorf("finding at line %d, want the CHECK line %d", fs[0].Pos.Line, want)
+	}
+	if !strings.Contains(fs[0].Message, "use after close") {
+		t.Errorf("message %q does not name a use after close", fs[0].Message)
+	}
+	w := fs[0].Witness
+	if w == nil || len(w.Chain) < 2 {
+		t.Fatalf("want a discovery-trace witness crossing to the close, got %v", w)
+	}
+	end := w.Chain[len(w.Chain)-1].Ins
+	if want := papercases.Line(papercases.FileBug, "CLOSECALL"); end.Pos().Line != want {
+		t.Errorf("witness ends at %s, want the CLOSECALL line %d", end.Pos(), want)
+	}
+}
+
+func TestTypestateDoubleClose(t *testing.T) {
+	rep := runAll(t, prog(`
+class Main {
+    static void main() {
+        Stream s = new Stream(1);
+        print(s.read());
+        s.close();
+        s.close();
+    }
+}`))
+	fs := findingsIn(rep, "typestate", "t.mj")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 typestate finding, got %v", rep.Findings)
+	}
+	if fs[0].Pos.Line != 7 || !strings.Contains(fs[0].Message, "double close") {
+		t.Errorf("want double close at line 7, got %v", fs[0])
+	}
+}
+
+// TestTypestateNegative: the protocol-respecting order (use, then one
+// close) produces nothing, even with the same calls present.
+func TestTypestateNegative(t *testing.T) {
+	rep := runAll(t, prog(`
+class Main {
+    static void main() {
+        Stream s = new Stream(1);
+        print(s.read());
+        s.write(2);
+        s.close();
+    }
+}`))
+	if fs := findingsIn(rep, "typestate", "t.mj"); len(fs) != 0 {
+		t.Errorf("protocol-respecting program flagged: %v", fs)
+	}
+}
+
+// TestDefUninitPositive: the read happens before the initializing call,
+// so UninitField (is it ever stored?) stays silent while DefUninit (is
+// it stored on every path to here?) fires — exactly the sharpening.
+func TestDefUninitPositive(t *testing.T) {
+	rep := runAll(t, prog(`
+class Box {
+    int val;
+    Box() { }
+    void fill(int v) { this.val = v; }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        print(b.val);
+        b.fill(3);
+        print(b.val);
+    }
+}`))
+	fs := findingsIn(rep, "defuninit", "t.mj")
+	if len(fs) != 1 {
+		t.Fatalf("want 1 defuninit finding, got %v", rep.Findings)
+	}
+	if fs[0].Pos.Line != 10 {
+		t.Errorf("finding at line %d, want the early read at line 10", fs[0].Pos.Line)
+	}
+	if len(findingsIn(rep, "uninitfield", "t.mj")) != 0 {
+		t.Error("uninitfield fired on a field that IS stored; defuninit should be the only reporter")
+	}
+}
+
+func TestDefUninitNegative(t *testing.T) {
+	rep := runAll(t, prog(`
+class Box {
+    int val;
+    Box(int v) { this.val = v; }
+}
+class Main {
+    static void main() {
+        Box b = new Box(1);
+        print(b.val);
+    }
+}`))
+	if fs := findingsIn(rep, "defuninit", "t.mj"); len(fs) != 0 {
+		t.Errorf("constructor-initialized read flagged: %v", fs)
+	}
+}
+
+// TestDefUninitBranchInit: initialization on only one branch is still
+// "may init" at the join, so the definite checker stays silent — it
+// only fires when NO path initializes.
+func TestDefUninitBranchInit(t *testing.T) {
+	rep := runAll(t, prog(`
+class Box {
+    int val;
+    Box() { }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        if (inputInt() > 0) { b.val = 1; }
+        print(b.val);
+    }
+}`))
+	if fs := findingsIn(rep, "defuninit", "t.mj"); len(fs) != 0 {
+		t.Errorf("one-branch init flagged as definite: %v", fs)
+	}
+}
+
+// TestDataflowBudgetTruncation: exhausting PhaseDataflow mid-solve must
+// degrade the run to a Truncated report with the typed error — never a
+// panic or a silently complete-looking answer — and the absence-based
+// defuninit checker must emit nothing from the partial facts.
+func TestDataflowBudgetTruncation(t *testing.T) {
+	b := budget.New(nil, budget.WithPhaseSteps(budget.PhaseDataflow, 5))
+	a := analyze(t, loadExamples(t), analyzer.WithBudget(b))
+	rep := Run(a, All(), Config{})
+	if !rep.Truncated {
+		t.Fatal("want Truncated report under a 5-step dataflow budget")
+	}
+	if rep.Err == nil || !budget.IsExhausted(rep.Err) {
+		t.Fatalf("want ErrExhausted, got %v", rep.Err)
+	}
+	if ph, _ := budget.PhaseOf(rep.Err); ph != budget.PhaseDataflow {
+		t.Fatalf("want phase %q, got %q", budget.PhaseDataflow, ph)
+	}
+	for _, f := range rep.Findings {
+		if f.Checker == "defuninit" {
+			t.Errorf("absence-based defuninit finding from a truncated solve: %v", f)
+		}
+	}
+}

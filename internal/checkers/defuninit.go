@@ -1,0 +1,98 @@
+package checkers
+
+import (
+	"fmt"
+
+	"thinslice/internal/dataflow"
+	"thinslice/internal/ir"
+)
+
+// DefUninit finds definitely-uninitialized field reads: a reachable
+// GetField where, for every object the receiver may point to, NO path
+// from the program entry stores to that field first. It sharpens
+// UninitField — which only asks "is the field ever stored anywhere" —
+// into a flow-sensitive question over the IFDS may-init facts, so a
+// read that happens before the initializing call is caught even when
+// an initializer exists later in the program.
+//
+// The query relies on fact ABSENCE (no path initializes), so it bails
+// entirely on truncated dataflow results — a partial solve could be
+// missing the very init fact that proves the read fine.
+type DefUninit struct{}
+
+// Name implements Checker.
+func (DefUninit) Name() string { return "defuninit" }
+
+// Desc implements Checker.
+func (DefUninit) Desc() string { return "field read no path initializes first" }
+
+// Run implements Checker.
+func (cc DefUninit) Run(ctx *Context) []Finding {
+	res := ctx.dataflow(dataflow.InitProblem{})
+	if res == nil || res.Truncated {
+		return nil
+	}
+	var out []Finding
+	for _, m := range ctx.methods() {
+		m.Instrs(func(ins ir.Instr) {
+			if !ctx.tick() {
+				return
+			}
+			get, ok := ins.(*ir.GetField)
+			if !ok || !ctx.keepPos(get.Pos()) {
+				return
+			}
+			// Definite means: in every reachable statement instance, no
+			// pointee of the receiver has a may-init fact. An instance
+			// with an empty points-to set is unknowable, not definite.
+			reachable := false
+			definite := true
+			var culprit *ir.Instr
+			for _, n := range ctx.Graph.NodesOf(get) {
+				if !res.Reachable(n) {
+					continue
+				}
+				reachable = true
+				mc := ctx.Graph.CtxOf(n)
+				objs := ctx.Pts.PointsToIn(get.Obj, mc)
+				if len(objs) == 0 {
+					definite = false
+					break
+				}
+				for _, o := range objs {
+					if !ctx.keepPos(o.Site.Pos()) {
+						definite = false // library-internal object
+						break
+					}
+					d := res.Facts().Lookup(dataflow.FactDesc{Kind: dataflow.KindObjField, Obj: o, Field: get.Field})
+					if d != dataflow.Zero && res.Holds(n, d) {
+						definite = false
+						break
+					}
+					if culprit == nil {
+						site := ir.Instr(o.Site)
+						culprit = &site
+					}
+				}
+				if !definite {
+					break
+				}
+			}
+			if !reachable || !definite || culprit == nil {
+				return
+			}
+			out = append(out, Finding{
+				Checker: cc.Name(),
+				Pos:     get.Pos(),
+				Ins:     get,
+				Message: fmt.Sprintf("field %s read before any path initializes it (object allocated at %s)",
+					get.Field.QualifiedName(), (*culprit).Pos()),
+				Witness: ctx.witness(get.Obj.Def, *culprit),
+			})
+		})
+		if ctx.stop != nil {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package checkers
+
+import (
+	"fmt"
+	"strings"
+
+	"thinslice/internal/ir"
+)
+
+// sliceTaint is the pre-IFDS taint formulation, kept as the oracle for
+// the dataflow-equivalence suite: a sink argument is tainted iff a
+// source statement is in the thin slice of the statement producing the
+// argument. The IFDS checker must report a superset of these findings
+// (same sink positions) on the equivalence corpus — thin-slice
+// membership merges contexts, so anything it sees a realizable-path
+// analysis sees too. Not registered in All().
+type sliceTaint struct{}
+
+func (sliceTaint) Name() string { return "slicetaint" }
+
+func (sliceTaint) Desc() string { return "thin-slice-membership taint (equivalence oracle)" }
+
+func (cc sliceTaint) Run(ctx *Context) []Finding {
+	sources := ctx.Config.TaintSources
+	if len(sources) == 0 {
+		sources = []string{"input", "inputInt"}
+	}
+	srcSet := make(map[string]bool, len(sources))
+	for _, s := range sources {
+		srcSet[s] = true
+	}
+	sinks := ctx.Config.TaintSinks
+	if len(sinks) == 0 {
+		sinks = DefaultSinks
+	}
+	sinkSet := make(map[string]bool, len(sinks))
+	for _, s := range sinks {
+		sinkSet[s] = true
+	}
+
+	// Collect the source statements once.
+	var sourceInstrs []ir.Instr
+	for _, m := range ctx.methods() {
+		m.Instrs(func(ins ir.Instr) {
+			if in, ok := ins.(*ir.Input); ok && srcSet[sourceName(in)] {
+				sourceInstrs = append(sourceInstrs, in)
+			}
+		})
+	}
+	if len(sourceInstrs) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, m := range ctx.methods() {
+		m.Instrs(func(ins ir.Instr) {
+			if !ctx.tick() {
+				return
+			}
+			call, ok := ins.(*ir.Call)
+			if !ok || !sinkSet[call.Callee.Name] || !ctx.keepPos(call.Pos()) {
+				return
+			}
+			for argIdx, arg := range call.Args {
+				if arg.Def == nil {
+					continue
+				}
+				// The thin slice of the argument's producer holds every
+				// statement whose value can reach it.
+				sl := ctx.Slicer.Slice(arg.Def)
+				if sl.Truncated {
+					ctx.stop = sl.Err
+				}
+				var hit []ir.Instr
+				for _, src := range sourceInstrs {
+					if sl.Contains(src) {
+						hit = append(hit, src)
+					}
+				}
+				if len(hit) == 0 {
+					continue
+				}
+				var names []string
+				seen := make(map[string]bool)
+				for _, h := range hit {
+					n := sourceName(h.(*ir.Input)) + "()"
+					if !seen[n] {
+						seen[n] = true
+						names = append(names, n)
+					}
+				}
+				out = append(out, Finding{
+					Checker: cc.Name(),
+					Pos:     call.Pos(),
+					Ins:     call,
+					Message: fmt.Sprintf("argument %d of sink %s is tainted by %s",
+						argIdx+1, call.Callee.QualifiedName(), strings.Join(names, ", ")),
+					Witness: ctx.witness(arg.Def, hit...),
+				})
+				break // one finding per sink call
+			}
+		})
+		if ctx.stop != nil {
+			break
+		}
+	}
+	return out
+}

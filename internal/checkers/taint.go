@@ -2,18 +2,20 @@ package checkers
 
 import (
 	"fmt"
-	"strings"
 
+	"thinslice/internal/dataflow"
 	"thinslice/internal/ir"
+	"thinslice/internal/sdg"
 )
 
 // Taint finds flows from input sources (the `input()` intrinsic
-// family, configurable via Config.TaintSources) to sink calls
-// (method names in Config.TaintSinks). Propagation is exactly the
-// producer flow the thin slicer follows — local def-use, heap
-// store→load, parameter/return passing — so a sink argument is tainted
-// iff a source statement is in the thin slice of the statement
-// producing the argument, and the witness is that producer chain.
+// family, configurable via Config.TaintSources) to sink calls (method
+// names in Config.TaintSinks). Propagation is the IFDS taint problem:
+// flow- and context-sensitive local def-use, heap store→load through
+// points-to-resolved abstract cells, and parameter/return binding with
+// per-(callee, entry-fact) summaries — a strict superset of the flows
+// the earlier thin-slice-membership formulation saw, with the witness
+// reconstructed from the solver's own discovery trace.
 type Taint struct{}
 
 // Name implements Checker.
@@ -24,14 +26,6 @@ func (Taint) Desc() string { return "input()-family source reaches a sink call" 
 
 // Run implements Checker.
 func (cc Taint) Run(ctx *Context) []Finding {
-	sources := ctx.Config.TaintSources
-	if len(sources) == 0 {
-		sources = []string{"input", "inputInt"}
-	}
-	srcSet := make(map[string]bool, len(sources))
-	for _, s := range sources {
-		srcSet[s] = true
-	}
 	sinks := ctx.Config.TaintSinks
 	if len(sinks) == 0 {
 		sinks = DefaultSinks
@@ -40,17 +34,8 @@ func (cc Taint) Run(ctx *Context) []Finding {
 	for _, s := range sinks {
 		sinkSet[s] = true
 	}
-
-	// Collect the source statements once.
-	var sourceInstrs []ir.Instr
-	for _, m := range ctx.methods() {
-		m.Instrs(func(ins ir.Instr) {
-			if in, ok := ins.(*ir.Input); ok && srcSet[sourceName(in)] {
-				sourceInstrs = append(sourceInstrs, in)
-			}
-		})
-	}
-	if len(sourceInstrs) == 0 {
+	res := ctx.dataflow(dataflow.NewTaintProblem(ctx.Config.TaintSources))
+	if res == nil {
 		return nil
 	}
 
@@ -65,42 +50,39 @@ func (cc Taint) Run(ctx *Context) []Finding {
 				return
 			}
 			for argIdx, arg := range call.Args {
-				if arg.Def == nil {
+				d := res.Facts().Lookup(dataflow.FactDesc{Kind: dataflow.KindReg, Reg: arg})
+				if d == dataflow.Zero {
 					continue
 				}
-				// The thin slice of the argument's producer holds every
-				// statement whose value can reach it.
-				sl := ctx.Slicer.Slice(arg.Def)
-				if sl.Truncated {
-					ctx.stop = sl.Err
-				}
-				var hit []ir.Instr
-				for _, src := range sourceInstrs {
-					if sl.Contains(src) {
-						hit = append(hit, src)
+				var hit *Finding
+				for _, n := range ctx.Graph.NodesOf(call) {
+					if !res.Holds(n, d) {
+						continue
 					}
-				}
-				if len(hit) == 0 {
-					continue
-				}
-				var names []string
-				seen := make(map[string]bool)
-				for _, h := range hit {
-					n := sourceName(h.(*ir.Input)) + "()"
-					if !seen[n] {
-						seen[n] = true
-						names = append(names, n)
+					// The sink call itself is a consumer, not a producer:
+					// seed the witness at the argument's producer chain so
+					// every member is in the thin slice of the seed, the
+					// same contract the slicer-backed witnesses satisfy.
+					w := ctx.dfWitness(res, n, d)
+					if w != nil && len(w.Chain) > 1 && w.Chain[0].Ins == ins {
+						w.Chain = w.Chain[1:]
+						w.Chain[0].Kind = 0
+						w.Seed = w.Chain[0].Ins
 					}
+					hit = &Finding{
+						Checker: cc.Name(),
+						Pos:     call.Pos(),
+						Ins:     call,
+						Message: fmt.Sprintf("argument %d of sink %s is tainted by %s",
+							argIdx+1, call.Callee.QualifiedName(), taintSource(res, n, d)),
+						Witness: w,
+					}
+					break
 				}
-				out = append(out, Finding{
-					Checker: cc.Name(),
-					Pos:     call.Pos(),
-					Ins:     call,
-					Message: fmt.Sprintf("argument %d of sink %s is tainted by %s",
-						argIdx+1, call.Callee.QualifiedName(), strings.Join(names, ", ")),
-					Witness: ctx.witness(arg.Def, hit...),
-				})
-				break // one finding per sink call
+				if hit != nil {
+					out = append(out, *hit)
+					break // one finding per sink call
+				}
 			}
 		})
 		if ctx.stop != nil {
@@ -108,6 +90,18 @@ func (cc Taint) Run(ctx *Context) []Finding {
 		}
 	}
 	return out
+}
+
+// taintSource names the input intrinsic at the end of the discovery
+// trace of the tainted fact.
+func taintSource(res *dataflow.Results, n sdg.Node, d dataflow.Fact) string {
+	steps := res.Trace(n, d)
+	if len(steps) > 0 {
+		if in, ok := steps[len(steps)-1].Ins.(*ir.Input); ok {
+			return sourceName(in) + "()"
+		}
+	}
+	return "an input source"
 }
 
 func sourceName(in *ir.Input) string {

@@ -1,0 +1,223 @@
+package dataflow
+
+// Persistent encoding of Results (package artifact's "df" payload).
+// Facts are stored over stable coordinates — defining-instruction IDs
+// for registers, points-to object IDs and qualified field names for
+// heap cells — and relinked against prog, pts, and the dependence
+// graph at decode. The (node, fact) table is emitted node-sorted with
+// each node's fact list in discovery order, so re-encoding a decoded
+// result is byte-identical. Truncated results are refused at encode:
+// a partial fact table must never masquerade as a complete artifact.
+
+import (
+	"fmt"
+	"sort"
+
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/artifact"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+	"thinslice/internal/sdg"
+)
+
+// EncodeResults returns the persistent payload for r.
+func EncodeResults(r *Results) ([]byte, error) {
+	if r.Truncated {
+		return nil, fmt.Errorf("dataflow: refusing to encode truncated results")
+	}
+	var w artifact.Writer
+	w.String(r.Name)
+	w.String(r.ConfigKey)
+
+	// Fact descriptors, zero fact implied at index 0.
+	w.Uvarint(uint64(r.facts.NumFacts() - 1))
+	for i := 1; i < r.facts.NumFacts(); i++ {
+		d := r.facts.Desc(Fact(i))
+		w.Uvarint(uint64(d.Kind))
+		switch d.Kind {
+		case KindReg:
+			w.Uvarint(uint64(d.Reg.Def.ID()))
+		case KindObjField:
+			w.Uvarint(uint64(d.Obj.ID))
+			w.String(d.Field.QualifiedName())
+		case KindObjElem, KindObjLen:
+			w.Uvarint(uint64(d.Obj.ID))
+		case KindObjState:
+			w.Uvarint(uint64(d.Obj.ID))
+			w.Uvarint(uint64(d.State))
+		case KindStatic:
+			w.String(d.Field.QualifiedName())
+		default:
+			return nil, fmt.Errorf("dataflow: encode: bad fact kind %d", d.Kind)
+		}
+	}
+
+	// Per-node fact lists with their discovery parents, node-sorted.
+	nodes := make([]sdg.Node, 0, len(r.factsAt))
+	for n := range r.factsAt { //determinism:ok — sorted below
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	w.Uvarint(uint64(len(nodes)))
+	for _, n := range nodes {
+		facts := r.factsAt[n]
+		w.Uvarint(uint64(n))
+		w.Uvarint(uint64(len(facts)))
+		for _, d := range facts {
+			rec := r.atNode[nfKey(n, d)]
+			w.Uvarint(uint64(d))
+			w.Uvarint(rec.prev)
+			w.Uvarint(uint64(rec.step))
+		}
+	}
+	w.Int(r.PathEdges)
+	w.Int(r.SummaryEdges)
+	return w.Bytes(), nil
+}
+
+// DecodeResults rebuilds Results from data against prog, pts, and the
+// dependence graph supplying the node space. Any structural fault in
+// data is an error.
+func DecodeResults(data []byte, prog *ir.Program, pts *pointsto.Result, g *sdg.Graph) (*Results, error) {
+	fields := make(map[string]*types.FieldInfo)
+	for _, ci := range prog.Info.Classes {
+		for _, fi := range ci.Fields {
+			fields[fi.QualifiedName()] = fi
+		}
+	}
+	objects := pts.Objects()
+
+	r := artifact.NewReader(data)
+	res := &Results{
+		Name:      r.String(),
+		ConfigKey: r.String(),
+		graph:     g,
+		facts:     NewFacts(),
+		atNode:    make(map[uint64]parentRec),
+		factsAt:   make(map[sdg.Node][]Fact),
+	}
+	fx := res.facts
+
+	numFacts := r.Len()
+	for i := 0; i < numFacts; i++ {
+		kind := FactKind(r.Uvarint())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		var got Fact
+		switch kind {
+		case KindReg:
+			id := int(r.Uvarint())
+			ins := prog.InstrByID(id)
+			if ins == nil || ins.Def() == nil {
+				return nil, fmt.Errorf("dataflow: decode: instr %d does not define a register", id)
+			}
+			got = fx.Reg(ins.Def())
+		case KindObjField:
+			o, err := decodeObj(r, objects)
+			if err != nil {
+				return nil, err
+			}
+			fi, err := decodeField(r, fields)
+			if err != nil {
+				return nil, err
+			}
+			got = fx.ObjField(o, fi)
+		case KindObjElem, KindObjLen, KindObjState:
+			o, err := decodeObj(r, objects)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case KindObjElem:
+				got = fx.ObjElem(o)
+			case KindObjLen:
+				got = fx.ObjLen(o)
+			default:
+				got = fx.ObjState(o, uint8(r.Uvarint()))
+			}
+		case KindStatic:
+			fi, err := decodeField(r, fields)
+			if err != nil {
+				return nil, err
+			}
+			got = fx.Static(fi)
+		default:
+			return nil, fmt.Errorf("dataflow: decode: bad fact kind %d", kind)
+		}
+		if got != Fact(i+1) {
+			return nil, fmt.Errorf("dataflow: decode: fact %d re-interned as %d (duplicate descriptor)", i+1, got)
+		}
+	}
+
+	numNodes := r.Len()
+	for i := 0; i < numNodes; i++ {
+		n := sdg.Node(r.Uvarint())
+		cnt := r.Len()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if int(n) < 0 || int(n) >= g.NumNodes() {
+			return nil, fmt.Errorf("dataflow: decode: node %d of %d", n, g.NumNodes())
+		}
+		for j := 0; j < cnt; j++ {
+			d := Fact(r.Uvarint())
+			prev := r.Uvarint()
+			step := StepKind(r.Uvarint())
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if int(d) >= fx.NumFacts() {
+				return nil, fmt.Errorf("dataflow: decode: fact %d of %d", d, fx.NumFacts())
+			}
+			if step > StepSummary {
+				return nil, fmt.Errorf("dataflow: decode: bad step kind %d", step)
+			}
+			key := nfKey(n, d)
+			if _, dup := res.atNode[key]; dup {
+				return nil, fmt.Errorf("dataflow: decode: duplicate fact %d at node %d", d, n)
+			}
+			res.atNode[key] = parentRec{prev: prev, step: step}
+			res.factsAt[n] = append(res.factsAt[n], d)
+		}
+	}
+	res.PathEdges = r.Int()
+	res.SummaryEdges = r.Int()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	// Parent references must resolve within the table (or be roots) so
+	// Trace can never walk into the void.
+	for _, rec := range res.atNode {
+		if rec.prev == parentRoot {
+			continue
+		}
+		if _, ok := res.atNode[rec.prev]; !ok {
+			return nil, fmt.Errorf("dataflow: decode: dangling parent reference %#x", rec.prev)
+		}
+	}
+	return res, nil
+}
+
+func decodeObj(r *artifact.Reader, objects []*pointsto.Object) (*pointsto.Object, error) {
+	id := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if id >= uint64(len(objects)) {
+		return nil, fmt.Errorf("dataflow: decode: object ID %d of %d", id, len(objects))
+	}
+	return objects[id], nil
+}
+
+func decodeField(r *artifact.Reader, fields map[string]*types.FieldInfo) (*types.FieldInfo, error) {
+	name := r.String()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	fi, ok := fields[name]
+	if !ok {
+		return nil, fmt.Errorf("dataflow: decode: unknown field %q", name)
+	}
+	return fi, nil
+}

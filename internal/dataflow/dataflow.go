@@ -1,0 +1,735 @@
+// Package dataflow is an IFDS-style interprocedural finite
+// distributive subset solver (Reps–Horwitz–Sagiv tabulation) over an
+// exploded supergraph derived from the SSA IR, the points-to-resolved
+// call edges, and the CHA call graph. Where the slicers answer "which
+// producer statements can this value come from", the dataflow engine
+// answers "which facts hold before this statement instance" — flow-
+// and context-sensitively, with summary edges per (callee, entry fact)
+// making re-analysis of a procedure under the same entry fact free.
+//
+// The node space is borrowed from the dependence graph: a supergraph
+// node is an sdg.Node, i.e. an (instruction, call-graph context) pair,
+// so dataflow facts, slice membership, and witness chains all speak
+// the same coordinates. Control-flow successors come from the IR block
+// structure; interprocedural edges from pointsto.CalleesAt, falling
+// back to the CHA cone when a truncated points-to result has no edge
+// for a reachable call site.
+//
+// The solver is budgeted (budget.PhaseDataflow): exhaustion or
+// cancellation mid-solve yields a typed Truncated partial whose facts
+// are all genuine (the tabulation is monotone), never a panic or a
+// wrong answer. Truncated results are never cached by sessions.
+//
+// Every (node, fact) pair records the edge that first discovered it,
+// so Trace reconstructs a witness path — the same thin-slice-style
+// step chains checker findings already carry.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"thinslice/internal/analysis/cha"
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/budget"
+	"thinslice/internal/ir"
+	"thinslice/internal/lang/types"
+	"thinslice/internal/sdg"
+)
+
+// Fact identifies one dataflow fact in a problem's domain. Facts are
+// interned by the engine's Facts table; Zero is the distinguished
+// "reachable at all" fact present in every domain.
+type Fact int32
+
+// Zero is the IFDS zero fact Λ: it holds at every reachable program
+// point and is the source of every gen edge.
+const Zero Fact = 0
+
+// FactKind classifies a fact descriptor. The vocabulary is fixed so
+// results can be encoded and decoded independent of the problem that
+// produced them: SSA registers, abstract heap locations (field,
+// array-element, and array-length cells of a points-to object),
+// per-object typestate, and static fields.
+type FactKind uint8
+
+// Fact kinds.
+const (
+	KindZero     FactKind = iota // the zero fact
+	KindReg                      // an SSA register holds the property
+	KindObjField                 // field cell of an abstract object
+	KindObjElem                  // element cell of an abstract array
+	KindObjLen                   // length cell of an abstract array
+	KindObjState                 // abstract object is in a protocol state
+	KindStatic                   // a static field cell
+)
+
+func (k FactKind) String() string {
+	switch k {
+	case KindZero:
+		return "zero"
+	case KindReg:
+		return "reg"
+	case KindObjField:
+		return "objfield"
+	case KindObjElem:
+		return "objelem"
+	case KindObjLen:
+		return "objlen"
+	case KindObjState:
+		return "objstate"
+	case KindStatic:
+		return "static"
+	}
+	return "?"
+}
+
+// FactDesc is the structural identity of a fact.
+type FactDesc struct {
+	Kind  FactKind
+	Reg   *ir.Reg          // KindReg
+	Obj   *pointsto.Object // KindObjField, KindObjElem, KindObjLen, KindObjState
+	Field *types.FieldInfo // KindObjField, KindStatic
+	State uint8            // KindObjState: problem-defined protocol state
+}
+
+// Global reports whether the fact names a location that outlives any
+// stack frame — heap cells, typestate, and statics. Global facts cross
+// call, return, and call-to-return edges unchanged in the stock
+// problems (all of which are gen-only for globals, so the double
+// routing can never disagree with itself).
+func (d FactDesc) Global() bool {
+	switch d.Kind {
+	case KindObjField, KindObjElem, KindObjLen, KindObjState, KindStatic:
+		return true
+	}
+	return false
+}
+
+func (d FactDesc) String() string {
+	switch d.Kind {
+	case KindZero:
+		return "Λ"
+	case KindReg:
+		return fmt.Sprintf("reg %s", d.Reg)
+	case KindObjField:
+		return fmt.Sprintf("%s.%s", d.Obj, d.Field.QualifiedName())
+	case KindObjElem:
+		return fmt.Sprintf("%s[*]", d.Obj)
+	case KindObjLen:
+		return fmt.Sprintf("%s.length", d.Obj)
+	case KindObjState:
+		return fmt.Sprintf("%s@state%d", d.Obj, d.State)
+	case KindStatic:
+		return fmt.Sprintf("static %s", d.Field.QualifiedName())
+	}
+	return "?"
+}
+
+type objFieldKey struct {
+	obj   int
+	field *types.FieldInfo
+}
+
+type objTagKey struct {
+	obj   int
+	kind  FactKind
+	state uint8
+}
+
+// Facts interns fact descriptors into dense Fact IDs. IDs are assigned
+// in first-request order, which is deterministic because the solver's
+// evaluation order is.
+type Facts struct {
+	descs    []FactDesc
+	regs     map[*ir.Reg]Fact
+	objField map[objFieldKey]Fact
+	objTag   map[objTagKey]Fact
+	statics  map[*types.FieldInfo]Fact
+}
+
+// NewFacts returns a table holding only the zero fact.
+func NewFacts() *Facts {
+	return &Facts{
+		descs:    []FactDesc{{Kind: KindZero}},
+		regs:     make(map[*ir.Reg]Fact),
+		objField: make(map[objFieldKey]Fact),
+		objTag:   make(map[objTagKey]Fact),
+		statics:  make(map[*types.FieldInfo]Fact),
+	}
+}
+
+// NumFacts returns the number of interned facts (zero included).
+func (f *Facts) NumFacts() int { return len(f.descs) }
+
+// Desc returns the descriptor of d.
+func (f *Facts) Desc(d Fact) FactDesc { return f.descs[d] }
+
+func (f *Facts) intern(desc FactDesc) Fact {
+	f.descs = append(f.descs, desc)
+	return Fact(len(f.descs) - 1)
+}
+
+// Reg interns the fact "register r holds the property".
+func (f *Facts) Reg(r *ir.Reg) Fact {
+	if d, ok := f.regs[r]; ok {
+		return d
+	}
+	d := f.intern(FactDesc{Kind: KindReg, Reg: r})
+	f.regs[r] = d
+	return d
+}
+
+// ObjField interns the fact for the (object, field) heap cell.
+func (f *Facts) ObjField(o *pointsto.Object, fld *types.FieldInfo) Fact {
+	k := objFieldKey{o.ID, fld}
+	if d, ok := f.objField[k]; ok {
+		return d
+	}
+	d := f.intern(FactDesc{Kind: KindObjField, Obj: o, Field: fld})
+	f.objField[k] = d
+	return d
+}
+
+// ObjElem interns the fact for the element cell of array object o.
+func (f *Facts) ObjElem(o *pointsto.Object) Fact { return f.objTagFact(o, KindObjElem, 0) }
+
+// ObjLen interns the fact for the length cell of array object o.
+func (f *Facts) ObjLen(o *pointsto.Object) Fact { return f.objTagFact(o, KindObjLen, 0) }
+
+// ObjState interns the fact "object o is in protocol state s".
+func (f *Facts) ObjState(o *pointsto.Object, s uint8) Fact { return f.objTagFact(o, KindObjState, s) }
+
+func (f *Facts) objTagFact(o *pointsto.Object, kind FactKind, state uint8) Fact {
+	k := objTagKey{o.ID, kind, state}
+	if d, ok := f.objTag[k]; ok {
+		return d
+	}
+	d := f.intern(FactDesc{Kind: kind, Obj: o, State: state})
+	f.objTag[k] = d
+	return d
+}
+
+// Lookup returns the interned fact matching desc without interning a
+// new one; Zero doubles as "not present" for non-zero descriptors (an
+// un-interned fact cannot hold anywhere).
+func (f *Facts) Lookup(desc FactDesc) Fact {
+	switch desc.Kind {
+	case KindReg:
+		return f.regs[desc.Reg]
+	case KindObjField:
+		return f.objField[objFieldKey{desc.Obj.ID, desc.Field}]
+	case KindObjElem, KindObjLen, KindObjState:
+		st := desc.State
+		if desc.Kind != KindObjState {
+			st = 0
+		}
+		return f.objTag[objTagKey{desc.Obj.ID, desc.Kind, st}]
+	case KindStatic:
+		return f.statics[desc.Field]
+	}
+	return Zero
+}
+
+// Static interns the fact for a static field cell.
+func (f *Facts) Static(fld *types.FieldInfo) Fact {
+	if d, ok := f.statics[fld]; ok {
+		return d
+	}
+	d := f.intern(FactDesc{Kind: KindStatic, Field: fld})
+	f.statics[fld] = d
+	return d
+}
+
+// Problem defines one IFDS client analysis: a distributive subset
+// problem given fact-by-fact as flow functions over supergraph edges.
+// Flow functions append the complete successor set of d to dst and
+// return it — identity is NOT implicit; a fact not appended is killed.
+// The zero fact must always survive (append it back), and gen edges
+// originate from it. Implementations must be deterministic and must
+// not retain dst.
+type Problem interface {
+	// Name is the stable problem identifier, part of the artifact key.
+	Name() string
+	// ConfigKey captures any configuration that shapes the flow
+	// functions (e.g. the taint source set); two problems with equal
+	// Name and ConfigKey must compute identical results.
+	ConfigKey() string
+	// Normal maps fact d holding before ins (in context mc) to the
+	// facts holding before ins's intraprocedural successors.
+	Normal(env *Env, mc *pointsto.MCtx, ins ir.Instr, d Fact, dst []Fact) []Fact
+	// Call maps fact d holding before a call (in the caller's context)
+	// to the facts holding at the callee's entry point.
+	Call(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, d Fact, dst []Fact) []Fact
+	// Return maps fact d holding before exit (a Return or Throw in the
+	// callee) to the facts holding at the caller's return site.
+	Return(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, exit ir.Instr, d Fact, dst []Fact) []Fact
+	// CallToReturn maps fact d holding before a call to the facts
+	// carried around the call along the local bypass edge; resolved
+	// reports whether any callee was found for the site.
+	CallToReturn(env *Env, caller *pointsto.MCtx, call *ir.Call, resolved bool, d Fact, dst []Fact) []Fact
+}
+
+// Env is the read-only world flow functions see: the interning fact
+// table plus the points-to result for heap-cell resolution.
+type Env struct {
+	Facts *Facts
+	Pts   *pointsto.Result
+}
+
+// PointsTo returns the points-to set of reg in context mc (empty for
+// untracked or non-reference registers).
+func (e *Env) PointsTo(reg *ir.Reg, mc *pointsto.MCtx) []*pointsto.Object {
+	return e.Pts.PointsToIn(reg, mc)
+}
+
+// PointsToHas reports whether obj is in the points-to set of reg in mc.
+func (e *Env) PointsToHas(reg *ir.Reg, mc *pointsto.MCtx, obj *pointsto.Object) bool {
+	for _, o := range e.PointsTo(reg, mc) {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// StepKind classifies one hop of a witness trace.
+type StepKind uint8
+
+// Trace step kinds.
+const (
+	StepGen     StepKind = iota // fact generated here (from the zero fact)
+	StepFlow                    // intraprocedural transfer
+	StepCall                    // carried into a callee at a call site
+	StepReturn                  // carried back to the caller at an exit
+	StepSummary                 // jumped over a call via a summary edge
+)
+
+// EdgeKind maps the step onto the dependence-edge vocabulary thin
+// slice witnesses use, so IFDS traces render exactly like slicer
+// chains.
+func (k StepKind) EdgeKind() sdg.EdgeKind {
+	switch k {
+	case StepCall:
+		return sdg.EdgeParam
+	case StepReturn:
+		return sdg.EdgeReturn
+	case StepSummary:
+		return sdg.EdgeParam
+	}
+	return sdg.EdgeLocal
+}
+
+// Step is one hop of a reconstructed witness path.
+type Step struct {
+	Node sdg.Node
+	Ins  ir.Instr
+	Fact Fact
+	Kind StepKind
+}
+
+// Inputs bundles the artifacts the solver reads.
+type Inputs struct {
+	Prog  *ir.Program
+	Pts   *pointsto.Result
+	Graph *sdg.Graph // supplies the (instruction, context) node space
+	CHA   *cha.CallGraph
+}
+
+// parentRec records how a (node, fact) pair was first discovered:
+// prev is the predecessor's packed node/fact key (parentRoot for
+// seeds and gens at entry) and step classifies the edge.
+type parentRec struct {
+	prev uint64
+	step StepKind
+}
+
+const parentRoot = ^uint64(0)
+
+func nfKey(n sdg.Node, d Fact) uint64 { return uint64(uint32(n))<<32 | uint64(uint32(d)) }
+
+// Results holds the solved exploded-supergraph reachability: which
+// facts hold before which statement instances, plus the discovery
+// parents for witness reconstruction.
+type Results struct {
+	// Truncated reports the solve stopped early on an exhausted budget
+	// or cancellation: every recorded fact is genuine but later ones
+	// may be missing, so absence-based queries are unreliable. Err
+	// carries the typed budget error.
+	Truncated bool
+	Err       error
+
+	// Name and ConfigKey echo the problem that produced the results.
+	Name      string
+	ConfigKey string
+
+	graph   *sdg.Graph
+	facts   *Facts
+	atNode  map[uint64]parentRec
+	factsAt map[sdg.Node][]Fact // first-discovery order per node
+
+	// PathEdges counts distinct tabulated path edges; SummaryEdges
+	// counts (callee entry fact → exit fact) summaries. Surfaced in
+	// solver stats and tests.
+	PathEdges    int
+	SummaryEdges int
+}
+
+// Facts returns the fact table of the results.
+func (r *Results) Facts() *Facts { return r.facts }
+
+// Graph returns the dependence graph supplying the node space.
+func (r *Results) Graph() *sdg.Graph { return r.graph }
+
+// NumNodeFacts returns the number of recorded (node, fact) pairs —
+// the size proxy cost-accounted stores use.
+func (r *Results) NumNodeFacts() int { return len(r.atNode) }
+
+// Holds reports whether fact d holds before statement instance n.
+func (r *Results) Holds(n sdg.Node, d Fact) bool {
+	_, ok := r.atNode[nfKey(n, d)]
+	return ok
+}
+
+// Reachable reports whether n is reachable at all (the zero fact
+// holds there).
+func (r *Results) Reachable(n sdg.Node) bool { return r.Holds(n, Zero) }
+
+// FactsAt returns the facts holding before n (zero included), in
+// discovery order. Callers must not mutate the slice.
+func (r *Results) FactsAt(n sdg.Node) []Fact { return r.factsAt[n] }
+
+// Trace reconstructs a witness path for fact d at node n: the chain of
+// statement instances along which d was first discovered, most recent
+// first (the queried node leads, the generating statement ends it).
+// Hops where the fact merely flows unchanged through straight-line
+// code are compressed away, leaving the thin-slice-style chain of
+// fact-changing steps. Returns nil when d does not hold at n.
+func (r *Results) Trace(n sdg.Node, d Fact) []Step {
+	key := nfKey(n, d)
+	rec, ok := r.atNode[key]
+	if !ok {
+		return nil
+	}
+	const maxSteps = 128
+	out := []Step{{Node: n, Ins: r.graph.InstrOf(n), Fact: d, Kind: rec.step}}
+	for rec.prev != parentRoot && len(out) < maxSteps {
+		key = rec.prev
+		prevNode, prevFact := sdg.Node(int32(key>>32)), Fact(int32(uint32(key)))
+		next, ok := r.atNode[key]
+		if !ok {
+			break
+		}
+		// Keep hops where the fact identity changes (gens, parameter
+		// and return bindings, heap transfers) or a call boundary is
+		// crossed; drop same-fact straight-line flow outright — the
+		// step already kept is where the fact was produced, and the
+		// dropped instructions merely sit between producer and use.
+		if prevFact != out[len(out)-1].Fact || next.step == StepCall || next.step == StepReturn || next.step == StepSummary {
+			out = append(out, Step{Node: prevNode, Ins: r.graph.InstrOf(prevNode), Fact: prevFact, Kind: next.step})
+		}
+		// For a non-zero query the chain ends at the generating
+		// statement: the first zero-fact step is the origin, and
+		// walking further would only retrace plain reachability.
+		if d != Zero && out[len(out)-1].Fact == Zero {
+			break
+		}
+		rec = next
+	}
+	return out
+}
+
+// entryKey identifies a procedure instance entered with a given fact.
+type entryKey struct {
+	mc *pointsto.MCtx
+	d  Fact
+}
+
+type callerRec struct {
+	call sdg.Node
+	d1   Fact // caller's path-edge source fact
+	d2   Fact // fact at the call site
+}
+
+type exitRec struct {
+	exit sdg.Node
+	d    Fact
+}
+
+type pathEdge struct {
+	d1 Fact // fact at the procedure entry
+	n  sdg.Node
+	d2 Fact // fact at n
+}
+
+// solver is the tabulation state.
+type solver struct {
+	in    Inputs
+	p     Problem
+	env   *Env
+	meter *budget.Meter
+
+	res        *Results
+	pathSet    map[pathEdge]struct{}
+	work       []pathEdge
+	head       int
+	incoming   map[entryKey][]callerRec
+	endSummary map[entryKey][]exitRec
+	// deltas caches per-context node-ID offsets (sdg.NodeOf without
+	// the map lookups in the hot loop).
+	deltas map[*pointsto.MCtx]int32
+	buf    []Fact
+	stop   error
+}
+
+// Solve runs the tabulation for problem p. Budget exhaustion returns a
+// Truncated partial result (facts found so far, all genuine);
+// cancellation and deadline expiry return a typed error.
+func Solve(in Inputs, p Problem, bud *budget.Budget) (*Results, error) {
+	if err := bud.Err(budget.PhaseDataflow); err != nil {
+		return nil, err
+	}
+	fx := NewFacts()
+	s := &solver{
+		in:    in,
+		p:     p,
+		env:   &Env{Facts: fx, Pts: in.Pts},
+		meter: bud.Phase(budget.PhaseDataflow),
+		res: &Results{
+			Name:      p.Name(),
+			ConfigKey: p.ConfigKey(),
+			graph:     in.Graph,
+			facts:     fx,
+			atNode:    make(map[uint64]parentRec),
+			factsAt:   make(map[sdg.Node][]Fact),
+		},
+		pathSet:    make(map[pathEdge]struct{}),
+		incoming:   make(map[entryKey][]callerRec),
+		endSummary: make(map[entryKey][]exitRec),
+		deltas:     make(map[*pointsto.MCtx]int32),
+	}
+	s.seed()
+	s.run()
+	if s.stop != nil {
+		if budget.IsCanceled(s.stop) {
+			return nil, s.stop
+		}
+		s.res.Truncated, s.res.Err = true, s.stop
+	}
+	s.res.PathEdges = len(s.pathSet)
+	return s.res, nil
+}
+
+// nodeOf maps (context, instruction) to its supergraph node.
+func (s *solver) nodeOf(mc *pointsto.MCtx, ins ir.Instr) sdg.Node {
+	delta, ok := s.deltas[mc]
+	if !ok {
+		first := mc.Method.Blocks[0].Instrs[0]
+		delta = int32(int(s.in.Graph.NodeOf(mc, first)) - first.ID())
+		s.deltas[mc] = delta
+	}
+	return sdg.Node(delta + int32(ins.ID()))
+}
+
+// seed roots the tabulation at every analysis entry method.
+func (s *solver) seed() {
+	for _, m := range s.in.Pts.Entries() {
+		for _, mc := range s.in.Pts.MCtxsOf(m) {
+			entry := s.nodeOf(mc, m.Blocks[0].Instrs[0])
+			s.propagate(pathEdge{Zero, entry, Zero}, parentRoot, StepGen)
+		}
+	}
+}
+
+// propagate adds a path edge if new, recording the discovery parent of
+// its (node, fact) pair the first time the pair is seen.
+func (s *solver) propagate(e pathEdge, parent uint64, step StepKind) {
+	if _, ok := s.pathSet[e]; ok {
+		return
+	}
+	s.pathSet[e] = struct{}{}
+	s.work = append(s.work, e)
+	key := nfKey(e.n, e.d2)
+	if _, ok := s.res.atNode[key]; !ok {
+		s.res.atNode[key] = parentRec{prev: parent, step: step}
+		s.res.factsAt[e.n] = append(s.res.factsAt[e.n], e.d2)
+	}
+}
+
+// callees resolves the call targets at a call site in context. When
+// a truncated points-to result has no edge for the site, the CHA cone
+// provides the fallback targets (their analyzed contexts).
+func (s *solver) callees(call *ir.Call, mc *pointsto.MCtx) []*pointsto.MCtx {
+	out := s.in.Pts.CalleesAt(call, mc)
+	if len(out) > 0 || s.in.CHA == nil || !s.in.Pts.Truncated {
+		return out
+	}
+	for _, m := range s.in.CHA.Callees(call) {
+		out = append(out, s.in.Pts.MCtxsOf(m)...)
+	}
+	return out
+}
+
+// succs appends the intraprocedural CFG successor nodes of ins.
+func succs(mc *pointsto.MCtx, ins ir.Instr, nodeOf func(*pointsto.MCtx, ir.Instr) sdg.Node, dst []sdg.Node) []sdg.Node {
+	b := ins.Block()
+	for i, cur := range b.Instrs {
+		if cur != ins {
+			continue
+		}
+		if i+1 < len(b.Instrs) {
+			return append(dst, nodeOf(mc, b.Instrs[i+1]))
+		}
+		break
+	}
+	switch t := ins.(type) {
+	case *ir.If:
+		return append(dst, nodeOf(mc, t.Then.Instrs[0]), nodeOf(mc, t.Else.Instrs[0]))
+	case *ir.Goto:
+		return append(dst, nodeOf(mc, t.Target.Instrs[0]))
+	}
+	return dst // Return, Throw: no intraprocedural successors
+}
+
+// run is the tabulation worklist loop.
+func (s *solver) run() {
+	var succBuf [2]sdg.Node
+	for s.head < len(s.work) {
+		if err := s.meter.Tick(); err != nil {
+			s.stop = err
+			return
+		}
+		e := s.work[s.head]
+		s.head++
+		ins := s.in.Graph.InstrOf(e.n)
+		mc := s.in.Graph.CtxOf(e.n)
+		switch t := ins.(type) {
+		case *ir.Call:
+			s.processCall(e, t, mc)
+		case *ir.Return, *ir.Throw:
+			s.processExit(e, ins, mc)
+		default:
+			out := s.p.Normal(s.env, mc, ins, e.d2, s.buf[:0])
+			parent := nfKey(e.n, e.d2)
+			for _, sn := range succs(mc, ins, s.nodeOf, succBuf[:0]) {
+				for _, d3 := range out {
+					s.propagate(pathEdge{e.d1, sn, d3}, parent, stepFor(e.d2, d3))
+				}
+			}
+			s.buf = out[:0]
+		}
+	}
+}
+
+// stepFor classifies an intraprocedural hop: a new fact born from the
+// zero fact is a gen, everything else is flow.
+func stepFor(from, to Fact) StepKind {
+	if from == Zero && to != Zero {
+		return StepGen
+	}
+	return StepFlow
+}
+
+// processCall handles a call node: call edges into each resolved
+// callee (registering incoming and applying any summaries already
+// discovered), plus the local call-to-return bypass.
+func (s *solver) processCall(e pathEdge, call *ir.Call, mc *pointsto.MCtx) {
+	parent := nfKey(e.n, e.d2)
+	retSite := s.retSite(e.n, call, mc)
+	callees := s.callees(call, mc)
+	for _, callee := range callees {
+		entryIns := callee.Method.Blocks[0].Instrs[0]
+		entryNode := s.nodeOf(callee, entryIns)
+		out := s.p.Call(s.env, mc, call, callee, e.d2, s.buf[:0])
+		for _, d3 := range out {
+			s.propagate(pathEdge{d3, entryNode, d3}, parent, StepCall)
+			// Register the caller under the callee's entry fact, then
+			// apply any summaries already tabulated for it.
+			k := entryKey{callee, d3}
+			if !hasCaller(s.incoming[k], e.n, e.d1, e.d2) {
+				s.incoming[k] = append(s.incoming[k], callerRec{e.n, e.d1, e.d2})
+			}
+			for _, ex := range s.endSummary[k] {
+				exitIns := s.in.Graph.InstrOf(ex.exit)
+				rout := s.p.Return(s.env, mc, call, callee, exitIns, ex.d, nil)
+				for _, d5 := range rout {
+					s.propagate(pathEdge{e.d1, retSite, d5}, nfKey(ex.exit, ex.d), StepReturn)
+				}
+			}
+		}
+		s.buf = out[:0]
+	}
+	out := s.p.CallToReturn(s.env, mc, call, len(callees) > 0, e.d2, s.buf[:0])
+	for _, d3 := range out {
+		s.propagate(pathEdge{e.d1, retSite, d3}, parent, stepFor(e.d2, d3))
+	}
+	s.buf = out[:0]
+}
+
+// processExit handles a Return/Throw node: record the summary for this
+// procedure instance's entry fact and flow back to every registered
+// caller.
+func (s *solver) processExit(e pathEdge, exit ir.Instr, mc *pointsto.MCtx) {
+	k := entryKey{mc, e.d1}
+	if !hasExit(s.endSummary[k], e.n, e.d2) {
+		s.endSummary[k] = append(s.endSummary[k], exitRec{e.n, e.d2})
+		s.res.SummaryEdges++
+	}
+	parent := nfKey(e.n, e.d2)
+	for _, cr := range s.incoming[k] {
+		callIns := s.in.Graph.InstrOf(cr.call).(*ir.Call)
+		callerCtx := s.in.Graph.CtxOf(cr.call)
+		retSite := s.retSite(cr.call, callIns, callerCtx)
+		out := s.p.Return(s.env, callerCtx, callIns, mc, exit, e.d2, s.buf[:0])
+		for _, d5 := range out {
+			s.propagate(pathEdge{cr.d1, retSite, d5}, parent, StepReturn)
+		}
+		s.buf = out[:0]
+	}
+}
+
+// retSite returns the node after a call in the caller (calls are never
+// block terminators, so the next instruction always exists).
+func (s *solver) retSite(callNode sdg.Node, call *ir.Call, mc *pointsto.MCtx) sdg.Node {
+	b := call.Block()
+	for i, cur := range b.Instrs {
+		if cur == call {
+			return s.nodeOf(mc, b.Instrs[i+1])
+		}
+	}
+	panic(fmt.Sprintf("dataflow: call %s not found in its block", call))
+}
+
+func hasCaller(list []callerRec, call sdg.Node, d1, d2 Fact) bool {
+	for _, c := range list {
+		if c.call == call && c.d1 == d1 && c.d2 == d2 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasExit(list []exitRec, exit sdg.Node, d Fact) bool {
+	for _, e := range list {
+		if e.exit == exit && e.d == d {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesHolding returns every node where fact d holds, sorted. Intended
+// for tests and diagnostics, not hot paths.
+func (r *Results) NodesHolding(d Fact) []sdg.Node {
+	var out []sdg.Node
+	for n, facts := range r.factsAt {
+		for _, f := range facts {
+			if f == d {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

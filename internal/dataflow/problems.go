@@ -1,0 +1,284 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+
+	"thinslice/internal/analysis/pointsto"
+	"thinslice/internal/ir"
+)
+
+// The stock problems are all gen-only: no flow function ever kills a
+// heap, typestate, or static fact. That invariant is what makes
+// routing global facts both through a callee (Call/Return) and around
+// it (CallToReturn) safe — the two copies can never disagree, the
+// meet (union) just merges them. A future kill-ful problem (e.g.
+// strong-update typestate) would need to drop globals from
+// CallToReturn and rely on summaries alone.
+
+// globalsAndZero appends the identity image of d when d is the zero
+// fact or a global (heap/typestate/static) fact; local register facts
+// are dropped, which is the right default at call and return
+// boundaries where frames change.
+func globalsAndZero(env *Env, d Fact, dst []Fact) []Fact {
+	if d == Zero || env.Facts.Desc(d).Global() {
+		return append(dst, d)
+	}
+	return dst
+}
+
+// paramOffset returns the index shift between call.Args and the
+// callee's Params: instance methods carry the receiver at Params[0].
+func paramOffset(callee *ir.Method) int {
+	if callee.Sig.Static {
+		return 0
+	}
+	return 1
+}
+
+// TaintProblem is the IFDS formulation of the taint checker: facts are
+// "this register / heap cell holds input-derived data". Sources are
+// the input() intrinsic family (configurable by name); sinks are not
+// part of the problem — they are applied at query time, so one cached
+// solve serves any sink set.
+type TaintProblem struct {
+	// Sources is the sorted set of source intrinsic names
+	// ("input", "inputInt"). Use NewTaintProblem to normalize.
+	Sources []string
+}
+
+// NewTaintProblem builds a taint problem for the given source names
+// (defaulting to the full input family), normalized so equal sets get
+// equal ConfigKeys.
+func NewTaintProblem(sources []string) *TaintProblem {
+	if len(sources) == 0 {
+		sources = []string{"input", "inputInt"}
+	}
+	s := make([]string, len(sources))
+	copy(s, sources)
+	sort.Strings(s)
+	return &TaintProblem{Sources: s}
+}
+
+// Name implements Problem.
+func (p *TaintProblem) Name() string { return "taint" }
+
+// ConfigKey implements Problem. Only the source set shapes the flow
+// functions, so only it is part of the key.
+func (p *TaintProblem) ConfigKey() string { return strings.Join(p.Sources, ",") }
+
+func (p *TaintProblem) isSource(in *ir.Input) bool {
+	name := "input"
+	if in.IsInt {
+		name = "inputInt"
+	}
+	for _, s := range p.Sources {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Normal implements Problem.
+func (p *TaintProblem) Normal(env *Env, mc *pointsto.MCtx, ins ir.Instr, d Fact, dst []Fact) []Fact {
+	fx := env.Facts
+	dst = append(dst, d) // gen-only: everything survives straight-line flow
+	if d == Zero {
+		if in, ok := ins.(*ir.Input); ok && p.isSource(in) {
+			dst = append(dst, fx.Reg(in.Dst))
+		}
+		return dst
+	}
+	switch desc := fx.Desc(d); desc.Kind {
+	case KindReg:
+		r := desc.Reg
+		// Local producer flow: a tainted operand in producer role
+		// taints the result — the same edges a thin slice follows.
+		if def := ins.Def(); def != nil {
+			tainted := false
+			ins.EachUse(func(u *ir.Reg, role ir.Role) {
+				if u == r && role == ir.RoleProducer {
+					tainted = true
+				}
+			})
+			if tainted {
+				dst = append(dst, fx.Reg(def))
+			}
+		}
+		// Heap stores: the tainted value escapes into abstract cells.
+		switch t := ins.(type) {
+		case *ir.SetField:
+			if t.Val == r {
+				for _, o := range env.PointsTo(t.Obj, mc) {
+					dst = append(dst, fx.ObjField(o, t.Field))
+				}
+			}
+		case *ir.SetStatic:
+			if t.Val == r {
+				dst = append(dst, fx.Static(t.Field))
+			}
+		case *ir.ArrayStore:
+			if t.Val == r {
+				for _, o := range env.PointsTo(t.Arr, mc) {
+					dst = append(dst, fx.ObjElem(o))
+				}
+			}
+		case *ir.NewArray:
+			if t.Len == r {
+				for _, o := range env.PointsTo(t.Dst, mc) {
+					dst = append(dst, fx.ObjLen(o))
+				}
+			}
+		}
+	case KindObjField:
+		if t, ok := ins.(*ir.GetField); ok && t.Field == desc.Field && env.PointsToHas(t.Obj, mc, desc.Obj) {
+			dst = append(dst, fx.Reg(t.Dst))
+		}
+	case KindObjElem:
+		if t, ok := ins.(*ir.ArrayLoad); ok && env.PointsToHas(t.Arr, mc, desc.Obj) {
+			dst = append(dst, fx.Reg(t.Dst))
+		}
+	case KindObjLen:
+		if t, ok := ins.(*ir.ArrayLen); ok && env.PointsToHas(t.Arr, mc, desc.Obj) {
+			dst = append(dst, fx.Reg(t.Dst))
+		}
+	case KindStatic:
+		if t, ok := ins.(*ir.GetStatic); ok && t.Field == desc.Field {
+			dst = append(dst, fx.Reg(t.Dst))
+		}
+	}
+	return dst
+}
+
+// Call implements Problem: actual-to-formal binding for register
+// facts, identity for the zero fact and globals.
+func (p *TaintProblem) Call(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, d Fact, dst []Fact) []Fact {
+	dst = globalsAndZero(env, d, dst)
+	desc := env.Facts.Desc(d)
+	if desc.Kind != KindReg {
+		return dst
+	}
+	r := desc.Reg
+	params := callee.Method.Params
+	off := paramOffset(callee.Method)
+	if call.Recv != nil && call.Recv == r && off == 1 && len(params) > 0 {
+		dst = append(dst, env.Facts.Reg(params[0].Dst))
+	}
+	for i, arg := range call.Args {
+		if arg == r && i+off < len(params) {
+			dst = append(dst, env.Facts.Reg(params[i+off].Dst))
+		}
+	}
+	return dst
+}
+
+// Return implements Problem: return-value binding for register facts,
+// identity for the zero fact and globals.
+func (p *TaintProblem) Return(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, exit ir.Instr, d Fact, dst []Fact) []Fact {
+	dst = globalsAndZero(env, d, dst)
+	desc := env.Facts.Desc(d)
+	if desc.Kind != KindReg || call.Dst == nil {
+		return dst
+	}
+	if ret, ok := exit.(*ir.Return); ok && ret.Val != nil && ret.Val == desc.Reg {
+		dst = append(dst, env.Facts.Reg(call.Dst))
+	}
+	return dst
+}
+
+// CallToReturn implements Problem: full identity — a callee cannot
+// kill the caller's locals, and globals ride around as well as through
+// (safe because the problem is gen-only).
+func (p *TaintProblem) CallToReturn(env *Env, caller *pointsto.MCtx, call *ir.Call, resolved bool, d Fact, dst []Fact) []Fact {
+	return append(dst, d)
+}
+
+// StateClosed is the single protocol state of CloseProblem: the
+// object's close() method has been called on some path.
+const StateClosed uint8 = 1
+
+// CloseProblem tracks the close() protocol: the fact ObjState(o,
+// StateClosed) holds wherever some path has already invoked close()
+// on o. Any instance method named "close" is the transition — a closed
+// fact therefore only ever exists for objects that actually
+// participate in the protocol, so no class allow-list is needed.
+// Queries: a call on a possibly-closed receiver is a use-after-close
+// (or a double-close when the call is itself close()).
+type CloseProblem struct{}
+
+// Name implements Problem.
+func (CloseProblem) Name() string { return "close" }
+
+// ConfigKey implements Problem.
+func (CloseProblem) ConfigKey() string { return "" }
+
+// Normal implements Problem: pure identity — the domain has no
+// register facts and nothing intraprocedural changes typestate.
+func (CloseProblem) Normal(env *Env, mc *pointsto.MCtx, ins ir.Instr, d Fact, dst []Fact) []Fact {
+	return append(dst, d)
+}
+
+// Call implements Problem.
+func (CloseProblem) Call(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, d Fact, dst []Fact) []Fact {
+	return globalsAndZero(env, d, dst)
+}
+
+// Return implements Problem.
+func (CloseProblem) Return(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, exit ir.Instr, d Fact, dst []Fact) []Fact {
+	return globalsAndZero(env, d, dst)
+}
+
+// CallToReturn implements Problem: identity plus the protocol
+// transition — after a close() call every receiver pointee is closed.
+func (CloseProblem) CallToReturn(env *Env, caller *pointsto.MCtx, call *ir.Call, resolved bool, d Fact, dst []Fact) []Fact {
+	dst = append(dst, d)
+	if d == Zero && call.Recv != nil && call.Callee.Name == "close" {
+		for _, o := range env.PointsTo(call.Recv, caller) {
+			dst = append(dst, env.Facts.ObjState(o, StateClosed))
+		}
+	}
+	return dst
+}
+
+// InitProblem tracks may-initialization of instance fields: the fact
+// ObjField(o, f) holds wherever some path has stored to o.f. Queries
+// invert it: a reachable GetField whose every pointee's field fact is
+// ABSENT is a definite-uninitialized read — no path initializes it
+// first. Because the query relies on fact absence, it is only valid
+// on complete (non-Truncated) results.
+type InitProblem struct{}
+
+// Name implements Problem.
+func (InitProblem) Name() string { return "init" }
+
+// ConfigKey implements Problem.
+func (InitProblem) ConfigKey() string { return "" }
+
+// Normal implements Problem: identity plus the store gen.
+func (InitProblem) Normal(env *Env, mc *pointsto.MCtx, ins ir.Instr, d Fact, dst []Fact) []Fact {
+	dst = append(dst, d)
+	if d == Zero {
+		if t, ok := ins.(*ir.SetField); ok {
+			for _, o := range env.PointsTo(t.Obj, mc) {
+				dst = append(dst, env.Facts.ObjField(o, t.Field))
+			}
+		}
+	}
+	return dst
+}
+
+// Call implements Problem.
+func (InitProblem) Call(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, d Fact, dst []Fact) []Fact {
+	return globalsAndZero(env, d, dst)
+}
+
+// Return implements Problem.
+func (InitProblem) Return(env *Env, caller *pointsto.MCtx, call *ir.Call, callee *pointsto.MCtx, exit ir.Instr, d Fact, dst []Fact) []Fact {
+	return globalsAndZero(env, d, dst)
+}
+
+// CallToReturn implements Problem.
+func (InitProblem) CallToReturn(env *Env, caller *pointsto.MCtx, call *ir.Call, resolved bool, d Fact, dst []Fact) []Fact {
+	return append(dst, d)
+}

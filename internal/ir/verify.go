@@ -15,8 +15,11 @@ import (
 //     terminator is exactly the last instruction of its block;
 //   - CFG consistency: If/Goto targets match the successor lists and
 //     pred/succ links are symmetric;
-//   - operand shape: Uses and UseRoles are parallel and contain no nil
-//     entries;
+//   - operand shape: Uses and UseRoles are parallel, contain no nil
+//     entries, and EachUse visits exactly the Uses operands with the
+//     UseRoles roles in order (the dataflow flow functions iterate
+//     EachUse while the SDG builder walks the slices — disagreement
+//     silently desynchronizes the two);
 //   - SSA form: every register has exactly one definition, Reg.Def
 //     points at it, phis lead their block with arity matching Preds,
 //     and every definition dominates its uses (phi uses dominate the
@@ -108,6 +111,17 @@ func verifyMethod(m *Method) []error {
 				if u == nil {
 					report("%s: %s has nil operand %d", b, ins, k)
 				}
+			}
+			idx, agree := 0, true
+			ins.EachUse(func(u *Reg, role Role) {
+				if idx >= len(uses) || u != uses[idx] || idx >= len(roles) || role != roles[idx] {
+					agree = false
+				}
+				idx++
+			})
+			if !agree || idx != len(uses) {
+				report("%s: %s EachUse disagrees with Uses/UseRoles (visited %d operands, Uses has %d)",
+					b, ins, idx, len(uses))
 			}
 		}
 		// Terminator targets must equal the successor list.

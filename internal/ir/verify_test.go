@@ -2,6 +2,7 @@ package ir_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"thinslice/internal/ir"
@@ -122,6 +123,41 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 		}
 		return false
 	})
+}
+
+// badEachUse wraps an instruction and hides its operands from EachUse,
+// so EachUse and Uses() disagree — the corruption the agreement
+// invariant must catch.
+type badEachUse struct{ ir.Instr }
+
+func (badEachUse) EachUse(func(*ir.Reg, ir.Role)) {}
+
+// TestVerifyDetectsEachUseDisagreement: the verifier is the only line
+// of defense keeping the two operand-iteration APIs in sync, so it
+// must reject an instruction whose EachUse skips operands.
+func TestVerifyDetectsEachUseDisagreement(t *testing.T) {
+	prog := lowerOK(t, map[string]string{papercases.ToyFile: papercases.Toy})
+	planted := false
+	for _, m := range prog.Methods {
+		for _, b := range m.Blocks {
+			for i, ins := range b.Instrs {
+				if !planted && len(ins.Uses()) > 0 && !ir.IsTerminator(ins) {
+					b.Instrs[i] = badEachUse{ins}
+					planted = true
+				}
+			}
+		}
+	}
+	if !planted {
+		t.Fatal("no instruction with operands to corrupt")
+	}
+	errs := ir.Verify(prog)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "EachUse disagrees") {
+			return
+		}
+	}
+	t.Fatalf("EachUse/Uses disagreement not reported; got %v", errs)
 }
 
 func dropPredLink(p *ir.Program) bool {

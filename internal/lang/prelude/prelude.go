@@ -160,6 +160,32 @@ class ListNode {
     }
 }
 
+// Byte-stream handle with an open/closed protocol, modeled on the
+// java.io streams: read and write require an open handle and close is
+// one-shot. The typestate checkers treat close() as the protocol
+// transition regardless of class, but Stream is the canonical library
+// carrier of the protocol.
+class Stream {
+    int fd;
+    boolean closed;
+    Stream(int fd) {
+        this.fd = fd;
+        this.closed = false;
+    }
+    boolean isClosed() {
+        return this.closed;
+    }
+    int read() {
+        return this.fd;
+    }
+    void write(int b) {
+        this.fd = b;
+    }
+    void close() {
+        this.closed = true;
+    }
+}
+
 class LinkedList {
     ListNode head;
     ListNode tail;

@@ -28,6 +28,14 @@ func fingerprints(t *testing.T, srcs map[string]string, workers int) (string, st
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Both builds must also be structurally well-formed — equal
+	// fingerprints on malformed graphs would prove nothing.
+	if errs := sdg.VerifyGraph(seq); len(errs) > 0 {
+		t.Fatalf("sequential graph fails VerifyGraph: %v", errs[0])
+	}
+	if errs := sdg.VerifyGraph(par); len(errs) > 0 {
+		t.Fatalf("parallel graph fails VerifyGraph: %v", errs[0])
+	}
 	return seq.Fingerprint(), par.Fingerprint()
 }
 

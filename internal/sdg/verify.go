@@ -1,0 +1,147 @@
+package sdg
+
+import (
+	"fmt"
+
+	"thinslice/internal/ir"
+)
+
+// VerifyGraph checks the structural invariants of a finalized
+// dependence graph — the properties every consumer (the slicers, the
+// IFDS solver, the codec) silently relies on:
+//
+//   - CSR well-formedness: the offset array has NumNodes+1 entries,
+//     starts at 0, is monotone non-decreasing, and its last entry
+//     equals the edge count;
+//   - node identity: every node has a context, context base ranges
+//     partition [0, NumNodes) exactly, and NodeOf(CtxOf(n), InstrOf(n))
+//     round-trips to n;
+//   - edge endpoints: every Dep.Src is in bounds; Via is set exactly on
+//     EdgeParam edges and names a call-site node; intraprocedural kinds
+//     (local, base, control) stay within one context; EdgeParam targets
+//     a formal parameter, EdgeReturn links a return statement to a call,
+//     and EdgeCallControl sources are call sites.
+//
+// It returns every violation found, or nil for a well-formed graph.
+func VerifyGraph(g *Graph) []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	n := g.NumNodes()
+	if len(g.csrOff) != n+1 {
+		report("csr: offset array has %d entries for %d nodes, want %d", len(g.csrOff), n, n+1)
+		return errs // the per-node walk below would be out of bounds
+	}
+	if g.csrOff[0] != 0 {
+		report("csr: offsets start at %d, want 0", g.csrOff[0])
+	}
+	for i := 1; i <= n; i++ {
+		if g.csrOff[i] < g.csrOff[i-1] {
+			report("csr: offsets not monotone at node %d: %d < %d", i, g.csrOff[i], g.csrOff[i-1])
+			return errs
+		}
+	}
+	if int(g.csrOff[n]) != len(g.csrDeps) {
+		report("csr: final offset %d != %d stored deps", g.csrOff[n], len(g.csrDeps))
+	}
+	if g.numEdges != len(g.csrDeps) {
+		report("csr: NumEdges %d != %d stored deps", g.numEdges, len(g.csrDeps))
+	}
+
+	// Context base ranges must partition [0, NumNodes) and agree with
+	// the dense node→context table and the node numbering arithmetic.
+	covered := 0
+	for _, mc := range g.mctxs {
+		base := int(g.base[mc])
+		size := 0
+		mc.Method.Instrs(func(ir.Instr) { size++ })
+		if base < 0 || base+size > n {
+			report("context %v: node range [%d, %d) outside [0, %d)", mc, base, base+size, n)
+			continue
+		}
+		covered += size
+		for i := 0; i < size; i++ {
+			if g.nodeCtx[base+i] != mc {
+				report("node %d: in the base range of context %v but mapped to %v", base+i, mc, g.nodeCtx[base+i])
+				break
+			}
+		}
+	}
+	if covered != n {
+		report("context base ranges cover %d nodes, graph has %d", covered, n)
+	}
+	for i := 0; i < n; i++ {
+		node := Node(i)
+		mc := g.CtxOf(node)
+		if mc == nil {
+			report("node %d has no context", i)
+			continue
+		}
+		ins := g.InstrOf(node)
+		if ins == nil {
+			report("node %d has no instruction", i)
+			continue
+		}
+		if rt := g.NodeOf(mc, ins); rt != node {
+			report("node %d: NodeOf(CtxOf, InstrOf) round-trips to %d", i, rt)
+		}
+	}
+	if len(errs) > 0 {
+		return errs // endpoint checks below assume sane node identity
+	}
+
+	inBounds := func(v Node) bool { return v >= 0 && int(v) < n }
+	for i := 0; i < n; i++ {
+		node := Node(i)
+		ins := g.InstrOf(node)
+		for _, d := range g.Deps(node) {
+			if !inBounds(d.Src) {
+				report("node %d (%s): dep source %d out of bounds", i, ins, d.Src)
+				continue
+			}
+			if (d.Via != NoNode) != (d.Kind == EdgeParam) {
+				report("node %d (%s): Via %d on %s edge (set exactly on param edges)", i, ins, d.Via, d.Kind)
+				continue
+			}
+			switch d.Kind {
+			case EdgeLocal, EdgeBase, EdgeControl:
+				if g.CtxOf(d.Src) != g.CtxOf(node) {
+					report("node %d (%s): intraprocedural %s edge crosses contexts (from node %d)", i, ins, d.Kind, d.Src)
+				}
+			case EdgeParam:
+				if !inBounds(d.Via) {
+					report("node %d (%s): param edge Via %d out of bounds", i, ins, d.Via)
+					continue
+				}
+				if _, ok := ins.(*ir.Param); !ok {
+					report("node %d (%s): param edge into a non-parameter", i, ins)
+				}
+				if _, ok := g.InstrOf(d.Via).(*ir.Call); !ok {
+					report("node %d (%s): param edge Via %d is not a call site (%s)", i, ins, d.Via, g.InstrOf(d.Via))
+				}
+				if g.CtxOf(d.Src) != g.CtxOf(d.Via) {
+					report("node %d (%s): param edge source and call site are in different contexts", i, ins)
+				}
+			case EdgeReturn:
+				if _, ok := ins.(*ir.Call); !ok {
+					report("node %d (%s): return edge into a non-call", i, ins)
+				}
+				if _, ok := g.InstrOf(d.Src).(*ir.Return); !ok {
+					report("node %d (%s): return edge from a non-return (%s)", i, ins, g.InstrOf(d.Src))
+				}
+			case EdgeCallControl:
+				if _, ok := g.InstrOf(d.Src).(*ir.Call); !ok {
+					report("node %d (%s): call-control edge from a non-call (%s)", i, ins, g.InstrOf(d.Src))
+				}
+			case EdgeHeap:
+				// Heap edges may cross contexts freely; bounds were
+				// checked above.
+			default:
+				report("node %d (%s): unknown edge kind %d", i, ins, d.Kind)
+			}
+		}
+	}
+	return errs
+}

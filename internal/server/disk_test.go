@@ -329,6 +329,16 @@ func TestStatszSchemaGolden(t *testing.T) {
 		"disk.puts",
 		"disk.quarantines",
 		"draining",
+		"phases.CHAs",
+		"phases.CSGraphs",
+		"phases.Checks",
+		"phases.Dataflows",
+		"phases.Lowers",
+		"phases.ModRefs",
+		"phases.Parses",
+		"phases.PointsTos",
+		"phases.PreludeParses",
+		"phases.SDGs",
 		"queued",
 		"requests.bad_request",
 		"requests.breaker_open",

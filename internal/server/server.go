@@ -192,13 +192,17 @@ type Finding struct {
 // Stats is the /statsz payload. Disk is nil (absent from the JSON)
 // when the server runs without a persistent cache.
 type Stats struct {
-	Store    session.StoreStats `json:"store"`
-	Disk     *diskstore.Stats   `json:"disk,omitempty"`
-	Breaker  BreakerStats       `json:"breaker"`
-	Running  int                `json:"running"`
-	Queued   int                `json:"queued"`
-	Requests RequestStats       `json:"requests"`
-	Draining bool               `json:"draining"`
+	Store session.StoreStats `json:"store"`
+	// Phases counts pipeline-phase builds (parse, check, lower,
+	// points-to, SDG, CHA, mod-ref, dataflow, ...) aggregated over
+	// every session served from the store — cache hits don't count.
+	Phases   session.Stats    `json:"phases"`
+	Disk     *diskstore.Stats `json:"disk,omitempty"`
+	Breaker  BreakerStats     `json:"breaker"`
+	Running  int              `json:"running"`
+	Queued   int              `json:"queued"`
+	Requests RequestStats     `json:"requests"`
+	Draining bool             `json:"draining"`
 }
 
 // BreakerStats summarizes circuit-breaker state: how many programs
@@ -325,7 +329,8 @@ func (s *Server) Stats() Stats {
 	closed, open, halfOpen := s.breaker.stateCounts()
 	running, queued := s.admit.load()
 	st := Stats{
-		Store: s.store.Stats(),
+		Store:  s.store.Stats(),
+		Phases: s.store.PhaseStats(),
 		Breaker: BreakerStats{
 			TrackedPrograms: closed + open + halfOpen,
 			OpenCircuits:    open + halfOpen,

@@ -1,0 +1,194 @@
+package session_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/dataflow"
+	"thinslice/internal/diskstore"
+	"thinslice/internal/faults"
+	"thinslice/internal/session"
+)
+
+// taintSource is a small program with a real source→sink flow, so the
+// taint solve has non-trivial facts to cache.
+const taintSourceFile = "taintflow.mj"
+
+const taintSource = `class Db {
+    Db() { }
+    void exec(string q) { print(q); }
+}
+class Main {
+    static void main() {
+        string q = "cmd " + input();
+        Db d = new Db();
+        d.exec(q);
+    }
+}
+`
+
+func taintSources() map[string]string {
+	return map[string]string{taintSourceFile: taintSource}
+}
+
+func mustDataflow(t *testing.T, s *session.Session, p dataflow.Problem) *dataflow.Results {
+	t.Helper()
+	res, err := s.Dataflow(p)
+	if err != nil {
+		t.Fatalf("Dataflow(%s): %v", p.Name(), err)
+	}
+	return res
+}
+
+// TestDataflowWarmRequerySkipsSolve: a second query for the same
+// problem (a fresh value with equal name and config) answers from the
+// session cache without re-running the tabulation.
+func TestDataflowWarmRequerySkipsSolve(t *testing.T) {
+	s := session.Open(taintSources())
+	first := mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if first.NumNodeFacts() == 0 {
+		t.Fatal("taint solve found no facts; fixture is broken")
+	}
+	if got := s.Stats().Dataflows; got != 1 {
+		t.Fatalf("cold query ran %d solves, want 1", got)
+	}
+	second := mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if got := s.Stats().Dataflows; got != 1 {
+		t.Fatalf("warm re-query re-ran the solver: Dataflows = %d, want 1", got)
+	}
+	if second.NumNodeFacts() != first.NumNodeFacts() {
+		t.Fatal("cached result differs from the first solve")
+	}
+	// A different problem is a different artifact, not a cache hit.
+	mustDataflow(t, s, dataflow.CloseProblem{})
+	if got := s.Stats().Dataflows; got != 2 {
+		t.Fatalf("distinct problem did not solve: Dataflows = %d, want 2", got)
+	}
+	// So is the same problem under a different configuration.
+	mustDataflow(t, s, dataflow.NewTaintProblem([]string{"inputInt"}))
+	if got := s.Stats().Dataflows; got != 3 {
+		t.Fatalf("distinct config did not solve: Dataflows = %d, want 3", got)
+	}
+}
+
+// TestDataflowUpdateInvalidates: editing a source file invalidates the
+// cached dataflow artifact (it is downstream of the program), while a
+// same-content update invalidates nothing.
+func TestDataflowUpdateInvalidates(t *testing.T) {
+	srcs := taintSources()
+	srcs["extra.mj"] = extraClass
+	s := session.Open(srcs)
+
+	mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if got := s.Stats().Dataflows; got != 1 {
+		t.Fatalf("cold query ran %d solves, want 1", got)
+	}
+
+	s.Update("extra.mj", extraClassEdited)
+	mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if got := s.Stats().Dataflows; got != 2 {
+		t.Fatalf("edit did not invalidate the dataflow artifact: Dataflows = %d, want 2", got)
+	}
+
+	s.Update("extra.mj", extraClassEdited)
+	mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if got := s.Stats().Dataflows; got != 2 {
+		t.Fatalf("same-content update invalidated the dataflow artifact: Dataflows = %d, want 2", got)
+	}
+}
+
+// TestDataflowTruncatedNotCached: a solve cut off by the budget is
+// returned as a typed partial but recomputed on every query — a
+// truncated artifact must never poison the store.
+func TestDataflowTruncatedNotCached(t *testing.T) {
+	b := budget.New(context.Background(), budget.WithPhaseSteps(budget.PhaseDataflow, 5))
+	s := session.Open(taintSources(), session.WithBudget(b))
+
+	res := mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if !res.Truncated {
+		t.Fatal("tiny dataflow budget did not truncate the solve")
+	}
+	if !budget.IsExhausted(res.Err) {
+		t.Fatalf("partial result carries %v, want ErrExhausted", res.Err)
+	}
+	if ph, _ := budget.PhaseOf(res.Err); ph != budget.PhaseDataflow {
+		t.Fatalf("partial result tagged phase %q, want %q", ph, budget.PhaseDataflow)
+	}
+	mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if got := s.Stats().Dataflows; got != 2 {
+		t.Fatalf("truncated dataflow result was cached: Dataflows = %d, want 2", got)
+	}
+}
+
+// TestDataflowDiskRoundTrip: a second session over a fresh in-memory
+// store but the same disk cache answers the query from disk — zero
+// solver runs — and the restored result encodes byte-identically.
+func TestDataflowDiskRoundTrip(t *testing.T) {
+	disk, err := diskstore.Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := session.Open(taintSources(), session.WithDiskCache(disk))
+	first := mustDataflow(t, s1, dataflow.NewTaintProblem(nil))
+	firstBytes, err := dataflow.EncodeResults(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := session.Open(taintSources(), session.WithDiskCache(disk))
+	second := mustDataflow(t, s2, dataflow.NewTaintProblem(nil))
+	if got := s2.Stats().Dataflows; got != 0 {
+		t.Fatalf("warm-restart session re-ran the solver: Dataflows = %d, want 0", got)
+	}
+	secondBytes, err := dataflow.EncodeResults(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(firstBytes) != string(secondBytes) {
+		t.Fatal("disk-restored dataflow result is not byte-identical to the original")
+	}
+}
+
+// TestDataflowFaultInjection drives the phase hook: an injected
+// exhaustion or panic at the dataflow boundary surfaces as the typed
+// error, caches nothing, and the session recovers on the next query.
+func TestDataflowFaultInjection(t *testing.T) {
+	reg := faults.NewRegistry()
+	defer reg.Install()()
+
+	h := reg.Add(faults.Rule{Phase: budget.PhaseDataflow, Mode: faults.Exhaust, Times: 1})
+	s := session.Open(taintSources())
+	_, err := s.Dataflow(dataflow.NewTaintProblem(nil))
+	if err == nil || !budget.IsExhausted(err) {
+		t.Fatalf("injected exhaustion surfaced as %v, want ErrExhausted", err)
+	}
+	if h.Fired() != 1 {
+		t.Fatalf("rule fired %d times, want 1", h.Fired())
+	}
+	if got := s.Stats().Dataflows; got != 0 {
+		t.Fatalf("aborted phase still ran the solver: Dataflows = %d", got)
+	}
+	res := mustDataflow(t, s, dataflow.NewTaintProblem(nil))
+	if res.Truncated {
+		t.Fatal("recovered query returned a truncated result")
+	}
+	if got := s.Stats().Dataflows; got != 1 {
+		t.Fatalf("recovered query did not solve exactly once: Dataflows = %d", got)
+	}
+
+	reg.Clear()
+	reg.Add(faults.Rule{Phase: budget.PhaseDataflow, Mode: faults.Panic, Times: 1})
+	s2 := session.Open(taintSources())
+	_, err = s2.Dataflow(dataflow.NewTaintProblem(nil))
+	var internal *budget.ErrInternal
+	if err == nil {
+		t.Fatal("injected panic did not surface as an error")
+	} else if !errors.As(err, &internal) {
+		t.Fatalf("injected panic surfaced as %T (%v), want *budget.ErrInternal", err, err)
+	}
+	if res := mustDataflow(t, s2, dataflow.NewTaintProblem(nil)); res.Truncated {
+		t.Fatal("session did not recover after an injected panic")
+	}
+}

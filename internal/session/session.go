@@ -32,6 +32,7 @@ import (
 	"thinslice/internal/analysis/pointsto"
 	"thinslice/internal/budget"
 	"thinslice/internal/csslice"
+	"thinslice/internal/dataflow"
 	"thinslice/internal/diskstore"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/ast"
@@ -53,6 +54,7 @@ type Stats struct {
 	CHAs          int // class-hierarchy call graph builds
 	ModRefs       int // mod-ref computations
 	CSGraphs      int // context-sensitive SDG builds
+	Dataflows     int // IFDS dataflow solves
 }
 
 type config struct {
@@ -190,6 +192,7 @@ func (s *Session) count(f func(*Stats)) {
 	s.mu.Lock()
 	f(&s.stats)
 	s.mu.Unlock()
+	s.cfg.store.countPhase(f)
 }
 
 // snapshot returns the current file set in deterministic name order
@@ -644,6 +647,69 @@ func (s *Session) ModRef() (*modref.Result, error) {
 		return nil, err
 	}
 	return mr, nil
+}
+
+// Dataflow returns the solved IFDS results for problem p over the
+// session's program, keyed by the problem's name and configuration on
+// top of the pointer-analysis configuration (so a source edit or a
+// points-to config change invalidates exactly the dataflow artifacts
+// downstream). Results are cached in memory and on disk; a result is
+// only cacheable when it and every upstream artifact it was computed
+// from is complete — a truncated solve, or a solve over a truncated
+// points-to or dependence graph, is returned but never cached.
+func (s *Session) Dataflow(p dataflow.Problem) (*dataflow.Results, error) {
+	pts, err := s.PointsTo()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Prog()
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	cg, err := s.CHA()
+	if err != nil {
+		return nil, err
+	}
+	var res *dataflow.Results
+	err = s.phase(budget.PhaseDataflow, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("df", string(s.ptsConfigKey(srcKey)), p.Name(), p.ConfigKey())
+		v, err := s.cfg.store.get(key, budget.PhaseDataflow, func() (any, bool, error) {
+			upstreamComplete := !pts.Truncated && !pts.Downgraded && !g.Truncated
+			if upstreamComplete {
+				if payload := s.diskGet("df", key); payload != nil {
+					if decoded, derr := dataflow.DecodeResults(payload, prog, pts, g); derr == nil {
+						return decoded, true, nil
+					} else {
+						s.diskQuarantine("df", key, derr)
+					}
+				}
+			}
+			s.count(func(st *Stats) { st.Dataflows++ })
+			solved, err := dataflow.Solve(dataflow.Inputs{Prog: prog, Pts: pts, Graph: g, CHA: cg}, p, s.cfg.budget)
+			if err != nil {
+				return nil, false, err
+			}
+			cacheable := upstreamComplete && !solved.Truncated
+			if cacheable {
+				s.diskPut("df", key, func() ([]byte, error) { return dataflow.EncodeResults(solved) })
+			}
+			return solved, cacheable, nil
+		})
+		if err != nil {
+			return err
+		}
+		res = v.(*dataflow.Results)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // CSGraph returns the context-sensitive dependence graph with heap

@@ -13,6 +13,7 @@ import (
 	"thinslice/internal/analysis/pointsto"
 	"thinslice/internal/budget"
 	"thinslice/internal/csslice"
+	"thinslice/internal/dataflow"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/types"
 	"thinslice/internal/sdg"
@@ -82,6 +83,24 @@ type Store struct {
 	cost    int64
 	limits  StoreLimits
 	stats   StoreStats
+	phases  Stats // phase builds aggregated over every session in the store
+}
+
+// PhaseStats returns the pipeline-phase build counters aggregated over
+// every session backed by this store — the serving layer's view of how
+// much real analysis work the process has done (cache hits don't
+// count; see Session.Stats for the per-session split).
+func (st *Store) PhaseStats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.phases
+}
+
+// countPhase applies one session's counter bump to the aggregate.
+func (st *Store) countPhase(f func(*Stats)) {
+	st.mu.Lock()
+	f(&st.phases)
+	st.mu.Unlock()
 }
 
 type storeEntry struct {
@@ -254,6 +273,8 @@ func estimateCost(v any) int64 {
 		return base + int64(v.NumNodes())*perNode + int64(v.NumEdges())*32
 	case *csslice.Graph:
 		return base + int64(v.NumNodes())*perNode + int64(v.NumEdges())*32
+	case *dataflow.Results:
+		return base + int64(v.NumNodeFacts())*48
 	case *cha.CallGraph:
 		return 16 << 10
 	case *modref.Result:

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckDemoModule pins the lint's semantics on a seeded fixture
+// module: the statically reached violation and the interface-dispatched
+// one are flagged, the annotated sort-then-emit range and the
+// unreachable range are not.
+func TestCheckDemoModule(t *testing.T) {
+	findings, err := Check(filepath.Join("testdata", "demo"), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Log(f)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	static, dyn := findings[0], findings[1]
+	if static.Pos.Line != 27 || !strings.HasSuffix(static.Func, "dumpRows") || !strings.HasSuffix(static.Seed, "EncodeTable") {
+		t.Errorf("static finding = %v, want dumpRows:27 via EncodeTable", static)
+	}
+	if dyn.Pos.Line != 65 || !strings.Contains(dyn.Func, "Emit") || !strings.HasSuffix(dyn.Seed, "EncodeVia") {
+		t.Errorf("dynamic finding = %v, want LoudEmitter.Emit:65 via EncodeVia", dyn)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Func, "EncodeSorted") {
+			t.Errorf("suppressed range in EncodeSorted was flagged: %v", f)
+		}
+		if strings.Contains(f.Func, "Summarize") {
+			t.Errorf("unreachable range in Summarize was flagged: %v", f)
+		}
+	}
+}
+
+// TestCheckRepoClean runs the lint over this repository itself: every
+// map range reachable from a Fingerprint/Encode*/Sprint entry point
+// must be either eliminated or explicitly annotated.
+func TestCheckRepoClean(t *testing.T) {
+	findings, err := Check(filepath.Join("..", ".."), "thinslice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unannotated map range in encoder path: %v", f)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root directory to check")
+	module := flag.String("module", "thinslice", "module import path prefix")
+	flag.Parse()
+
+	findings, err := Check(*root, *module)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "determinismcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "determinismcheck: %d map-range statement(s) reachable from deterministic encoders\n", len(findings))
+		os.Exit(1)
+	}
+}

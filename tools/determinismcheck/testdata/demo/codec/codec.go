@@ -1,0 +1,79 @@
+// Package codec is a miniature mirror of the repo's encoder layout,
+// seeded with one determinism violation, one suppressed range, and one
+// interface-dispatched violation, for the determinismcheck test.
+package codec
+
+import (
+	"fmt"
+	"sort"
+
+	"demo/util"
+)
+
+// Table is the shape every encoder here serializes.
+type Table struct {
+	Rows map[string]int
+}
+
+// EncodeTable is a seed: its helper ranges a map without sorting.
+func EncodeTable(t *Table) string {
+	return dumpRows(t.Rows)
+}
+
+// dumpRows is only reachable from EncodeTable; its bare map range is
+// the violation the test expects at this line + 2.
+func dumpRows(rows map[string]int) string {
+	out := ""
+	for k, v := range rows {
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+// EncodeSorted is a seed whose map range is annotated as safe: the
+// keys are collected and sorted before any output depends on them.
+func EncodeSorted(t *Table) string {
+	var keys []string
+	for k := range t.Rows { //determinism:ok — sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, t.Rows[k])
+	}
+	return out
+}
+
+// Emitter is dispatched dynamically from a seed; reachability must
+// follow the interface call to every same-named concrete method.
+type Emitter interface {
+	Emit(rows map[string]int) string
+}
+
+// EncodeVia is a seed that only reaches its violation through an
+// interface method call.
+func EncodeVia(e Emitter, t *Table) string {
+	return e.Emit(t.Rows)
+}
+
+// LoudEmitter's Emit carries the dynamically reached violation.
+type LoudEmitter struct{}
+
+func (LoudEmitter) Emit(rows map[string]int) string {
+	out := ""
+	for k := range rows {
+		out += k
+	}
+	return out
+}
+
+// Summarize is NOT a seed and is called by no seed; its map range
+// must stay unflagged.
+func Summarize(rows map[string]int) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n + util.Fudge()
+}

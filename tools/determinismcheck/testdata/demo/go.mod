@@ -1,0 +1,3 @@
+module demo
+
+go 1.22

@@ -1,0 +1,6 @@
+// Package util exists so the demo module has a cross-package import
+// edge for the source importer to resolve.
+package util
+
+// Fudge returns a constant; it keeps util imported from codec.
+func Fudge() int { return 1 }
