@@ -28,6 +28,12 @@
 //
 //	thinslice serve -addr :8080
 //
+// The watch subcommand keeps an incremental session alive over the
+// named files and re-slices the seeds whenever a file changes on disk
+// (see watch.go):
+//
+//	thinslice watch -seed prog.mj:42 prog.mj [more.mj ...]
+//
 // Resource limits: -timeout and -max-steps bound the whole run, and
 // -fuel bounds -dynamic execution. A run that was cut short but still
 // produced a (partial) result exits with code 3; hard failures exit 1.
@@ -82,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runCheck(args[1:], stdout, stderr)
 		case "serve":
 			return runServe(args[1:], stdout, stderr)
+		case "watch":
+			return runWatch(args[1:], stdout, stderr)
 		case "cache":
 			return runCache(args[1:], stdout, stderr)
 		}

@@ -1,0 +1,130 @@
+package pointsto
+
+import (
+	"sort"
+
+	"thinslice/internal/ir"
+)
+
+// Canonical renumbering (PR 9). A solver run discovers objects and
+// method-contexts in worklist order, which depends on how the run was
+// seeded: a cold solve and an incremental SolveDelta reach the same
+// fixpoint through different discovery sequences. To make the two
+// byte-identical — EncodeResult payloads, Fingerprints, and the SDG
+// built on top all read raw IDs — every complete solve renumbers its
+// objects and contexts into an order that is a pure function of the
+// analyzed program:
+//
+//   - objects sort by their allocation-site chain: the site's dense
+//     program instruction ID, then the heap context's chain,
+//     lexicographically (nil context first). Site+context is an
+//     object's identity, so the order is total.
+//   - method-contexts sort by (method's index in prog.Methods, context
+//     object's canonical ID, nil context first). Method+context is an
+//     MCtx's identity.
+//
+// Truncated runs skip canonicalization: their frontiers may be
+// undrained, the codec refuses them anyway, and the incremental path
+// never consumes them.
+
+// objLess orders objects by site-ID chain, context-insensitive sites
+// before cloned ones.
+func objLess(a, b *Object) bool {
+	for {
+		if a.Site.ID() != b.Site.ID() {
+			return a.Site.ID() < b.Site.ID()
+		}
+		a, b = a.Ctx, b.Ctx
+		if a == nil || b == nil {
+			return a == nil && b != nil
+		}
+	}
+}
+
+// remapBits rewrites a bitset through an object-ID permutation.
+func remapBits(b bitset, perm []int32) bitset {
+	var out bitset
+	b.forEach(func(id int) { out.add(int(perm[id])) })
+	return out
+}
+
+// canonicalize renumbers s.res in place. Object and MCtx structs keep
+// their addresses (solver maps keyed by pointer stay valid); only IDs,
+// slice orders, per-node bitsets, and the ID-keyed callEdges map
+// change. solver.linked still holds pre-canonical IDs afterwards and
+// must not be consulted again — the incremental path reads
+// res.callEdges instead.
+func (s *solver) canonicalize() {
+	// Capture the old ID → MCtx view before any IDs move: callEdges
+	// keys embed caller IDs.
+	oldMCByID := make([]*MCtx, len(s.res.mctxs))
+	for _, mc := range s.res.mctxs {
+		oldMCByID[mc.ID] = mc
+	}
+
+	// Objects: sort, build the old→new permutation, then reassign.
+	objs := s.res.objects
+	sort.Slice(objs, func(i, j int) bool { return objLess(objs[i], objs[j]) })
+	perm := make([]int32, len(objs))
+	for newID, o := range objs {
+		perm[o.ID] = int32(newID)
+	}
+	for newID, o := range objs {
+		o.ID = newID
+	}
+
+	// Rewrite every live node's points-to bits through the permutation.
+	// Collapsed members have nil sets; frontiers are drained at a
+	// complete fixpoint but are remapped defensively.
+	for _, n := range s.nodes {
+		if s.parent[n.id] != n.id {
+			continue
+		}
+		if !n.pts.empty() {
+			n.pts = remapBits(n.pts, perm)
+		}
+		if !n.frontier.empty() {
+			n.frontier = remapBits(n.frontier, perm)
+		}
+	}
+
+	// Method-contexts: sort by (method position, canonical context ID).
+	mIdx := make(map[*ir.Method]int, len(s.prog.Methods))
+	for i, m := range s.prog.Methods {
+		mIdx[m] = i
+	}
+	ctxKey := func(mc *MCtx) int {
+		if mc.Ctx == nil {
+			return -1
+		}
+		return mc.Ctx.ID
+	}
+	mcs := s.res.mctxs
+	sort.Slice(mcs, func(i, j int) bool {
+		mi, mj := mIdx[mcs[i].Method], mIdx[mcs[j].Method]
+		if mi != mj {
+			return mi < mj
+		}
+		return ctxKey(mcs[i]) < ctxKey(mcs[j])
+	})
+	for newID, mc := range mcs {
+		mc.ID = newID
+	}
+
+	// mctxsOf lists contexts in res.mctxs order.
+	s.res.mctxsOf = make(map[*ir.Method][]*MCtx, len(s.res.mctxsOf))
+	for _, mc := range mcs {
+		s.res.mctxsOf[mc.Method] = append(s.res.mctxsOf[mc.Method], mc)
+	}
+
+	// callEdges: re-key by the new caller IDs and order each callee
+	// list canonically. The per-site callee order is load-bearing for
+	// SDG edge emission, so sorting here is what makes an incremental
+	// SDG rebuild byte-identical to a cold one.
+	edges := make(map[callSiteKey][]*MCtx, len(s.res.callEdges))
+	for k, list := range s.res.callEdges { //determinism:ok map rebuild, per-key independent
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		edges[callSiteKey{k.callID, oldMCByID[k.callerID].ID}] = list
+	}
+	s.res.callEdges = edges
+}

@@ -91,6 +91,11 @@ type Config struct {
 	// leave it false and get pointer-equivalent variable nodes collapsed
 	// into union-find representatives (Nuutila/HCD-style).
 	NoCycleElim bool
+	// RetainState keeps the solver's constraint graph alive on a
+	// complete Result so a later SolveDelta can reuse it after an edit.
+	// Costs memory proportional to the solve; watch-mode sessions
+	// enable it.
+	RetainState bool
 }
 
 // Result is the analysis output.
@@ -119,6 +124,10 @@ type Result struct {
 	calleesCI  map[*ir.Call]map[*ir.Method]bool
 	reachableM map[*ir.Method]bool
 	entries    []*ir.Method
+	// solver is retained on complete results when Config.RetainState is
+	// set, for SolveDelta. The retained linked map holds pre-canonical
+	// IDs and is never consulted again; callEdges is the durable view.
+	solver *solver
 }
 
 // callSiteKey identifies a call site in a caller context.
@@ -452,6 +461,12 @@ type solver struct {
 	meter *budget.Meter
 	// stop is the sticky budget violation that ended the run early.
 	stop error
+
+	// pending holds carried-over inert contexts (SolveDelta) that have
+	// not been re-reached yet: their bodies are never reprocessed, but
+	// on first reach their call sites are replayed to re-register call
+	// edges and value flow into non-inert callees. Nil on cold solves.
+	pending map[*MCtx]bool
 }
 
 // findID returns the representative ID of i, with path halving.
@@ -520,9 +535,9 @@ func Analyze(prog *ir.Program, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// run performs one solver pass; budget violations are left in the
-// result's LimitErr for Analyze to interpret.
-func run(prog *ir.Program, cfg Config) *Result {
+// newSolver builds an initialized solver (shared by the cold run and
+// SolveDelta).
+func newSolver(prog *ir.Program, cfg Config) *solver {
 	// The big solver tables all scale with program size: presizing them
 	// from the instruction count avoids their incremental rehashes
 	// (varNodes and edgeSet grow to a few entries per instruction on
@@ -569,6 +584,11 @@ func run(prog *ir.Program, cfg Config) *Result {
 			}
 		})
 	}
+	return s
+}
+
+// defaultEntries resolves the configured entry methods against prog.
+func defaultEntries(prog *ir.Program, cfg Config) []*ir.Method {
 	entries := cfg.Entries
 	if len(entries) == 0 {
 		for _, m := range prog.Methods {
@@ -580,25 +600,46 @@ func run(prog *ir.Program, cfg Config) *Result {
 	if len(entries) == 0 {
 		entries = prog.Methods
 	}
-	s.res.entries = entries
-	for _, m := range entries {
-		s.reach(m, nil)
-	}
-	s.solve()
+	return entries
+}
+
+// finish drains nothing further: it records the stop state, normalizes
+// query maps, canonicalizes complete fixpoints, and optionally retains
+// the solver for the incremental path.
+func (s *solver) finish() *Result {
 	s.res.LimitErr = s.stop
 	if s.cycleElim {
 		// Normalize the query-facing node maps to representatives so the
 		// Result never reads a collapsed member's (stale, nil'd) fields.
-		for k, n := range s.varNodes {
+		for k, n := range s.varNodes { //determinism:ok in-place per-key rewrite, independent
 			s.varNodes[k] = s.find(n)
 		}
-		for _, list := range s.res.regNodes {
+		for _, list := range s.res.regNodes { //determinism:ok in-place per-key rewrite, independent
 			for i, n := range list {
 				list[i] = s.find(n)
 			}
 		}
 	}
+	if s.stop == nil {
+		s.canonicalize()
+		if s.cfg.RetainState {
+			s.res.solver = s
+		}
+	}
 	return s.res
+}
+
+// run performs one solver pass; budget violations are left in the
+// result's LimitErr for Analyze to interpret.
+func run(prog *ir.Program, cfg Config) *Result {
+	s := newSolver(prog, cfg)
+	entries := defaultEntries(prog, cfg)
+	s.res.entries = entries
+	for _, m := range entries {
+		s.reach(m, nil)
+	}
+	s.solve()
+	return s.finish()
 }
 
 func isRefType(t types.Type) bool { return types.IsRef(t) }
@@ -744,8 +785,27 @@ func (s *solver) reach(m *ir.Method, ctx *Object) *MCtx {
 	if fresh {
 		s.res.reachableM[m] = true
 		s.processBody(mc)
+	} else if s.pending != nil && s.pending[mc] {
+		// Carried inert context (SolveDelta): its value constraints are
+		// already baked into the carried nodes; only its call sites need
+		// replaying so edges into non-inert callees regenerate.
+		delete(s.pending, mc)
+		s.res.reachableM[m] = true
+		s.replayCalls(mc)
 	}
 	return mc
+}
+
+// replayCalls re-registers only the call sites of a carried context:
+// processCall for static sites links the callee directly, and for
+// virtual/ctor sites registers the call constraint on the (carried)
+// receiver node and replays its objects through dispatch.
+func (s *solver) replayCalls(mc *MCtx) {
+	mc.Method.Instrs(func(ins ir.Instr) {
+		if call, ok := ins.(*ir.Call); ok {
+			s.processCall(mc, call)
+		}
+	})
 }
 
 // calleeCtx decides the analysis context for a target method given the

@@ -14,7 +14,11 @@ import (
 // different version — it reports version skew and the caller rebuilds.
 const (
 	FormatVersion = 1
-	CodecVersion  = 1
+	// CodecVersion 2: points-to results canonicalize object/context IDs
+	// (PR 9), which reorders the pointsto and sdg payload bytes; records
+	// written under version 1 would relink but carry the old ordering,
+	// so they must miss.
+	CodecVersion = 2
 )
 
 // magic identifies a thinslice artifact file. The trailing byte pins

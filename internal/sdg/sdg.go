@@ -678,11 +678,35 @@ func matchStores(ld *heapAccess, stores []heapAccess, cache map[maskKey][]Node) 
 // (the pairing phase is the graph's quadratic hot spot); the fill pass
 // of the two-pass build passes nil and re-emits unconditionally.
 func (g *Graph) emitHeapAndControl(h *heapIndex, cdgCache map[*ir.Method]*cdg.Graph, tick func() bool, add func(to Node, d Dep)) {
+	g.emitHeap(h, tick, add)
+	if g.stop != nil {
+		return
+	}
+	// Control dependence edges (intraprocedural graphs are shared
+	// across contexts; edges are added per context instance).
+	for _, mc := range g.mctxs {
+		if g.stop != nil {
+			return
+		}
+		cg := cdgCache[mc.Method]
+		if cg == nil {
+			cg = cdg.Build(mc.Method)
+			cdgCache[mc.Method] = cg
+		}
+		g.controlCtx(mc, cg, add)
+	}
+}
+
+// emitHeap runs the points-to-derived phases — heap pairing, array
+// lengths, statics — over an already-built heap index. BuildDelta
+// shares it: these edges are re-derived from the new points-to result
+// on every incremental rebuild.
+func (g *Graph) emitHeap(h *heapIndex, tick func() bool, add func(to Node, d Dep)) {
 	// Heap edges: store→load when the base points-to sets (in the
 	// respective contexts) intersect. Map iteration order varies run to
 	// run, but each load node lives under exactly one field name, so
 	// every node's in-edge sequence is still deterministic.
-	for fname, loads := range h.fieldLoads {
+	for fname, loads := range h.fieldLoads { //determinism:ok — single emitter per load node (see above)
 		if g.stop != nil {
 			return
 		}
@@ -715,7 +739,7 @@ func (g *Graph) emitHeapAndControl(h *heapIndex, cdgCache map[*ir.Method]*cdg.Gr
 	}
 	// Static fields are single global locations: every store reaches
 	// every load of the same field.
-	for fname, loads := range h.staticLoads {
+	for fname, loads := range h.staticLoads { //determinism:ok — single emitter per load node
 		if g.stop != nil {
 			return
 		}
@@ -724,20 +748,6 @@ func (g *Graph) emitHeapAndControl(h *heapIndex, cdgCache map[*ir.Method]*cdg.Gr
 				add(ld, Dep{Src: st, Kind: EdgeHeap, Via: NoNode})
 			}
 		}
-	}
-
-	// Control dependence edges (intraprocedural graphs are shared
-	// across contexts; edges are added per context instance).
-	for _, mc := range g.mctxs {
-		if g.stop != nil {
-			return
-		}
-		cg := cdgCache[mc.Method]
-		if cg == nil {
-			cg = cdg.Build(mc.Method)
-			cdgCache[mc.Method] = cg
-		}
-		g.controlCtx(mc, cg, add)
 	}
 }
 

@@ -333,12 +333,17 @@ func TestStatszSchemaGolden(t *testing.T) {
 		"phases.CSGraphs",
 		"phases.Checks",
 		"phases.Dataflows",
+		"phases.DeltaSDGs",
+		"phases.DeltaSolves",
+		"phases.Depgraphs",
 		"phases.Lowers",
 		"phases.ModRefs",
 		"phases.Parses",
 		"phases.PointsTos",
 		"phases.PreludeParses",
 		"phases.SDGs",
+		"phases.UnitLowers",
+		"phases.UnitReuses",
 		"queued",
 		"requests.bad_request",
 		"requests.breaker_open",

@@ -22,7 +22,8 @@
 //   - A recover boundary around every request on top of the session's
 //     per-phase boundary: the response is always well-formed JSON.
 //
-// Endpoints: POST /slice, /batch, /check; GET /healthz, /readyz,
+// Endpoints: POST /slice, /batch, /check, /watch (a long-lived
+// incremental edit stream, see watch.go); GET /healthz, /readyz,
 // /statsz. See the README "Serving" section for the wire format.
 package server
 
@@ -292,6 +293,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/slice", s.analysisHandler(runSlice))
 	s.mux.HandleFunc("/batch", s.analysisHandler(runBatch))
 	s.mux.HandleFunc("/check", s.analysisHandler(runCheck))
+	s.mux.HandleFunc("/watch", s.watchHandler)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+const watchAlpha = `class Alpha {
+    int val;
+    void set(int v) { this.val = v; }
+    int get() { return this.val; }
+    int bump(int x) { return x + 1; }
+}
+`
+
+const watchAlphaEdited = `class Alpha {
+    int val;
+    void set(int v) { this.val = v; }
+    int get() { return this.val; }
+    int bump(int x) { return x + 2; }
+}
+`
+
+const watchAlphaBroken = `class Alpha {
+    int val;
+    void set(int v) { this.val = v; }
+    int get() { return this.val; }
+    int bump(int x) { return x + ; }
+}
+`
+
+const watchMain = `class Main {
+    static void main() {
+        Alpha a = new Alpha();
+        a.set(3);
+        int x = a.bump(a.get());
+        print(x);
+    }
+}
+`
+
+// watchClient drives one full-duplex /watch stream over a raw TCP
+// connection (the stdlib HTTP/1.1 client is half-duplex: it holds the
+// response back until the request body is fully written, which is
+// exactly what a watch stream never does). Edits go down the wire as
+// chunked-encoding chunks; events come back off the streamed response
+// body.
+type watchClient struct {
+	t      *testing.T
+	conn   net.Conn
+	resp   *http.Response
+	events *bufio.Scanner
+}
+
+func dialWatch(t *testing.T, tsURL string, init any) *watchClient {
+	t.Helper()
+	u, err := url.Parse(tsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /watch HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n", u.Host)
+	c := &watchClient{t: t, conn: conn}
+	c.sendJSON(init)
+	resp, err := http.ReadResponse(bufio.NewReader(conn), &http.Request{Method: http.MethodPost})
+	if err != nil {
+		t.Fatalf("reading watch response: %v", err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	c.resp = resp
+	c.events = sc
+	// Close the raw connection first: Body.Close on a chunked body
+	// drains to EOF, which a live stream never reaches.
+	t.Cleanup(func() {
+		_ = conn.Close()
+		_ = resp.Body.Close()
+	})
+	return c
+}
+
+// sendJSON writes one JSON value as one HTTP chunk.
+func (c *watchClient) sendJSON(v any) {
+	c.t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	b = append(b, '\n')
+	if _, err := fmt.Fprintf(c.conn, "%x\r\n%s\r\n", len(b), b); err != nil {
+		c.t.Fatalf("sending edit: %v", err)
+	}
+}
+
+func (c *watchClient) send(edit WatchEdit) { c.sendJSON(edit) }
+
+// closeSend ends the request body (terminal chunk): the server sees
+// EOF and closes the stream.
+func (c *watchClient) closeSend() {
+	if _, err := io.WriteString(c.conn, "0\r\n\r\n"); err != nil {
+		c.t.Fatalf("closing send side: %v", err)
+	}
+}
+
+func (c *watchClient) next() WatchEvent {
+	c.t.Helper()
+	if !c.events.Scan() {
+		c.t.Fatalf("watch stream ended early: %v", c.events.Err())
+	}
+	var ev WatchEvent
+	if err := json.Unmarshal(c.events.Bytes(), &ev); err != nil {
+		c.t.Fatalf("malformed event %q: %v", c.events.Text(), err)
+	}
+	return ev
+}
+
+// TestWatchStreamIncrementalEdits is the end-to-end watch gate: a
+// stream over a multi-file program answers the initial revision with a
+// full build, answers a single-method edit with a delta build (one
+// unit re-lowered, SolveDelta and BuildDelta instead of full solves),
+// survives a revision that does not parse, and recovers on the fix.
+func TestWatchStreamIncrementalEdits(t *testing.T) {
+	srv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	// Cleanup, not defer: dialWatch registers the connection close as a
+	// cleanup, and ts.Close blocks until the stream's connection dies.
+	t.Cleanup(ts.Close)
+
+	c := dialWatch(t, ts.URL, map[string]any{
+		"sources": map[string]string{"alpha.mj": watchAlpha, "main.mj": watchMain},
+		"seed":    "main.mj:6",
+	})
+	if ct := c.resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	cold := c.next()
+	if cold.Rev != 0 || cold.Status != "ok" {
+		t.Fatalf("cold revision: %+v", cold)
+	}
+	if len(cold.Slices) != 1 || cold.Slices[0].Statements == 0 {
+		t.Fatalf("cold revision produced no slice: %+v", cold.Slices)
+	}
+	if inc := cold.Incremental; inc == nil || inc.FullSolves != 1 || inc.DeltaSolves != 0 || inc.UnitReuses != 0 {
+		t.Fatalf("cold revision counters: %+v", cold.Incremental)
+	}
+
+	// One-line body edit: the warm revision must be a pure delta.
+	c.send(WatchEdit{Update: map[string]string{"alpha.mj": watchAlphaEdited}})
+	warm := c.next()
+	if warm.Rev != 1 || warm.Status != "ok" {
+		t.Fatalf("warm revision: %+v", warm)
+	}
+	if len(warm.Slices) != 1 || warm.Slices[0].Statements == 0 {
+		t.Fatalf("warm revision produced no slice: %+v", warm.Slices)
+	}
+	inc := warm.Incremental
+	if inc == nil {
+		t.Fatal("warm revision missing incremental counters")
+	}
+	if inc.UnitLowers != 1 || inc.UnitReuses == 0 {
+		t.Errorf("warm revision re-lowered %d units (reused %d), want exactly 1 fresh", inc.UnitLowers, inc.UnitReuses)
+	}
+	if inc.DeltaSolves != 1 || inc.FullSolves != 0 {
+		t.Errorf("warm revision solves: %+v, want one delta and no full solve", inc)
+	}
+	if inc.DeltaSDGs != 1 || inc.FullSDGs != 0 {
+		t.Errorf("warm revision SDG builds: %+v, want one delta and no full build", inc)
+	}
+
+	// A half-typed revision: the stream reports the program error and
+	// keeps going.
+	c.send(WatchEdit{Update: map[string]string{"alpha.mj": watchAlphaBroken}})
+	broken := c.next()
+	if broken.Rev != 2 || broken.Status != "error" || broken.Kind != "program_error" {
+		t.Fatalf("broken revision: %+v", broken)
+	}
+
+	// The fix restores service; the edit is identical to revision 1's
+	// content, so the whole pipeline is a cache hit.
+	c.send(WatchEdit{Update: map[string]string{"alpha.mj": watchAlphaEdited}})
+	fixed := c.next()
+	if fixed.Rev != 3 || fixed.Status != "ok" || len(fixed.Slices) != 1 {
+		t.Fatalf("fixed revision: %+v", fixed)
+	}
+	if fi := fixed.Incremental; fi.UnitLowers != 0 || fi.FullSolves != 0 || fi.DeltaSolves != 0 {
+		t.Errorf("fixed revision re-derived artifacts despite identical content: %+v", fi)
+	}
+}
+
+// TestWatchRejectsBadInit pins the non-stream error paths: bad method,
+// malformed init, and missing sources all answer with the typed JSON
+// error shape, not a stream.
+func TestWatchRejectsBadInit(t *testing.T) {
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /watch: %d", resp.StatusCode)
+	}
+
+	for name, body := range map[string]string{
+		"malformed":  "{not json",
+		"no sources": `{"seed":"a.mj:1"}`,
+		"no seed":    `{"sources":{"a.mj":"class A {}"}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/watch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatalf("%s: undecodable response: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || r.Kind != "bad_request" {
+			t.Fatalf("%s: got status %d kind %q", name, resp.StatusCode, r.Kind)
+		}
+	}
+}
+
+// TestWatchClosesOnClientEOF pins stream shutdown: closing the request
+// body ends the handler promptly (no goroutine parked on a dead
+// connection).
+func TestWatchClosesOnClientEOF(t *testing.T) {
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	c := dialWatch(t, ts.URL, map[string]any{
+		"sources": map[string]string{"alpha.mj": watchAlpha, "main.mj": watchMain},
+		"seed":    "main.mj:6",
+	})
+	if ev := c.next(); ev.Status != "ok" {
+		t.Fatalf("cold revision: %+v", ev)
+	}
+	c.closeSend()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c.events.Scan() {
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch stream did not close after client EOF")
+	}
+}

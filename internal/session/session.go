@@ -33,6 +33,7 @@ import (
 	"thinslice/internal/budget"
 	"thinslice/internal/csslice"
 	"thinslice/internal/dataflow"
+	"thinslice/internal/depgraph"
 	"thinslice/internal/diskstore"
 	"thinslice/internal/ir"
 	"thinslice/internal/lang/ast"
@@ -48,9 +49,14 @@ type Stats struct {
 	Parses        int // user source files parsed
 	PreludeParses int // times the container prelude was parsed (process-wide cache)
 	Checks        int // type checks
-	Lowers        int // SSA lowerings
-	PointsTos     int // pointer analyses
-	SDGs          int // dependence graph builds
+	Lowers        int // whole-program SSA lowerings (non-incremental path)
+	Depgraphs     int // symbol dependency graph builds
+	UnitLowers    int // per-method lowering units derived fresh
+	UnitReuses    int // per-method lowering units reused from the store
+	PointsTos     int // full pointer analyses
+	DeltaSolves   int // incremental pointer re-solves (pointsto.SolveDelta)
+	SDGs          int // full dependence graph builds
+	DeltaSDGs     int // incremental dependence graph rebuilds (sdg.BuildDelta)
 	CHAs          int // class-hierarchy call graph builds
 	ModRefs       int // mod-ref computations
 	CSGraphs      int // context-sensitive SDG builds
@@ -58,15 +64,16 @@ type Stats struct {
 }
 
 type config struct {
-	objSens    bool
-	containers []string
-	entries    []string
-	noPrelude  bool
-	verifyIR   bool
-	budget     *budget.Budget
-	workers    int
-	store      *Store
-	disk       *diskstore.Cache
+	objSens     bool
+	containers  []string
+	entries     []string
+	noPrelude   bool
+	verifyIR    bool
+	budget      *budget.Budget
+	workers     int
+	store       *Store
+	disk        *diskstore.Cache
+	incremental bool
 }
 
 // Option configures Open.
@@ -104,6 +111,20 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // them with every other session using that store.
 func InStore(st *Store) Option { return func(c *config) { c.store = st } }
 
+// WithIncremental turns on the session's keyed derivation graph: the
+// IR artifact is assembled from per-method lowering units addressed by
+// depgraph unit keys (so an edit re-lowers only its transitively
+// affected frontier, in Kahn-style callee-first batches), and the
+// pointer analysis and dependence graph retain enough state after each
+// complete build to re-derive the next revision incrementally
+// (pointsto.SolveDelta, sdg.BuildDelta) — both proven byte-identical
+// to from-scratch builds. Retention costs memory proportional to the
+// last build, so it is opt-in; thinslice watch and the server's /watch
+// stream open their sessions with it. Incremental re-derivation engages
+// only for unbudgeted sessions (a truncated delta would poison every
+// later one); budgeted sessions fall back to full builds.
+func WithIncremental() Option { return func(c *config) { c.incremental = true } }
+
 // WithDiskCache layers a persistent disk tier under the in-memory
 // store: on a store miss the session first tries to decode the artifact
 // from disk, and successful builds are encoded and published there. A
@@ -128,6 +149,48 @@ type Session struct {
 		srcs  map[string]string
 		key   Key
 	}
+	// last is the retained state of the most recent complete build of an
+	// incremental session; nil otherwise. Guarded by mu; the artifacts it
+	// points at are immutable.
+	last *retained
+}
+
+// retained is what an incremental session keeps from its last complete
+// build to derive the next revision by delta. The points-to triplet
+// (depg, prog, pts) is updated atomically — SolveDelta maps the
+// retained solver state through a ProgramMap between exactly these two
+// programs. The SDG templates are base-relative and program-independent,
+// so they carry their own revision marker (sdgDepg) and may lag the
+// points-to state when Graph() is queried less often than PointsTo().
+type retained struct {
+	srcKey  Key
+	depg    *depgraph.Graph
+	prog    *ir.Program
+	pts     *pointsto.Result
+	sdgSt   *sdg.BuildState
+	sdgDepg *depgraph.Graph
+}
+
+// retainedState returns a copy of the retained-state record (zero value
+// when nothing is retained).
+func (s *Session) retainedState() retained {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return retained{}
+	}
+	return *s.last
+}
+
+// updateRetained applies f to the retained-state record, creating it on
+// first use.
+func (s *Session) updateRetained(f func(*retained)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		s.last = &retained{}
+	}
+	f(s.last)
 }
 
 // Open starts a session over the given sources (name → content). The
@@ -159,6 +222,12 @@ func Open(sources map[string]string, opts ...Option) *Session {
 func (s *Session) Update(name, content string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.sources[name]; ok && old == content {
+		// Fast path: identical content hashes to the identical file key,
+		// so every derived artifact is already current — invalidate
+		// nothing, not even the cached snapshot.
+		return
+	}
 	s.sources[name] = content
 	s.fileKeys[name] = hashParts("file", name, content)
 	s.snap.valid = false
@@ -416,12 +485,133 @@ func (s *Session) parseFile(name, src string) ([]*ast.ClassDecl, error) {
 	return res.classes, res.err
 }
 
+// Depgraph returns the cross-file symbol dependency graph of the
+// current source set: one unit per lowering job, keyed by a content
+// hash covering the unit's declaration and the deep fingerprints of
+// every class its lowering can observe. The incremental pipeline hangs
+// off it three ways — unit keys address per-method IR payloads in the
+// store, Diff against the previous revision's graph yields the
+// changed-symbol frontier, and TopoBatches schedules the frontier's
+// re-derivation callees-first.
+func (s *Session) Depgraph() (*depgraph.Graph, error) {
+	info, err := s.Info()
+	if err != nil {
+		return nil, err
+	}
+	var g *depgraph.Graph
+	err = s.phase(budget.PhaseLoad, func() error {
+		_, _, srcKey := s.snapshot()
+		key := hashParts("depg", string(srcKey))
+		v, err := s.cfg.store.get(key, budget.PhaseLoad, func() (any, bool, error) {
+			if payload := s.diskGet("depg", key); payload != nil {
+				if decoded, derr := depgraph.DecodeGraph(payload); derr == nil {
+					return decoded, true, nil
+				} else {
+					s.diskQuarantine("depg", key, derr)
+				}
+			}
+			s.count(func(st *Stats) { st.Depgraphs++ })
+			built := depgraph.Build(info)
+			s.diskPut("depg", key, func() ([]byte, error) { return depgraph.EncodeGraph(built) })
+			return built, true, nil
+		})
+		if err != nil {
+			return err
+		}
+		g = v.(*depgraph.Graph)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// unitStoreKey addresses one per-method IR payload. The depgraph unit
+// key already covers file content and referenced-symbol fingerprints,
+// so two revisions (or two sessions) containing an identical unit share
+// the entry — including a Remove followed by re-Adding the same file.
+func unitStoreKey(depgraphKey string) Key { return hashParts("unit", depgraphKey) }
+
+// lowerViaUnits assembles the program from per-method units: cached
+// payloads are cloned, the dirty frontier is re-lowered in Kahn-style
+// callee-first batches over the worker pool, and freshly derived units
+// are published back to the store (and disk tier) under their unit
+// keys. The result is byte-identical to ir.LowerWorkers.
+func (s *Session) lowerViaUnits(info *types.Info, depg *depgraph.Graph) (*ir.Program, error) {
+	reuse := make(map[string][]byte, len(depg.Units))
+	cached := 0
+	dirty := make(map[string]bool)
+	for _, u := range depg.Units {
+		uk := unitStoreKey(u.Key)
+		if v, ok := s.cfg.store.peek(uk); ok {
+			reuse[u.QName] = v.([]byte)
+			cached++
+			continue
+		}
+		if payload := s.diskGet("unit", uk); payload != nil {
+			reuse[u.QName] = payload
+			s.cfg.store.put(uk, payload)
+			cached++
+			continue
+		}
+		dirty[u.QName] = true
+	}
+	fresh := map[string][]byte{}
+	if len(dirty) > 0 && cached > 0 {
+		// Warm rebuild: re-derive only the frontier, callees before
+		// callers so each batch fans out independently.
+		fresh = ir.LowerBatches(info, depg.TopoBatches(dirty), s.cfg.workers)
+		for q, p := range fresh {
+			reuse[q] = p
+		}
+	}
+	prog, lst, err := ir.LowerUnits(info, reuse, s.cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	s.count(func(st *Stats) {
+		st.UnitReuses += cached
+		st.UnitLowers += len(fresh) + lst.Lowered
+	})
+	if len(prog.Diags) > 0 {
+		return prog, nil // caller surfaces the diagnostics; publish nothing
+	}
+	var byQ map[string]*ir.Method
+	for _, u := range depg.Units {
+		if !dirty[u.QName] {
+			continue
+		}
+		payload := fresh[u.QName]
+		if payload == nil {
+			if byQ == nil {
+				byQ = make(map[string]*ir.Method, len(prog.Methods))
+				for _, m := range prog.Methods {
+					byQ[m.Sig.QualifiedName()] = m
+				}
+			}
+			payload = ir.EncodeUnit(byQ[u.QName])
+		}
+		uk := unitStoreKey(u.Key)
+		s.cfg.store.put(uk, payload)
+		s.diskPut("unit", uk, func() ([]byte, error) { return payload, nil })
+	}
+	return prog, nil
+}
+
 // Prog returns the SSA IR lowered from the typed program, verified
-// when the session was opened WithVerifyIR.
+// when the session was opened WithVerifyIR. Incremental sessions
+// assemble it from per-method units addressed by depgraph keys.
 func (s *Session) Prog() (*ir.Program, error) {
 	info, err := s.Info()
 	if err != nil {
 		return nil, err
+	}
+	var depg *depgraph.Graph
+	if s.cfg.incremental {
+		if depg, err = s.Depgraph(); err != nil {
+			return nil, err
+		}
 	}
 	var prog *ir.Program
 	err = s.phase(budget.PhaseLower, func() error {
@@ -435,8 +625,17 @@ func (s *Session) Prog() (*ir.Program, error) {
 					s.diskQuarantine("ir", key, derr)
 				}
 			}
-			s.count(func(st *Stats) { st.Lowers++ })
-			p := ir.LowerWorkers(info, s.cfg.workers)
+			var p *ir.Program
+			if depg != nil {
+				var lerr error
+				if p, lerr = s.lowerViaUnits(info, depg); lerr != nil {
+					p = nil // unit payload failed to relink: fall back to a full lower
+				}
+			}
+			if p == nil {
+				s.count(func(st *Stats) { st.Lowers++ })
+				p = ir.LowerWorkers(info, s.cfg.workers)
+			}
 			if len(p.Diags) > 0 {
 				return nil, false, p.Diags
 			}
@@ -474,12 +673,76 @@ func (s *Session) ptsConfigKey(srcKey Key) Key {
 		strings.Join(s.cfg.entries, "\x00"))
 }
 
+// deltaCapable reports whether this session may use the incremental
+// re-derivation paths: opted in, and unbudgeted (a budgeted delta could
+// truncate, and a truncated artifact must never seed the next delta).
+func (s *Session) deltaCapable() bool {
+	return s.cfg.incremental && s.cfg.budget == nil
+}
+
+// ptsConfig is the pointer-analysis configuration of this session over
+// the given resolved entries. Incremental sessions retain solver state
+// so the next revision can re-seed the difference-propagation worklist
+// instead of re-solving.
+func (s *Session) ptsConfig(entries []*ir.Method) pointsto.Config {
+	return pointsto.Config{
+		Entries:           entries,
+		ObjSensContainers: s.cfg.objSens,
+		ContainerClasses:  s.cfg.containers,
+		Budget:            s.cfg.budget,
+		RetainState:       s.deltaCapable(),
+	}
+}
+
+// trySolveDelta attempts the incremental pointer re-solve against the
+// session's retained state. Any structural obstacle — no retained
+// state, an unmappable program pair, or a SolveDelta safety-net error —
+// reports false and the caller runs the full analysis.
+func (s *Session) trySolveDelta(prog *ir.Program, depg *depgraph.Graph, entries []*ir.Method) (*pointsto.Result, bool) {
+	last := s.retainedState()
+	if last.pts == nil || last.prog == nil || last.depg == nil {
+		return nil, false
+	}
+	d := depgraph.Diff(last.depg, depg)
+	removed := append(append([]string(nil), d.Changed...), d.Removed...)
+	added := append(append([]string(nil), d.Changed...), d.Added...)
+	gone := make(map[string]bool, len(removed))
+	for _, q := range removed {
+		gone[q] = true
+	}
+	var unchanged []string
+	for _, m := range last.prog.Methods {
+		if q := m.Sig.QualifiedName(); !gone[q] {
+			unchanged = append(unchanged, q)
+		}
+	}
+	pm, err := ir.MapPrograms(last.prog, prog, unchanged)
+	if err != nil {
+		return nil, false
+	}
+	res, _, err := pointsto.SolveDelta(last.pts, prog, pm, removed, added, s.ptsConfig(entries))
+	if err != nil {
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.DeltaSolves++ })
+	return res, true
+}
+
 // PointsTo returns the pointer-analysis result. Truncated or
 // downgraded results (budget exhaustion) are returned but not cached.
+// Incremental sessions re-derive the result from the previous build's
+// retained solver state when the edit frontier allows, falling back to
+// the full analysis on any delta error.
 func (s *Session) PointsTo() (*pointsto.Result, error) {
 	prog, err := s.Prog()
 	if err != nil {
 		return nil, err
+	}
+	var depg *depgraph.Graph
+	if s.cfg.incremental {
+		if depg, err = s.Depgraph(); err != nil {
+			return nil, err
+		}
 	}
 	var pts *pointsto.Result
 	err = s.phase(budget.PhasePointsTo, func() error {
@@ -497,18 +760,25 @@ func (s *Session) PointsTo() (*pointsto.Result, error) {
 					s.diskQuarantine("pts", key, derr)
 				}
 			}
-			s.count(func(st *Stats) { st.PointsTos++ })
-			res, err := pointsto.Analyze(prog, pointsto.Config{
-				Entries:           entries,
-				ObjSensContainers: s.cfg.objSens,
-				ContainerClasses:  s.cfg.containers,
-				Budget:            s.cfg.budget,
-			})
-			if err != nil {
-				return nil, false, err
+			var res *pointsto.Result
+			if s.deltaCapable() && depg != nil {
+				res, _ = s.trySolveDelta(prog, depg, entries)
+			}
+			if res == nil {
+				s.count(func(st *Stats) { st.PointsTos++ })
+				var aerr error
+				res, aerr = pointsto.Analyze(prog, s.ptsConfig(entries))
+				if aerr != nil {
+					return nil, false, aerr
+				}
 			}
 			cacheable := !res.Truncated && !res.Downgraded
 			if cacheable {
+				if s.deltaCapable() && depg != nil {
+					s.updateRetained(func(r *retained) {
+						r.srcKey, r.depg, r.prog, r.pts = srcKey, depg, prog, res
+					})
+				}
 				s.diskPut("pts", key, func() ([]byte, error) { return pointsto.EncodeResult(res) })
 			}
 			return res, cacheable, nil
@@ -527,6 +797,8 @@ func (s *Session) PointsTo() (*pointsto.Result, error) {
 
 // Graph returns the dependence graph, built in parallel when the
 // session's worker count allows. Truncated graphs are not cached.
+// Incremental sessions rebuild it off the previous build's per-method
+// templates, recomputing only the points-to-derived edges.
 func (s *Session) Graph() (*sdg.Graph, error) {
 	pts, err := s.PointsTo()
 	if err != nil {
@@ -535,6 +807,12 @@ func (s *Session) Graph() (*sdg.Graph, error) {
 	prog, err := s.Prog()
 	if err != nil {
 		return nil, err
+	}
+	var depg *depgraph.Graph
+	if s.cfg.incremental {
+		if depg, err = s.Depgraph(); err != nil {
+			return nil, err
+		}
 	}
 	var g *sdg.Graph
 	err = s.phase(budget.PhaseSDG, func() error {
@@ -547,6 +825,27 @@ func (s *Session) Graph() (*sdg.Graph, error) {
 				} else {
 					s.diskQuarantine("sdg", key, derr)
 				}
+			}
+			if s.deltaCapable() && depg != nil && !pts.Truncated && !pts.Downgraded {
+				last := s.retainedState()
+				var prevSt *sdg.BuildState
+				var changed []string
+				if last.sdgSt != nil && last.sdgDepg != nil {
+					d := depgraph.Diff(last.sdgDepg, depg)
+					changed = append(append([]string(nil), d.Changed...), d.Added...)
+					prevSt = last.sdgSt
+				}
+				graph, st, _ := sdg.BuildDelta(prog, pts, prevSt, changed)
+				s.count(func(stt *Stats) {
+					if prevSt != nil {
+						stt.DeltaSDGs++
+					} else {
+						stt.SDGs++
+					}
+				})
+				s.updateRetained(func(r *retained) { r.sdgSt, r.sdgDepg = st, depg })
+				s.diskPut("sdg", key, func() ([]byte, error) { return sdg.EncodeGraph(graph) })
+				return graph, true, nil
 			}
 			s.count(func(st *Stats) { st.SDGs++ })
 			graph, err := sdg.BuildWorkers(prog, pts, s.cfg.budget, s.cfg.workers)
