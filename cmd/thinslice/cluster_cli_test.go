@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"thinslice/internal/cluster"
+	"thinslice/internal/papercases"
+)
+
+func TestServeClusterFlagValidation(t *testing.T) {
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(topo, []byte(`{"replicas":[{"name":"a","addr":"127.0.0.1:1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"cluster without self", []string{"serve", "-cluster", topo, "-cache-dir", t.TempDir()}, exitUsage},
+		{"cluster without cache-dir", []string{"serve", "-cluster", topo, "-self", "a"}, exitUsage},
+		{"self without cluster", []string{"serve", "-self", "a"}, exitUsage},
+		{"missing topology file", []string{"serve", "-cluster", filepath.Join(t.TempDir(), "nope.json"), "-self", "a", "-cache-dir", t.TempDir()}, exitFailure},
+		{"self not in topology", []string{"serve", "-cluster", topo, "-self", "ghost", "-cache-dir", t.TempDir()}, exitFailure},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		if got := run(c.args, &out, &errOut); got != c.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, got, c.want, errOut.String())
+		}
+	}
+}
+
+// TestHelperClusterProcess: when re-executed with the env vars set, the
+// test binary becomes one `thinslice serve -cluster` replica.
+func TestHelperClusterProcess(t *testing.T) {
+	if os.Getenv("THINSLICE_HELPER_CLUSTER") != "1" {
+		t.Skip("helper process for TestServeClusterDrainHandoff")
+	}
+	os.Exit(run([]string{
+		"serve",
+		"-cluster", os.Getenv("THINSLICE_HELPER_TOPO"),
+		"-self", os.Getenv("THINSLICE_HELPER_SELF"),
+		"-cache-dir", os.Getenv("THINSLICE_HELPER_CACHE"),
+		"-drain", "30s",
+	}, os.Stdout, os.Stderr))
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func startClusterReplica(t *testing.T, topoPath, self, cacheDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperClusterProcess$")
+	cmd.Env = append(os.Environ(),
+		"THINSLICE_HELPER_CLUSTER=1",
+		"THINSLICE_HELPER_TOPO="+topoPath,
+		"THINSLICE_HELPER_SELF="+self,
+		"THINSLICE_HELPER_CACHE="+cacheDir,
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		re := regexp.MustCompile(`^thinslice: replica \S+ serving on `)
+		for sc.Scan() {
+			if re.MatchString(sc.Text()) {
+				close(ready)
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case <-ready:
+		return cmd
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("cluster replica never reported its address")
+		return nil
+	}
+}
+
+// TestServeClusterDrainHandoff is the real-process drill: two
+// `serve -cluster` replicas, one warmed and SIGTERMed. The drain must
+// hand its artifacts to the survivor, and `cache fsck` over the
+// survivor's directory must find them all intact.
+func TestServeClusterDrainHandoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process drill skipped in -short mode")
+	}
+	topoPath := filepath.Join(t.TempDir(), "topo.json")
+	addrA, addrB := freePort(t), freePort(t)
+	topoDoc := fmt.Sprintf(`{"replicas":[{"name":"a","addr":"%s"},{"name":"b","addr":"%s"}]}`, addrA, addrB)
+	if err := os.WriteFile(topoPath, []byte(topoDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	procA := startClusterReplica(t, topoPath, "a", dirA)
+	defer procA.Process.Kill()
+	procB := startClusterReplica(t, topoPath, "b", dirB)
+	defer func() {
+		procB.Process.Signal(syscall.SIGTERM)
+		procB.Wait()
+	}()
+
+	// Warm replica a with a forced-local build (the forwarded marker
+	// pins the request to the receiving replica regardless of owner).
+	body, err := json.Marshal(map[string]any{
+		"sources": map[string]string{papercases.FirstNamesFile: papercases.FirstNames},
+		"seed":    fmt.Sprintf("%s:%d", papercases.FirstNamesFile, papercases.Line(papercases.FirstNames, "// SEED")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+addrA+"/slice", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("warming replica a: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming replica a: HTTP %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown: drain streams a's warm artifacts to b.
+	if err := procA.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := procA.Wait(); err != nil {
+		t.Fatalf("replica a exited uncleanly: %v", err)
+	}
+
+	// The survivor's cache holds the handed-off records, all intact.
+	var out bytes.Buffer
+	if code := run([]string{"cache", "fsck", "-dir", dirB}, &out, &out); code != exitOK {
+		t.Fatalf("fsck on survivor's cache failed (exit %d): %s", code, out.String())
+	}
+	fsck := out.String()
+	if !strings.Contains(fsck, ", 0 corrupt") {
+		t.Fatalf("survivor cache has corruption: %s", fsck)
+	}
+	if strings.Contains(fsck, "fsck: 0 entries") {
+		t.Fatalf("survivor cache is empty; drain handed nothing off: %s", fsck)
+	}
+}

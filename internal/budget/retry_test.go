@@ -133,3 +133,83 @@ func TestRetryBackoffDoublesWithJitter(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryJitterIsFullJitterDistribution samples many independent
+// backoff draws and checks the jitter actually spreads over the
+// [delay/2, delay] window rather than collapsing to a constant: every
+// draw is in bounds, and the observed spread covers a meaningful part
+// of the window. (With 200 draws, the odds of all landing in one half
+// of the window are ~2^-200 — a failure means the jitter is broken,
+// not unlucky.)
+func TestRetryJitterIsFullJitterDistribution(t *testing.T) {
+	const base = 100 * time.Millisecond
+	var draws []time.Duration
+	for i := 0; i < 200; i++ {
+		fs := &fakeSleep{}
+		cfg := budget.RetryConfig{MaxAttempts: 2, BaseDelay: base, Sleep: fs.sleep}
+		_ = budget.Retry(context.Background(), cfg, func(int) error { return errInjected })
+		if len(fs.delays) != 1 {
+			t.Fatalf("draw %d: slept %d times, want 1", i, len(fs.delays))
+		}
+		draws = append(draws, fs.delays[0])
+	}
+	lo, hi := draws[0], draws[0]
+	for _, d := range draws {
+		if d < base/2 || d > base {
+			t.Fatalf("jittered sleep %v outside [%v, %v]", d, base/2, base)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if spread := hi - lo; spread < base/4 {
+		t.Fatalf("jitter collapsed: 200 draws span only %v of the %v window (lo %v, hi %v)", spread, base/2, lo, hi)
+	}
+}
+
+// TestRetryRealSleeperHonoursCancellation exercises the default
+// sleeper (no injected Sleep): a cancellation arriving mid-backoff
+// returns promptly instead of sleeping out the full delay.
+func TestRetryRealSleeperHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := budget.Retry(ctx, budget.RetryConfig{MaxAttempts: 3, BaseDelay: time.Hour}, func(int) error {
+		return errInjected
+	})
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("real sleeper ignored cancellation: took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled joined in", err)
+	}
+	var internal *budget.ErrInternal
+	if !errors.As(err, &internal) {
+		t.Fatalf("Retry = %v, want the last attempt's typed error joined in", err)
+	}
+}
+
+// TestRetryContextDeadlineDuringBackoff: a deadline (not an explicit
+// cancel) expiring during backoff surfaces context.DeadlineExceeded.
+func TestRetryContextDeadlineDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := budget.Retry(ctx, budget.RetryConfig{MaxAttempts: 5, BaseDelay: time.Hour}, func(int) error {
+		calls++
+		return errInjected
+	})
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Retry = %v, want context.DeadlineExceeded in the chain", err)
+	}
+}

@@ -1,0 +1,598 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"thinslice/internal/artifact"
+	"thinslice/internal/budget"
+	"thinslice/internal/server"
+	"thinslice/internal/session"
+)
+
+// ForwardedHeader marks a request that already crossed one hop. A node
+// receiving it always serves locally — forwarding is never transitive,
+// so routing disagreement during a topology change costs one extra
+// hop, never a loop.
+const ForwardedHeader = "X-Thinslice-Forwarded"
+
+// maxArtifactBytes bounds one fetched or handed-off artifact record.
+const maxArtifactBytes = 64 << 20
+
+// Config tunes one cluster node.
+type Config struct {
+	// Self names this replica in the topology (required).
+	Self string
+	// Topology is the shared membership document (required).
+	Topology *Topology
+	// HedgeAfter is the latency threshold after which a forwarded
+	// request gets one hedged attempt at the next preference-list
+	// member (default 75ms).
+	HedgeAfter time.Duration
+	// ForwardTimeout bounds one forwarded request end-to-end,
+	// independent of the client's own analysis deadline (default 30s).
+	ForwardTimeout time.Duration
+	// FetchTimeout bounds one peer artifact fetch (default 2s) — a
+	// slow peer must degrade to a local cold build, not stall the
+	// pipeline.
+	FetchTimeout time.Duration
+	// Health tunes the active prober.
+	Health HealthConfig
+	// Transport is the base RoundTripper for all peer traffic (nil =
+	// http.DefaultTransport); the fault layer injects here.
+	Transport http.RoundTripper
+}
+
+func (c *Config) fillDefaults() {
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 75 * time.Millisecond
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+}
+
+// counters are the node's monotonic cluster metrics.
+type counters struct {
+	forwards, forwardErrors, hedges, localFallbacks atomic.Int64
+	fetchHits, fetchMisses, fetchCorrupt            atomic.Int64
+	handoffsSent, handoffsReceived, handoffRejects  atomic.Int64
+}
+
+// Node fronts a *server.Server with cluster routing. Build with New,
+// serve Handler (or Run), and stop with Stop (graceful, hands warm
+// artifacts off) or Kill (abrupt, survivors cold-build).
+type Node struct {
+	cfg         Config
+	srv         *server.Server
+	ring        *Ring
+	ringMinus   *Ring // topology minus self: where handoffs go
+	health      *Health
+	client      *http.Client
+	fetchClient *http.Client
+	mux         *http.ServeMux
+	stats       counters
+
+	hs           *http.Server
+	healthCancel context.CancelFunc
+	serveErr     chan error
+	stopped      atomic.Bool
+}
+
+// New wires a node in front of srv. The server must have a disk cache
+// (cluster mode serves peer fetches and handoffs from it) and must not
+// be serving yet: New registers the remote-fetch tier and the /statsz
+// cluster section on it.
+func New(srv *server.Server, cfg Config) (*Node, error) {
+	cfg.fillDefaults()
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cluster: config needs a topology")
+	}
+	if srv.DiskCache() == nil {
+		return nil, fmt.Errorf("cluster: server needs a disk cache (set Config.CacheDir); peer fetch and handoff serve from it")
+	}
+	found := false
+	for _, m := range cfg.Topology.Replicas {
+		if m.Name == cfg.Self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the topology", cfg.Self)
+	}
+	ring, err := NewRing(cfg.Topology.Replicas, cfg.Topology.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cfg, srv: srv, ring: ring}
+	if len(cfg.Topology.Replicas) > 1 {
+		if n.ringMinus, err = ring.Without(cfg.Self); err != nil {
+			return nil, err
+		}
+	}
+	peers := make(map[string]string)
+	for _, m := range cfg.Topology.Replicas {
+		if m.Name != cfg.Self {
+			peers[m.Name] = m.Addr
+		}
+	}
+	n.health = NewHealth(peers, cfg.Health, cfg.Transport)
+	n.client = &http.Client{Transport: cfg.Transport}
+	n.fetchClient = &http.Client{Transport: cfg.Transport}
+
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("/slice", n.route)
+	n.mux.HandleFunc("/batch", n.route)
+	n.mux.HandleFunc("/check", n.route)
+	n.mux.HandleFunc("/internal/artifact", n.artifactHandler)
+	n.mux.Handle("/", srv.Handler())
+
+	srv.SetRemoteFetch(n.remoteFetch)
+	srv.SetClusterStats(n.clusterStats)
+	return n, nil
+}
+
+// Handler returns the node's HTTP handler: cluster routing over the
+// analysis endpoints, the internal artifact endpoint, and the wrapped
+// server for everything else (/watch is always served locally — a
+// full-duplex stream is pinned to the replica that accepted it).
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Health exposes the peer health tracker (tests and /statsz).
+func (n *Node) Health() *Health { return n.health }
+
+func (n *Node) clusterStats() server.ClusterStats {
+	up, degraded, down := n.health.Counts()
+	return server.ClusterStats{
+		Self:             n.cfg.Self,
+		Members:          len(n.cfg.Topology.Replicas),
+		PeersUp:          up,
+		PeersDegraded:    degraded,
+		PeersDown:        down,
+		Forwards:         n.stats.forwards.Load(),
+		ForwardErrors:    n.stats.forwardErrors.Load(),
+		Hedges:           n.stats.hedges.Load(),
+		LocalFallbacks:   n.stats.localFallbacks.Load(),
+		PeerFetchHits:    n.stats.fetchHits.Load(),
+		PeerFetchMisses:  n.stats.fetchMisses.Load(),
+		PeerFetchCorrupt: n.stats.fetchCorrupt.Load(),
+		HandoffsSent:     n.stats.handoffsSent.Load(),
+		HandoffsReceived: n.stats.handoffsReceived.Load(),
+		HandoffRejects:   n.stats.handoffRejects.Load(),
+	}
+}
+
+// --- routing ---
+
+// route decides where an analysis request runs. Every degradation path
+// lands on the local server, whose responses are always typed — a peer
+// failure can cost latency, never a 5xx of its own making.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	local := n.srv.Handler()
+	if r.Header.Get(ForwardedHeader) != "" || n.srv.Stats().Draining {
+		local.ServeHTTP(w, r)
+		return
+	}
+	// Buffer the body (bounded as the server would) so it can be
+	// replayed: once to compute the routing key, and once into either
+	// the local handler or the forwarded request.
+	body, err := io.ReadAll(io.LimitReader(r.Body, n.srv.RequestByteLimit()+1))
+	r.Body.Close()
+	if err != nil {
+		r.Body = io.NopCloser(bytes.NewReader(nil))
+		local.ServeHTTP(w, r)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	key := routingKey(body, n.srv.RequestByteLimit())
+	if key == "" {
+		// Malformed or oversized request: let the local server produce
+		// its typed bad_request.
+		local.ServeHTTP(w, r)
+		return
+	}
+	targets := n.forwardTargets(key)
+	if len(targets) == 0 {
+		local.ServeHTTP(w, r)
+		return
+	}
+	res := n.forwardHedged(r.Context(), targets, r.URL.Path, body)
+	if res.err != nil {
+		// Every candidate peer failed at the transport level. Degrade
+		// to a local build — slower, still byte-identical, never a 5xx.
+		n.stats.localFallbacks.Add(1)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		local.ServeHTTP(w, r)
+		return
+	}
+	n.stats.forwards.Add(1)
+	copyResponse(w, res)
+}
+
+// routingKey extracts the program content hash from a request body, or
+// "" when the body cannot be routed (malformed, oversized, no
+// sources) — those requests are answered locally so the server's own
+// validation speaks.
+func routingKey(body []byte, limit int64) string {
+	if int64(len(body)) > limit {
+		return ""
+	}
+	var req struct {
+		Sources map[string]string `json:"sources"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Sources) == 0 {
+		return ""
+	}
+	// The same key the server's breaker uses: the session's content
+	// hash over the source set (prelude included), independent of
+	// per-request options.
+	return string(session.Open(req.Sources).SourceKey())
+}
+
+// forwardTargets returns the remote members this node should try, in
+// preference order — empty when this node should serve locally (it is
+// the healthy owner, or no healthy peer owns the key).
+func (n *Node) forwardTargets(key string) []Member {
+	owners := n.ring.Owners(key, n.cfg.Topology.Replication)
+	candidates := owners[:0:0]
+	for _, m := range owners {
+		if m.Name == n.cfg.Self {
+			// Self is in the preference list: serve locally unless a
+			// higher-priority owner is healthy (then candidates already
+			// holds it and we forward).
+			break
+		}
+		if n.health.State(m.Name) == Down {
+			continue
+		}
+		candidates = append(candidates, m)
+	}
+	if len(candidates) > 2 {
+		candidates = candidates[:2] // primary plus one hedge target
+	}
+	return candidates
+}
+
+// fwdResult is one forwarded response, buffered whole so a mid-body
+// transport failure can still fall back to a local build.
+type fwdResult struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+func copyResponse(w http.ResponseWriter, res fwdResult) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// forward sends the request to one peer with budget.Retry backoff over
+// transport errors. Any HTTP response — including a typed 4xx/5xx — is
+// a success to pass through verbatim; only failing to get a response
+// at all is retried.
+func (n *Node) forward(ctx context.Context, m Member, path string, body []byte) fwdResult {
+	var res fwdResult
+	transportErr := func(error) bool { return true }
+	err := budget.Retry(ctx, budget.RetryConfig{
+		MaxAttempts: 2,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Retryable:   transportErr,
+	}, func(int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			"http://"+m.Addr+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ForwardedHeader, n.cfg.Self)
+		resp, err := n.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		res = fwdResult{status: resp.StatusCode, header: resp.Header, body: data}
+		return nil
+	})
+	if err != nil {
+		n.stats.forwardErrors.Add(1)
+		n.health.ReportFailure(m.Name, err)
+		return fwdResult{err: err}
+	}
+	n.health.ReportSuccess(m.Name)
+	return res
+}
+
+// forwardHedged tries targets[0], launching targets[1] (when present)
+// either after the hedge latency threshold or immediately once the
+// primary fails. First complete response wins; the loser's context is
+// cancelled.
+func (n *Node) forwardHedged(ctx context.Context, targets []Member, path string, body []byte) fwdResult {
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	results := make(chan fwdResult, len(targets))
+	launch := func(i int) {
+		go func() { results <- n.forward(fctx, targets[i], path, body) }()
+	}
+	launch(0)
+	launched, failed := 1, 0
+	var hedge <-chan time.Time
+	if len(targets) > 1 {
+		t := time.NewTimer(n.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var lastErr fwdResult
+	for {
+		select {
+		case res := <-results:
+			if res.err == nil {
+				return res
+			}
+			failed++
+			lastErr = res
+			if launched < len(targets) {
+				// Primary failed before the hedge fired: escalate now.
+				launch(launched)
+				launched++
+				continue
+			}
+			if failed == launched {
+				return lastErr
+			}
+		case <-hedge:
+			hedge = nil
+			if launched < len(targets) {
+				n.stats.hedges.Add(1)
+				launch(launched)
+				launched++
+			}
+		case <-fctx.Done():
+			return fwdResult{err: fctx.Err()}
+		}
+	}
+}
+
+// --- peer artifact fetch ---
+
+// remoteFetch is the session's remote tier: ask the key's other owners
+// for the verified artifact record. Every record is CRC-verified
+// before the payload is surfaced; a corrupt response is counted and
+// the next peer tried — a byzantine peer can cause a miss, never a
+// wrong answer.
+func (n *Node) remoteFetch(kind string, key session.Key) []byte {
+	owners := n.ring.Owners(string(key), n.cfg.Topology.Replication)
+	asked := false
+	for _, m := range owners {
+		if m.Name == n.cfg.Self || n.health.State(m.Name) == Down {
+			continue
+		}
+		asked = true
+		if payload := n.fetchFrom(m, kind, string(key)); payload != nil {
+			n.stats.fetchHits.Add(1)
+			return payload
+		}
+	}
+	if asked {
+		n.stats.fetchMisses.Add(1)
+	}
+	return nil
+}
+
+func (n *Node) fetchFrom(m Member, kind, key string) []byte {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FetchTimeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/internal/artifact?kind=%s&key=%s", m.Addr, kind, key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := n.fetchClient.Do(req)
+	if err != nil {
+		n.health.ReportFailure(m.Name, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+	if err != nil || len(data) > maxArtifactBytes {
+		return nil
+	}
+	// End-to-end container verification: magic, versions, kind, key,
+	// CRC — all checked before a single payload byte is trusted.
+	payload, err := artifact.Decode(data, kind, key)
+	if err != nil {
+		n.stats.fetchCorrupt.Add(1)
+		return nil
+	}
+	n.health.ReportSuccess(m.Name)
+	return payload
+}
+
+// --- /internal/artifact: serve fetches, accept handoffs ---
+
+func isHexKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) artifactHandler(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	key := r.URL.Query().Get("key")
+	if kind == "" || !isHexKey(key) {
+		http.Error(w, "kind and hex key required", http.StatusBadRequest)
+		return
+	}
+	disk := n.srv.DiskCache()
+	switch r.Method {
+	case http.MethodGet:
+		rec, recKind, ok := disk.GetRecord(key)
+		if !ok || recKind != kind {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(rec)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
+		if err != nil || len(data) > maxArtifactBytes {
+			n.stats.handoffRejects.Add(1)
+			http.Error(w, "oversized or unreadable record", http.StatusBadRequest)
+			return
+		}
+		// Re-verify the full container against the claimed identity
+		// before anything touches the local tier.
+		payload, err := artifact.Decode(data, kind, key)
+		if err != nil {
+			n.stats.handoffRejects.Add(1)
+			http.Error(w, "record failed verification: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := disk.Put(kind, key, payload); err != nil {
+			http.Error(w, "store failed", http.StatusInsufficientStorage)
+			return
+		}
+		n.stats.handoffsReceived.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET or PUT required", http.StatusMethodNotAllowed)
+	}
+}
+
+// --- warm handoff ---
+
+// Handoff streams every local artifact to its new owner under the
+// topology minus this node — the graceful half of a topology change.
+// Bounded by ctx; artifacts that fail to transfer are simply cold for
+// the survivors.
+func (n *Node) Handoff(ctx context.Context) {
+	if n.ringMinus == nil {
+		return // single-node topology: nowhere to hand off to
+	}
+	disk := n.srv.DiskCache()
+	for _, key := range disk.Keys() {
+		if ctx.Err() != nil {
+			return
+		}
+		rec, kind, ok := disk.GetRecord(key)
+		if !ok {
+			continue // evicted or quarantined since the snapshot
+		}
+		for _, m := range n.ringMinus.Owners(key, n.cfg.Topology.Replication) {
+			if n.health.State(m.Name) == Down {
+				continue
+			}
+			if n.handoffTo(ctx, m, kind, key, rec) {
+				n.stats.handoffsSent.Add(1)
+				break
+			}
+		}
+	}
+}
+
+func (n *Node) handoffTo(ctx context.Context, m Member, kind, key string, rec []byte) bool {
+	url := fmt.Sprintf("http://%s/internal/artifact?kind=%s&key=%s", m.Addr, kind, key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(rec))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.health.ReportFailure(m.Name, err)
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusNoContent
+}
+
+// --- lifecycle ---
+
+// Start begins serving ln and probing peers. Use Stop or Kill to end.
+func (n *Node) Start(ln net.Listener) {
+	hctx, cancel := context.WithCancel(context.Background())
+	n.healthCancel = cancel
+	n.health.Start(hctx)
+	n.hs = &http.Server{Handler: n.Handler()}
+	n.serveErr = make(chan error, 1)
+	go func() { n.serveErr <- n.hs.Serve(ln) }()
+}
+
+// Stop drains gracefully: the wrapped server stops admitting work,
+// warm artifacts stream to their new owners, and in-flight requests
+// finish — all bounded by ctx.
+func (n *Node) Stop(ctx context.Context) error {
+	if !n.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	n.srv.StartDrain()
+	n.Handoff(ctx)
+	err := n.hs.Shutdown(ctx)
+	n.healthCancel()
+	<-n.serveErr
+	return err
+}
+
+// Kill is the abrupt death used by the soak tests: active connections
+// are torn down mid-flight, nothing is handed off. Survivors observe
+// transport errors, mark the peer down, and cold-build its programs.
+func (n *Node) Kill() {
+	if !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	n.healthCancel()
+	n.hs.Close()
+	<-n.serveErr
+}
+
+// Run serves until ctx is cancelled, then drains via Stop with
+// drainTimeout as the bound. The cmd serve -cluster path.
+func (n *Node) Run(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	n.Start(ln)
+	select {
+	case err := <-n.serveErr:
+		n.healthCancel()
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := n.Stop(sctx)
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

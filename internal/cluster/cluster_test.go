@@ -1,0 +1,586 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"thinslice/internal/artifact"
+	"thinslice/internal/faults"
+	"thinslice/internal/papercases"
+	"thinslice/internal/server"
+	"thinslice/internal/session"
+)
+
+// --- harness ---
+
+// testCluster is N in-process nodes on real loopback listeners, so the
+// forwarded requests, peer fetches, and handoffs cross an actual TCP
+// stack (and, when reg is non-nil, the deterministic fault layer).
+type testCluster struct {
+	topo  *Topology
+	nodes map[string]*Node
+	srvs  map[string]*server.Server
+	addrs map[string]string
+}
+
+func serverConfig(t *testing.T) server.Config {
+	return server.Config{
+		Workers:        2,
+		QueueDepth:     8,
+		QueueWait:      2 * time.Second,
+		DefaultTimeout: 10 * time.Second,
+		StoreEntries:   64,
+		StoreBytes:     64 << 20,
+		CacheDir:       t.TempDir(),
+	}
+}
+
+func startCluster(t *testing.T, names []string, reg *faults.NetRegistry, tune func(string, *Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		nodes: make(map[string]*Node),
+		srvs:  make(map[string]*server.Server),
+		addrs: make(map[string]string),
+	}
+	listeners := make(map[string]net.Listener, len(names))
+	members := make([]Member, 0, len(names))
+	for _, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[name] = ln
+		tc.addrs[name] = ln.Addr().String()
+		members = append(members, Member{Name: name, Addr: ln.Addr().String()})
+		if reg != nil {
+			reg.Bind(name, ln.Addr().String())
+		}
+	}
+	repl := 2
+	if len(names) < 2 {
+		repl = 1
+	}
+	tc.topo = &Topology{Replication: repl, VNodes: 64, Replicas: members}
+	for _, name := range names {
+		srv, err := server.New(serverConfig(t))
+		if err != nil {
+			t.Fatalf("server.New(%s): %v", name, err)
+		}
+		cfg := Config{
+			Self:     name,
+			Topology: tc.topo,
+			Health:   HealthConfig{Interval: time.Hour}, // probes driven manually in tests
+		}
+		if reg != nil {
+			cfg.Transport = reg.Transport(name, nil)
+		}
+		if tune != nil {
+			tune(name, &cfg)
+		}
+		node, err := New(srv, cfg)
+		if err != nil {
+			t.Fatalf("cluster.New(%s): %v", name, err)
+		}
+		node.Start(listeners[name])
+		tc.nodes[name] = node
+		tc.srvs[name] = srv
+	}
+	t.Cleanup(func() {
+		for _, n := range tc.nodes {
+			n.Kill()
+		}
+	})
+	return tc
+}
+
+// programOwnedBy derives a source-set variant whose routing key is
+// owned by the wanted member (with the wanted first fallback, when
+// given) — appending comment lines changes the content hash without
+// moving the seed marker.
+func programOwnedBy(t *testing.T, ring *Ring, repl int, owner string, fallback string) (map[string]string, string) {
+	t.Helper()
+	for i := 0; i < 512; i++ {
+		src := papercases.FirstNames + "\n// cluster variant " + strconv.Itoa(i) + "\n"
+		m := map[string]string{papercases.FirstNamesFile: src}
+		key := string(session.Open(m).SourceKey())
+		owners := ring.Owners(key, repl)
+		if owners[0].Name != owner {
+			continue
+		}
+		if fallback != "" && (len(owners) < 2 || owners[1].Name != fallback) {
+			continue
+		}
+		seed := fmt.Sprintf("%s:%d", papercases.FirstNamesFile, papercases.Line(src, "// SEED"))
+		return m, seed
+	}
+	t.Fatalf("no variant found with owner %s fallback %q", owner, fallback)
+	return nil, ""
+}
+
+// postRaw returns the verbatim response bytes — byte-identity across
+// routes is the cluster's core invariant, so tests compare raw bodies,
+// not decoded structs.
+func postRaw(t *testing.T, addr, path string, req server.Request, forwarded bool) (int, []byte, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if forwarded {
+		hreq.Header.Set(ForwardedHeader, "test")
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", addr, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// --- topology ---
+
+func TestParseTopologyDefaultsAndValidation(t *testing.T) {
+	topo, err := ParseTopology([]byte(`{"replicas":[{"name":"a","addr":"1:1"},{"name":"b","addr":"1:2"},{"name":"c","addr":"1:3"}]}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if topo.Replication != 2 || topo.VNodes != 64 {
+		t.Fatalf("defaults: replication %d vnodes %d, want 2 and 64", topo.Replication, topo.VNodes)
+	}
+
+	over, err := ParseTopology([]byte(`{"replication":9,"replicas":[{"name":"a","addr":"1:1"},{"name":"b","addr":"1:2"}]}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if over.Replication != 2 {
+		t.Fatalf("replication not clamped to member count: %d", over.Replication)
+	}
+
+	for name, doc := range map[string]string{
+		"malformed":      `{`,
+		"empty":          `{"replicas":[]}`,
+		"missing name":   `{"replicas":[{"addr":"1:1"}]}`,
+		"missing addr":   `{"replicas":[{"name":"a"}]}`,
+		"duplicate name": `{"replicas":[{"name":"a","addr":"1:1"},{"name":"a","addr":"1:2"}]}`,
+		"duplicate addr": `{"replicas":[{"name":"a","addr":"1:1"},{"name":"b","addr":"1:1"}]}`,
+	} {
+		if _, err := ParseTopology([]byte(doc)); err == nil {
+			t.Errorf("%s topology accepted", name)
+		}
+	}
+}
+
+func TestNewRejectsBadWiring(t *testing.T) {
+	topo := &Topology{Replication: 1, VNodes: 8, Replicas: []Member{{Name: "a", Addr: "127.0.0.1:1"}}}
+	cfg := serverConfig(t)
+	cfg.CacheDir = "" // cluster mode requires the disk tier
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if _, err := New(srv, Config{Self: "a", Topology: topo}); err == nil || !strings.Contains(err.Error(), "disk cache") {
+		t.Fatalf("cacheless server accepted: %v", err)
+	}
+
+	srv2, err := server.New(serverConfig(t))
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if _, err := New(srv2, Config{Self: "ghost", Topology: topo}); err == nil || !strings.Contains(err.Error(), "not in the topology") {
+		t.Fatalf("unknown self accepted: %v", err)
+	}
+	if _, err := New(srv2, Config{Self: "a"}); err == nil {
+		t.Fatalf("missing topology accepted")
+	}
+}
+
+// --- routing ---
+
+// TestForwardByteIdentityAndLoopPrevention pins the tentpole's core
+// contract: a request landing on the wrong replica is forwarded to the
+// owner and the client sees the exact bytes the owner produced; a
+// request that already crossed one hop is never forwarded again.
+func TestForwardByteIdentityAndLoopPrevention(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	// Direct answer from the owner, forced local.
+	codeB, bodyB, _ := postRaw(t, tc.addrs["b"], "/slice", req, true)
+	if codeB != http.StatusOK {
+		t.Fatalf("owner direct: code %d body %s", codeB, bodyB)
+	}
+	// Same request via the non-owner: forwarded, byte-identical.
+	codeA, bodyA, hdrA := postRaw(t, tc.addrs["a"], "/slice", req, false)
+	if codeA != http.StatusOK {
+		t.Fatalf("via non-owner: code %d body %s", codeA, bodyA)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatalf("forwarded response differs from owner's:\n a: %s\n b: %s", bodyA, bodyB)
+	}
+	if ct := hdrA.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("forwarded Content-Type %q", ct)
+	}
+	if got := tc.nodes["a"].stats.forwards.Load(); got != 1 {
+		t.Fatalf("node a forwards = %d, want 1", got)
+	}
+	if got := tc.nodes["b"].stats.forwards.Load(); got != 0 {
+		t.Fatalf("owner b forwarded its own request: %d", got)
+	}
+
+	// A forwarded-marked request is served locally even off-owner.
+	before := tc.nodes["a"].stats.forwards.Load()
+	code, body, _ := postRaw(t, tc.addrs["a"], "/slice", req, true)
+	if code != http.StatusOK {
+		t.Fatalf("forwarded-marked request: code %d body %s", code, body)
+	}
+	if got := tc.nodes["a"].stats.forwards.Load(); got != before {
+		t.Fatalf("forwarded-marked request was re-forwarded (forwards %d -> %d)", before, got)
+	}
+	if !bytes.Equal(body, bodyB) {
+		t.Fatalf("locally-served copy differs from owner's:\n local: %s\n owner: %s", body, bodyB)
+	}
+}
+
+// TestUnroutableRequestsServedLocally: requests the router cannot key
+// (malformed JSON, empty sources) fall through to the local server so
+// its typed validation answers — never a router-invented error.
+func TestUnroutableRequestsServedLocally(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	resp, err := http.Post("http://"+tc.addrs["a"]+"/slice", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	var parsed server.Response
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || parsed.Kind != "bad_request" {
+		t.Fatalf("malformed body: code %d kind %q, want typed bad_request", resp.StatusCode, parsed.Kind)
+	}
+	if got := tc.nodes["a"].stats.forwards.Load(); got != 0 {
+		t.Fatalf("malformed request was forwarded: %d", got)
+	}
+}
+
+// TestOwnerDeadDegradesToLocalBuild kills the owner and checks the
+// non-owner's promise: transport failure costs a cold local build,
+// never a 5xx or a transport error surfaced to the client.
+func TestOwnerDeadDegradesToLocalBuild(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	// Canonical bytes first, while the owner lives.
+	_, want, _ := postRaw(t, tc.addrs["b"], "/slice", req, true)
+
+	tc.nodes["b"].Kill()
+	code, got, _ := postRaw(t, tc.addrs["a"], "/slice", req, false)
+	if code != http.StatusOK {
+		t.Fatalf("owner dead: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("local fallback diverged:\n got:  %s\n want: %s", got, want)
+	}
+	a := tc.nodes["a"]
+	if a.stats.localFallbacks.Load() == 0 {
+		t.Fatalf("no local fallback recorded")
+	}
+	if a.stats.forwardErrors.Load() == 0 {
+		t.Fatalf("no forward error recorded")
+	}
+	// The failed forwards were reported passively; after DownAfter
+	// failures the peer is Down and later requests skip it entirely.
+	for i := 0; i < 3; i++ {
+		postRaw(t, tc.addrs["a"], "/slice", req, false)
+	}
+	if st := a.health.State("b"); st != Down {
+		t.Fatalf("dead peer state %v after repeated forward failures, want Down", st)
+	}
+	fallbacks := a.stats.localFallbacks.Load()
+	errsBefore := a.stats.forwardErrors.Load()
+	if code, _, _ := postRaw(t, tc.addrs["a"], "/slice", req, false); code != http.StatusOK {
+		t.Fatalf("post-Down request: code %d", code)
+	}
+	if a.stats.forwardErrors.Load() != errsBefore {
+		t.Fatalf("request still forwarded to a Down peer")
+	}
+	_ = fallbacks
+}
+
+// TestHedgeWinsOverSlowOwner delays the owner with the fault layer; the
+// hedged attempt at the second owner must answer, byte-identically.
+func TestHedgeWinsOverSlowOwner(t *testing.T) {
+	reg := faults.NewNetRegistry()
+	tc := startCluster(t, []string{"a", "b", "c"}, reg, func(name string, cfg *Config) {
+		cfg.HedgeAfter = 30 * time.Millisecond
+	})
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "c")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	// Canonical bytes from the hedge target, forced local.
+	_, want, _ := postRaw(t, tc.addrs["c"], "/slice", req, true)
+
+	reg.Add(faults.NetRule{From: "a", To: "b", Path: "/slice", Mode: faults.NetDelay, Delay: 2 * time.Second})
+	start := time.Now()
+	code, got, _ := postRaw(t, tc.addrs["a"], "/slice", req, false)
+	elapsed := time.Since(start)
+	if code != http.StatusOK {
+		t.Fatalf("hedged request: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("hedged response diverged:\n got:  %s\n want: %s", got, want)
+	}
+	if hedges := tc.nodes["a"].stats.hedges.Load(); hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", hedges)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("request waited out the delayed owner (%v); hedge did not win", elapsed)
+	}
+}
+
+// --- peer artifact fetch ---
+
+// TestPeerFetchWarmsColdReplica: a replica serving a program it has no
+// artifacts for pulls the owner's verified records instead of
+// rebuilding, and publishes them to its own disk tier.
+func TestPeerFetchWarmsColdReplica(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	// Warm the owner.
+	if code, body, _ := postRaw(t, tc.addrs["b"], "/slice", req, true); code != http.StatusOK {
+		t.Fatalf("warming owner: code %d body %s", code, body)
+	}
+	if len(tc.srvs["b"].DiskCache().Keys()) == 0 {
+		t.Fatalf("owner disk empty after a successful slice")
+	}
+
+	// Force the cold replica to serve locally: its session should fetch
+	// the owner's artifacts over /internal/artifact rather than rebuild.
+	_, want, _ := postRaw(t, tc.addrs["b"], "/slice", req, true)
+	code, got, _ := postRaw(t, tc.addrs["a"], "/slice", req, true)
+	if code != http.StatusOK {
+		t.Fatalf("cold replica: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("peer-fetched response diverged:\n got:  %s\n want: %s", got, want)
+	}
+	a := tc.nodes["a"]
+	if a.stats.fetchHits.Load() == 0 {
+		t.Fatalf("no peer fetch hits; replica rebuilt from scratch")
+	}
+	if len(tc.srvs["a"].DiskCache().Keys()) == 0 {
+		t.Fatalf("fetched artifacts were not published to the local disk tier")
+	}
+}
+
+// TestCorruptPeerPayloadNeverDecoded runs the byzantine-peer drill: the
+// fault layer flips a byte in every artifact fetch response. The
+// verified container must reject each one (counted corrupt), and the
+// replica must answer from a local rebuild — byte-identical, never
+// poisoned.
+func TestCorruptPeerPayloadNeverDecoded(t *testing.T) {
+	reg := faults.NewNetRegistry()
+	tc := startCluster(t, []string{"a", "b"}, reg, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	if code, _, _ := postRaw(t, tc.addrs["b"], "/slice", req, true); code != http.StatusOK {
+		t.Fatalf("warming owner failed")
+	}
+	_, want, _ := postRaw(t, tc.addrs["b"], "/slice", req, true)
+
+	reg.Add(faults.NetRule{From: "a", To: "b", Path: "/internal/artifact", Mode: faults.NetCorrupt})
+	code, got, _ := postRaw(t, tc.addrs["a"], "/slice", req, true)
+	if code != http.StatusOK {
+		t.Fatalf("replica with corrupt peer: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("corrupt peer poisoned the answer:\n got:  %s\n want: %s", got, want)
+	}
+	a := tc.nodes["a"]
+	if a.stats.fetchCorrupt.Load() == 0 {
+		t.Fatalf("corrupted fetches were not detected")
+	}
+	if a.stats.fetchHits.Load() != 0 {
+		t.Fatalf("corrupted fetch counted as a hit")
+	}
+}
+
+// --- /internal/artifact ---
+
+func TestArtifactEndpointVerifiesHandoffs(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	addr := tc.addrs["b"]
+	key := strings.Repeat("ab", 32)
+	payload := []byte("payload bytes for the container")
+	rec := artifact.Encode("sdg", key, payload)
+
+	put := func(kind, key string, body []byte) int {
+		req, _ := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("http://%s/internal/artifact?kind=%s&key=%s", addr, kind, key), bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// A garbage record must be rejected before it touches the store.
+	if code := put("sdg", key, []byte("not a container")); code != http.StatusBadRequest {
+		t.Fatalf("garbage handoff accepted: %d", code)
+	}
+	// A bit-flipped valid record must fail CRC verification.
+	flipped := append([]byte(nil), rec...)
+	flipped[len(flipped)-1] ^= 0x01
+	if code := put("sdg", key, flipped); code != http.StatusBadRequest {
+		t.Fatalf("bit-flipped handoff accepted: %d", code)
+	}
+	// A record claiming the wrong identity must be rejected too.
+	if code := put("pts", key, rec); code != http.StatusBadRequest {
+		t.Fatalf("kind-mismatched handoff accepted: %d", code)
+	}
+	if rejects := tc.nodes["b"].stats.handoffRejects.Load(); rejects != 3 {
+		t.Fatalf("handoff rejects = %d, want 3", rejects)
+	}
+	if got := len(tc.srvs["b"].DiskCache().Keys()); got != 0 {
+		t.Fatalf("rejected handoffs reached the store: %d keys", got)
+	}
+
+	// The genuine record lands.
+	if code := put("sdg", key, rec); code != http.StatusNoContent {
+		t.Fatalf("valid handoff rejected: %d", code)
+	}
+	if data, ok := tc.srvs["b"].DiskCache().Get("sdg", key); !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("handed-off payload not retrievable")
+	}
+
+	// GET round-trips the verbatim record; non-hex keys are refused.
+	resp, err := http.Get(fmt.Sprintf("http://%s/internal/artifact?kind=sdg&key=%s", addr, key))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET existing record: %d", resp.StatusCode)
+	}
+	if _, err := artifact.Decode(data, "sdg", key); err != nil {
+		t.Fatalf("served record fails verification: %v", err)
+	}
+	for _, bad := range []string{"../../etc/passwd", "ZZ", "", strings.Repeat("a", 200)} {
+		resp, err := http.Get(fmt.Sprintf("http://%s/internal/artifact?kind=sdg&key=%s", addr, bad))
+		if err != nil {
+			continue // some of these are unparseable URLs, equally fine
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("key %q served", bad)
+		}
+	}
+}
+
+// --- warm handoff ---
+
+// TestGracefulStopHandsOffWarmArtifacts drains a warm node and checks
+// the survivor received its verified records and can serve the program
+// warm (no rebuild: disk tier already holds the artifacts).
+func TestGracefulStopHandsOffWarmArtifacts(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "a", "")
+	req := server.Request{Sources: sources, Seed: seed}
+
+	if code, _, _ := postRaw(t, tc.addrs["a"], "/slice", req, false); code != http.StatusOK {
+		t.Fatalf("warming a failed")
+	}
+	_, want, _ := postRaw(t, tc.addrs["a"], "/slice", req, true)
+	warmKeys := len(tc.srvs["a"].DiskCache().Keys())
+	if warmKeys == 0 {
+		t.Fatalf("node a disk empty after serving")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.nodes["a"].Stop(ctx); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if sent := tc.nodes["a"].stats.handoffsSent.Load(); sent != int64(warmKeys) {
+		t.Fatalf("handoffs sent = %d, want %d", sent, warmKeys)
+	}
+	if recv := tc.nodes["b"].stats.handoffsReceived.Load(); recv != int64(warmKeys) {
+		t.Fatalf("handoffs received = %d, want %d", recv, warmKeys)
+	}
+	if got := len(tc.srvs["b"].DiskCache().Keys()); got != warmKeys {
+		t.Fatalf("survivor holds %d keys, want %d", got, warmKeys)
+	}
+
+	// The survivor answers identically, and warm: every artifact it
+	// needs is already on its disk, so no pointer analysis reruns.
+	ptsBefore := tc.srvs["b"].Stats().Phases.PointsTos
+	code, got, _ := postRaw(t, tc.addrs["b"], "/slice", req, true)
+	if code != http.StatusOK {
+		t.Fatalf("survivor: code %d body %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("survivor diverged:\n got:  %s\n want: %s", got, want)
+	}
+	if pts := tc.srvs["b"].Stats().Phases.PointsTos; pts != ptsBefore {
+		t.Fatalf("survivor re-ran pointer analysis (%d -> %d); handoff was not warm", ptsBefore, pts)
+	}
+}
+
+// --- /statsz integration ---
+
+func TestStatszExposesClusterSection(t *testing.T) {
+	tc := startCluster(t, []string{"a", "b"}, nil, nil)
+	sources, seed := programOwnedBy(t, tc.nodes["a"].ring, tc.topo.Replication, "b", "")
+	postRaw(t, tc.addrs["a"], "/slice", server.Request{Sources: sources, Seed: seed}, false)
+
+	resp, err := http.Get("http://" + tc.addrs["a"] + "/statsz")
+	if err != nil {
+		t.Fatalf("GET /statsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cluster *server.ClusterStats `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if stats.Cluster == nil {
+		t.Fatalf("/statsz has no cluster section")
+	}
+	if stats.Cluster.Self != "a" || stats.Cluster.Members != 2 {
+		t.Fatalf("cluster section self=%q members=%d", stats.Cluster.Self, stats.Cluster.Members)
+	}
+	if stats.Cluster.Forwards != 1 {
+		t.Fatalf("cluster forwards = %d, want 1", stats.Cluster.Forwards)
+	}
+	if stats.Cluster.PeersUp != 1 {
+		t.Fatalf("peers up = %d, want 1", stats.Cluster.PeersUp)
+	}
+}

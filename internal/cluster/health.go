@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// State is a peer's typed health state.
+type State int
+
+const (
+	// Up: the last probe (or observed request) succeeded.
+	Up State = iota
+	// Degraded: recent failures below the down threshold — still
+	// routable, but deprioritized for hedging targets.
+	Degraded
+	// Down: consecutive failures reached the threshold; the peer is
+	// skipped for routing until a probe succeeds again.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// HealthConfig tunes the active prober.
+type HealthConfig struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout per probe (default 500ms).
+	Timeout time.Duration
+	// DownAfter is the consecutive-failure count that flips a peer to
+	// Down (default 3). Failures below it leave the peer Degraded.
+	DownAfter int
+	// Probe checks one peer; the default issues GET /healthz over the
+	// supplied transport. Injectable for tests.
+	Probe func(ctx context.Context, addr string) error
+}
+
+func (c *HealthConfig) fillDefaults(transport http.RoundTripper) {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.Probe == nil {
+		client := &http.Client{Transport: transport}
+		c.Probe = func(ctx context.Context, addr string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("healthz status %d", resp.StatusCode)
+			}
+			return nil
+		}
+	}
+}
+
+type peerHealth struct {
+	state   State
+	fails   int
+	lastErr error
+}
+
+// Health tracks typed peer states from active probes plus passive
+// observations (forward/fetch outcomes). Peers start Up so a cold
+// cluster routes immediately; the first failed round degrades them.
+type Health struct {
+	cfg   HealthConfig
+	peers map[string]string // name -> addr
+
+	mu    sync.Mutex
+	state map[string]*peerHealth
+}
+
+// NewHealth builds a prober over the given peers (name -> addr),
+// normally every topology member except self.
+func NewHealth(peers map[string]string, cfg HealthConfig, transport http.RoundTripper) *Health {
+	cfg.fillDefaults(transport)
+	h := &Health{
+		cfg:   cfg,
+		peers: make(map[string]string, len(peers)),
+		state: make(map[string]*peerHealth, len(peers)),
+	}
+	for name, addr := range peers {
+		h.peers[name] = addr
+		h.state[name] = &peerHealth{state: Up}
+	}
+	return h
+}
+
+// Start launches the probe loop; it stops when ctx is cancelled.
+func (h *Health) Start(ctx context.Context) {
+	go func() {
+		ticker := time.NewTicker(h.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				h.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce runs one probe round across all peers (exported so tests
+// and a just-started node can force a round synchronously).
+func (h *Health) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for name, addr := range h.peers {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, h.cfg.Timeout)
+			defer cancel()
+			err := h.cfg.Probe(pctx, addr)
+			if err != nil {
+				h.ReportFailure(name, err)
+			} else {
+				h.ReportSuccess(name)
+			}
+		}(name, addr)
+	}
+	wg.Wait()
+}
+
+// ReportSuccess records a successful probe or forwarded request.
+func (h *Health) ReportSuccess(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.state[name]; ok {
+		p.state, p.fails, p.lastErr = Up, 0, nil
+	}
+}
+
+// ReportFailure records a failed probe or a transport-level failure
+// observed while talking to the peer; passive failures accelerate
+// detection between probe rounds.
+func (h *Health) ReportFailure(name string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.state[name]
+	if !ok {
+		return
+	}
+	p.fails++
+	p.lastErr = err
+	if p.fails >= h.cfg.DownAfter {
+		p.state = Down
+	} else {
+		p.state = Degraded
+	}
+}
+
+// State returns the peer's current typed state. Unknown peers (self,
+// or names outside the topology) report Down so routing skips them.
+func (h *Health) State(name string) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.state[name]; ok {
+		return p.state
+	}
+	return Down
+}
+
+// Counts returns how many peers are in each state.
+func (h *Health) Counts() (up, degraded, down int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.state {
+		switch p.state {
+		case Up:
+			up++
+		case Degraded:
+			degraded++
+		default:
+			down++
+		}
+	}
+	return
+}

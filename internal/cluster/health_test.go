@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// scriptedProbe fails peers listed in its fail set.
+type scriptedProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (p *scriptedProbe) probe(_ context.Context, addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail[addr] {
+		return errors.New("probe refused")
+	}
+	return nil
+}
+
+func (p *scriptedProbe) set(addr string, failing bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fail[addr] = failing
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	probe := &scriptedProbe{fail: map[string]bool{}}
+	h := NewHealth(map[string]string{"a": "addr-a", "b": "addr-b"},
+		HealthConfig{DownAfter: 3, Probe: probe.probe}, nil)
+
+	// Peers start Up.
+	if got := h.State("a"); got != Up {
+		t.Fatalf("initial state = %v, want up", got)
+	}
+	// Unknown peers are Down (never routable).
+	if got := h.State("nope"); got != Down {
+		t.Fatalf("unknown peer state = %v, want down", got)
+	}
+
+	probe.set("addr-a", true)
+	h.ProbeOnce(context.Background())
+	if got := h.State("a"); got != Degraded {
+		t.Fatalf("after 1 failure: %v, want degraded", got)
+	}
+	if got := h.State("b"); got != Up {
+		t.Fatalf("healthy peer: %v, want up", got)
+	}
+	h.ProbeOnce(context.Background())
+	if got := h.State("a"); got != Degraded {
+		t.Fatalf("after 2 failures: %v, want degraded", got)
+	}
+	h.ProbeOnce(context.Background())
+	if got := h.State("a"); got != Down {
+		t.Fatalf("after 3 failures: %v, want down", got)
+	}
+	up, degraded, down := h.Counts()
+	if up != 1 || degraded != 0 || down != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 1/0/1", up, degraded, down)
+	}
+
+	// Recovery: one success resets to Up immediately.
+	probe.set("addr-a", false)
+	h.ProbeOnce(context.Background())
+	if got := h.State("a"); got != Up {
+		t.Fatalf("after recovery: %v, want up", got)
+	}
+}
+
+func TestHealthPassiveObservations(t *testing.T) {
+	h := NewHealth(map[string]string{"a": "addr-a"},
+		HealthConfig{DownAfter: 2, Probe: func(context.Context, string) error { return nil }}, nil)
+	h.ReportFailure("a", errors.New("connection refused"))
+	if got := h.State("a"); got != Degraded {
+		t.Fatalf("after passive failure: %v, want degraded", got)
+	}
+	h.ReportFailure("a", errors.New("connection refused"))
+	if got := h.State("a"); got != Down {
+		t.Fatalf("after second passive failure: %v, want down", got)
+	}
+	h.ReportSuccess("a")
+	if got := h.State("a"); got != Up {
+		t.Fatalf("after passive success: %v, want up", got)
+	}
+	// Reports about unknown peers are ignored, not tracked.
+	h.ReportFailure("ghost", errors.New("x"))
+	if got := h.State("ghost"); got != Down {
+		t.Fatalf("unknown peer: %v, want down", got)
+	}
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	for want, s := range map[string]State{"up": Up, "degraded": Degraded, "down": Down} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if got := fmt.Sprint(State(99)); got != "state(99)" {
+		t.Fatalf("out-of-range state string = %q", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Package cluster shards the slicing service across replicas: a
+// consistent-hash ring routes each program (by content hash) to one
+// owner plus a short replica preference list, an active health prober
+// keeps typed up/degraded/down state per peer, and a Node fronts a
+// *server.Server with forwarding, hedging, verified peer artifact
+// fetch, and warm handoff on drain.
+//
+// The design goal is the robustness contract from the service framing:
+// any single replica failure may cost latency (a cold build, a hedged
+// hop) but never correctness — responses stay byte-identical to a
+// single-node server and errors stay inside the typed closed set.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Member is one replica in the topology.
+type Member struct {
+	// Name is the stable identity used for routing and fault rules.
+	Name string `json:"name"`
+	// Addr is the host:port the replica listens on.
+	Addr string `json:"addr"`
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Each
+// member contributes vnodes points; a key is owned by the first point
+// at or after its hash, and the preference list continues clockwise
+// collecting distinct members. Points that collide exactly (possible
+// in principle with a 64-bit hash, forced in tests) are ordered per
+// key by rendezvous score — highest-random-weight hashing — so ties
+// break deterministically without depending on member insertion order.
+type Ring struct {
+	members []Member
+	points  []ringPoint
+	hash    func(string) uint64
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a Murmur3-style finalizer. Raw FNV-1a over short sequential
+// strings ("vnode\x00a\x001", "vnode\x00a\x002", ...) has weak high-bit
+// avalanche, which skews point placement badly; the finalizer restores
+// uniform spread while staying deterministic across processes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring with vnodes virtual points per member.
+// Members must have unique non-empty names.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("cluster: member with empty name")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	r := &Ring{
+		members: append([]Member(nil), members...),
+		hash:    fnvHash,
+	}
+	r.build(vnodes)
+	return r, nil
+}
+
+func (r *Ring) build(vnodes int) {
+	r.points = make([]ringPoint, 0, len(r.members)*vnodes)
+	for i, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			h := r.hash("vnode\x00" + m.Name + "\x00" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Stable order for equal hashes; the per-key rendezvous
+		// tiebreak in Owners decides which member wins a collision.
+		return r.members[r.points[a].member].Name < r.members[r.points[b].member].Name
+	})
+}
+
+// Members returns the full member set in topology order.
+func (r *Ring) Members() []Member {
+	return append([]Member(nil), r.members...)
+}
+
+// Without returns a new ring over the same points minus the named
+// member — the topology a drain handoff targets.
+func (r *Ring) Without(name string) (*Ring, error) {
+	rest := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.Name != name {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("cluster: removing %q empties the ring", name)
+	}
+	// Points per member is uniform by construction; recover it.
+	vnodes := len(r.points) / len(r.members)
+	nr := &Ring{members: rest, hash: r.hash}
+	nr.build(vnodes)
+	return nr, nil
+}
+
+// rendezvous scores a member for a key; higher wins a tie.
+func (r *Ring) rendezvous(member int, key string) uint64 {
+	return r.hash("rdv\x00" + r.members[member].Name + "\x00" + key)
+}
+
+// Owners returns the preference list for key: up to n distinct
+// members, the first being the owner. Deterministic for a given
+// member set regardless of construction order.
+func (r *Ring) Owners(key string, n int) []Member {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	kh := r.hash("key\x00" + key)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= kh
+	})
+	out := make([]Member, 0, n)
+	taken := make(map[int]bool, n)
+	add := func(member int) bool {
+		if taken[member] {
+			return false
+		}
+		taken[member] = true
+		out = append(out, r.members[member])
+		return true
+	}
+	for scanned := 0; scanned < len(r.points) && len(out) < n; {
+		i := (start + scanned) % len(r.points)
+		// Gather the run of points sharing one hash value and order the
+		// run per key by rendezvous score (descending) — the tiebreak.
+		run := []int{r.points[i].member}
+		j := scanned + 1
+		for ; j < len(r.points); j++ {
+			k := (start + j) % len(r.points)
+			if r.points[k].hash != r.points[i].hash {
+				break
+			}
+			run = append(run, r.points[k].member)
+		}
+		if len(run) > 1 {
+			sort.Slice(run, func(a, b int) bool {
+				return r.rendezvous(run[a], key) > r.rendezvous(run[b], key)
+			})
+		}
+		for _, m := range run {
+			if len(out) == n {
+				break
+			}
+			add(m)
+		}
+		scanned = j
+	}
+	return out
+}
+
+// Owner returns just the owning member for key.
+func (r *Ring) Owner(key string) Member {
+	owners := r.Owners(key, 1)
+	return owners[0]
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{Name: fmt.Sprintf("node-%c", 'a'+i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return ms
+}
+
+func TestRingDeterministicAcrossConstructionOrder(t *testing.T) {
+	ms := testMembers(4)
+	r1, err := NewRing(ms, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []Member{ms[3], ms[1], ms[0], ms[2]}
+	r2, err := NewRing(rev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("program-%d", i)
+		o1 := r1.Owners(key, 3)
+		o2 := r2.Owners(key, 3)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: owners differ across construction order: %v vs %v", key, o1, o2)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndComplete(t *testing.T) {
+	r, err := NewRing(testMembers(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: want 3 owners, got %d", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o.Name] {
+				t.Fatalf("key %q: duplicate owner %s", key, o.Name)
+			}
+			seen[o.Name] = true
+		}
+	}
+	// Asking for more replicas than members clamps.
+	if got := r.Owners("x", 10); len(got) != 3 {
+		t.Fatalf("want clamp to 3 members, got %d", len(got))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testMembers(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys — ring badly unbalanced: %v", name, frac*100, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruptionOnMemberLoss(t *testing.T) {
+	full, err := NewRing(testMembers(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := full.Without("node-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	moved, owned := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.Name == "node-d" {
+			owned++
+			continue // must move, by definition
+		}
+		if before.Name != after.Name {
+			moved++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("node-d owned nothing — test is vacuous")
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member changed owner (consistent hashing should move only the removed member's keys)", moved)
+	}
+}
+
+// TestRingRendezvousTiebreak forces a full vnode-hash collision by
+// using a degenerate hash for vnode points, and checks the per-key
+// rendezvous score decides ownership deterministically and key-
+// dependently.
+func TestRingRendezvousTiebreak(t *testing.T) {
+	ms := testMembers(3)
+	r := &Ring{members: ms, hash: fnvHash}
+	r.build(4)
+	// Collapse every point to one hash value: all vnodes collide.
+	for i := range r.points {
+		r.points[i].hash = 42
+	}
+	ownerByKey := map[string]string{}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("want full preference list under collision, got %v", owners)
+		}
+		// Verify the winner really is the rendezvous max.
+		best, bestScore := -1, uint64(0)
+		for m := range ms {
+			if s := r.rendezvous(m, key); best == -1 || s > bestScore {
+				best, bestScore = m, s
+			}
+		}
+		if owners[0].Name != ms[best].Name {
+			t.Fatalf("key %q: owner %s is not the rendezvous winner %s", key, owners[0].Name, ms[best].Name)
+		}
+		ownerByKey[key] = owners[0].Name
+	}
+	// Key-dependent: not every key lands on the same member.
+	distinct := map[string]bool{}
+	for _, o := range ownerByKey {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("rendezvous tiebreak ignored the key: all owners = %v", ownerByKey)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty member set should fail")
+	}
+	if _, err := NewRing([]Member{{Name: "a"}, {Name: "a"}}, 8); err == nil {
+		t.Fatal("duplicate names should fail")
+	}
+	if _, err := NewRing([]Member{{Name: ""}}, 8); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	r, err := NewRing([]Member{{Name: "solo"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Without("solo"); err == nil {
+		t.Fatal("emptying the ring should fail")
+	}
+}

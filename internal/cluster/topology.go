@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Topology is the cluster's static membership file (JSON). Every
+// replica loads the same file and is named in it; membership changes
+// are rolling restarts with a new file — a draining replica streams
+// its warm artifacts to the new owners on the way out, and an abruptly
+// killed one just costs the survivors a cold build per program.
+type Topology struct {
+	// Replication is the preference-list length per program: the owner
+	// plus Replication-1 fallbacks for hedging and peer fetch
+	// (default 2, clamped to the member count).
+	Replication int `json:"replication"`
+	// VNodes is the virtual-node count per replica on the hash ring
+	// (default 64).
+	VNodes int `json:"vnodes"`
+	// Replicas is the member list; names and addrs must be unique.
+	Replicas []Member `json:"replicas"`
+}
+
+// ParseTopology decodes and validates a topology document.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("cluster: malformed topology: %w", err)
+	}
+	if len(t.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: topology has no replicas")
+	}
+	names := make(map[string]bool, len(t.Replicas))
+	addrs := make(map[string]bool, len(t.Replicas))
+	for _, m := range t.Replicas {
+		if m.Name == "" || m.Addr == "" {
+			return nil, fmt.Errorf("cluster: replica needs both name and addr: %+v", m)
+		}
+		if names[m.Name] {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", m.Name)
+		}
+		if addrs[m.Addr] {
+			return nil, fmt.Errorf("cluster: duplicate replica addr %q", m.Addr)
+		}
+		names[m.Name], addrs[m.Addr] = true, true
+	}
+	if t.Replication <= 0 {
+		t.Replication = 2
+	}
+	if t.Replication > len(t.Replicas) {
+		t.Replication = len(t.Replicas)
+	}
+	if t.VNodes <= 0 {
+		t.VNodes = 64
+	}
+	return &t, nil
+}
+
+// LoadTopology reads and parses a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading topology: %w", err)
+	}
+	return ParseTopology(data)
+}

@@ -217,6 +217,53 @@ func (c *Cache) Get(kind, key string) ([]byte, bool) {
 	return payload, true
 }
 
+// Keys returns the keys of every published entry, sorted. The
+// snapshot may be stale by the time it is used (entries evict
+// concurrently); callers must tolerate a later miss.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// GetRecord returns the raw, verified container record stored under
+// key along with its kind — the exact bytes a peer can re-verify
+// end-to-end (cluster artifact fetch and warm handoff use this).
+// Corrupt records are quarantined and reported as a miss, like Get.
+// The read does not bump the LRU clock and is not counted as a hit:
+// a drain handoff sweeping every entry must not distort access stats.
+func (c *Cache) GetRecord(key string) (data []byte, kind string, ok bool) {
+	path := c.objectPath(key)
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		return nil, "", false
+	}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		data, err = applyHook(OpRead, path, data)
+	}
+	if err != nil {
+		c.quarantine(key, fmt.Sprintf("read: %v", err))
+		return nil, "", false
+	}
+	kind, recKey, err := artifact.Inspect(data)
+	if err != nil || recKey != key {
+		if err == nil {
+			err = fmt.Errorf("record keyed %q stored under %q", recKey, key)
+		}
+		c.quarantine(key, err.Error())
+		return nil, "", false
+	}
+	return data, kind, true
+}
+
 // Put publishes payload under (kind, key) with the atomic
 // write-temp-fsync-rename protocol, then evicts least-recently-used
 // entries if the cache exceeds its byte budget. Put failures are

@@ -401,3 +401,90 @@ func TestStrayFilesIgnoredOnScan(t *testing.T) {
 func crc32Castagnoli(b []byte) uint32 {
 	return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli))
 }
+
+func TestKeysSnapshot(t *testing.T) {
+	c, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Keys(); len(got) != 0 {
+		t.Fatalf("empty cache Keys = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put("ir", testKey(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Keys()
+	if len(got) != 4 {
+		t.Fatalf("Keys = %v, want 4 sorted keys", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Keys not sorted: %v", got)
+		}
+	}
+}
+
+func TestGetRecordRoundTripsContainer(t *testing.T) {
+	c, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("sdg payload bytes")
+	if err := c.Put("sdg", testKey(7), payload); err != nil {
+		t.Fatal(err)
+	}
+	rec, kind, ok := c.GetRecord(testKey(7))
+	if !ok || kind != "sdg" {
+		t.Fatalf("GetRecord ok=%v kind=%q", ok, kind)
+	}
+	// The record is the full verified container: a peer can Decode it
+	// end-to-end and recover the payload byte-for-byte.
+	got, err := artifact.Decode(rec, "sdg", testKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	// Missing keys are a plain miss.
+	if _, _, ok := c.GetRecord(testKey(8)); ok {
+		t.Fatal("GetRecord of absent key succeeded")
+	}
+	// GetRecord must not distort access stats: no hits counted.
+	if s := c.Stats(); s.Hits != 0 {
+		t.Fatalf("GetRecord counted hits: %+v", s)
+	}
+}
+
+func TestGetRecordQuarantinesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("ir", testKey(3), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the published file.
+	path := filepath.Join(dir, "objects", testKey(3)+".art")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.GetRecord(testKey(3)); ok {
+		t.Fatal("corrupt record served")
+	}
+	if s := c.Stats(); s.Quarantines != 1 || s.Entries != 0 {
+		t.Fatalf("stats after corrupt GetRecord = %+v", s)
+	}
+	// The corrupt file is out of the objects directory.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file still published: %v", err)
+	}
+}

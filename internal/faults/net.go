@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The network fault layer mirrors the phase-fault Registry for the
+// cluster's HTTP paths: deterministic, counter-based rules that drop,
+// delay, corrupt, or partition traffic between named nodes. It is
+// wired in as an http.RoundTripper wrapper (cluster.Config.Transport),
+// so forwarding, hedging, peer artifact fetch, health probes, and
+// handoff all flow through the same rule set — exactly what the
+// replica-kill soak schedules against.
+
+// NetMode selects what a matching network rule does to the request.
+type NetMode int
+
+const (
+	// NetDrop fails the round trip with a transport error (as if the
+	// connection was refused or reset).
+	NetDrop NetMode = iota
+	// NetDelay sleeps Rule.Delay (bounded by the request context),
+	// then lets the request proceed.
+	NetDelay
+	// NetCorrupt lets the request through but flips one byte in the
+	// middle of the response body — the wire-corruption case the
+	// artifact container's CRC must catch.
+	NetCorrupt
+	// NetPartition drops traffic in both directions between From and
+	// To (set-matched, unlike NetDrop's one-way match).
+	NetPartition
+)
+
+// NetRule injects one network fault wherever it matches. From/To are
+// node names (bind addresses to names with NetRegistry.Bind); empty
+// means any. Path matches a URL path prefix ("" = any).
+type NetRule struct {
+	From string
+	To   string
+	Path string
+
+	Mode  NetMode
+	Delay time.Duration
+
+	// After skips the first After matches; Times then fires at most
+	// Times times (0 = no limit) — same deterministic windowing as the
+	// phase-fault rules.
+	After int
+	Times int
+}
+
+// NetHandle tracks one registered network rule's fire count.
+type NetHandle struct {
+	rule    NetRule
+	mu      sync.Mutex
+	matched int
+	fired   int
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (h *NetHandle) Fired() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+func (h *NetHandle) take() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.matched++
+	if h.matched <= h.rule.After {
+		return false
+	}
+	if h.rule.Times > 0 && h.fired >= h.rule.Times {
+		return false
+	}
+	h.fired++
+	return true
+}
+
+// NetRegistry is a set of network fault rules shared by every node in
+// an in-process cluster under test. Safe for concurrent use.
+type NetRegistry struct {
+	mu    sync.Mutex
+	rules []*NetHandle
+	nodes map[string]string // addr (host:port) -> node name
+}
+
+// NewNetRegistry returns an empty network fault registry.
+func NewNetRegistry() *NetRegistry {
+	return &NetRegistry{nodes: make(map[string]string)}
+}
+
+// Bind associates a listen address with a node name so rules can match
+// destinations by name rather than ephemeral test ports.
+func (r *NetRegistry) Bind(name, addr string) {
+	r.mu.Lock()
+	r.nodes[addr] = name
+	r.mu.Unlock()
+}
+
+// Add registers a rule and returns its handle for fire-count
+// assertions.
+func (r *NetRegistry) Add(rule NetRule) *NetHandle {
+	h := &NetHandle{rule: rule}
+	r.mu.Lock()
+	r.rules = append(r.rules, h)
+	r.mu.Unlock()
+	return h
+}
+
+// Clear drops every rule.
+func (r *NetRegistry) Clear() {
+	r.mu.Lock()
+	r.rules = nil
+	r.mu.Unlock()
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the fault
+// rules, tagging outgoing traffic as coming from the named node.
+func (r *NetRegistry) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{reg: r, from: from, base: base}
+}
+
+type faultTransport struct {
+	reg  *NetRegistry
+	from string
+	base http.RoundTripper
+}
+
+// droppedError is the transport error surfaced for NetDrop and
+// NetPartition — indistinguishable from a refused connection to the
+// caller's error handling.
+type droppedError struct{ from, to string }
+
+func (e droppedError) Error() string {
+	return "faults: dropped connection " + e.from + " -> " + e.to
+}
+
+// Timeout and Temporary make the error quack like a net error.
+func (droppedError) Timeout() bool   { return false }
+func (droppedError) Temporary() bool { return true }
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.reg.mu.Lock()
+	to := t.reg.nodes[req.URL.Host]
+	rules := make([]*NetHandle, len(t.reg.rules))
+	copy(rules, t.reg.rules)
+	t.reg.mu.Unlock()
+
+	for _, h := range rules {
+		if !netRuleMatches(h.rule, t.from, to, req.URL.Path) {
+			continue
+		}
+		if !h.take() {
+			continue
+		}
+		switch h.rule.Mode {
+		case NetDrop, NetPartition:
+			return nil, droppedError{from: t.from, to: to}
+		case NetDelay:
+			if err := sleepCtx(req.Context(), h.rule.Delay); err != nil {
+				return nil, err
+			}
+		case NetCorrupt:
+			resp, err := t.base.RoundTrip(req)
+			if err != nil {
+				return nil, err
+			}
+			return corruptResponse(resp)
+		}
+		// First firing rule wins, like the phase-fault hook.
+		break
+	}
+	return t.base.RoundTrip(req)
+}
+
+func netRuleMatches(rule NetRule, from, to, path string) bool {
+	if rule.Path != "" && !strings.HasPrefix(path, rule.Path) {
+		return false
+	}
+	if rule.Mode == NetPartition {
+		// Set-matched: the partition severs both directions.
+		return (rule.From == from && rule.To == to) || (rule.From == to && rule.To == from)
+	}
+	if rule.From != "" && rule.From != from {
+		return false
+	}
+	if rule.To != "" && rule.To != to {
+		return false
+	}
+	return true
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// corruptResponse reads the body, flips one byte in the middle, and
+// rebuilds the response. An empty body is returned untouched (there is
+// nothing to corrupt).
+func corruptResponse(resp *http.Response) (*http.Response, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		body[len(body)/2] ^= 0x40
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"thinslice/internal/budget"
+	"thinslice/internal/faults"
+	"thinslice/internal/session"
+)
+
+// TestRetryAfterMSRoundsUp pins the wire-hint conversion: any positive
+// backoff yields a positive hint. Plain Milliseconds() truncated
+// sub-millisecond backoffs to 0, which suppressed the JSON hint and
+// the Retry-After header entirely.
+func TestRetryAfterMSRoundsUp(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want int64
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 1},
+		{100 * time.Microsecond, 1},
+		{time.Millisecond, 1},
+		{1500 * time.Microsecond, 2},
+		{999 * time.Millisecond, 999},
+		{2 * time.Second, 2000},
+	}
+	for _, c := range cases {
+		if got := retryAfterMS(c.in); got != c.want {
+			t.Errorf("retryAfterMS(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestBreakerSubSecondBackoffKeepsRetryAfter is the regression test
+// for the truncation bug: with a breaker backoff well under a second,
+// the open-circuit rejection must still carry retry_after_ms ≥ 1 and a
+// Retry-After header of at least one second — not a silent zero.
+func TestBreakerSubSecondBackoffKeepsRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.BreakerFailures = 2
+	cfg.BreakerBackoff = 100 * time.Microsecond // sub-millisecond
+	srv := mustNew(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	poison := firstNames()
+	key := session.Open(poison).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhasePointsTo, KeyPrefix: string(key)[:16], Mode: faults.Panic, Times: 2})
+	defer reg.Install()()
+
+	req := Request{Sources: poison, Seed: seedAt("// SEED")}
+	for i := 0; i < 2; i++ {
+		if code, resp, _ := post(t, ts.URL, "/slice", req); code != http.StatusInternalServerError {
+			t.Fatalf("poisoned request %d: code %d resp %+v", i, code, resp)
+		}
+	}
+
+	// The circuit is open with a ~100µs backoff. The rejection races
+	// the tiny window, so allow the breaker to have already half-opened
+	// (the fault rule is spent, a probe succeeds) — but any breaker_open
+	// answer we do see must carry usable retry hints.
+	sawOpen := false
+	for i := 0; i < 50 && !sawOpen; i++ {
+		code, resp, hdr := post(t, ts.URL, "/slice", req)
+		if code != http.StatusServiceUnavailable || resp.Kind != "breaker_open" {
+			continue
+		}
+		sawOpen = true
+		if resp.RetryAfterMS < 1 {
+			t.Fatalf("sub-second backoff truncated retry_after_ms to %d", resp.RetryAfterMS)
+		}
+		secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			t.Fatalf("sub-second backoff produced Retry-After %q, want an integer ≥ 1", hdr.Get("Retry-After"))
+		}
+	}
+	if !sawOpen {
+		t.Skip("breaker half-opened before any rejection was observed (backoff too fast on this machine)")
+	}
+}
+
+// TestSaturationRetryAfterHeaderAtLeastOneSecond drives the queue-full
+// path with a sub-second queue wait and checks the same rounding
+// contract on the saturation rejection.
+func TestSaturationRetryAfterHeaderAtLeastOneSecond(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.QueueWait = 50 * time.Millisecond // sub-second retry hint
+	srv := mustNew(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	slow := firstNames()
+	key := session.Open(slow).SourceKey()
+	reg := faults.NewRegistry()
+	reg.Add(faults.Rule{Phase: budget.PhaseSDG, KeyPrefix: string(key)[:16], Mode: faults.Sleep, Delay: 500 * time.Millisecond})
+	defer reg.Install()()
+
+	req := Request{Sources: slow, Seed: seedAt("// SEED")}
+	results := make(chan http.Header, 8)
+	codes := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			code, _, hdr := post(t, ts.URL, "/slice", req)
+			codes <- code
+			results <- hdr
+		}()
+	}
+	saw429 := false
+	for i := 0; i < 8; i++ {
+		code := <-codes
+		hdr := <-results
+		if code != http.StatusTooManyRequests {
+			continue
+		}
+		saw429 = true
+		secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			t.Fatalf("saturated rejection Retry-After %q, want integer ≥ 1", hdr.Get("Retry-After"))
+		}
+	}
+	if !saw429 {
+		t.Skip("pool drained too fast to observe saturation on this machine")
+	}
+}

@@ -89,6 +89,14 @@ type Config struct {
 	// CacheMaxBytes bounds the disk cache (0 = 256 MiB); the least
 	// recently used artifacts are evicted beyond it.
 	CacheMaxBytes int64
+	// WatchHeartbeat is the interval between heartbeat events on an
+	// otherwise-idle /watch stream (default 20s); a failed heartbeat
+	// write releases the stream slot of a dead client promptly.
+	WatchHeartbeat time.Duration
+	// WatchIdleTimeout ends a /watch stream that has sent no edits for
+	// this long (default 5m), so a silent-but-connected client cannot
+	// pin one of the stream slots forever.
+	WatchIdleTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
 	// default: the profiler is a debugging backdoor, not a public
 	// endpoint.
@@ -128,6 +136,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BreakerMaxBackoff <= 0 {
 		c.BreakerMaxBackoff = 30 * time.Second
+	}
+	if c.WatchHeartbeat <= 0 {
+		c.WatchHeartbeat = 20 * time.Second
+	}
+	if c.WatchIdleTimeout <= 0 {
+		c.WatchIdleTimeout = 5 * time.Minute
 	}
 }
 
@@ -204,6 +218,40 @@ type Stats struct {
 	Queued   int              `json:"queued"`
 	Requests RequestStats     `json:"requests"`
 	Draining bool             `json:"draining"`
+	// Cluster is present only when the server fronts a cluster node
+	// (cluster.New registers the provider via SetClusterStats).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster node's /statsz section: peer health by
+// typed state plus the routing, hedging, peer-fetch, and handoff
+// counters. The type lives here (not in package cluster) so the
+// /statsz schema stays defined in one place; package cluster imports
+// server, never the reverse.
+type ClusterStats struct {
+	Self          string `json:"self"`
+	Members       int    `json:"members"`
+	PeersUp       int    `json:"peers_up"`
+	PeersDegraded int    `json:"peers_degraded"`
+	PeersDown     int    `json:"peers_down"`
+	// Forwards counts requests routed to a remote owner; Hedges the
+	// secondary attempts launched after the latency threshold;
+	// LocalFallbacks requests answered locally after every candidate
+	// peer failed (the never-a-5xx degradation path).
+	Forwards       int64 `json:"forwards"`
+	ForwardErrors  int64 `json:"forward_errors"`
+	Hedges         int64 `json:"hedges"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	// Peer artifact fetch outcomes; corrupt counts records that failed
+	// container verification and were discarded before any decode.
+	PeerFetchHits    int64 `json:"peer_fetch_hits"`
+	PeerFetchMisses  int64 `json:"peer_fetch_misses"`
+	PeerFetchCorrupt int64 `json:"peer_fetch_corrupt"`
+	// Handoff artifact counts: sent while draining, received from a
+	// draining peer, rejected because the record failed verification.
+	HandoffsSent     int64 `json:"handoffs_sent"`
+	HandoffsReceived int64 `json:"handoffs_received"`
+	HandoffRejects   int64 `json:"handoff_rejects"`
 }
 
 // BreakerStats summarizes circuit-breaker state: how many programs
@@ -260,6 +308,11 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	metrics  metrics
+
+	// Cluster integration points, set once by cluster.New before the
+	// server starts serving (atomics so /statsz reads race-free).
+	clusterStats atomic.Pointer[func() ClusterStats]
+	remoteFetch  atomic.Pointer[session.RemoteFetch]
 }
 
 // New builds a Server, filling config defaults. It fails only when a
@@ -326,6 +379,33 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// DiskCache returns the persistent artifact cache, or nil when the
+// server runs memory-only. The cluster layer serves peer artifact
+// fetches and drain handoffs from it.
+func (s *Server) DiskCache() *diskstore.Cache { return s.disk }
+
+// RequestByteLimit reports the configured request body bound, so the
+// cluster routing layer can buffer bodies under the same limit.
+func (s *Server) RequestByteLimit() int64 { return s.cfg.MaxRequestBytes }
+
+// SetClusterStats registers the provider for the /statsz cluster
+// section. Call before serving.
+func (s *Server) SetClusterStats(f func() ClusterStats) {
+	s.clusterStats.Store(&f)
+}
+
+// SetRemoteFetch layers a remote artifact tier (peer fetch) under the
+// disk tier of every session the server opens. Call before serving.
+func (s *Server) SetRemoteFetch(f session.RemoteFetch) {
+	s.remoteFetch.Store(&f)
+}
+
+// StartDrain flips the server into draining mode: analysis and watch
+// endpoints answer 503 draining, /readyz fails. Run calls it on
+// context cancellation; the cluster node calls it before streaming its
+// warm artifacts away.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
 // Stats snapshots the server's observable state.
 func (s *Server) Stats() Stats {
 	closed, open, halfOpen := s.breaker.stateCounts()
@@ -349,6 +429,10 @@ func (s *Server) Stats() Stats {
 		ds := s.disk.Stats()
 		st.Disk = &ds
 	}
+	if f := s.clusterStats.Load(); f != nil {
+		cs := (*f)()
+		st.Cluster = &cs
+	}
 	return st
 }
 
@@ -363,7 +447,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, drainTimeout time.Dur
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
-		s.draining.Store(true)
+		s.StartDrain()
 		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := hs.Shutdown(sctx)
@@ -418,7 +502,7 @@ func (s *Server) analysisHandler(run runFunc) http.HandlerFunc {
 				s.write(w, http.StatusTooManyRequests, &Response{
 					Status: "error", Kind: "saturated",
 					Error:        "worker pool and queue are full",
-					RetryAfterMS: sat.retryAfter.Milliseconds(),
+					RetryAfterMS: retryAfterMS(sat.retryAfter),
 				})
 				return
 			}
@@ -441,7 +525,7 @@ func (s *Server) analysisHandler(run runFunc) http.HandlerFunc {
 			resp := &Response{
 				Status: "error", Kind: "breaker_open",
 				Error:        fmt.Sprintf("circuit open for this program after repeated failures (last: %s: %s)", dec.lastKind, dec.lastErr),
-				RetryAfterMS: dec.retryAfter.Milliseconds(),
+				RetryAfterMS: retryAfterMS(dec.retryAfter),
 			}
 			s.write(w, http.StatusServiceUnavailable, resp)
 			return
@@ -512,6 +596,9 @@ func (s *Server) openSession(req *Request, bud *budget.Budget) *session.Session 
 	}
 	if s.disk != nil {
 		opts = append(opts, session.WithDiskCache(s.disk))
+	}
+	if f := s.remoteFetch.Load(); f != nil {
+		opts = append(opts, session.WithRemoteFetch(*f))
 	}
 	return session.Open(req.Sources, opts...)
 }
@@ -700,10 +787,31 @@ func breakerCounts(err error) bool {
 }
 
 // write emits the response with its Retry-After header and bumps the
+// retryAfterMS converts a backoff duration to the wire's millisecond
+// hint, rounding up and clamping to at least 1ms. Plain
+// Milliseconds() truncates: a sub-millisecond backoff (an early
+// breaker re-open, a tiny configured base) became 0, which suppressed
+// both the JSON hint and the Retry-After header entirely — the client
+// was told nothing instead of "soon". With the floor, write() below
+// then emits Retry-After ≥ 1 second (its own ceiling division can
+// never round a positive hint down to 0).
+func retryAfterMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 // outcome counters.
 func (s *Server) write(w http.ResponseWriter, code int, resp *Response) {
 	s.count(resp)
 	if resp.RetryAfterMS > 0 {
+		// Ceiling division: any positive hint yields Retry-After ≥ 1s,
+		// never a truncated-to-0 header.
 		secs := (resp.RetryAfterMS + 999) / 1000
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}

@@ -55,10 +55,14 @@ type WatchIncremental struct {
 	FullSDGs    int `json:"full_sdgs"`    // full SDG builds
 }
 
-// WatchEvent is one revision's answer on a /watch stream.
+// WatchEvent is one revision's answer on a /watch stream. Between
+// revisions the server also emits events with Status "heartbeat" at
+// the configured WatchHeartbeat interval — they carry the current Rev
+// and no other payload, and double as liveness probes: a heartbeat
+// that fails to write tears the stream down and frees its slot.
 type WatchEvent struct {
 	Rev       int           `json:"rev"`
-	Status    string        `json:"status"` // ok, partial, or error
+	Status    string        `json:"status"` // ok, partial, error, or heartbeat
 	Kind      string        `json:"kind,omitempty"`
 	Error     string        `json:"error,omitempty"`
 	Phase     string        `json:"phase,omitempty"`
@@ -164,40 +168,92 @@ func (s *Server) watchHandler(w http.ResponseWriter, r *http.Request) {
 	if !emit(s.watchRevision(r, sess, &init, seeds, rev)) {
 		return
 	}
+
+	// Edits are decoded on their own goroutine so the main loop can
+	// multiplex them with the heartbeat ticker and the idle timer. The
+	// reader owns the channel; done unblocks its send when the handler
+	// returns first (the deferred close happens-before the connection
+	// close that would eventually error the blocked Decode).
+	type editMsg struct {
+		edit WatchEdit
+		err  error
+	}
+	edits := make(chan editMsg)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			var m editMsg
+			m.err = dec.Decode(&m.edit)
+			select {
+			case edits <- m:
+			case <-done:
+				return
+			}
+			if m.err != nil {
+				return
+			}
+		}
+	}()
+
+	heartbeat := time.NewTicker(s.cfg.WatchHeartbeat)
+	defer heartbeat.Stop()
+	idle := time.NewTimer(s.cfg.WatchIdleTimeout)
+	defer idle.Stop()
+
 	for {
-		var edit WatchEdit
-		if err := dec.Decode(&edit); err != nil {
-			if !errors.Is(err, io.EOF) && r.Context().Err() == nil {
-				emit(&WatchEvent{
-					Rev: rev + 1, Status: "error", Kind: "bad_request",
-					Error: "malformed edit message: " + err.Error(),
-				})
-			}
+		select {
+		case <-r.Context().Done():
 			return
-		}
-		for name, content := range edit.Update {
-			sess.Update(name, content)
-		}
-		for _, name := range edit.Remove {
-			sess.Remove(name)
-		}
-		if len(edit.Seeds) > 0 {
-			init.Seeds = edit.Seeds
-			init.Seed = ""
-			if seeds, err = parseWatchSeeds(&init); err != nil {
-				rev++
-				if !emit(&WatchEvent{Rev: rev, Status: "error", Kind: "bad_request", Error: err.Error()}) {
-					return
+		case <-heartbeat.C:
+			// Doubles as a liveness probe: writing to a closed
+			// connection fails and frees the stream slot without
+			// waiting out the idle timer.
+			if !emit(&WatchEvent{Rev: rev, Status: "heartbeat"}) {
+				return
+			}
+		case <-idle.C:
+			emit(&WatchEvent{
+				Rev: rev, Status: "error", Kind: "deadline",
+				Error: fmt.Sprintf("watch stream idle: no edits within %s", s.cfg.WatchIdleTimeout),
+			})
+			return
+		case m := <-edits:
+			if m.err != nil {
+				if !errors.Is(m.err, io.EOF) && r.Context().Err() == nil {
+					emit(&WatchEvent{
+						Rev: rev + 1, Status: "error", Kind: "bad_request",
+						Error: "malformed edit message: " + m.err.Error(),
+					})
 				}
-				continue
+				return
 			}
-		}
-		rev++
-		if !emit(s.watchRevision(r, sess, &init, seeds, rev)) {
-			return
-		}
-		if s.draining.Load() {
-			return
+			idle.Reset(s.cfg.WatchIdleTimeout)
+			edit := m.edit
+			for name, content := range edit.Update {
+				sess.Update(name, content)
+			}
+			for _, name := range edit.Remove {
+				sess.Remove(name)
+			}
+			if len(edit.Seeds) > 0 {
+				init.Seeds = edit.Seeds
+				init.Seed = ""
+				if seeds, err = parseWatchSeeds(&init); err != nil {
+					rev++
+					if !emit(&WatchEvent{Rev: rev, Status: "error", Kind: "bad_request", Error: err.Error()}) {
+						return
+					}
+					continue
+				}
+			}
+			rev++
+			if !emit(s.watchRevision(r, sess, &init, seeds, rev)) {
+				return
+			}
+			if s.draining.Load() {
+				return
+			}
 		}
 	}
 }

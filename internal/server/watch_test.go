@@ -274,3 +274,101 @@ func TestWatchClosesOnClientEOF(t *testing.T) {
 		t.Fatal("watch stream did not close after client EOF")
 	}
 }
+
+// TestWatchHeartbeatAndIdleTimeout drives a silent client: it opens a
+// stream, reads revision 0, and then never sends another byte. The
+// server must keep proving liveness with heartbeat events, eventually
+// end the stream with a typed idle-timeout error event, and — the real
+// point — release the stream slot so a dead client cannot pin one of
+// the 32 forever.
+func TestWatchHeartbeatAndIdleTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchHeartbeat = 50 * time.Millisecond
+	cfg.WatchIdleTimeout = 400 * time.Millisecond
+	srv := mustNew(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := watchStreams.Load()
+	c := dialWatch(t, ts.URL, Request{
+		Sources: map[string]string{"alpha.mj": watchAlpha, "main.mj": watchMain},
+		Seeds:   []string{"main.mj:6"},
+	})
+	if ev := c.next(); ev.Rev != 0 || ev.Status != "ok" {
+		t.Fatalf("rev 0: %+v", ev)
+	}
+	if got := watchStreams.Load(); got != before+1 {
+		t.Fatalf("stream slot not held: %d, want %d", got, before+1)
+	}
+
+	// Stay silent. The server heartbeats until the idle timer fires,
+	// then ends the stream with a typed error event.
+	heartbeats := 0
+	var last WatchEvent
+	for {
+		if !c.events.Scan() {
+			t.Fatalf("stream ended without an idle-timeout event (heartbeats seen: %d): %v", heartbeats, c.events.Err())
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal(c.events.Bytes(), &ev); err != nil {
+			t.Fatalf("malformed event %q: %v", c.events.Text(), err)
+		}
+		if ev.Status == "heartbeat" {
+			heartbeats++
+			if ev.Rev != 0 {
+				t.Fatalf("heartbeat carries wrong rev: %+v", ev)
+			}
+			continue
+		}
+		last = ev
+		break
+	}
+	if heartbeats < 2 {
+		t.Fatalf("saw %d heartbeats before idle timeout, want ≥ 2", heartbeats)
+	}
+	if last.Status != "error" || last.Kind != "deadline" || !strings.Contains(last.Error, "idle") {
+		t.Fatalf("final event is not a typed idle timeout: %+v", last)
+	}
+	// The stream is over: the scanner reaches EOF and the slot frees.
+	for c.events.Scan() {
+		t.Fatalf("unexpected event after idle timeout: %s", c.events.Text())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for watchStreams.Load() != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream slot never released: %d held", watchStreams.Load()-before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchHeartbeatDetectsDeadClient kills the TCP connection without
+// closing the stream; the next heartbeat write fails and the slot
+// frees long before the idle timeout would fire.
+func TestWatchHeartbeatDetectsDeadClient(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchHeartbeat = 50 * time.Millisecond
+	cfg.WatchIdleTimeout = time.Hour // only heartbeats can reap it
+	srv := mustNew(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := watchStreams.Load()
+	c := dialWatch(t, ts.URL, Request{
+		Sources: map[string]string{"alpha.mj": watchAlpha, "main.mj": watchMain},
+		Seeds:   []string{"main.mj:6"},
+	})
+	if ev := c.next(); ev.Rev != 0 || ev.Status != "ok" {
+		t.Fatalf("rev 0: %+v", ev)
+	}
+	// Hard-close the socket: the client is gone, silently.
+	c.conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for watchStreams.Load() != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead client still pins a stream slot after 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,137 @@
+package session_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"thinslice/internal/artifact"
+	"thinslice/internal/core"
+	"thinslice/internal/diskstore"
+	"thinslice/internal/papercases"
+	"thinslice/internal/session"
+)
+
+// diskFetcher serves verified payloads out of another replica's disk
+// cache — the in-process analogue of the cluster's /internal/artifact
+// fetch, including the CRC verification before any payload is trusted.
+// lines renders a slice's line set for byte-level comparison.
+func lines(sl *core.Slice) string {
+	return fmt.Sprint(sl.Lines())
+}
+
+func diskFetcher(t *testing.T, donor *diskstore.Cache, fetches *atomic.Int64) session.RemoteFetch {
+	t.Helper()
+	return func(kind string, key session.Key) []byte {
+		fetches.Add(1)
+		rec, recKind, ok := donor.GetRecord(string(key))
+		if !ok || recKind != kind {
+			return nil
+		}
+		payload, err := artifact.Decode(rec, kind, string(key))
+		if err != nil {
+			return nil
+		}
+		return payload
+	}
+}
+
+// TestRemoteFetchWarmsFromPeer: a fresh session with an empty local
+// disk answers entirely from a peer's artifacts — zero pointer
+// analyses, zero SDG builds — and the fetched artifacts are published
+// locally so the next restart doesn't re-fetch.
+func TestRemoteFetchWarmsFromPeer(t *testing.T) {
+	donorDisk, err := diskstore.Open(t.TempDir(), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+	donor := session.Open(firstNamesSources(), session.WithDiskCache(donorDisk))
+	want := mustSlice(t, donor, papercases.FirstNamesFile, seedLine)
+
+	localDir := t.TempDir()
+	localDisk, err := diskstore.Open(localDir, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetches atomic.Int64
+	s := session.Open(firstNamesSources(),
+		session.WithDiskCache(localDisk),
+		session.WithRemoteFetch(diskFetcher(t, donorDisk, &fetches)))
+	got := mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+
+	if lines(got) != lines(want) {
+		t.Fatalf("peer-warmed slice differs:\n%s\nvs\n%s", lines(got), lines(want))
+	}
+	stats := s.Stats()
+	if stats.PointsTos != 0 || stats.SDGs != 0 {
+		t.Fatalf("peer-warmed session rebuilt artifacts: %+v", stats)
+	}
+	if fetches.Load() == 0 {
+		t.Fatal("remote fetcher never consulted")
+	}
+	if localDisk.Stats().Puts == 0 {
+		t.Fatal("fetched artifacts not published to the local disk tier")
+	}
+
+	// A restart over the same local dir is warm without the peer.
+	restartDisk, err := diskstore.Open(localDir, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches.Store(0)
+	s2 := session.Open(firstNamesSources(),
+		session.WithDiskCache(restartDisk),
+		session.WithRemoteFetch(diskFetcher(t, donorDisk, &fetches)))
+	if got2 := mustSlice(t, s2, papercases.FirstNamesFile, seedLine); lines(got2) != lines(want) {
+		t.Fatal("restart slice differs")
+	}
+	if fetches.Load() != 0 {
+		t.Fatalf("restart re-fetched %d artifacts from the peer", fetches.Load())
+	}
+}
+
+// TestRemoteFetchByzantinePayloadQuarantined: a peer that returns
+// garbage (valid transport, wrong bytes) costs a rebuild, never a
+// wrong answer. The poisoned payload is published, fails structural
+// decoding, gets quarantined from the local tier, and the rebuild
+// re-publishes clean bytes.
+func TestRemoteFetchByzantinePayloadQuarantined(t *testing.T) {
+	localDisk, err := diskstore.Open(t.TempDir(), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetches atomic.Int64
+	byzantine := func(kind string, key session.Key) []byte {
+		fetches.Add(1)
+		return []byte("not an artifact payload")
+	}
+	seedLine := papercases.Line(papercases.FirstNames, "// SEED")
+	s := session.Open(firstNamesSources(),
+		session.WithDiskCache(localDisk),
+		session.WithRemoteFetch(byzantine))
+	got := mustSlice(t, s, papercases.FirstNamesFile, seedLine)
+
+	truth := mustSlice(t, session.Open(firstNamesSources()), papercases.FirstNamesFile, seedLine)
+	if lines(got) != lines(truth) {
+		t.Fatalf("byzantine peer changed the answer:\n%s\nvs\n%s", lines(got), lines(truth))
+	}
+	if s.Stats().PointsTos != 1 {
+		t.Fatalf("expected a full rebuild under a byzantine peer: %+v", s.Stats())
+	}
+	if fetches.Load() == 0 {
+		t.Fatal("byzantine fetcher never consulted")
+	}
+	if q := localDisk.Stats().Quarantines; q == 0 {
+		t.Fatal("poisoned payloads were not quarantined")
+	}
+	// The rebuild re-published clean artifacts: a fresh session over the
+	// same disk is warm and correct without the fetcher.
+	s2 := session.Open(firstNamesSources(), session.WithDiskCache(localDisk))
+	if got2 := mustSlice(t, s2, papercases.FirstNamesFile, seedLine); lines(got2) != lines(truth) {
+		t.Fatal("post-quarantine disk state yields a wrong answer")
+	}
+	if s2.Stats().PointsTos != 0 {
+		t.Fatalf("post-quarantine disk not warm: %+v", s2.Stats())
+	}
+}

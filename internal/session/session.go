@@ -73,6 +73,7 @@ type config struct {
 	workers     int
 	store       *Store
 	disk        *diskstore.Cache
+	remote      RemoteFetch
 	incremental bool
 }
 
@@ -131,6 +132,22 @@ func WithIncremental() Option { return func(c *config) { c.incremental = true } 
 // disk entry that fails verification or decoding is quarantined and the
 // artifact rebuilt — disk corruption never surfaces as a session error.
 func WithDiskCache(c *diskstore.Cache) Option { return func(cfg *config) { cfg.disk = c } }
+
+// RemoteFetch retrieves an already-verified artifact payload for
+// (kind, key) from somewhere else — in practice another cluster
+// replica's disk tier — or nil on a miss. Implementations must verify
+// integrity (the cluster fetcher checks the container CRC) before
+// returning bytes; the session still treats the payload as untrusted
+// and quarantines it if structural decoding fails, so a byzantine
+// source can cause a rebuild but never a wrong answer.
+type RemoteFetch func(kind string, key Key) []byte
+
+// WithRemoteFetch layers a remote tier under the disk tier: on a store
+// and disk miss the session asks the fetcher before rebuilding, and a
+// fetched payload is published to the local disk tier (when present)
+// so the next miss is local. Fetch failures of any kind degrade to a
+// normal cold build.
+func WithRemoteFetch(f RemoteFetch) Option { return func(cfg *config) { cfg.remote = f } }
 
 // Session is a stateful analysis over one evolving source set. All
 // accessors are safe for concurrent use; artifacts are immutable.
@@ -385,14 +402,23 @@ func parsedPrelude() ([]*ast.ClassDecl, bool, error) {
 // in the session's disk tier, or nil. Container-level corruption is
 // already quarantined inside the cache.
 func (s *Session) diskGet(kind string, key Key) []byte {
-	if s.cfg.disk == nil {
-		return nil
+	if s.cfg.disk != nil {
+		if payload, ok := s.cfg.disk.Get(kind, string(key)); ok {
+			return payload
+		}
 	}
-	payload, ok := s.cfg.disk.Get(kind, string(key))
-	if !ok {
-		return nil
+	if s.cfg.remote != nil {
+		if payload := s.cfg.remote(kind, key); payload != nil {
+			// Publish locally first: if structural decoding then rejects
+			// the payload, the caller's diskQuarantine removes and counts
+			// it, and the rebuild re-publishes clean bytes.
+			if s.cfg.disk != nil {
+				_ = s.cfg.disk.Put(kind, string(key), payload)
+			}
+			return payload
+		}
 	}
-	return payload
+	return nil
 }
 
 // diskQuarantine reports a record whose container verified but whose
